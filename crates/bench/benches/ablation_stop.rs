@@ -1,0 +1,41 @@
+//! Runtime ablation of the DAF stop policy (accuracy ablation lives in
+//! `reproduce ablation`): pruning is also what makes DAF *fast* — this
+//! bench quantifies how much work each policy saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpod_bench::{datasets::city_2d, HarnessConfig, Scale};
+use dpod_core::{
+    daf::{DafEntropy, StopPolicy},
+    Mechanism,
+};
+use dpod_data::City;
+use dpod_dp::Epsilon;
+
+fn bench_stop_policies(c: &mut Criterion) {
+    let cfg = HarnessConfig::at_scale(Scale::Quick);
+    let ds = city_2d(&cfg, City::NewYork);
+    let eps = Epsilon::new(0.1).expect("valid epsilon");
+    let mut group = c.benchmark_group("daf_stop_policy");
+    group.sample_size(10);
+    let policies = [
+        ("never", StopPolicy::Never),
+        ("noise_dominated_x2", StopPolicy::NoiseDominated { factor: 2.0 }),
+        ("noise_dominated_x8", StopPolicy::NoiseDominated { factor: 8.0 }),
+        ("count_below_50", StopPolicy::CountBelow(50.0)),
+    ];
+    for (name, stop) in policies {
+        let mech = DafEntropy { stop, ..DafEntropy::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ds.matrix, |b, input| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = dpod_dp::seeded_rng(seed);
+                mech.sanitize(input, eps, &mut rng).expect("sanitize")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stop_policies);
+criterion_main!(benches);

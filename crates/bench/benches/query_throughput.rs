@@ -1,0 +1,44 @@
+//! Query-side throughput: answering range queries against a sanitized
+//! release. The analyst-facing cost of the publication model — `O(2^d)`
+//! per query via the embedded prefix table — is what makes the released
+//! matrices practical; this bench pins it.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
+};
+use dpod_bench::{datasets, HarnessConfig, Scale};
+use dpod_core::{grid::Ebp, Mechanism};
+use dpod_dp::Epsilon;
+use dpod_query::workload::QueryWorkload;
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let cfg = HarnessConfig::at_scale(Scale::Quick);
+    let eps = Epsilon::new(0.5).expect("valid epsilon");
+    let mut group = c.benchmark_group("query_throughput");
+    for d in [2usize, 4, 6] {
+        let ds = datasets::gaussian(&cfg, d, 0.1);
+        let mut rng = dpod_dp::seeded_rng(7);
+        let sanitized = Ebp::default()
+            .sanitize(&ds.matrix, eps, &mut rng)
+            .expect("sanitize");
+        let queries = QueryWorkload::Random.draw_many(ds.matrix.shape(), 1_000, &mut rng);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("range_sum", format!("{d}d")),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for q in qs {
+                        acc += sanitized.range_sum(q);
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

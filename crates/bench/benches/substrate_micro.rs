@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the substrates every mechanism is built on:
+//! Laplace sampling, prefix-sum construction and box queries, entropy, and
+//! grid materialization. Regressions here multiply into every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpod_dp::laplace::sample_laplace;
+use dpod_fmatrix::{entropy::matrix_entropy, AxisBox, DenseMatrix, PrefixSum, Shape};
+use dpod_partition::UniformGrid;
+
+fn bench_laplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplace_sampling");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("sample", |b| {
+        let mut rng = dpod_dp::seeded_rng(1);
+        b.iter(|| black_box(sample_laplace(&mut rng, 10.0)));
+    });
+    group.finish();
+}
+
+fn bench_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_sum");
+    group.sample_size(20);
+    for side in [256usize, 512] {
+        let shape = Shape::new(vec![side, side]).unwrap();
+        let data: Vec<u64> = (0..shape.size() as u64).map(|i| i % 17).collect();
+        let m = DenseMatrix::from_vec(shape, data).unwrap();
+        group.throughput(Throughput::Elements((side * side) as u64));
+        group.bench_function(format!("build_2d_{side}"), |b| {
+            b.iter(|| black_box(PrefixSum::from_counts(&m)));
+        });
+        let p = PrefixSum::from_counts(&m);
+        let q = AxisBox::new(vec![side / 8, side / 8], vec![side / 2, side / 2]).unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(format!("box_sum_2d_{side}"), |b| {
+            b.iter(|| black_box(p.box_count(&q)));
+        });
+    }
+    // A 6-D table exercises the 2^d corner enumeration.
+    let shape6 = Shape::cube(6, 8).unwrap();
+    let data: Vec<u64> = (0..shape6.size() as u64).map(|i| i % 5).collect();
+    let m6 = DenseMatrix::from_vec(shape6, data).unwrap();
+    let p6 = PrefixSum::from_counts(&m6);
+    let q6 = AxisBox::new(vec![1; 6], vec![7; 6]).unwrap();
+    group.bench_function("box_sum_6d", |b| b.iter(|| black_box(p6.box_count(&q6))));
+    group.finish();
+}
+
+fn bench_entropy_and_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy_and_grid");
+    group.sample_size(20);
+    let shape = Shape::new(vec![512, 512]).unwrap();
+    let data: Vec<u64> = (0..shape.size() as u64).map(|i| (i * i) % 97).collect();
+    let m = DenseMatrix::from_vec(shape.clone(), data).unwrap();
+    group.bench_function("matrix_entropy_512", |b| {
+        b.iter(|| black_box(matrix_entropy(&m)));
+    });
+    group.bench_function("grid_partitioning_64x64", |b| {
+        b.iter(|| {
+            let g = UniformGrid::isotropic(&shape, 64);
+            black_box(g.to_partitioning().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_laplace, bench_prefix, bench_entropy_and_grid);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion version of Table 3: sanitize wall-clock per mechanism on 2-D
+//! city data, ε = 0.1.
+//!
+//! Uses the Quick-scale grid (256²) so a full `cargo bench` stays in
+//! minutes; the paper's claim under reproduction is the *ordering* (DAF
+//! methods fastest because they prune; full-domain releases slowest),
+//! which is scale-stable. `reproduce table3` runs the paper-size one-shot
+//! variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpod_bench::{datasets::city_2d, HarnessConfig, Scale};
+use dpod_core::paper_suite;
+use dpod_data::City;
+use dpod_dp::Epsilon;
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = HarnessConfig::at_scale(Scale::Quick);
+    let eps = Epsilon::new(0.1).expect("valid epsilon");
+    let mut group = c.benchmark_group("table3_runtime");
+    group.sample_size(10);
+    for city in City::ALL {
+        let ds = city_2d(&cfg, city);
+        for mech in paper_suite() {
+            group.bench_with_input(
+                BenchmarkId::new(mech.name(), city.name()),
+                &ds.matrix,
+                |b, input| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut rng = dpod_dp::seeded_rng(seed);
+                        mech.sanitize(input, eps, &mut rng).expect("sanitize")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

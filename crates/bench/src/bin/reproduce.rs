@@ -1,0 +1,123 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <experiment>... [--quick] [--seed N] [--out DIR]
+//!
+//! experiments: fig3 fig4 fig5 fig6 fig7 fig8 table3 ablation extensions all
+//! --quick      reduced datasets/workloads (minutes instead of tens of minutes)
+//! --seed N     base seed (default 0xD90D)
+//! --out DIR    JSON/text output directory (default ./results)
+//! ```
+//!
+//! Accuracy experiments print one aligned table per paper panel and write
+//! `DIR/<id>.json`; fig3 writes `DIR/fig3.txt`.
+
+use dpod_bench::{experiments, HarnessConfig, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok((cfg, ids)) => {
+            for id in &ids {
+                run(&cfg, id);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: reproduce <fig3|fig4|fig5|fig6|fig7|fig8|table3|ablation|extensions|all>... [--quick] [--seed N] [--out DIR]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const ALL: [&str; 9] = [
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "ablation", "extensions",
+];
+
+fn parse(args: &[String]) -> Result<(HarnessConfig, Vec<String>), String> {
+    let mut cfg = HarnessConfig::default();
+    let mut ids = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cfg.scale = Scale::Quick,
+            "--tiny" => cfg.scale = Scale::Tiny, // undocumented: CI smoke runs
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                cfg.seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                cfg.out_dir = v.into();
+            }
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            id if ALL.contains(&id) => ids.push(id.to_string()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if ids.is_empty() {
+        return Err("no experiment selected".into());
+    }
+    ids.dedup();
+    Ok((cfg, ids))
+}
+
+fn run(cfg: &HarnessConfig, id: &str) {
+    let started = std::time::Instant::now();
+    eprintln!(">> running {id} at {:?} scale…", cfg.scale);
+    match id {
+        "fig3" => {
+            let art = experiments::fig3(cfg);
+            println!("{art}");
+            if std::fs::create_dir_all(&cfg.out_dir).is_ok() {
+                let path = cfg.out_dir.join("fig3.txt");
+                if let Err(e) = std::fs::write(&path, &art) {
+                    eprintln!("!! could not write {}: {e}", path.display());
+                } else {
+                    eprintln!(">> wrote {}", path.display());
+                }
+            }
+        }
+        "fig7" => {
+            // Reuse a cached fig6 run when available; recompute otherwise.
+            let cached = cfg.out_dir.join("fig6.json");
+            let fig6 = std::fs::read_to_string(&cached)
+                .ok()
+                .and_then(|s| serde_json::from_str(&s).ok())
+                .unwrap_or_else(|| {
+                    let e = experiments::fig6(cfg);
+                    save(cfg, &e);
+                    e
+                });
+            let e = experiments::fig7_from(&fig6);
+            e.print();
+            save(cfg, &e);
+        }
+        _ => {
+            let e = match id {
+                "fig4" => experiments::fig4(cfg),
+                "fig5" => experiments::fig5(cfg),
+                "fig6" => experiments::fig6(cfg),
+                "fig8" => experiments::fig8(cfg),
+                "table3" => experiments::table3(cfg),
+                "ablation" => experiments::ablation(cfg),
+                "extensions" => experiments::extensions(cfg),
+                other => unreachable!("unvalidated experiment id {other}"),
+            };
+            e.print();
+            save(cfg, &e);
+        }
+    }
+    eprintln!(">> {id} done in {:.1?}", started.elapsed());
+}
+
+fn save(cfg: &HarnessConfig, e: &dpod_bench::report::Experiment) {
+    match e.save_json(&cfg.out_dir) {
+        Ok(path) => eprintln!(">> wrote {}", path.display()),
+        Err(err) => eprintln!("!! could not persist {}: {err}", e.id),
+    }
+}

@@ -1,0 +1,118 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! * **E1** — the Privelet and QuadTree related-work baselines against the
+//!   paper's suite on 2-D city data;
+//! * **E2** — OD matrices **with one intermediate stop** (6-D), the
+//!   scenario the paper's title promises but evaluates only on synthetic
+//!   data; we run it on city trajectories.
+
+use crate::datasets::{city_2d, city_od};
+use crate::experiments::{fig8::fig8_mechanisms, PAPER_EPSILONS};
+use crate::report::{Experiment, Panel};
+use crate::runner::{sweep, Cell, TruthContext};
+use crate::HarnessConfig;
+use dpod_core::{all_mechanisms, DynMechanism};
+use dpod_data::City;
+use dpod_query::workload::QueryWorkload;
+
+/// Runs both extension experiments.
+pub fn extensions(cfg: &HarnessConfig) -> Experiment {
+    let mut panels = Vec::new();
+    panels.push(related_work_panel(cfg));
+    panels.extend(od6d_panels(cfg));
+    Experiment {
+        id: "extensions".into(),
+        description:
+            "Extension baselines (Privelet/QuadTree) and 6D OD-with-stops on city data"
+                .into(),
+        panels,
+    }
+}
+
+/// E1: every mechanism in the crate on the New York histogram.
+fn related_work_panel(cfg: &HarnessConfig) -> Panel {
+    let ds = city_2d(cfg, City::NewYork);
+    let ctx = TruthContext::new(
+        &ds.matrix,
+        QueryWorkload::Random,
+        cfg.num_queries(),
+        cfg.sub_seed("ext/relwork/queries"),
+    );
+    let mechanisms: Vec<DynMechanism> = all_mechanisms();
+    let mut cells = Vec::new();
+    for &eps in &PAPER_EPSILONS {
+        for mech in &mechanisms {
+            cells.push(Cell {
+                series: mech.name().to_string(),
+                x: eps,
+                input: &ds.matrix,
+                ctx: &ctx,
+                mechanism: mech,
+                epsilon: eps,
+                seed: cfg.sub_seed(&format!("ext/relwork/e{eps}/{}", mech.name())),
+            });
+        }
+    }
+    Panel::from_triples(
+        "E1: all mechanisms incl. Privelet/QuadTree (New York 2D)",
+        "ε_tot",
+        "MRE (%)",
+        &sweep(cells),
+    )
+}
+
+/// E2: 6-D OD matrices (origin, one stop, destination) per city.
+fn od6d_panels(cfg: &HarnessConfig) -> Vec<Panel> {
+    let mechanisms = fig8_mechanisms();
+    let mut panels = Vec::new();
+    for city in City::ALL {
+        let ds = city_od(cfg, city, 1);
+        let ctx = TruthContext::new(
+            &ds.matrix,
+            QueryWorkload::Random,
+            cfg.num_queries(),
+            cfg.sub_seed(&format!("ext/od6d/queries/{}", city.name())),
+        );
+        let mut cells = Vec::new();
+        for &eps in &PAPER_EPSILONS {
+            for mech in &mechanisms {
+                cells.push(Cell {
+                    series: mech.name().to_string(),
+                    x: eps,
+                    input: &ds.matrix,
+                    ctx: &ctx,
+                    mechanism: mech,
+                    epsilon: eps,
+                    seed: cfg.sub_seed(&format!(
+                        "ext/od6d/{}/e{eps}/{}",
+                        city.name(),
+                        mech.name()
+                    )),
+                });
+            }
+        }
+        panels.push(Panel::from_triples(
+            &format!("E2: {} OD 6D (one intermediate stop), random queries", city.name()),
+            "ε_tot",
+            "MRE (%)",
+            &sweep(cells),
+        ));
+    }
+    panels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_extensions_structure() {
+        let cfg = HarnessConfig::at_scale(crate::Scale::Tiny);
+        let e = extensions(&cfg);
+        assert_eq!(e.panels.len(), 4);
+        assert_eq!(e.panels[0].series.len(), 10, "paper suite + 4 extensions");
+        for p in &e.panels[1..] {
+            assert_eq!(p.series.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 5: synthetic Zipf data, random shape/size queries, ε = 0.1.
+//! 3 panels — d ∈ {2, 4, 6}; MRE vs skew parameter a.
+
+use crate::datasets::{zipf, Dataset};
+use crate::report::{Experiment, Panel};
+use crate::runner::{sweep, Cell, TruthContext};
+use crate::HarnessConfig;
+use dpod_core::paper_suite;
+use dpod_query::workload::QueryWorkload;
+
+/// Zipf skew exponents swept on the x axis.
+pub const SKEWS: [f64; 5] = [1.2, 1.6, 2.0, 2.4, 2.8];
+
+/// The figure's fixed privacy budget.
+pub const EPSILON: f64 = 0.1;
+
+/// Runs the experiment.
+pub fn fig5(cfg: &HarnessConfig) -> Experiment {
+    let mechanisms = paper_suite();
+    let mut panels = Vec::new();
+    for &d in &crate::experiments::fig4_dims() {
+        let datasets: Vec<Dataset> = SKEWS.iter().map(|&a| zipf(cfg, d, a)).collect();
+        let contexts: Vec<TruthContext> = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                TruthContext::new(
+                    &ds.matrix,
+                    QueryWorkload::Random,
+                    cfg.num_queries(),
+                    cfg.sub_seed(&format!("fig5/queries/d{d}/{i}")),
+                )
+            })
+            .collect();
+        let mut cells = Vec::new();
+        for ((ds, ctx), &a) in datasets.iter().zip(&contexts).zip(&SKEWS) {
+            for mech in &mechanisms {
+                cells.push(Cell {
+                    series: mech.name().to_string(),
+                    x: a,
+                    input: &ds.matrix,
+                    ctx,
+                    mechanism: mech,
+                    epsilon: EPSILON,
+                    seed: cfg.sub_seed(&format!("fig5/run/d{d}/a{a}/{}", mech.name())),
+                });
+            }
+        }
+        let triples = sweep(cells);
+        panels.push(Panel::from_triples(
+            &format!("{d}D, ε_tot = {EPSILON}"),
+            "skew a",
+            "MRE (%)",
+            &triples,
+        ));
+    }
+    Experiment {
+        id: "fig5".into(),
+        description: "Zipf synthetic data, random queries, ε=0.1 (paper Fig. 5)".into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig5_structure() {
+        let cfg = HarnessConfig::at_scale(crate::Scale::Tiny);
+        let e = fig5(&cfg);
+        assert_eq!(e.panels.len(), 3);
+        for p in &e.panels {
+            assert_eq!(p.series.len(), 6);
+            for s in &p.series {
+                assert_eq!(s.points.len(), SKEWS.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Figures 6 and 7: real-data (city-model) 2-D population histograms.
+//! 12 panels — 3 cities × {random, 1 %, 5 %, 10 % coverage}; MRE vs ε.
+//! Fig. 7 is Fig. 6 restricted to the four competitive methods.
+
+use crate::datasets::city_2d;
+use crate::experiments::PAPER_EPSILONS;
+use crate::report::{Experiment, Panel};
+use crate::runner::{sweep, Cell, TruthContext};
+use crate::HarnessConfig;
+use dpod_core::paper_suite;
+use dpod_data::City;
+use dpod_query::workload::QueryWorkload;
+
+/// The paper's four query workloads for the city experiments.
+pub fn workloads() -> [QueryWorkload; 4] {
+    [
+        QueryWorkload::Random,
+        QueryWorkload::FixedCoverage { coverage: 0.01 },
+        QueryWorkload::FixedCoverage { coverage: 0.05 },
+        QueryWorkload::FixedCoverage { coverage: 0.10 },
+    ]
+}
+
+/// Runs the Fig. 6 experiment (all six mechanisms, log-scale in the paper).
+pub fn fig6(cfg: &HarnessConfig) -> Experiment {
+    let mechanisms = paper_suite();
+    let mut panels = Vec::new();
+    for city in City::ALL {
+        let ds = city_2d(cfg, city);
+        for w in workloads() {
+            let ctx = TruthContext::new(
+                &ds.matrix,
+                w,
+                cfg.num_queries(),
+                cfg.sub_seed(&format!("fig6/queries/{}/{}", city.name(), w.label())),
+            );
+            let mut cells = Vec::new();
+            for &eps in &PAPER_EPSILONS {
+                for mech in &mechanisms {
+                    cells.push(Cell {
+                        series: mech.name().to_string(),
+                        x: eps,
+                        input: &ds.matrix,
+                        ctx: &ctx,
+                        mechanism: mech,
+                        epsilon: eps,
+                        seed: cfg.sub_seed(&format!(
+                            "fig6/run/{}/{}/e{eps}/{}",
+                            city.name(),
+                            w.label(),
+                            mech.name()
+                        )),
+                    });
+                }
+            }
+            let triples = sweep(cells);
+            panels.push(Panel::from_triples(
+                &format!("{}, {} queries", city.name(), w.label()),
+                "ε_tot",
+                "MRE (%)",
+                &triples,
+            ));
+        }
+    }
+    Experiment {
+        id: "fig6".into(),
+        description: "City population histograms in 2D, all methods (paper Fig. 6)".into(),
+        panels,
+    }
+}
+
+/// The methods kept in Fig. 7 (the paper drops IDENTITY and MKM after
+/// Fig. 6 shows them an order of magnitude worse).
+pub const FIG7_METHODS: [&str; 4] = ["EUG", "EBP", "DAF-Entropy", "DAF-Homogeneity"];
+
+/// Derives Fig. 7 from a computed Fig. 6 by dropping the baselines.
+pub fn fig7_from(fig6: &Experiment) -> Experiment {
+    let panels = fig6
+        .panels
+        .iter()
+        .map(|p| Panel {
+            title: p.title.clone(),
+            x_label: p.x_label.clone(),
+            y_label: p.y_label.clone(),
+            series: p
+                .series
+                .iter()
+                .filter(|s| FIG7_METHODS.contains(&s.label.as_str()))
+                .cloned()
+                .collect(),
+        })
+        .collect();
+    Experiment {
+        id: "fig7".into(),
+        description: "City population histograms in 2D, no baselines (paper Fig. 7)"
+            .into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig6_structure_and_fig7_filter() {
+        let cfg = HarnessConfig::at_scale(crate::Scale::Tiny);
+        let e6 = fig6(&cfg);
+        assert_eq!(e6.panels.len(), 12);
+        for p in &e6.panels {
+            assert_eq!(p.series.len(), 6);
+            for s in &p.series {
+                assert_eq!(s.points.len(), PAPER_EPSILONS.len());
+            }
+        }
+        let e7 = fig7_from(&e6);
+        assert_eq!(e7.panels.len(), 12);
+        for p in &e7.panels {
+            assert_eq!(p.series.len(), 4);
+            assert!(p.series.iter().all(|s| FIG7_METHODS.contains(&s.label.as_str())));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 8: 4-D origin–destination matrices from city trajectories.
+//! 12 panels — 3 cities × {random, 1 %, 5 %, 10 % coverage}; MRE vs ε;
+//! the four competitive methods.
+
+use crate::datasets::city_od;
+use crate::experiments::{fig6::workloads, PAPER_EPSILONS};
+use crate::report::{Experiment, Panel};
+use crate::runner::{sweep, Cell, TruthContext};
+use crate::HarnessConfig;
+use dpod_core::{daf, grid, DynMechanism};
+use dpod_data::City;
+
+/// The mechanisms of Fig. 8 (the paper's competitive set).
+pub fn fig8_mechanisms() -> Vec<DynMechanism> {
+    vec![
+        Box::new(grid::Eug::default()),
+        Box::new(grid::Ebp::default()),
+        Box::new(daf::DafEntropy::default()),
+        Box::new(daf::DafHomogeneity::default()),
+    ]
+}
+
+/// Runs the experiment.
+pub fn fig8(cfg: &HarnessConfig) -> Experiment {
+    let mechanisms = fig8_mechanisms();
+    let mut panels = Vec::new();
+    for city in City::ALL {
+        let ds = city_od(cfg, city, 0);
+        for w in workloads() {
+            let ctx = TruthContext::new(
+                &ds.matrix,
+                w,
+                cfg.num_queries(),
+                cfg.sub_seed(&format!("fig8/queries/{}/{}", city.name(), w.label())),
+            );
+            let mut cells = Vec::new();
+            for &eps in &PAPER_EPSILONS {
+                for mech in &mechanisms {
+                    cells.push(Cell {
+                        series: mech.name().to_string(),
+                        x: eps,
+                        input: &ds.matrix,
+                        ctx: &ctx,
+                        mechanism: mech,
+                        epsilon: eps,
+                        seed: cfg.sub_seed(&format!(
+                            "fig8/run/{}/{}/e{eps}/{}",
+                            city.name(),
+                            w.label(),
+                            mech.name()
+                        )),
+                    });
+                }
+            }
+            let triples = sweep(cells);
+            panels.push(Panel::from_triples(
+                &format!("{}, OD 4D, {} queries", city.name(), w.label()),
+                "ε_tot",
+                "MRE (%)",
+                &triples,
+            ));
+        }
+    }
+    Experiment {
+        id: "fig8".into(),
+        description: "Origin-destination matrices in 4D, city data (paper Fig. 8)".into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fig8_structure() {
+        let cfg = HarnessConfig::at_scale(crate::Scale::Tiny);
+        let e = fig8(&cfg);
+        assert_eq!(e.panels.len(), 12);
+        for p in &e.panels {
+            assert_eq!(p.series.len(), 4);
+            for s in &p.series {
+                assert_eq!(s.points.len(), PAPER_EPSILONS.len());
+                assert!(s.points.iter().all(|&(_, y)| y.is_finite()));
+            }
+        }
+    }
+}

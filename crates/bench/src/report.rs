@@ -1,0 +1,228 @@
+//! Text-table rendering and JSON persistence for experiment results.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One curve of a panel: a labelled series of (x, y) points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (mechanism name).
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One sub-plot of a figure (e.g. "2D, ε_tot = 0.1" in Fig. 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel title, mirroring the paper's caption.
+    pub title: String,
+    /// X-axis meaning ("variance", "ε", "skew a", …).
+    pub x_label: String,
+    /// Y-axis meaning (usually "MRE (%)").
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+/// A full experiment: a set of panels reproducing one paper table/figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Identifier ("fig4", "table3", …).
+    pub id: String,
+    /// What the paper's counterpart shows.
+    pub description: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+}
+
+impl Panel {
+    /// Builds a panel from `(series, x, y)` triples, grouping by series
+    /// label in first-seen order and sorting each series by x.
+    pub fn from_triples(
+        title: &str,
+        x_label: &str,
+        y_label: &str,
+        triples: &[(String, f64, f64)],
+    ) -> Self {
+        let mut series: Vec<Series> = Vec::new();
+        for (label, x, y) in triples {
+            match series.iter_mut().find(|s| &s.label == label) {
+                Some(s) => s.points.push((*x, *y)),
+                None => series.push(Series {
+                    label: label.clone(),
+                    points: vec![(*x, *y)],
+                }),
+            }
+        }
+        for s in &mut series {
+            s.points
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        }
+        Panel {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series,
+        }
+    }
+
+    /// Renders the panel as an aligned text table (one row per series,
+    /// one column per x value).
+    pub fn render(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+
+        let label_width = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(self.y_label.len())
+            + 2;
+        let col = 12;
+
+        let mut out = String::new();
+        out.push_str(&format!("-- {} --\n", self.title));
+        out.push_str(&format!("{:<label_width$}", format!("{} \\ {}", self.y_label, self.x_label)));
+        for x in &xs {
+            out.push_str(&format!("{:>col$}", trim_float(*x)));
+        }
+        out.push('\n');
+        for s in &self.series {
+            out.push_str(&format!("{:<label_width$}", s.label));
+            for x in &xs {
+                match s.points.iter().find(|p| p.0 == *x) {
+                    Some(&(_, y)) => out.push_str(&format!("{:>col$}", format_value(y))),
+                    None => out.push_str(&format!("{:>col$}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Experiment {
+    /// Prints every panel to stdout.
+    pub fn print(&self) {
+        println!("==== {} — {} ====", self.id, self.description);
+        for p in &self.panels {
+            println!("{}", p.render());
+        }
+    }
+
+    /// Writes the experiment as pretty JSON to `dir/<id>.json`.
+    ///
+    /// # Errors
+    /// IO/serialization errors, as a displayable string.
+    pub fn save_json(&self, dir: &Path) -> Result<std::path::PathBuf, String> {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| e.to_string())?;
+        Ok(path)
+    }
+}
+
+/// Compact x-value rendering: integers plain, reals to 4 decimals with
+/// trailing zeros trimmed (keeps irrational sweep values like 10/√2 from
+/// blowing out the column width).
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e12 {
+        format!("{}", x as i64)
+    } else {
+        let s = format!("{x:.4}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Compact y-value rendering: fixed precision, scientific for extremes.
+fn format_value(y: f64) -> String {
+    if !y.is_finite() {
+        return format!("{y}");
+    }
+    let a = y.abs();
+    if a != 0.0 && !(1e-2..1e5).contains(&a) {
+        format!("{y:.2e}")
+    } else {
+        format!("{y:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples() -> Vec<(String, f64, f64)> {
+        vec![
+            ("EBP".into(), 0.3, 2.0),
+            ("EBP".into(), 0.1, 5.0),
+            ("IDENTITY".into(), 0.1, 50.0),
+            ("IDENTITY".into(), 0.3, 20.0),
+        ]
+    }
+
+    #[test]
+    fn panel_groups_and_sorts() {
+        let p = Panel::from_triples("t", "ε", "MRE (%)", &triples());
+        assert_eq!(p.series.len(), 2);
+        assert_eq!(p.series[0].label, "EBP");
+        assert_eq!(p.series[0].points, vec![(0.1, 5.0), (0.3, 2.0)]);
+    }
+
+    #[test]
+    fn render_contains_all_labels_and_values() {
+        let p = Panel::from_triples("demo", "ε", "MRE (%)", &triples());
+        let r = p.render();
+        assert!(r.contains("EBP"));
+        assert!(r.contains("IDENTITY"));
+        assert!(r.contains("5.00"));
+        assert!(r.contains("50.00"));
+        assert!(r.contains("0.1"));
+    }
+
+    #[test]
+    fn missing_points_render_as_dash() {
+        let t = vec![
+            ("A".into(), 1.0, 2.0),
+            ("B".into(), 1.0, 3.0),
+            ("B".into(), 2.0, 4.0),
+        ];
+        let p = Panel::from_triples("gap", "x", "y", &t);
+        let r = p.render();
+        assert!(r.contains('-'));
+    }
+
+    #[test]
+    fn json_round_trip(){
+        let e = Experiment {
+            id: "figX".into(),
+            description: "demo".into(),
+            panels: vec![Panel::from_triples("p", "x", "y", &triples())],
+        };
+        let dir = std::env::temp_dir().join("dpod_bench_test");
+        let path = e.save_json(&dir).unwrap();
+        let loaded: Experiment =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.id, "figX");
+        assert_eq!(loaded.panels[0].series.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(3.456_78), "3.46");
+        assert_eq!(format_value(123456.0), "1.23e5");
+        assert_eq!(format_value(0.001), "1.00e-3");
+        assert_eq!(trim_float(2.0), "2");
+        assert_eq!(trim_float(0.1), "0.1");
+        assert_eq!(trim_float(10.0 / std::f64::consts::SQRT_2), "7.0711");
+    }
+}

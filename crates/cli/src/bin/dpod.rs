@@ -1,0 +1,151 @@
+//! The `dpod` binary: thin argument parsing over [`dpod_cli::commands`].
+
+use dpod_cli::commands::{self, GenerateArgs, SanitizeArgs};
+use dpod_cli::{registry, CliError};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dpod — differentially-private OD-matrix publication
+
+USAGE:
+  dpod generate --city <newyork|denver|detroit> [--trips N] [--stops K]
+                [--seed S] [--out FILE]
+  dpod sanitize --input trips.csv [--cells M] --epsilon E
+                [--mechanism NAME] [--seed S] [--out FILE]
+  dpod inspect  --release release.json
+  dpod query    --release release.json --range SPEC [--range SPEC]...
+
+RANGE SPEC: one clause per dimension, comma separated: 'lo..hi' or '*'
+            e.g. --range '0..4,*,3..5,*'
+MECHANISMS: see `dpod mechanisms`
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let opts = Opts::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => {
+            let text = commands::generate(&GenerateArgs {
+                city: opts.require("city")?,
+                trips: opts.parse_or("trips", 10_000)?,
+                stops: opts.parse_or("stops", 0)?,
+                seed: opts.parse_or("seed", 0)?,
+            })?;
+            opts.write_or_return("out", text)
+        }
+        "sanitize" => {
+            let input = opts.require("input")?;
+            let csv_text = std::fs::read_to_string(&input)
+                .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            let json = commands::sanitize(
+                &csv_text,
+                &SanitizeArgs {
+                    cells: opts.parse_or("cells", 16)?,
+                    epsilon: opts.parse_require("epsilon")?,
+                    mechanism: opts.get("mechanism").unwrap_or("daf-entropy").to_string(),
+                    seed: opts.parse_or("seed", 0)?,
+                },
+            )?;
+            opts.write_or_return("out", json)
+        }
+        "inspect" => {
+            let release = commands::load_release(&PathBuf::from(opts.require("release")?))?;
+            commands::inspect(release)
+        }
+        "query" => {
+            let release = commands::load_release(&PathBuf::from(opts.require("release")?))?;
+            if opts.ranges.is_empty() {
+                return Err("query needs at least one --range".into());
+            }
+            commands::query(release, &opts.ranges)
+        }
+        "mechanisms" => Ok(format!("{}\n", registry::MECHANISM_NAMES.join("\n"))),
+        other => Err(format!("unknown command '{other}'").into()),
+    }
+}
+
+/// Flat `--key value` option bag (with repeatable `--range`).
+struct Opts {
+    pairs: Vec<(String, String)>,
+    ranges: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut ranges = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'").into());
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            if key == "range" {
+                ranges.push(value.clone());
+            } else {
+                pairs.push((key.to_string(), value.clone()));
+            }
+        }
+        Ok(Opts { pairs, ranges })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<String, CliError> {
+        self.get(key)
+            .map(str::to_string)
+            .ok_or_else(|| CliError(format!("--{key} is required")))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    fn parse_require<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        let v = self.require(key)?;
+        v.parse()
+            .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'")))
+    }
+
+    /// Writes to `--out` when given (returning a confirmation line),
+    /// otherwise returns the content for stdout.
+    fn write_or_return(&self, key: &str, content: String) -> Result<String, CliError> {
+        match self.get(key) {
+            None => Ok(content),
+            Some(path) => {
+                std::fs::write(path, &content)
+                    .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                Ok(format!("wrote {path}\n"))
+            }
+        }
+    }
+}

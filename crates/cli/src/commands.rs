@@ -1,0 +1,246 @@
+//! The four CLI commands as pure(ish) library functions: file IO in, file
+//! IO out, no process exits — the binary is a thin wrapper and the test
+//! suite drives these directly.
+
+use crate::{csv, rangespec, registry, CliError};
+use dpod_core::{PublishedRelease, ReleaseBody};
+use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
+use dpod_dp::Epsilon;
+use dpod_fmatrix::Shape;
+use std::path::Path;
+
+/// `dpod generate`: writes a synthetic trajectory CSV.
+pub struct GenerateArgs {
+    /// City archetype name (`newyork`, `denver`, `detroit`).
+    pub city: String,
+    /// Number of trips.
+    pub trips: usize,
+    /// Intermediate stops per trip.
+    pub stops: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Runs `generate`, returning the CSV text (the binary writes it out).
+///
+/// # Errors
+/// [`CliError`] for unknown city names.
+pub fn generate(args: &GenerateArgs) -> Result<String, CliError> {
+    let city = match args.city.to_ascii_lowercase().replace([' ', '_', '-'], "").as_str() {
+        "newyork" | "ny" => City::NewYork,
+        "denver" => City::Denver,
+        "detroit" => City::Detroit,
+        other => {
+            return Err(CliError(format!(
+                "unknown city '{other}'; valid: newyork, denver, detroit"
+            )))
+        }
+    };
+    let mut rng = dpod_dp::seeded_rng(args.seed);
+    let trips =
+        TrajectoryConfig::with_stops(args.stops).generate(&city.model(), args.trips, &mut rng);
+    Ok(csv::to_csv(&trips))
+}
+
+/// `dpod sanitize`: trajectory CSV → OD matrix → DP release JSON.
+pub struct SanitizeArgs {
+    /// Grid cells per spatial axis.
+    pub cells: usize,
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Mechanism CLI name (see [`registry::MECHANISM_NAMES`]).
+    pub mechanism: String,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Runs `sanitize` on CSV text, returning the release JSON.
+///
+/// The stop count is inferred from the CSV arity (`points − 2`).
+///
+/// # Errors
+/// [`CliError`] for malformed CSV, unknown mechanisms, invalid ε, or
+/// domains too large to densify.
+pub fn sanitize(csv_text: &str, args: &SanitizeArgs) -> Result<String, CliError> {
+    let trips = csv::from_csv(csv_text)?;
+    if trips.is_empty() {
+        return Err("input contains no trajectories".into());
+    }
+    let stops = trips[0].points.len() - 2;
+    let builder = OdMatrixBuilder::new(args.cells);
+    let matrix = builder.build_dense(&trips, stops).map_err(CliError)?;
+    let mechanism = registry::mechanism_by_name(&args.mechanism)?;
+    let epsilon = Epsilon::new(args.epsilon)
+        .map_err(|e| CliError(format!("bad epsilon: {e}")))?;
+    let mut rng = dpod_dp::seeded_rng(args.seed);
+    let sanitized = mechanism
+        .sanitize(&matrix, epsilon, &mut rng)
+        .map_err(|e| CliError(format!("sanitization failed: {e}")))?;
+    let release = PublishedRelease::from_sanitized(&sanitized);
+    serde_json::to_string_pretty(&release).map_err(|e| CliError(e.to_string()))
+}
+
+/// Loads and validates a release JSON file.
+///
+/// # Errors
+/// [`CliError`] for IO, JSON, or artifact-validation failures.
+pub fn load_release(path: &Path) -> Result<PublishedRelease, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", path.display())))?;
+    serde_json::from_str(&text).map_err(|e| CliError(format!("bad release JSON: {e}")))
+}
+
+/// `dpod inspect`: human-readable release summary.
+///
+/// # Errors
+/// [`CliError`] when the artifact fails validation.
+pub fn inspect(release: PublishedRelease) -> Result<String, CliError> {
+    let mut out = String::new();
+    out.push_str(&format!("mechanism : {}\n", release.mechanism));
+    out.push_str(&format!("epsilon   : {}\n", release.epsilon));
+    out.push_str(&format!("domain    : {:?}\n", release.domain));
+    match &release.body {
+        ReleaseBody::PerEntry { values } => {
+            out.push_str(&format!("release   : per-entry, {} values\n", values.len()));
+        }
+        ReleaseBody::Partitions { counts, .. } => {
+            out.push_str(&format!("release   : {} partitions\n", counts.len()));
+        }
+    }
+    let sanitized = release
+        .into_sanitized()
+        .map_err(|e| CliError(format!("invalid release: {e}")))?;
+    out.push_str(&format!("total (estimated): {:.1}\n", sanitized.total()));
+    Ok(out)
+}
+
+/// `dpod query`: answers range specs against a release.
+///
+/// # Errors
+/// [`CliError`] for invalid artifacts or specs.
+pub fn query(release: PublishedRelease, specs: &[String]) -> Result<String, CliError> {
+    let shape = Shape::new(release.domain.clone())
+        .map_err(|e| CliError(format!("bad domain: {e}")))?;
+    let sanitized = release
+        .into_sanitized()
+        .map_err(|e| CliError(format!("invalid release: {e}")))?;
+    let mut out = String::new();
+    for spec in specs {
+        let q = rangespec::parse_range(spec, &shape)?;
+        out.push_str(&format!("{spec} => {:.2}\n", sanitized.range_sum(&q)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_produces_parseable_csv() {
+        let args = GenerateArgs {
+            city: "denver".into(),
+            trips: 200,
+            stops: 1,
+            seed: 1,
+        };
+        let text = generate(&args).unwrap();
+        let trips = csv::from_csv(&text).unwrap();
+        assert_eq!(trips.len(), 200);
+        assert_eq!(trips[0].points.len(), 3);
+    }
+
+    #[test]
+    fn generate_rejects_unknown_city() {
+        let args = GenerateArgs {
+            city: "gotham".into(),
+            trips: 1,
+            stops: 0,
+            seed: 1,
+        };
+        assert!(generate(&args).is_err());
+    }
+
+    #[test]
+    fn full_curator_analyst_round_trip() {
+        // generate → sanitize → inspect → query, all in memory.
+        let csv_text = generate(&GenerateArgs {
+            city: "newyork".into(),
+            trips: 2_000,
+            stops: 0,
+            seed: 7,
+        })
+        .unwrap();
+        let release_json = sanitize(
+            &csv_text,
+            &SanitizeArgs {
+                cells: 8,
+                epsilon: 1.0,
+                mechanism: "daf-entropy".into(),
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let release: PublishedRelease = serde_json::from_str(&release_json).unwrap();
+        assert_eq!(release.domain, vec![8, 8, 8, 8]);
+
+        let summary = inspect(release.clone()).unwrap();
+        assert!(summary.contains("DAF-Entropy"), "{summary}");
+
+        let answers = query(
+            release,
+            &["*,*,*,*".to_string(), "0..4,0..4,*,*".to_string()],
+        )
+        .unwrap();
+        // The full-domain estimate should be near 2000 trips.
+        let total: f64 = answers
+            .lines()
+            .next()
+            .unwrap()
+            .split("=> ")
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((total - 2_000.0).abs() < 400.0, "total {total}");
+    }
+
+    #[test]
+    fn sanitize_rejects_empty_and_bad_epsilon() {
+        let args = SanitizeArgs {
+            cells: 4,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 0,
+        };
+        assert!(sanitize("", &args).is_err());
+        let bad_eps = SanitizeArgs {
+            epsilon: -1.0,
+            ..SanitizeArgs {
+                cells: 4,
+                epsilon: 0.0,
+                mechanism: "ebp".into(),
+                seed: 0,
+            }
+        };
+        assert!(sanitize("0.1,0.1,0.2,0.2\n", &bad_eps).is_err());
+    }
+
+    #[test]
+    fn query_rejects_bad_specs() {
+        let csv_text = "0.1,0.1,0.9,0.9\n";
+        let json = sanitize(
+            csv_text,
+            &SanitizeArgs {
+                cells: 4,
+                epsilon: 1.0,
+                mechanism: "uniform".into(),
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let release: PublishedRelease = serde_json::from_str(&json).unwrap();
+        assert!(query(release.clone(), &["*,*".to_string()]).is_err());
+        assert!(query(release, &["0..9,*,*,*".to_string()]).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal trajectory CSV codec (no external CSV dependency — the format
+//! is a fixed-arity float table).
+
+use crate::CliError;
+use dpod_data::Trajectory;
+
+/// Serializes trajectories as CSV lines (`x0,y0,x1,y1,…`).
+///
+/// Coordinates are written with 6 decimals; values within rounding
+/// distance of 1.0 are clamped to `0.999999` so the output always
+/// re-parses under the `[0, 1)` contract.
+pub fn to_csv(trips: &[Trajectory]) -> String {
+    let mut out = String::new();
+    for t in trips {
+        let mut first = true;
+        for [x, y] in &t.points {
+            if !first {
+                out.push(',');
+            }
+            let (x, y) = (x.min(0.999_999), y.min(0.999_999));
+            out.push_str(&format!("{x:.6},{y:.6}"));
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses trajectory CSV.
+///
+/// Empty lines and lines starting with `#` are skipped. Every data line
+/// must hold the same even number (≥ 4) of finite unit-square floats.
+///
+/// # Errors
+/// [`CliError`] naming the first offending line.
+pub fn from_csv(text: &str) -> Result<Vec<Trajectory>, CliError> {
+    let mut trips = Vec::new();
+    let mut arity: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() % 2 != 0 || fields.len() < 4 {
+            return Err(CliError(format!(
+                "line {}: expected an even number (>= 4) of coordinates, got {}",
+                lineno + 1,
+                fields.len()
+            )));
+        }
+        match arity {
+            None => arity = Some(fields.len()),
+            Some(a) if a != fields.len() => {
+                return Err(CliError(format!(
+                    "line {}: {} coordinates but earlier lines had {a}",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut points = Vec::with_capacity(fields.len() / 2);
+        for pair in fields.chunks_exact(2) {
+            let x: f64 = pair[0].parse().map_err(|_| {
+                CliError(format!("line {}: bad float '{}'", lineno + 1, pair[0]))
+            })?;
+            let y: f64 = pair[1].parse().map_err(|_| {
+                CliError(format!("line {}: bad float '{}'", lineno + 1, pair[1]))
+            })?;
+            for (v, label) in [(x, pair[0]), (y, pair[1])] {
+                if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                    return Err(CliError(format!(
+                        "line {}: coordinate '{label}' outside [0, 1)",
+                        lineno + 1
+                    )));
+                }
+            }
+            points.push([x, y]);
+        }
+        trips.push(Trajectory { points });
+    }
+    Ok(trips)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let trips = vec![
+            Trajectory {
+                points: vec![[0.1, 0.2], [0.5, 0.5], [0.9, 0.8]],
+            },
+            Trajectory {
+                points: vec![[0.0, 0.0], [0.3, 0.3], [0.999999, 0.5]],
+            },
+        ];
+        let text = to_csv(&trips);
+        let parsed = from_csv(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in trips.iter().zip(&parsed) {
+            for (pa, pb) in a.points.iter().zip(&b.points) {
+                assert!((pa[0] - pb[0]).abs() < 1e-5);
+                assert!((pa[1] - pb[1]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0.1,0.1,0.2,0.2\n";
+        assert_eq!(from_csv(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_odd_fields() {
+        let err = from_csv("0.1,0.2,0.3\n").unwrap_err();
+        assert!(err.0.contains("even number"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mixed_arity() {
+        let err = from_csv("0.1,0.1,0.2,0.2\n0.1,0.1,0.2,0.2,0.3,0.3\n").unwrap_err();
+        assert!(err.0.contains("earlier lines"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_floats_and_range() {
+        assert!(from_csv("a,0.2,0.3,0.4\n").is_err());
+        assert!(from_csv("1.5,0.2,0.3,0.4\n").is_err());
+        assert!(from_csv("-0.1,0.2,0.3,0.4\n").is_err());
+        assert!(from_csv("0.1,NaN,0.3,0.4\n").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Parsing of analyst range-query specifications.
+//!
+//! One comma-separated clause per matrix dimension:
+//! `lo..hi` (half-open cell interval) or `*` (full extent), e.g.
+//! `0..4,*,3..5,*` for a 4-D matrix.
+
+use crate::CliError;
+use dpod_fmatrix::{AxisBox, Shape};
+
+/// Parses a range spec against a concrete domain.
+///
+/// # Errors
+/// [`CliError`] with the offending clause for wrong arity, malformed
+/// bounds, inverted or out-of-domain intervals.
+pub fn parse_range(spec: &str, shape: &Shape) -> Result<AxisBox, CliError> {
+    let clauses: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if clauses.len() != shape.ndim() {
+        return Err(CliError(format!(
+            "range has {} clauses but the matrix has {} dimensions",
+            clauses.len(),
+            shape.ndim()
+        )));
+    }
+    let mut lo = Vec::with_capacity(clauses.len());
+    let mut hi = Vec::with_capacity(clauses.len());
+    for (dim, clause) in clauses.iter().enumerate() {
+        if *clause == "*" {
+            lo.push(0);
+            hi.push(shape.dim(dim));
+            continue;
+        }
+        let (a, b) = clause
+            .split_once("..")
+            .ok_or_else(|| CliError(format!("clause '{clause}': expected 'lo..hi' or '*'")))?;
+        let a: usize = a
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("clause '{clause}': bad lower bound")))?;
+        let b: usize = b
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("clause '{clause}': bad upper bound")))?;
+        if a >= b {
+            return Err(CliError(format!(
+                "clause '{clause}': empty or inverted interval"
+            )));
+        }
+        if b > shape.dim(dim) {
+            return Err(CliError(format!(
+                "clause '{clause}': exceeds dimension {dim} (size {})",
+                shape.dim(dim)
+            )));
+        }
+        lo.push(a);
+        hi.push(b);
+    }
+    AxisBox::new(lo, hi).map_err(|e| CliError(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Shape {
+        Shape::new(vec![10, 20, 30]).unwrap()
+    }
+
+    #[test]
+    fn parses_mixed_clauses() {
+        let b = parse_range("2..5, *, 10..30", &shape()).unwrap();
+        assert_eq!(b.lo(), &[2, 0, 10]);
+        assert_eq!(b.hi(), &[5, 20, 30]);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse_range("1..2,*", &shape()).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_clauses() {
+        for bad in ["1-2,*,*", "a..2,*,*", "2..a,*,*", "5..5,*,*", "7..3,*,*"] {
+            assert!(parse_range(bad, &shape()).is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_domain() {
+        assert!(parse_range("0..11,*,*", &shape()).is_err());
+    }
+}

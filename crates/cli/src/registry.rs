@@ -1,0 +1,75 @@
+//! Mechanism lookup by CLI name.
+
+use crate::CliError;
+use dpod_core::{baselines, daf, grid, DynMechanism};
+
+/// The CLI names, in help order.
+pub const MECHANISM_NAMES: [&str; 10] = [
+    "identity",
+    "uniform",
+    "eug",
+    "ebp",
+    "mkm",
+    "daf-entropy",
+    "daf-homogeneity",
+    "privelet",
+    "quadtree",
+    "ag",
+];
+
+/// Resolves a CLI mechanism name (case-insensitive) to a boxed mechanism
+/// with default parameters.
+///
+/// # Errors
+/// [`CliError`] listing the valid names.
+pub fn mechanism_by_name(name: &str) -> Result<DynMechanism, CliError> {
+    let m: DynMechanism = match name.to_ascii_lowercase().as_str() {
+        "identity" => Box::new(baselines::Identity),
+        "uniform" => Box::new(baselines::Uniform),
+        "eug" => Box::new(grid::Eug::default()),
+        "ebp" => Box::new(grid::Ebp::default()),
+        "mkm" => Box::new(baselines::Mkm::default()),
+        "daf-entropy" => Box::new(daf::DafEntropy::default()),
+        "daf-homogeneity" => Box::new(daf::DafHomogeneity::default()),
+        "privelet" => Box::new(baselines::Privelet),
+        "quadtree" => Box::new(baselines::QuadTree::default()),
+        "ag" => Box::new(grid::AdaptiveGrid::default()),
+        other => {
+            return Err(CliError(format!(
+                "unknown mechanism '{other}'; valid: {}",
+                MECHANISM_NAMES.join(", ")
+            )))
+        }
+    };
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in MECHANISM_NAMES {
+            let m = mechanism_by_name(name).unwrap();
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_case_insensitive() {
+        assert_eq!(mechanism_by_name("EBP").unwrap().name(), "EBP");
+        assert_eq!(
+            mechanism_by_name("DAF-Entropy").unwrap().name(),
+            "DAF-Entropy"
+        );
+    }
+
+    #[test]
+    fn unknown_names_list_alternatives() {
+        let Err(err) = mechanism_by_name("htf") else {
+            panic!("'htf' should not resolve");
+        };
+        assert!(err.0.contains("daf-entropy"), "{err}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Baseline mechanisms the paper evaluates against (§5, Table 2), plus two
+//! extension baselines from its related work.
+
+mod identity;
+mod mkm;
+mod privelet;
+mod quadtree;
+mod uniform;
+
+pub use identity::Identity;
+pub use mkm::Mkm;
+pub use privelet::Privelet;
+pub use quadtree::QuadTree;
+pub use uniform::Uniform;

@@ -1,0 +1,34 @@
+//! The Density-Aware Framework (§4): hierarchical, data-adaptive
+//! partitioning with private per-node fanout selection and custom stop
+//! conditions.
+//!
+//! DAF builds a tree over the frequency matrix: the root covers everything,
+//! nodes at depth `i` split dimension `i` (0-based), and the maximum height
+//! is `d + 1`. Each node privately sanitizes its count (budget per level
+//! from the closed-form allocation of §4.4), derives its fanout from the
+//! EBP rule applied to the *remaining* dimensions and budget, and prunes
+//! itself into a leaf when a [`StopPolicy`] fires — re-spending the whole
+//! remaining path budget on a fresh, more accurate leaf count.
+//!
+//! Two split strategies (the paper's two instantiations):
+//! * [`DafEntropy`] — equal-width splits (Algorithm 2);
+//! * [`DafHomogeneity`] — splits chosen among `p` random candidate cut
+//!   sets by a noisy intra-partition homogeneity objective (Algorithm 3,
+//!   Lemma 4.1).
+
+mod budget;
+pub mod consistency;
+mod engine;
+mod entropy;
+mod homogeneity;
+mod stop;
+
+pub use budget::level_budgets;
+pub use engine::DafPayload;
+pub use entropy::DafEntropy;
+pub use homogeneity::DafHomogeneity;
+pub use stop::StopPolicy;
+
+/// Fraction of the total budget reserved for the root's noisy count
+/// (Eq. 33: ε₀ = ε_tot / 100).
+pub const ROOT_BUDGET_FRACTION: f64 = 0.01;

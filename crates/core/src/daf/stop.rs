@@ -1,0 +1,79 @@
+use serde::{Deserialize, Serialize};
+
+/// When to prune a DAF node into a leaf (§4.2: "stop conditions can be
+/// selected based on application-specific details; the most prominent …
+/// is to stop when the sanitized count is below a certain threshold").
+///
+/// Stopping is evaluated on the *sanitized* count, so the decision itself
+/// leaks nothing beyond what the count release already paid for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StopPolicy {
+    /// Never prune; split all the way to depth `d` (ablation reference).
+    Never,
+    /// Prune when the sanitized count falls below a fixed threshold.
+    CountBelow(f64),
+    /// Prune when the sanitized count is within `factor` noise standard
+    /// deviations of zero at the remaining budget — i.e. when
+    /// `n̂ < factor·√2/ε_remaining`, so further splits would publish noise.
+    NoiseDominated {
+        /// Multiplier on the remaining-budget noise std.
+        factor: f64,
+    },
+}
+
+impl Default for StopPolicy {
+    fn default() -> Self {
+        StopPolicy::NoiseDominated { factor: 2.0 }
+    }
+}
+
+impl StopPolicy {
+    /// Decides whether to prune, given the node's sanitized count and the
+    /// budget still unspent along this path.
+    pub fn should_stop(&self, ncount: f64, eps_remaining: f64) -> bool {
+        match *self {
+            StopPolicy::Never => false,
+            StopPolicy::CountBelow(threshold) => ncount < threshold,
+            StopPolicy::NoiseDominated { factor } => {
+                debug_assert!(eps_remaining > 0.0);
+                ncount < factor * std::f64::consts::SQRT_2 / eps_remaining
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_stops() {
+        assert!(!StopPolicy::Never.should_stop(-1e9, 0.001));
+    }
+
+    #[test]
+    fn count_below_is_a_plain_threshold() {
+        let p = StopPolicy::CountBelow(10.0);
+        assert!(p.should_stop(9.9, 1.0));
+        assert!(!p.should_stop(10.0, 1.0));
+        assert!(p.should_stop(-5.0, 1.0), "negative noisy counts stop");
+    }
+
+    #[test]
+    fn noise_dominated_scales_with_budget() {
+        let p = StopPolicy::NoiseDominated { factor: 2.0 };
+        // Threshold = 2√2/ε: at ε=0.1 that is ≈ 28.3.
+        assert!(p.should_stop(28.0, 0.1));
+        assert!(!p.should_stop(29.0, 0.1));
+        // More remaining budget ⇒ lower threshold ⇒ split deeper.
+        assert!(!p.should_stop(28.0, 1.0));
+    }
+
+    #[test]
+    fn default_is_noise_dominated() {
+        assert!(matches!(
+            StopPolicy::default(),
+            StopPolicy::NoiseDominated { .. }
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Grid-granularity formulas (Eqs. 8, 9, 13, 19 of the paper plus the MKM
+//! rule), shared by the grid mechanisms and the DAF fanout computation.
+//!
+//! All formulas take the *sanitized* total count `n_hat` (clamped to ≥ 1 —
+//! Laplace noise can drive it negative, which the paper does not address;
+//! see DESIGN.md §3.1) and return a real-valued granularity that callers
+//! round and clamp to their domain.
+
+/// The paper's default `c₀ = 10/√2`, which makes the 2-D EUG formula
+/// `m = √(Nε/10)` — the familiar Uniform Grid rule of Qardaji et al.
+pub const DEFAULT_C0: f64 = 10.0 / std::f64::consts::SQRT_2;
+
+/// Clamps a noisy total for use inside a granularity formula.
+#[inline]
+pub fn clamp_total(n_hat: f64) -> f64 {
+    n_hat.max(1.0)
+}
+
+/// EUG granularity (§3.1).
+///
+/// * `d == 1` and `d == 2`: Eq. (9), `m = √(N̂ε/(√2 c₀))` (the 1-D case is
+///   not covered by the paper; the 2-D rule is the natural restriction).
+/// * `d > 2`, known query ratio `r`: Eq. (8).
+/// * `d > 2`, unknown ratio: Eq. (13) — Eq. (8) integrated over
+///   `r ~ U(0,1]`.
+pub fn eug_m(d: usize, n_hat: f64, epsilon: f64, c0: f64, query_ratio: Option<f64>) -> f64 {
+    debug_assert!(d >= 1 && epsilon > 0.0 && c0 > 0.0);
+    let n = clamp_total(n_hat);
+    let base = n * epsilon / (std::f64::consts::SQRT_2 * c0);
+    if d <= 2 {
+        return base.sqrt();
+    }
+    let df = d as f64;
+    let exponent = 2.0 / (3.0 * df - 2.0);
+    match query_ratio {
+        Some(r) => {
+            debug_assert!(r > 0.0 && r <= 1.0, "query ratio must be in (0,1]");
+            let r_term = r.powf(1.0 / df - 0.5);
+            (2.0 * (df - 1.0) / df * r_term * base).powf(exponent)
+        }
+        None => {
+            // Eq. (10): α with the r-term integrated out…
+            let alpha = (2.0 * (df - 1.0) / df * base).powf(exponent);
+            // …Eq. (12)-(13): times the integration factor.
+            alpha * (df * (3.0 * df - 2.0)) / (3.0 * df * df - 3.0 * df + 2.0)
+        }
+    }
+}
+
+/// EBP granularity (Eq. 19): `m = (N̂ε/√2)^(2/(3d))`.
+///
+/// Derived by balancing the entropy of the injected noise against the
+/// information loss of coarsening (§3.2). Also the DAF fanout rule, where
+/// `d` is the number of *not yet split* dimensions.
+pub fn ebp_m(d: usize, n_hat: f64, epsilon: f64) -> f64 {
+    debug_assert!(d >= 1 && epsilon > 0.0);
+    let n = clamp_total(n_hat);
+    (n * epsilon / std::f64::consts::SQRT_2).powf(2.0 / (3.0 * d as f64))
+}
+
+/// MKM granularity.
+///
+/// The paper cites Lei (2011) without restating the rule; we implement the
+/// asymptotically optimal histogram bin count
+/// `m = (N̂ ε² / ln N̂)^(1/(d+2))`, which has both properties the paper
+/// attributes to MKM: it accounts for dimensionality, and it violates
+/// ε-scale exchangeability (ε appears squared, not as `Nε`). DESIGN.md §3.2
+/// discusses the interpretation.
+pub fn mkm_m(d: usize, n_hat: f64, epsilon: f64) -> f64 {
+    debug_assert!(d >= 1 && epsilon > 0.0);
+    let n = clamp_total(n_hat).max(2.0); // ln N must stay positive
+    (n * epsilon * epsilon / n.ln()).powf(1.0 / (d as f64 + 2.0))
+}
+
+/// Rounds a real granularity to an integer cell count in `[1, dim_len]`.
+#[inline]
+pub fn round_granularity(m: f64, dim_len: usize) -> usize {
+    if !m.is_finite() {
+        return 1;
+    }
+    (m.round() as i64).clamp(1, dim_len as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq13_matches_eq9_in_2d() {
+        // At d = 2 the general Eq. (13) degenerates to Eq. (9); the
+        // implementation special-cases d ≤ 2, so verify the formulas agree
+        // by computing Eq. (13) manually at d = 2.
+        let (n, e, c0) = (1_000_000.0, 0.1, DEFAULT_C0);
+        let df = 2.0f64;
+        let base = n * e / (std::f64::consts::SQRT_2 * c0);
+        let alpha = (2.0 * (df - 1.0) / df * base).powf(2.0 / (3.0 * df - 2.0));
+        let eq13 = alpha * (df * (3.0 * df - 2.0)) / (3.0 * df * df - 3.0 * df + 2.0);
+        let eq9 = eug_m(2, n, e, c0, None);
+        assert!((eq13 - eq9).abs() < 1e-9, "{eq13} vs {eq9}");
+    }
+
+    #[test]
+    fn eug_2d_matches_qardaji_rule() {
+        // c0 = 10/√2 ⇒ m = √(Nε/10).
+        let m = eug_m(2, 1_000_000.0, 0.1, DEFAULT_C0, None);
+        assert!((m - 100.0).abs() < 1e-9, "m = {m}");
+    }
+
+    #[test]
+    fn eug_known_ratio_matches_eq8() {
+        // r = 1 makes the r-term 1; Eq. (8) = α without integration factor.
+        let d = 4;
+        let m_r1 = eug_m(d, 1e6, 0.1, DEFAULT_C0, Some(1.0));
+        let df = d as f64;
+        let base = 1e6 * 0.1 / (std::f64::consts::SQRT_2 * DEFAULT_C0);
+        let expected = (2.0 * (df - 1.0) / df * base).powf(2.0 / (3.0 * df - 2.0));
+        assert!((m_r1 - expected).abs() < 1e-9);
+        // Smaller queries (smaller r) want finer grids (r^(1/d − 1/2) grows
+        // as r shrinks for d > 2).
+        let m_small = eug_m(d, 1e6, 0.1, DEFAULT_C0, Some(0.01));
+        assert!(m_small > m_r1);
+    }
+
+    #[test]
+    fn ebp_matches_hand_computation() {
+        // m = (Nε/√2)^(2/(3d)); N=1e6, ε=0.1, d=2 ⇒ (70710.68)^(1/3) ≈ 41.4.
+        let m = ebp_m(2, 1e6, 0.1);
+        assert!((m - (1e6 * 0.1 / std::f64::consts::SQRT_2).powf(1.0 / 3.0)).abs() < 1e-9);
+        assert!((m - 41.4).abs() < 0.1, "m = {m}");
+    }
+
+    #[test]
+    fn granularity_grows_with_n_and_eps() {
+        for f in [
+            eug_m(3, 1e5, 0.1, DEFAULT_C0, None),
+            ebp_m(3, 1e5, 0.1),
+            mkm_m(3, 1e5, 0.1),
+        ]
+        .iter()
+        .zip([
+            eug_m(3, 1e6, 0.5, DEFAULT_C0, None),
+            ebp_m(3, 1e6, 0.5),
+            mkm_m(3, 1e6, 0.5),
+        ]) {
+            let (small, large) = (f.0, f.1);
+            assert!(large > *small, "{large} !> {small}");
+        }
+    }
+
+    #[test]
+    fn granularity_shrinks_with_dimension() {
+        for d in 2..6 {
+            assert!(ebp_m(d + 1, 1e6, 0.1) < ebp_m(d, 1e6, 0.1));
+            assert!(mkm_m(d + 1, 1e6, 0.1) < mkm_m(d, 1e6, 0.1));
+        }
+    }
+
+    #[test]
+    fn mkm_violates_epsilon_scale_exchangeability() {
+        // ε-scale exchangeability: (N, ε) vs (cN, ε/c) should be equivalent.
+        // EBP/EUG honour it (they depend on Nε); MKM must not.
+        let c = 10.0;
+        let ebp_a = ebp_m(2, 1e6, 0.1);
+        let ebp_b = ebp_m(2, 1e7, 0.01);
+        assert!((ebp_a - ebp_b).abs() < 1e-9);
+        let mkm_a = mkm_m(2, 1e6, 0.1);
+        let mkm_b = mkm_m(2, 1e6 * c, 0.1 / c);
+        assert!(
+            (mkm_a - mkm_b).abs() > 0.1,
+            "MKM should break exchangeability: {mkm_a} vs {mkm_b}"
+        );
+    }
+
+    #[test]
+    fn negative_noisy_totals_are_survivable() {
+        for f in [
+            eug_m(2, -50.0, 0.1, DEFAULT_C0, None),
+            ebp_m(4, -50.0, 0.1),
+            mkm_m(3, -50.0, 0.1),
+        ] {
+            assert!(f.is_finite() && f > 0.0);
+        }
+    }
+
+    #[test]
+    fn rounding_clamps() {
+        assert_eq!(round_granularity(0.2, 100), 1);
+        assert_eq!(round_granularity(41.4, 100), 41);
+        assert_eq!(round_granularity(41.6, 100), 42);
+        assert_eq!(round_granularity(1e9, 100), 100);
+        assert_eq!(round_granularity(f64::NAN, 100), 1);
+    }
+}

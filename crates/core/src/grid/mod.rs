@@ -1,0 +1,12 @@
+//! The paper's non-adaptive ("partially data-dependent") grid mechanisms:
+//! EUG (§3.1) and EBP (§3.2). Both sanitize the total count, derive an
+//! isotropic granularity `m`, build an `m^d` equi-width grid and release
+//! Laplace-noised cell totals.
+
+mod ag;
+mod ebp;
+mod eug;
+
+pub use ag::AdaptiveGrid;
+pub use ebp::Ebp;
+pub use eug::Eug;

@@ -1,0 +1,85 @@
+//! # dpod-core
+//!
+//! The mechanisms of *"Differentially-Private Publication of
+//! Origin-Destination Matrices with Intermediate Stops"* (EDBT 2022),
+//! implemented over the `dpod-fmatrix` / `dpod-dp` / `dpod-partition`
+//! substrates:
+//!
+//! | Mechanism | Paper | Type |
+//! |-----------|-------|------|
+//! | [`Identity`](baselines::Identity) | [7], Table 2 | baseline |
+//! | [`Uniform`](baselines::Uniform) | [8], Table 2 | baseline |
+//! | [`Mkm`](baselines::Mkm) | [11], §5 | partially data-dependent |
+//! | [`Eug`](grid::Eug) | §3.1, Alg. 1 | partially data-dependent |
+//! | [`Ebp`](grid::Ebp) | §3.2 | partially data-dependent |
+//! | [`DafEntropy`](daf::DafEntropy) | §4.2, Alg. 2 | data-dependent |
+//! | [`DafHomogeneity`](daf::DafHomogeneity) | §4.3, Alg. 3 | data-dependent |
+//! | [`Privelet`](baselines::Privelet) | [18], §5 | extension baseline |
+//! | [`QuadTree`](baselines::QuadTree) | [4], §5 | extension baseline |
+//! | [`AdaptiveGrid`](grid::AdaptiveGrid) | [15], §5 | extension baseline |
+//!
+//! Every mechanism consumes a raw count matrix and a total privacy budget
+//! and produces a [`SanitizedMatrix`]: a dense per-entry estimate (with the
+//! paper's intra-partition uniformity assumption already applied) plus the
+//! partition structure for introspection. Range queries over the output are
+//! `O(2^d)` via an embedded prefix-sum table.
+//!
+//! ```
+//! use dpod_core::{grid::Ebp, Mechanism};
+//! use dpod_dp::Epsilon;
+//! use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+//!
+//! let mut m = DenseMatrix::<u64>::zeros(Shape::new(vec![32, 32]).unwrap());
+//! m.add_at(&[3, 4], 500).unwrap();
+//! let mut rng = dpod_dp::seeded_rng(1);
+//! let out = Ebp::default()
+//!     .sanitize(&m, Epsilon::new(1.0).unwrap(), &mut rng)
+//!     .unwrap();
+//! let q = AxisBox::new(vec![0, 0], vec![8, 8]).unwrap();
+//! let est = out.range_sum(&q);
+//! assert!(est.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baselines;
+pub mod daf;
+pub mod granularity;
+pub mod grid;
+mod grid_engine;
+mod mechanism;
+pub mod release;
+mod sanitized;
+
+pub use mechanism::{Mechanism, MechanismError};
+pub use release::{PublishedRelease, ReleaseBody};
+pub use sanitized::{PartitionSummary, SanitizedMatrix};
+
+/// A boxed mechanism that can be shared across experiment worker threads
+/// (every mechanism in this crate is stateless at sanitize time).
+pub type DynMechanism = Box<dyn Mechanism + Send + Sync>;
+
+/// The six techniques of the paper's evaluation (§6.1, Table 2 minus
+/// UNIFORM), with default parameters, in the paper's presentation order.
+pub fn paper_suite() -> Vec<DynMechanism> {
+    vec![
+        Box::new(baselines::Identity),
+        Box::new(grid::Eug::default()),
+        Box::new(grid::Ebp::default()),
+        Box::new(baselines::Mkm::default()),
+        Box::new(daf::DafEntropy::default()),
+        Box::new(daf::DafHomogeneity::default()),
+    ]
+}
+
+/// Every mechanism in the crate (paper suite + UNIFORM + the three
+/// extension baselines).
+pub fn all_mechanisms() -> Vec<DynMechanism> {
+    let mut v = paper_suite();
+    v.push(Box::new(baselines::Uniform));
+    v.push(Box::new(baselines::Privelet));
+    v.push(Box::new(baselines::QuadTree::default()));
+    v.push(Box::new(grid::AdaptiveGrid::default()));
+    v
+}

@@ -1,0 +1,239 @@
+//! The publishable release artifact.
+//!
+//! Figure 1 of the paper: the trusted curator sanitizes the frequency
+//! matrix and *publishes* it; untrusted analysts query the published
+//! object. [`PublishedRelease`] is that object — the partition boundaries
+//! with their noisy counts (§2.2), serializable with serde so curators can
+//! ship it as JSON/CBOR/… and analysts can rebuild a queryable
+//! [`SanitizedMatrix`] on their side.
+//!
+//! Releasing this artifact is safe by DP post-processing: it contains only
+//! the sanitized outputs, never the raw counts.
+
+use crate::{MechanismError, PartitionSummary, SanitizedMatrix};
+use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+use dpod_partition::Partitioning;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained, serializable DP release of a frequency matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedRelease {
+    /// Name of the producing mechanism.
+    pub mechanism: String,
+    /// Total privacy budget consumed.
+    pub epsilon: f64,
+    /// Domain cardinalities `F₁ … F_d`.
+    pub domain: Vec<usize>,
+    /// The released content.
+    pub body: ReleaseBody,
+}
+
+/// The two publication shapes (mirrors [`PartitionSummary`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseBody {
+    /// One value per matrix entry, row-major (IDENTITY, Privelet).
+    PerEntry {
+        /// The noisy per-entry values.
+        values: Vec<f64>,
+    },
+    /// Disjoint partitions with one noisy total each.
+    Partitions {
+        /// `(lo, hi)` corner pairs, half-open.
+        boxes: Vec<(Vec<usize>, Vec<usize>)>,
+        /// The noisy totals (same order as `boxes`).
+        counts: Vec<f64>,
+    },
+}
+
+impl PublishedRelease {
+    /// Extracts the publishable artifact from a sanitization result.
+    pub fn from_sanitized(s: &SanitizedMatrix) -> Self {
+        let body = match s.summary() {
+            PartitionSummary::PerEntry => ReleaseBody::PerEntry {
+                values: s.matrix().as_slice().to_vec(),
+            },
+            PartitionSummary::Boxes {
+                partitioning,
+                noisy_counts,
+            } => ReleaseBody::Partitions {
+                boxes: partitioning
+                    .boxes()
+                    .iter()
+                    .map(|b| (b.lo().to_vec(), b.hi().to_vec()))
+                    .collect(),
+                counts: noisy_counts.clone(),
+            },
+        };
+        PublishedRelease {
+            mechanism: s.mechanism().to_string(),
+            epsilon: s.epsilon(),
+            domain: s.matrix().shape().dims().to_vec(),
+            body,
+        }
+    }
+
+    /// Rebuilds a queryable [`SanitizedMatrix`] on the analyst side.
+    ///
+    /// # Errors
+    /// [`MechanismError::Invalid`] when the artifact is internally
+    /// inconsistent (wrong value count, malformed boxes, or — for the
+    /// partition form — boxes that are not a disjoint cover of the
+    /// domain). Validation runs on every load because the artifact may
+    /// come from an untrusted channel.
+    pub fn into_sanitized(self) -> Result<SanitizedMatrix, MechanismError> {
+        let shape = Shape::new(self.domain.clone()).map_err(MechanismError::Fm)?;
+        match self.body {
+            ReleaseBody::PerEntry { values } => {
+                let matrix = DenseMatrix::from_vec(shape, values).map_err(MechanismError::Fm)?;
+                if matrix.as_slice().iter().any(|v| !v.is_finite()) {
+                    return Err(MechanismError::Invalid(
+                        "per-entry release contains non-finite values".into(),
+                    ));
+                }
+                Ok(SanitizedMatrix::from_entries(
+                    &self.mechanism,
+                    self.epsilon,
+                    matrix,
+                ))
+            }
+            ReleaseBody::Partitions { boxes, counts } => {
+                if boxes.len() != counts.len() {
+                    return Err(MechanismError::Invalid(format!(
+                        "{} boxes but {} counts",
+                        boxes.len(),
+                        counts.len()
+                    )));
+                }
+                if counts.iter().any(|v| !v.is_finite()) {
+                    return Err(MechanismError::Invalid(
+                        "release contains non-finite counts".into(),
+                    ));
+                }
+                let boxes: Vec<AxisBox> = boxes
+                    .into_iter()
+                    .map(|(lo, hi)| AxisBox::new(lo, hi).map_err(MechanismError::Fm))
+                    .collect::<Result<_, _>>()?;
+                let partitioning = Partitioning::new_validated(shape.clone(), boxes)
+                    .map_err(|e| MechanismError::Invalid(format!("invalid partitioning: {e}")))?;
+                Ok(SanitizedMatrix::from_partitions(
+                    &self.mechanism,
+                    self.epsilon,
+                    shape,
+                    partitioning,
+                    counts,
+                ))
+            }
+        }
+    }
+
+    /// Number of released values.
+    pub fn len(&self) -> usize {
+        match &self.body {
+            ReleaseBody::PerEntry { values } => values.len(),
+            ReleaseBody::Partitions { counts, .. } => counts.len(),
+        }
+    }
+
+    /// `true` when nothing was released (malformed artifact).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baselines::Identity, grid::Ebp, Mechanism};
+    use dpod_dp::Epsilon;
+
+    fn skewed_input() -> DenseMatrix<u64> {
+        let s = Shape::new(vec![12, 12]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[2, 3], 5_000).unwrap();
+        m
+    }
+
+    #[test]
+    fn partition_release_round_trips() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        let out = Ebp::default()
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(1))
+            .unwrap();
+        let artifact = PublishedRelease::from_sanitized(&out);
+        let rebuilt = artifact.clone().into_sanitized().unwrap();
+        assert_eq!(rebuilt.mechanism(), out.mechanism());
+        assert_eq!(rebuilt.matrix().as_slice(), out.matrix().as_slice());
+        // Queries answer identically after the round trip.
+        let q = AxisBox::new(vec![0, 0], vec![6, 6]).unwrap();
+        assert_eq!(rebuilt.range_sum(&q), out.range_sum(&q));
+    }
+
+    #[test]
+    fn per_entry_release_round_trips() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        let out = Identity
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(2))
+            .unwrap();
+        let artifact = PublishedRelease::from_sanitized(&out);
+        assert_eq!(artifact.len(), 144);
+        let rebuilt = artifact.into_sanitized().unwrap();
+        assert_eq!(rebuilt.matrix().as_slice(), out.matrix().as_slice());
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        let out = Ebp::default()
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(3))
+            .unwrap();
+        let good = PublishedRelease::from_sanitized(&out);
+
+        // Count/box mismatch.
+        let mut bad = good.clone();
+        if let ReleaseBody::Partitions { counts, .. } = &mut bad.body {
+            counts.pop();
+        }
+        assert!(bad.into_sanitized().is_err());
+
+        // Overlapping boxes (tampered channel).
+        let mut bad = good.clone();
+        if let ReleaseBody::Partitions { boxes, .. } = &mut bad.body {
+            boxes[0] = boxes[1].clone();
+        }
+        assert!(bad.into_sanitized().is_err());
+
+        // Non-finite counts.
+        let mut bad = good.clone();
+        if let ReleaseBody::Partitions { counts, .. } = &mut bad.body {
+            counts[0] = f64::NAN;
+        }
+        assert!(bad.into_sanitized().is_err());
+
+        // Wrong domain.
+        let mut bad = good;
+        bad.domain = vec![5, 5];
+        assert!(bad.into_sanitized().is_err());
+    }
+
+    #[test]
+    fn artifact_never_contains_raw_counts() {
+        // The artifact of a partition mechanism holds exactly the noisy
+        // values already exposed by the sanitized matrix — nothing else.
+        let input = skewed_input();
+        let eps = Epsilon::new(0.1).unwrap();
+        let out = Ebp::default()
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(4))
+            .unwrap();
+        let artifact = PublishedRelease::from_sanitized(&out);
+        if let ReleaseBody::Partitions { counts, .. } = &artifact.body {
+            // No released count equals the (integral) true totals exactly —
+            // Laplace noise is continuous.
+            assert!(counts.iter().all(|c| c.fract() != 0.0));
+        } else {
+            panic!("expected partition release");
+        }
+    }
+}

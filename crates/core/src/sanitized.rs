@@ -1,0 +1,218 @@
+use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum, Shape};
+use dpod_partition::Partitioning;
+
+/// How a [`SanitizedMatrix`] was structured, for introspection.
+///
+/// Query answering never consults this — the dense estimate plus its
+/// prefix-sum table is the uniform interface — but tests validate the
+/// `Boxes` variant and the visualizer renders it.
+#[derive(Debug, Clone)]
+pub enum PartitionSummary {
+    /// One released value per matrix entry with no grouping structure
+    /// (IDENTITY, Privelet). Storing a per-cell box list for million-cell
+    /// matrices would be pure overhead.
+    PerEntry,
+    /// Disjoint partitions, each released with one noisy total.
+    Boxes {
+        /// The partition geometry.
+        partitioning: Partitioning,
+        /// The noisy total published for each partition (same order).
+        noisy_counts: Vec<f64>,
+    },
+}
+
+/// The DP-sanitized output of a mechanism.
+///
+/// Per the paper's publication model (§2.2), the released object is the set
+/// of partition boundaries with their noisy counts; queries are answered
+/// under an intra-partition uniformity assumption. This struct stores that
+/// assumption *pre-applied*: `matrix[c] = noisy_count(P) / |P|` for the
+/// partition `P ∋ c`, plus a prefix-sum table so any range query costs
+/// `O(2^d)`.
+#[derive(Debug, Clone)]
+pub struct SanitizedMatrix {
+    mechanism: String,
+    epsilon: f64,
+    matrix: DenseMatrix<f64>,
+    prefix: PrefixSum<f64>,
+    summary: PartitionSummary,
+}
+
+impl SanitizedMatrix {
+    /// Wraps a per-entry estimate matrix (for mechanisms without partition
+    /// structure).
+    pub fn from_entries(mechanism: &str, epsilon: f64, matrix: DenseMatrix<f64>) -> Self {
+        let prefix = PrefixSum::from_f64(&matrix);
+        SanitizedMatrix {
+            mechanism: mechanism.to_string(),
+            epsilon,
+            matrix,
+            prefix,
+            summary: PartitionSummary::PerEntry,
+        }
+    }
+
+    /// Spreads each partition's noisy count uniformly over its cells
+    /// (the paper's uniformity assumption) and builds the query table.
+    ///
+    /// # Panics
+    /// Debug-asserts that `noisy_counts` matches the partition count and
+    /// that no partition is empty.
+    pub fn from_partitions(
+        mechanism: &str,
+        epsilon: f64,
+        domain: Shape,
+        partitioning: Partitioning,
+        noisy_counts: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(partitioning.len(), noisy_counts.len());
+        let mut matrix = DenseMatrix::<f64>::zeros(domain);
+        for (b, &count) in partitioning.boxes().iter().zip(&noisy_counts) {
+            let vol = b.volume();
+            debug_assert!(vol > 0, "empty partition released");
+            matrix.fill_box(b, count / vol as f64);
+        }
+        let prefix = PrefixSum::from_f64(&matrix);
+        SanitizedMatrix {
+            mechanism: mechanism.to_string(),
+            epsilon,
+            matrix,
+            prefix,
+            summary: PartitionSummary::Boxes {
+                partitioning,
+                noisy_counts,
+            },
+        }
+    }
+
+    /// Name of the producing mechanism.
+    pub fn mechanism(&self) -> &str {
+        &self.mechanism
+    }
+
+    /// Total privacy budget the release consumed.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The dense per-entry estimate (uniformity already applied).
+    pub fn matrix(&self) -> &DenseMatrix<f64> {
+        &self.matrix
+    }
+
+    /// The partition structure of the release.
+    pub fn summary(&self) -> &PartitionSummary {
+        &self.summary
+    }
+
+    /// Number of released partitions (= number of entries for
+    /// [`PartitionSummary::PerEntry`]).
+    pub fn num_partitions(&self) -> usize {
+        match &self.summary {
+            PartitionSummary::PerEntry => self.matrix.len(),
+            PartitionSummary::Boxes { partitioning, .. } => partitioning.len(),
+        }
+    }
+
+    /// Estimated count inside the half-open range `q` — the private answer
+    /// to the paper's range queries (Definition 3), `O(2^d)`.
+    pub fn range_sum(&self, q: &AxisBox) -> f64 {
+        self.prefix.box_sum(q)
+    }
+
+    /// Estimated count of a single entry.
+    ///
+    /// # Errors
+    /// Propagates coordinate validation.
+    pub fn entry(&self, coords: &[usize]) -> dpod_fmatrix::Result<f64> {
+        self.matrix.get(coords)
+    }
+
+    /// Estimated total count of the matrix.
+    pub fn total(&self) -> f64 {
+        self.range_sum(&AxisBox::full(self.matrix.shape()))
+    }
+
+    /// DP post-processing: clamp negative per-entry estimates to zero.
+    ///
+    /// The paper publishes raw noisy counts (negative answers included);
+    /// this opt-in variant exists for the ablation benches and for
+    /// downstream users that need physical counts.
+    pub fn non_negative(&self) -> SanitizedMatrix {
+        let clamped = self.matrix.map(|v| v.max(0.0));
+        SanitizedMatrix {
+            mechanism: format!("{}+nn", self.mechanism),
+            epsilon: self.epsilon,
+            prefix: PrefixSum::from_f64(&clamped),
+            matrix: clamped,
+            summary: self.summary.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_partition::UniformGrid;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn from_partitions_spreads_uniformly() {
+        let s = shape(&[4, 4]);
+        let grid = UniformGrid::isotropic(&s, 2);
+        let p = grid.to_partitioning();
+        // Counts 8, 0, -4, 16 over the four 2x2 blocks.
+        let out = SanitizedMatrix::from_partitions(
+            "test",
+            0.5,
+            s,
+            p,
+            vec![8.0, 0.0, -4.0, 16.0],
+        );
+        assert_eq!(out.entry(&[0, 0]).unwrap(), 2.0);
+        assert_eq!(out.entry(&[0, 2]).unwrap(), 0.0);
+        assert_eq!(out.entry(&[2, 1]).unwrap(), -1.0);
+        assert_eq!(out.entry(&[3, 3]).unwrap(), 4.0);
+        assert_eq!(out.num_partitions(), 4);
+        assert!((out.total() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_sum_mixes_partition_fractions() {
+        let s = shape(&[4]);
+        let p = Partitioning::new_validated(
+            s.clone(),
+            vec![
+                AxisBox::new(vec![0], vec![2]).unwrap(),
+                AxisBox::new(vec![2], vec![4]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let out = SanitizedMatrix::from_partitions("t", 1.0, s, p, vec![10.0, 2.0]);
+        // Query [1, 3): half of partition 1 + half of partition 2.
+        let q = AxisBox::new(vec![1], vec![3]).unwrap();
+        assert!((out.range_sum(&q) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_entry_summary_counts_cells() {
+        let m = DenseMatrix::<f64>::from_vec(shape(&[2, 3]), vec![1.0; 6]).unwrap();
+        let out = SanitizedMatrix::from_entries("id", 0.1, m);
+        assert_eq!(out.num_partitions(), 6);
+        assert!(matches!(out.summary(), PartitionSummary::PerEntry));
+    }
+
+    #[test]
+    fn non_negative_clamps_only_negatives() {
+        let m =
+            DenseMatrix::<f64>::from_vec(shape(&[3]), vec![-2.0, 0.5, 3.0]).unwrap();
+        let out = SanitizedMatrix::from_entries("id", 0.1, m).non_negative();
+        assert_eq!(out.entry(&[0]).unwrap(), 0.0);
+        assert_eq!(out.entry(&[1]).unwrap(), 0.5);
+        assert_eq!(out.entry(&[2]).unwrap(), 3.0);
+        assert!(out.mechanism().ends_with("+nn"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests applied uniformly to every mechanism in the crate.
+
+use dpod_core::{all_mechanisms, daf::DafEntropy, PartitionSummary};
+use dpod_dp::Epsilon;
+use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+use proptest::prelude::*;
+
+/// Strategy: a small random count matrix (1–3 dims, each 1–10 cells).
+fn arb_matrix() -> impl Strategy<Value = DenseMatrix<u64>> {
+    prop::collection::vec(1usize..=10, 1..=3)
+        .prop_map(|dims| Shape::new(dims).unwrap())
+        .prop_flat_map(|shape| {
+            let size = shape.size();
+            prop::collection::vec(0u64..200, size)
+                .prop_map(move |data| DenseMatrix::from_vec(shape.clone(), data).unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every mechanism: runs without error on arbitrary small inputs,
+    /// produces finite entries, and (when it has partition structure)
+    /// a valid partitioning of the domain.
+    #[test]
+    fn mechanisms_are_total_and_valid(
+        m in arb_matrix(),
+        eps in 0.05f64..3.0,
+        seed in any::<u64>()
+    ) {
+        for mech in all_mechanisms() {
+            let mut rng = dpod_dp::seeded_rng(seed);
+            let out = mech
+                .sanitize(&m, Epsilon::new(eps).unwrap(), &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", mech.name()));
+            prop_assert!(
+                out.matrix().as_slice().iter().all(|v| v.is_finite()),
+                "{} produced non-finite entries", mech.name()
+            );
+            if let PartitionSummary::Boxes { partitioning, noisy_counts } = out.summary() {
+                prop_assert!(
+                    partitioning.validate().is_ok(),
+                    "{} produced an invalid partitioning", mech.name()
+                );
+                prop_assert_eq!(partitioning.len(), noisy_counts.len());
+            }
+        }
+    }
+
+    /// Determinism: the same seed yields bit-identical releases.
+    #[test]
+    fn mechanisms_are_deterministic(
+        m in arb_matrix(),
+        seed in any::<u64>()
+    ) {
+        for mech in all_mechanisms() {
+            let eps = Epsilon::new(0.5).unwrap();
+            let a = mech
+                .sanitize(&m, eps, &mut dpod_dp::seeded_rng(seed))
+                .unwrap();
+            let b = mech
+                .sanitize(&m, eps, &mut dpod_dp::seeded_rng(seed))
+                .unwrap();
+            prop_assert_eq!(
+                a.matrix().as_slice(), b.matrix().as_slice(),
+                "{} is not deterministic per seed", mech.name()
+            );
+        }
+    }
+
+    /// Unbiasedness at the total level: averaged over seeds, the released
+    /// total tracks the true total (Laplace noise is zero-mean and the
+    /// pipelines add no systematic offset). Wide tolerance — this guards
+    /// against gross bias bugs (e.g. double-counted partitions).
+    #[test]
+    fn totals_are_unbiased_over_seeds(m in arb_matrix()) {
+        let truth = m.total();
+        for mech in all_mechanisms() {
+            let eps = Epsilon::new(2.0).unwrap();
+            let runs = 24;
+            let mean: f64 = (0..runs)
+                .map(|s| {
+                    mech.sanitize(&m, eps, &mut dpod_dp::seeded_rng(s))
+                        .unwrap()
+                        .total()
+                })
+                .sum::<f64>() / runs as f64;
+            // Per-run total noise std is bounded by ~√(2·cells)/ε plus
+            // hierarchy effects; 24 runs shrink it by ~5×. Use a generous
+            // absolute+relative band.
+            let tolerance = 40.0 + 0.5 * truth;
+            prop_assert!(
+                (mean - truth).abs() < tolerance,
+                "{}: mean total {mean} vs truth {truth}", mech.name()
+            );
+        }
+    }
+
+    /// DAF budget invariant on arbitrary inputs: every root→leaf path
+    /// spends exactly ε_tot, and no node exceeds it.
+    #[test]
+    fn daf_budget_telescopes(
+        m in arb_matrix(),
+        eps in 0.05f64..2.0,
+        seed in any::<u64>()
+    ) {
+        let (_, tree) = DafEntropy::default()
+            .sanitize_with_tree(&m, Epsilon::new(eps).unwrap(), &mut dpod_dp::seeded_rng(seed))
+            .unwrap();
+        tree.visit(&mut |n| {
+            assert!(n.payload.acc_after <= eps + 1e-9);
+            if n.is_leaf() {
+                assert!(
+                    (n.payload.acc_after - eps).abs() < 1e-9,
+                    "leaf at depth {} spent {} of {eps}", n.depth, n.payload.acc_after
+                );
+            }
+        });
+    }
+
+    /// The released matrix answers the full-domain query with the same
+    /// value as the sum of its entries (prefix-table consistency).
+    #[test]
+    fn full_query_equals_entry_sum(
+        m in arb_matrix(),
+        seed in any::<u64>()
+    ) {
+        for mech in all_mechanisms() {
+            let out = mech
+                .sanitize(&m, Epsilon::new(1.0).unwrap(), &mut dpod_dp::seeded_rng(seed))
+                .unwrap();
+            let by_query = out.range_sum(&AxisBox::full(m.shape()));
+            let by_sum: f64 = out.matrix().as_slice().iter().sum();
+            prop_assert!(
+                (by_query - by_sum).abs() < 1e-6 * (1.0 + by_sum.abs()),
+                "{}: {by_query} vs {by_sum}", mech.name()
+            );
+        }
+    }
+}

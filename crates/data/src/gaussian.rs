@@ -1,0 +1,134 @@
+//! Synthetic Gaussian frequency matrices (§6.1).
+//!
+//! The paper's recipe: pick one cluster centre uniformly at random in the
+//! domain, then draw `num_points` points from an axis-aligned multivariate
+//! normal around it; `var` controls skew (smaller variance ⇒ more
+//! concentrated ⇒ more skewed matrix).
+
+use crate::dist::sample_normal;
+use dpod_fmatrix::{DenseMatrix, Shape};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a Gaussian synthetic frequency matrix.
+///
+/// ```
+/// use dpod_data::GaussianConfig;
+/// use dpod_fmatrix::Shape;
+/// let cfg = GaussianConfig {
+///     shape: Shape::new(vec![100, 100]).unwrap(),
+///     num_points: 10_000,
+///     var: 25.0,
+/// };
+/// let mut rng = rand::thread_rng();
+/// let m = cfg.generate(&mut rng);
+/// assert_eq!(m.total_u64(), 10_000);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianConfig {
+    /// Domain of the frequency matrix (`F₁ × … × F_d`).
+    pub shape: Shape,
+    /// Number of data points to draw (the paper uses 1 million).
+    pub num_points: usize,
+    /// Per-dimension variance of the cluster. Lower ⇒ more skew.
+    pub var: f64,
+}
+
+impl GaussianConfig {
+    /// Samples the cluster centre and accumulates the points into a matrix.
+    ///
+    /// Points are drawn in `ℤ^d` (rounded normals, matching the paper's
+    /// integer-lattice sampling) and clamped to the domain boundary — the
+    /// same convention as [`DenseMatrix::from_points`].
+    pub fn generate(&self, rng: &mut dyn RngCore) -> DenseMatrix<u64> {
+        let d = self.shape.ndim();
+        let std = self.var.sqrt();
+        // cᵢ ~ Uniform over the domain of dimension i.
+        let center: Vec<f64> = (0..d)
+            .map(|i| rng.gen_range(0..self.shape.dim(i)) as f64)
+            .collect();
+        let mut m = DenseMatrix::<u64>::zeros(self.shape.clone());
+        let mut coords = vec![0usize; d];
+        for _ in 0..self.num_points {
+            for (i, c) in coords.iter_mut().enumerate() {
+                let x = sample_normal(rng, center[i], std).round();
+                *c = clamp_to_dim(x, self.shape.dim(i));
+            }
+            let idx = m.shape().flat_index_unchecked(&coords);
+            m.set_flat(idx, m.get_flat(idx).saturating_add(1));
+        }
+        m
+    }
+}
+
+/// Clamps a real-valued coordinate to `[0, dim)` as a cell index.
+#[inline]
+fn clamp_to_dim(x: f64, dim: usize) -> usize {
+    if x <= 0.0 {
+        0
+    } else {
+        (x as usize).min(dim - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_fmatrix::entropy::matrix_entropy;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn cfg(dims: &[usize], n: usize, var: f64) -> GaussianConfig {
+        GaussianConfig {
+            shape: Shape::new(dims.to_vec()).unwrap(),
+            num_points: n,
+            var,
+        }
+    }
+
+    #[test]
+    fn conserves_point_count() {
+        let m = cfg(&[50, 50], 5_000, 16.0).generate(&mut rng(1));
+        assert_eq!(m.total_u64(), 5_000);
+    }
+
+    #[test]
+    fn lower_variance_means_lower_entropy() {
+        let sharp = cfg(&[64, 64], 20_000, 1.0).generate(&mut rng(2));
+        let wide = cfg(&[64, 64], 20_000, 400.0).generate(&mut rng(2));
+        assert!(
+            matrix_entropy(&sharp) < matrix_entropy(&wide),
+            "sharper cluster must concentrate mass"
+        );
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let m = cfg(&[10, 10, 10, 10], 2_000, 4.0).generate(&mut rng(3));
+        assert_eq!(m.ndim(), 4);
+        assert_eq!(m.total_u64(), 2_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = cfg(&[30, 30], 1_000, 9.0).generate(&mut rng(42));
+        let b = cfg(&[30, 30], 1_000, 9.0).generate(&mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_variance_concentrates_on_single_cell() {
+        let m = cfg(&[20, 20], 1_000, 1e-9).generate(&mut rng(4));
+        assert_eq!(m.max_f64(), Some(1_000.0));
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(clamp_to_dim(-3.5, 10), 0);
+        assert_eq!(clamp_to_dim(4.2, 10), 4);
+        assert_eq!(clamp_to_dim(99.0, 10), 9);
+    }
+}

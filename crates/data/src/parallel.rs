@@ -1,0 +1,120 @@
+//! Multi-core dataset generation.
+//!
+//! Building a paper-scale city histogram draws a million points; machines
+//! with cores to spare can split the work. Determinism is preserved by
+//! construction: the workload is cut into a *fixed* number of chunks, each
+//! with its own derived seed, so the result is identical for any thread
+//! count (including 1) — only wall-clock changes.
+
+use crate::city::CityModel;
+use dpod_fmatrix::{DenseMatrix, Shape};
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fixed chunk count; also the maximum useful parallelism.
+pub const CHUNKS: usize = 32;
+
+/// Parallel version of [`CityModel::population_matrix`].
+///
+/// `base_seed` fully determines the output (the sequential method's RNG
+/// stream differs, so results match *this* function across thread counts,
+/// not the sequential one). `threads == 0` is treated as 1.
+pub fn population_matrix_parallel(
+    city: &CityModel,
+    grid: usize,
+    n: usize,
+    base_seed: u64,
+    threads: usize,
+) -> DenseMatrix<u64> {
+    let shape = Shape::new(vec![grid, grid]).expect("valid grid");
+    let threads = threads.clamp(1, CHUNKS);
+    // Chunk sizes differ by at most one point.
+    let sizes: Vec<usize> = (0..CHUNKS)
+        .map(|i| n / CHUNKS + usize::from(i < n % CHUNKS))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Option<DenseMatrix<u64>>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let shape = shape.clone();
+                let sizes = &sizes;
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut local = DenseMatrix::<u64>::zeros(shape);
+                    loop {
+                        let chunk = next.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= CHUNKS {
+                            return local;
+                        }
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(
+                            base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chunk as u64 + 1)),
+                        );
+                        for _ in 0..sizes[chunk] {
+                            let p = city.sample_point(&mut rng);
+                            let coords = [
+                                crate::city::to_cell(p[0], grid),
+                                crate::city::to_cell(p[1], grid),
+                            ];
+                            let idx = local.shape().flat_index_unchecked(&coords);
+                            local.set_flat(idx, local.get_flat(idx) + 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(Some(h.join().expect("worker does not panic")));
+        }
+    })
+    .expect("scoped threads join cleanly");
+
+    // Merge partials.
+    let mut out = DenseMatrix::<u64>::zeros(shape);
+    for p in partials.into_iter().flatten() {
+        for (i, &v) in p.as_slice().iter().enumerate() {
+            if v != 0 {
+                out.set_flat(i, out.get_flat(i) + v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::City;
+
+    #[test]
+    fn conserves_mass() {
+        let city = City::Denver.model();
+        let m = population_matrix_parallel(&city, 64, 10_001, 7, 4);
+        assert_eq!(m.total_u64(), 10_001);
+    }
+
+    #[test]
+    fn independent_of_thread_count() {
+        let city = City::NewYork.model();
+        let a = population_matrix_parallel(&city, 48, 5_000, 9, 1);
+        let b = population_matrix_parallel(&city, 48, 5_000, 9, 3);
+        let c = population_matrix_parallel(&city, 48, 5_000, 9, 8);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let city = City::Detroit.model();
+        let a = population_matrix_parallel(&city, 32, 2_000, 1, 2);
+        let b = population_matrix_parallel(&city, 32, 2_000, 2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_threads_treated_as_one() {
+        let city = City::Denver.model();
+        let m = population_matrix_parallel(&city, 16, 500, 3, 0);
+        assert_eq!(m.total_u64(), 500);
+    }
+}

@@ -1,0 +1,221 @@
+//! Trajectory synthesis over a city model (§2.3, §6.1).
+//!
+//! The paper samples 300 000 real trajectories per city and records origin,
+//! destination and intermediate points. Our generator reproduces the
+//! structural properties the OD experiments exercise:
+//!
+//! * origins follow the population distribution;
+//! * destinations follow a gravity rule (weight × distance decay), so the
+//!   OD matrix has the strong corridor/diagonal structure of real mobility;
+//! * intermediate stops lie near the origin–destination segment but are
+//!   attracted to nearby hotspots (the "store / gym / clinic on the way"
+//!   of the paper's motivating example).
+
+use crate::city::{clamp_unit, CityModel};
+use crate::dist::sample_normal;
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// One trip: origin, `num_stops` intermediate stops, destination — all in
+/// the unit square.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// `[origin, stop₁, …, stop_k, destination]`; length `num_stops + 2`.
+    pub points: Vec<[f64; 2]>,
+}
+
+impl Trajectory {
+    /// Trip origin.
+    pub fn origin(&self) -> [f64; 2] {
+        self.points[0]
+    }
+
+    /// Trip destination.
+    pub fn destination(&self) -> [f64; 2] {
+        *self.points.last().expect("trajectory has >= 2 points")
+    }
+
+    /// The intermediate stops (possibly empty).
+    pub fn stops(&self) -> &[[f64; 2]] {
+        &self.points[1..self.points.len() - 1]
+    }
+}
+
+/// Tuning knobs for trajectory synthesis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryConfig {
+    /// Number of intermediate stops per trip (0 ⇒ conventional OD pairs).
+    pub num_stops: usize,
+    /// Gravity decay length for destination choice; smaller ⇒ shorter trips.
+    pub gravity_decay: f64,
+    /// Gaussian jitter (unit scale) applied to each stop.
+    pub stop_jitter: f64,
+    /// Blend factor in `[0,1]`: 0 ⇒ stops exactly on the O–D segment,
+    /// 1 ⇒ stops at the nearest hotspot centre.
+    pub hotspot_attraction: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            num_stops: 0,
+            gravity_decay: 0.25,
+            stop_jitter: 0.03,
+            hotspot_attraction: 0.5,
+        }
+    }
+}
+
+impl TrajectoryConfig {
+    /// A default configuration with `k` intermediate stops.
+    pub fn with_stops(k: usize) -> Self {
+        TrajectoryConfig {
+            num_stops: k,
+            ..TrajectoryConfig::default()
+        }
+    }
+
+    /// Generates one trajectory over `city`.
+    pub fn generate_one(&self, city: &CityModel, rng: &mut dyn RngCore) -> Trajectory {
+        let origin = city.sample_point(rng);
+        // Destination: gravity-chosen hotspot, or (rarely) pure background,
+        // mirroring the background share of the population itself.
+        let destination = if rng.gen::<f64>() < city.background {
+            [rng.gen::<f64>(), rng.gen::<f64>()]
+        } else {
+            let h = city.pick_gravity(origin, self.gravity_decay, rng);
+            [
+                clamp_unit(sample_normal(rng, h.center[0], h.sigma)),
+                clamp_unit(sample_normal(rng, h.center[1], h.sigma)),
+            ]
+        };
+        let mut points = Vec::with_capacity(self.num_stops + 2);
+        points.push(origin);
+        for j in 1..=self.num_stops {
+            let t = j as f64 / (self.num_stops + 1) as f64;
+            let waypoint = [
+                origin[0] + t * (destination[0] - origin[0]),
+                origin[1] + t * (destination[1] - origin[1]),
+            ];
+            let anchor = city.nearest_hotspot(waypoint).center;
+            let a = self.hotspot_attraction;
+            let stop = [
+                clamp_unit(sample_normal(
+                    rng,
+                    (1.0 - a) * waypoint[0] + a * anchor[0],
+                    self.stop_jitter,
+                )),
+                clamp_unit(sample_normal(
+                    rng,
+                    (1.0 - a) * waypoint[1] + a * anchor[1],
+                    self.stop_jitter,
+                )),
+            ];
+            points.push(stop);
+        }
+        points.push(destination);
+        Trajectory { points }
+    }
+
+    /// Generates `n` trajectories.
+    pub fn generate(
+        &self,
+        city: &CityModel,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Trajectory> {
+        (0..n).map(|_| self.generate_one(city, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{dist, City};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn trajectory_has_expected_arity() {
+        let city = City::Denver.model();
+        let cfg = TrajectoryConfig::with_stops(2);
+        let t = cfg.generate_one(&city, &mut rng(1));
+        assert_eq!(t.points.len(), 4);
+        assert_eq!(t.stops().len(), 2);
+        assert_eq!(t.origin(), t.points[0]);
+        assert_eq!(t.destination(), t.points[3]);
+    }
+
+    #[test]
+    fn all_points_in_unit_square() {
+        let city = City::NewYork.model();
+        let cfg = TrajectoryConfig::with_stops(1);
+        for t in cfg.generate(&city, 2_000, &mut rng(2)) {
+            for [x, y] in t.points {
+                assert!((0.0..1.0).contains(&x) && (0.0..1.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn gravity_shortens_trips() {
+        let city = City::NewYork.model();
+        let near = TrajectoryConfig {
+            gravity_decay: 0.05,
+            ..TrajectoryConfig::default()
+        };
+        let far = TrajectoryConfig {
+            gravity_decay: 5.0,
+            ..TrajectoryConfig::default()
+        };
+        let mean_len = |cfg: &TrajectoryConfig, seed| {
+            let trips = cfg.generate(&city, 3_000, &mut rng(seed));
+            trips
+                .iter()
+                .map(|t| dist(t.origin(), t.destination()))
+                .sum::<f64>()
+                / trips.len() as f64
+        };
+        assert!(
+            mean_len(&near, 3) < mean_len(&far, 3),
+            "small decay must favour nearby destinations"
+        );
+    }
+
+    #[test]
+    fn stops_lie_near_the_od_corridor() {
+        let city = City::Denver.model();
+        let cfg = TrajectoryConfig {
+            num_stops: 1,
+            stop_jitter: 0.01,
+            hotspot_attraction: 0.0,
+            ..TrajectoryConfig::default()
+        };
+        let trips = cfg.generate(&city, 1_000, &mut rng(4));
+        let mut mean_dev = 0.0;
+        for t in &trips {
+            let mid = [
+                (t.origin()[0] + t.destination()[0]) / 2.0,
+                (t.origin()[1] + t.destination()[1]) / 2.0,
+            ];
+            mean_dev += dist(t.stops()[0], mid);
+        }
+        mean_dev /= trips.len() as f64;
+        assert!(
+            mean_dev < 0.05,
+            "with no attraction, stops hug the midpoint (mean dev {mean_dev})"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let city = City::Detroit.model();
+        let cfg = TrajectoryConfig::with_stops(1);
+        let a = cfg.generate(&city, 50, &mut rng(9));
+        let b = cfg.generate(&city, 50, &mut rng(9));
+        assert_eq!(a, b);
+    }
+}

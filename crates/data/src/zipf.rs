@@ -1,0 +1,110 @@
+//! Synthetic Zipf frequency matrices (§6.1).
+//!
+//! Each data point's coordinate in dimension `i` is an independent draw
+//! from a finite Zipf law over `{1, …, F_i}` with exponent `a`; larger `a`
+//! means heavier concentration near the origin corner (more skew — the
+//! opposite sense of the Gaussian generator's variance knob, as the paper
+//! notes).
+
+use crate::dist::Zipf;
+use dpod_fmatrix::{DenseMatrix, Shape};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a Zipf synthetic frequency matrix.
+///
+/// ```
+/// use dpod_data::ZipfConfig;
+/// use dpod_fmatrix::Shape;
+/// let cfg = ZipfConfig {
+///     shape: Shape::new(vec![100, 100]).unwrap(),
+///     num_points: 1_000,
+///     a: 1.5,
+/// };
+/// let m = cfg.generate(&mut rand::thread_rng());
+/// assert_eq!(m.total_u64(), 1_000);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ZipfConfig {
+    /// Domain of the frequency matrix.
+    pub shape: Shape,
+    /// Number of data points to draw.
+    pub num_points: usize,
+    /// Zipf exponent; higher ⇒ more skew.
+    pub a: f64,
+}
+
+impl ZipfConfig {
+    /// Accumulates `num_points` i.i.d. Zipf points into a matrix.
+    ///
+    /// # Panics
+    /// Panics when `a` is not finite/positive (programmer error surfaced
+    /// from the sampler constructor).
+    pub fn generate(&self, rng: &mut dyn RngCore) -> DenseMatrix<u64> {
+        let d = self.shape.ndim();
+        let samplers: Vec<Zipf> = (0..d)
+            .map(|i| Zipf::new(self.shape.dim(i), self.a).expect("valid Zipf parameters"))
+            .collect();
+        let mut m = DenseMatrix::<u64>::zeros(self.shape.clone());
+        let mut coords = vec![0usize; d];
+        for _ in 0..self.num_points {
+            for (c, z) in coords.iter_mut().zip(&samplers) {
+                // Zipf supports {1..F}; cells are 0-based.
+                *c = z.sample(rng) - 1;
+            }
+            let idx = m.shape().flat_index_unchecked(&coords);
+            m.set_flat(idx, m.get_flat(idx).saturating_add(1));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_fmatrix::entropy::matrix_entropy;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn cfg(dims: &[usize], n: usize, a: f64) -> ZipfConfig {
+        ZipfConfig {
+            shape: Shape::new(dims.to_vec()).unwrap(),
+            num_points: n,
+            a,
+        }
+    }
+
+    #[test]
+    fn conserves_point_count() {
+        let m = cfg(&[40, 40], 3_000, 1.5).generate(&mut rng(1));
+        assert_eq!(m.total_u64(), 3_000);
+    }
+
+    #[test]
+    fn higher_a_is_more_skewed() {
+        let mild = cfg(&[32, 32], 30_000, 1.1).generate(&mut rng(2));
+        let steep = cfg(&[32, 32], 30_000, 3.0).generate(&mut rng(2));
+        assert!(matrix_entropy(&steep) < matrix_entropy(&mild));
+    }
+
+    #[test]
+    fn mass_concentrates_at_origin_corner() {
+        let m = cfg(&[16, 16], 10_000, 2.5).generate(&mut rng(3));
+        let corner = m.get(&[0, 0]).unwrap();
+        assert!(
+            corner as f64 > 0.3 * m.total(),
+            "origin cell holds {corner} of {}",
+            m.total()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = cfg(&[20, 20, 20], 2_000, 1.8).generate(&mut rng(11));
+        let b = cfg(&[20, 20, 20], 2_000, 1.8).generate(&mut rng(11));
+        assert_eq!(a, b);
+    }
+}

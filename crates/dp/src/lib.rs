@@ -1,0 +1,39 @@
+//! # dpod-dp
+//!
+//! Differential-privacy primitives for the `dp-odmatrix` workspace:
+//!
+//! * [`Epsilon`] — a validated privacy-budget value;
+//! * [`laplace`] — the Laplace mechanism (§2.1 of the paper, Eq. 2);
+//! * [`geometric`] — the two-sided geometric mechanism (integer-valued
+//!   alternative mentioned in the paper's future work; used by ablations);
+//! * [`BudgetAccountant`] / [`SharedAccountant`] — sequential-composition
+//!   ledgers that make every mechanism's budget arithmetic auditable and
+//!   testable.
+//!
+//! All sampling is parameterized by `&mut dyn rand::RngCore` so mechanisms
+//! stay object-safe and every experiment is reproducible from a seed.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod budget;
+mod epsilon;
+mod error;
+pub mod geometric;
+pub mod laplace;
+
+pub use budget::{BudgetAccountant, LedgerEntry, SharedAccountant};
+pub use epsilon::Epsilon;
+pub use error::DpError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DpError>;
+
+/// Returns a seeded, portable RNG for reproducible experiments.
+///
+/// Every mechanism in the workspace takes `&mut dyn RngCore`; passing
+/// `&mut seeded_rng(seed)` makes an entire sanitization run deterministic.
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,2 @@
+//! Carrier crate for the runnable examples in the repository-level
+//! `examples/` directory. See each example's header comment for usage.

@@ -1,0 +1,193 @@
+//! Compact binary codec for dense matrices.
+//!
+//! Published artifacts are often shipped and archived; a 1000² sanitized
+//! matrix is ~8 MB of floats that JSON would inflate ~3×. The format is a
+//! little-endian frame:
+//!
+//! ```text
+//! magic  "DPFM"          4 bytes
+//! version u8             currently 1
+//! dtype   u8             0 = u64, 1 = f64
+//! ndim    u16
+//! dims    ndim × u64
+//! data    size × 8 bytes
+//! ```
+
+use crate::{DenseMatrix, FmError, Result, Shape};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"DPFM";
+const VERSION: u8 = 1;
+
+/// Marker for the element type stored in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dtype {
+    U64 = 0,
+    F64 = 1,
+}
+
+/// Encodes a count matrix.
+pub fn encode_u64(m: &DenseMatrix<u64>) -> Bytes {
+    encode_with(m.shape(), Dtype::U64, m.as_slice().iter().copied())
+}
+
+/// Encodes a sanitized (float) matrix.
+pub fn encode_f64(m: &DenseMatrix<f64>) -> Bytes {
+    encode_with(
+        m.shape(),
+        Dtype::F64,
+        m.as_slice().iter().map(|v| v.to_bits()),
+    )
+}
+
+fn encode_with(shape: &Shape, dtype: Dtype, words: impl Iterator<Item = u64>) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + shape.ndim() * 8 + shape.size() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(dtype as u8);
+    buf.put_u16_le(shape.ndim() as u16);
+    for &d in shape.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for w in words {
+        buf.put_u64_le(w);
+    }
+    buf.freeze()
+}
+
+/// Decodes a count matrix.
+///
+/// # Errors
+/// [`FmError::InvalidShape`] describing the first framing violation.
+pub fn decode_u64(bytes: &[u8]) -> Result<DenseMatrix<u64>> {
+    let (shape, mut rest) = decode_header(bytes, Dtype::U64)?;
+    let data: Vec<u64> = (0..shape.size()).map(|_| rest.get_u64_le()).collect();
+    DenseMatrix::from_vec(shape, data)
+}
+
+/// Decodes a sanitized (float) matrix.
+///
+/// # Errors
+/// [`FmError::InvalidShape`] describing the first framing violation,
+/// including non-finite payloads.
+pub fn decode_f64(bytes: &[u8]) -> Result<DenseMatrix<f64>> {
+    let (shape, mut rest) = decode_header(bytes, Dtype::F64)?;
+    let data: Vec<f64> = (0..shape.size())
+        .map(|_| f64::from_bits(rest.get_u64_le()))
+        .collect();
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(FmError::InvalidShape {
+            reason: "frame contains non-finite values".into(),
+        });
+    }
+    DenseMatrix::from_vec(shape, data)
+}
+
+fn decode_header(bytes: &[u8], expect: Dtype) -> Result<(Shape, &[u8])> {
+    let err = |reason: String| FmError::InvalidShape { reason };
+    let mut b = bytes;
+    if b.remaining() < 8 {
+        return Err(err("frame too short for header".into()));
+    }
+    let mut magic = [0u8; 4];
+    b.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err(format!("bad magic {magic:?}")));
+    }
+    let version = b.get_u8();
+    if version != VERSION {
+        return Err(err(format!("unsupported version {version}")));
+    }
+    let dtype = b.get_u8();
+    if dtype != expect as u8 {
+        return Err(err(format!(
+            "frame holds dtype {dtype}, expected {}",
+            expect as u8
+        )));
+    }
+    let ndim = b.get_u16_le() as usize;
+    if b.remaining() < ndim * 8 {
+        return Err(err("frame too short for dims".into()));
+    }
+    let dims: Vec<usize> = (0..ndim).map(|_| b.get_u64_le() as usize).collect();
+    let shape = Shape::new(dims)?;
+    if b.remaining() < shape.size() * 8 {
+        return Err(err(format!(
+            "frame holds {} bytes of data, need {}",
+            b.remaining(),
+            shape.size() * 8
+        )));
+    }
+    Ok((shape, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let m = DenseMatrix::from_vec(shape(&[3, 4]), (0..12u64).collect::<Vec<_>>())
+            .unwrap();
+        let bytes = encode_u64(&m);
+        assert_eq!(bytes.len(), 4 + 1 + 1 + 2 + 2 * 8 + 12 * 8);
+        let back = decode_u64(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        let m = DenseMatrix::from_vec(
+            shape(&[2, 2]),
+            vec![1.5, -0.000123, 9e99, 0.0],
+        )
+        .unwrap();
+        let back = decode_f64(&encode_f64(&m)).unwrap();
+        assert_eq!(back.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn rejects_corrupted_frames() {
+        let m = DenseMatrix::from_vec(shape(&[2, 2]), vec![1u64, 2, 3, 4]).unwrap();
+        let bytes = encode_u64(&m).to_vec();
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decode_u64(&bad).is_err());
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(decode_u64(&bad).is_err());
+        // Wrong dtype request.
+        assert!(decode_f64(&bytes).is_err());
+        // Truncated payload.
+        assert!(decode_u64(&bytes[..bytes.len() - 8]).is_err());
+        // Truncated header.
+        assert!(decode_u64(&bytes[..6]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_floats() {
+        let m = DenseMatrix::from_vec(shape(&[2]), vec![1.0, 2.0]).unwrap();
+        let mut bytes = encode_f64(&m).to_vec();
+        let nan = f64::NAN.to_bits().to_le_bytes();
+        let off = bytes.len() - 8;
+        bytes[off..].copy_from_slice(&nan);
+        assert!(decode_f64(&bytes).is_err());
+    }
+
+    #[test]
+    fn high_dimensional_round_trip() {
+        let s = shape(&[3, 2, 2, 3, 2]);
+        let m = DenseMatrix::from_vec(
+            s.clone(),
+            (0..s.size() as u64).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(decode_u64(&encode_u64(&m)).unwrap(), m);
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors produced by frequency-matrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmError {
+    /// A shape was constructed with no dimensions or a zero-length dimension.
+    InvalidShape {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Coordinates or a flat index fell outside the matrix domain.
+    OutOfBounds {
+        /// The offending coordinates (or `[index]` for flat access).
+        coords: Vec<usize>,
+        /// The dimension cardinalities of the matrix.
+        dims: Vec<usize>,
+    },
+    /// The number of coordinates does not match the matrix dimensionality.
+    DimensionMismatch {
+        /// Dimensionality expected by the matrix.
+        expected: usize,
+        /// Dimensionality supplied by the caller.
+        got: usize,
+    },
+    /// A buffer passed to `from_vec` has the wrong number of elements.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements supplied.
+        got: usize,
+    },
+    /// A box is not contained in the domain it is used with.
+    BoxOutOfDomain {
+        /// Description of the offending box.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            FmError::OutOfBounds { coords, dims } => {
+                write!(f, "coordinates {coords:?} out of bounds for dims {dims:?}")
+            }
+            FmError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            FmError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected} elements, got {got}")
+            }
+            FmError::BoxOutOfDomain { reason } => write!(f, "box out of domain: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FmError {}

@@ -1,0 +1,139 @@
+//! Marginalization: projecting a frequency matrix onto a subset of its
+//! dimensions by summing the rest out.
+//!
+//! OD matrices make this operation routine — the 2-D *origin density* of a
+//! 4-D OD matrix is its marginal over dimensions `(0, 1)`, the conventional
+//! OD matrix of a 6-D stops matrix is the marginal over origin+destination
+//! dimensions, etc. Marginalizing a *sanitized* matrix is DP
+//! post-processing and costs no budget.
+
+use crate::{DenseMatrix, Element, FmError, Result, Shape};
+
+impl<T: Element + std::ops::Add<Output = T>> DenseMatrix<T> {
+    /// Sums out every dimension not listed in `keep`, returning the
+    /// marginal matrix whose dimension order follows `keep`.
+    ///
+    /// `keep` must be non-empty, strictly increasing and in range (the
+    /// strict order keeps the cell mapping unambiguous).
+    ///
+    /// ```
+    /// use dpod_fmatrix::{DenseMatrix, Shape};
+    /// let m = DenseMatrix::from_vec(
+    ///     Shape::new(vec![2, 3]).unwrap(), vec![1u64, 2, 3, 4, 5, 6]).unwrap();
+    /// let rows = m.marginalize(&[0]).unwrap();
+    /// assert_eq!(rows.as_slice(), &[6, 15]);
+    /// let cols = m.marginalize(&[1]).unwrap();
+    /// assert_eq!(cols.as_slice(), &[5, 7, 9]);
+    /// ```
+    ///
+    /// # Errors
+    /// [`FmError::InvalidShape`] for an empty/unsorted/out-of-range `keep`.
+    pub fn marginalize(&self, keep: &[usize]) -> Result<DenseMatrix<T>> {
+        if keep.is_empty() {
+            return Err(FmError::InvalidShape {
+                reason: "marginal must keep at least one dimension".into(),
+            });
+        }
+        if keep.windows(2).any(|w| w[0] >= w[1]) || *keep.last().unwrap() >= self.ndim() {
+            return Err(FmError::InvalidShape {
+                reason: format!(
+                    "keep list {keep:?} must be strictly increasing and < {}",
+                    self.ndim()
+                ),
+            });
+        }
+        let out_dims: Vec<usize> = keep.iter().map(|&d| self.shape().dim(d)).collect();
+        let out_shape = Shape::new(out_dims)?;
+        let mut out = DenseMatrix::<T>::zeros(out_shape);
+        // Single pass over the source; the kept coordinates of each cell
+        // are accumulated via precomputed stride contributions.
+        let out_strides: Vec<usize> = out.shape().strides().to_vec();
+        let src_dims = self.shape().dims().to_vec();
+        let mut coords = vec![0usize; self.ndim()];
+        for &v in self.as_slice() {
+            let mut out_idx = 0;
+            for (k, &dim) in keep.iter().enumerate() {
+                out_idx += coords[dim] * out_strides[k];
+            }
+            let cur = out.get_flat(out_idx);
+            out.set_flat(out_idx, cur + v);
+            // Odometer increment (cheaper than div/mod per cell).
+            let mut d = self.ndim();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < src_dims[d] {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn marginal_preserves_total() {
+        let m = DenseMatrix::from_vec(
+            shape(&[2, 3, 4]),
+            (0..24u64).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for keep in [vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2]] {
+            let g = m.marginalize(&keep).unwrap();
+            assert_eq!(g.total_u64(), m.total_u64(), "keep {keep:?}");
+        }
+    }
+
+    #[test]
+    fn marginal_matches_manual_sum() {
+        let m = DenseMatrix::from_vec(
+            shape(&[2, 2, 2]),
+            vec![1u64, 2, 3, 4, 5, 6, 7, 8],
+        )
+        .unwrap();
+        let g = m.marginalize(&[0, 2]).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 2]);
+        // g[a][c] = sum over b of m[a][b][c]
+        assert_eq!(g.get(&[0, 0]).unwrap(), 1 + 3);
+        assert_eq!(g.get(&[0, 1]).unwrap(), 2 + 4);
+        assert_eq!(g.get(&[1, 0]).unwrap(), 5 + 7);
+        assert_eq!(g.get(&[1, 1]).unwrap(), 6 + 8);
+    }
+
+    #[test]
+    fn keeping_all_dims_is_identity() {
+        let m = DenseMatrix::from_vec(shape(&[3, 2]), (0..6u64).collect::<Vec<_>>())
+            .unwrap();
+        let g = m.marginalize(&[0, 1]).unwrap();
+        assert_eq!(g, m);
+    }
+
+    #[test]
+    fn works_for_f64_matrices() {
+        let m = DenseMatrix::from_vec(shape(&[2, 2]), vec![0.5f64, 1.5, -1.0, 2.0])
+            .unwrap();
+        let g = m.marginalize(&[1]).unwrap();
+        assert_eq!(g.as_slice(), &[-0.5, 3.5]);
+    }
+
+    #[test]
+    fn rejects_bad_keep_lists() {
+        let m = DenseMatrix::<u64>::zeros(shape(&[2, 2]));
+        assert!(m.marginalize(&[]).is_err());
+        assert!(m.marginalize(&[1, 0]).is_err());
+        assert!(m.marginalize(&[0, 0]).is_err());
+        assert!(m.marginalize(&[2]).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+use crate::{FmError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dimension cardinalities `F₁ × F₂ × … × F_d` of a frequency matrix,
+/// together with precomputed row-major strides.
+///
+/// The last dimension is contiguous in memory. All dimensions must be
+/// non-empty; the total size must fit in `usize`.
+///
+/// ```
+/// use dpod_fmatrix::Shape;
+/// let s = Shape::new(vec![3, 2, 4]).unwrap();
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(s.size(), 24);
+/// assert_eq!(s.flat_index(&[1, 0, 2]).unwrap(), 10);
+/// assert_eq!(s.coords(10), vec![1, 0, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Builds a shape from dimension cardinalities.
+    ///
+    /// # Errors
+    /// Returns [`FmError::InvalidShape`] if `dims` is empty, any dimension is
+    /// zero, or the total element count overflows `usize`.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(FmError::InvalidShape {
+                reason: "shape must have at least one dimension".into(),
+            });
+        }
+        if let Some(&zero_dim) = dims.iter().find(|&&d| d == 0) {
+            let _ = zero_dim;
+            return Err(FmError::InvalidShape {
+                reason: format!("zero-length dimension in {dims:?}"),
+            });
+        }
+        let mut size: usize = 1;
+        for &d in &dims {
+            size = size.checked_mul(d).ok_or_else(|| FmError::InvalidShape {
+                reason: format!("element count overflows usize for dims {dims:?}"),
+            })?;
+        }
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Ok(Shape { dims, strides })
+    }
+
+    /// Builds a hyper-cube shape with `side` cells in each of `ndim` dimensions.
+    pub fn cube(ndim: usize, side: usize) -> Result<Self> {
+        Shape::new(vec![side; ndim])
+    }
+
+    /// Number of dimensions `d`.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Cardinality of dimension `dim` (0-based).
+    #[inline]
+    pub fn dim(&self, dim: usize) -> usize {
+        self.dims[dim]
+    }
+
+    /// All dimension cardinalities.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides (elements, not bytes).
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Total number of entries (`∏ F_i`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        // Non-empty dims with no zero entries: the product fits by construction.
+        self.dims.iter().product()
+    }
+
+    /// Converts multi-dimensional coordinates to a flat index.
+    ///
+    /// # Errors
+    /// [`FmError::DimensionMismatch`] if `coords.len() != ndim()`;
+    /// [`FmError::OutOfBounds`] if any coordinate exceeds its dimension.
+    #[inline]
+    pub fn flat_index(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(FmError::DimensionMismatch {
+                expected: self.dims.len(),
+                got: coords.len(),
+            });
+        }
+        let mut idx = 0usize;
+        for (i, (&c, &s)) in coords.iter().zip(&self.strides).enumerate() {
+            if c >= self.dims[i] {
+                return Err(FmError::OutOfBounds {
+                    coords: coords.to_vec(),
+                    dims: self.dims.clone(),
+                });
+            }
+            idx += c * s;
+        }
+        Ok(idx)
+    }
+
+    /// Converts multi-dimensional coordinates to a flat index without bounds
+    /// checks beyond debug assertions. Used on hot paths where the caller
+    /// already validated the coordinates.
+    #[inline]
+    pub fn flat_index_unchecked(&self, coords: &[usize]) -> usize {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        let mut idx = 0usize;
+        for (i, (&c, &s)) in coords.iter().zip(&self.strides).enumerate() {
+            debug_assert!(c < self.dims[i], "coord {c} out of bounds in dim {i}");
+            idx += c * s;
+        }
+        idx
+    }
+
+    /// Converts a flat index back to coordinates.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `index >= size()`.
+    #[inline]
+    pub fn coords(&self, index: usize) -> Vec<usize> {
+        debug_assert!(index < self.size());
+        let mut rem = index;
+        let mut out = Vec::with_capacity(self.dims.len());
+        for &s in &self.strides {
+            out.push(rem / s);
+            rem %= s;
+        }
+        out
+    }
+
+    /// Writes the coordinates of `index` into `out` (no allocation).
+    #[inline]
+    pub fn coords_into(&self, index: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.dims.len());
+        let mut rem = index;
+        for (o, &s) in out.iter_mut().zip(&self.strides) {
+            *o = rem / s;
+            rem %= s;
+        }
+    }
+
+    /// Iterates over every coordinate tuple of the domain in row-major order.
+    pub fn iter_coords(&self) -> CoordIter<'_> {
+        CoordIter {
+            shape: self,
+            next: Some(vec![0; self.dims.len()]),
+        }
+    }
+}
+
+/// Row-major iterator over all coordinate tuples of a [`Shape`].
+///
+/// Produced by [`Shape::iter_coords`].
+#[derive(Debug)]
+pub struct CoordIter<'a> {
+    shape: &'a Shape,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for CoordIter<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let current = self.next.take()?;
+        let mut succ = current.clone();
+        // Odometer increment from the last (contiguous) dimension.
+        let mut dim = self.shape.ndim();
+        loop {
+            if dim == 0 {
+                // Wrapped past the first dimension: iteration is complete.
+                self.next = None;
+                break;
+            }
+            dim -= 1;
+            succ[dim] += 1;
+            if succ[dim] < self.shape.dim(dim) {
+                self.next = Some(succ);
+                break;
+            }
+            succ[dim] = 0;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.next {
+            None => (0, Some(0)),
+            Some(c) => {
+                let remaining = self.shape.size() - self.shape.flat_index_unchecked(c);
+                (remaining, Some(remaining))
+            }
+        }
+    }
+}
+
+impl ExactSizeIterator for CoordIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_zero_dims() {
+        assert!(matches!(
+            Shape::new(vec![]),
+            Err(FmError::InvalidShape { .. })
+        ));
+        assert!(matches!(
+            Shape::new(vec![3, 0, 2]),
+            Err(FmError::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_size() {
+        let huge = usize::MAX / 2;
+        assert!(matches!(
+            Shape::new(vec![huge, 4]),
+            Err(FmError::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![3, 2, 4]).unwrap();
+        assert_eq!(s.strides(), &[8, 4, 1]);
+        assert_eq!(s.size(), 24);
+    }
+
+    #[test]
+    fn one_dimensional_shape() {
+        let s = Shape::new(vec![7]).unwrap();
+        assert_eq!(s.ndim(), 1);
+        assert_eq!(s.strides(), &[1]);
+        assert_eq!(s.flat_index(&[5]).unwrap(), 5);
+        assert_eq!(s.coords(5), vec![5]);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        let s = Shape::new(vec![3, 5, 2]).unwrap();
+        for i in 0..s.size() {
+            let c = s.coords(i);
+            assert_eq!(s.flat_index(&c).unwrap(), i);
+            assert_eq!(s.flat_index_unchecked(&c), i);
+        }
+    }
+
+    #[test]
+    fn coords_into_matches_coords() {
+        let s = Shape::new(vec![4, 3]).unwrap();
+        let mut buf = [0usize; 2];
+        for i in 0..s.size() {
+            s.coords_into(i, &mut buf);
+            assert_eq!(buf.to_vec(), s.coords(i));
+        }
+    }
+
+    #[test]
+    fn flat_index_validates() {
+        let s = Shape::new(vec![3, 2]).unwrap();
+        assert!(matches!(
+            s.flat_index(&[0, 2]),
+            Err(FmError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.flat_index(&[0]),
+            Err(FmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_coords_covers_domain_in_order() {
+        let s = Shape::new(vec![2, 3]).unwrap();
+        let all: Vec<_> = s.iter_coords().collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+        assert_eq!(s.iter_coords().len(), 6);
+    }
+
+    #[test]
+    fn cube_builds_hypercube() {
+        let s = Shape::cube(4, 5).unwrap();
+        assert_eq!(s.dims(), &[5, 5, 5, 5]);
+        assert_eq!(s.size(), 625);
+    }
+}

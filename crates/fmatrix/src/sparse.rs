@@ -1,0 +1,157 @@
+use crate::{DenseMatrix, Result, Shape};
+use std::collections::HashMap;
+
+/// A hash-based sparse frequency matrix.
+///
+/// High-dimensional OD matrices are built incrementally from trajectory
+/// streams; with `d = 6` and realistic trip counts the overwhelming majority
+/// of cells is empty, so accumulation happens here and the result is
+/// densified once (mechanisms operate on [`DenseMatrix`] because they need
+/// prefix sums over the *domain*, not just the support).
+///
+/// ```
+/// use dpod_fmatrix::{Shape, SparseMatrix};
+/// let mut s = SparseMatrix::new(Shape::new(vec![4, 4]).unwrap());
+/// s.add(&[1, 2], 3).unwrap();
+/// s.add(&[1, 2], 1).unwrap();
+/// assert_eq!(s.get(&[1, 2]).unwrap(), 4);
+/// assert_eq!(s.to_dense().total_u64(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    shape: Shape,
+    cells: HashMap<usize, u64>,
+    total: u64,
+}
+
+impl SparseMatrix {
+    /// An empty sparse matrix over `shape`.
+    pub fn new(shape: Shape) -> Self {
+        SparseMatrix {
+            shape,
+            cells: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// The matrix shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Adds `amount` to the cell at `coords`.
+    ///
+    /// # Errors
+    /// Propagates coordinate validation from [`Shape::flat_index`].
+    pub fn add(&mut self, coords: &[usize], amount: u64) -> Result<()> {
+        let idx = self.shape.flat_index(coords)?;
+        *self.cells.entry(idx).or_insert(0) += amount;
+        self.total = self.total.saturating_add(amount);
+        Ok(())
+    }
+
+    /// Adds one to the cell at `coords`, clamping out-of-range coordinates
+    /// to the domain boundary (mirrors [`DenseMatrix::from_points`]).
+    pub fn add_point_clamped(&mut self, coords: &[usize]) {
+        debug_assert_eq!(coords.len(), self.shape.ndim());
+        let clamped: Vec<usize> = coords
+            .iter()
+            .zip(self.shape.dims())
+            .map(|(&c, &d)| c.min(d - 1))
+            .collect();
+        let idx = self.shape.flat_index_unchecked(&clamped);
+        *self.cells.entry(idx).or_insert(0) += 1;
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Count at `coords` (zero when absent).
+    ///
+    /// # Errors
+    /// Propagates coordinate validation from [`Shape::flat_index`].
+    pub fn get(&self, coords: &[usize]) -> Result<u64> {
+        let idx = self.shape.flat_index(coords)?;
+        Ok(self.cells.get(&idx).copied().unwrap_or(0))
+    }
+
+    /// Total count across all cells.
+    #[inline]
+    pub fn total_u64(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of non-empty cells.
+    #[inline]
+    pub fn support(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Fraction of domain cells that are non-empty.
+    pub fn density(&self) -> f64 {
+        self.cells.len() as f64 / self.shape.size() as f64
+    }
+
+    /// Iterates `(flat_index, count)` over non-empty cells (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.cells.iter().map(|(&i, &v)| (i, v))
+    }
+
+    /// Densifies into a [`DenseMatrix`].
+    pub fn to_dense(&self) -> DenseMatrix<u64> {
+        let mut m = DenseMatrix::zeros(self.shape.clone());
+        for (&idx, &v) in &self.cells {
+            m.set_flat(idx, v);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut s = SparseMatrix::new(shape(&[3, 3]));
+        s.add(&[0, 0], 2).unwrap();
+        s.add(&[2, 2], 1).unwrap();
+        s.add(&[0, 0], 3).unwrap();
+        assert_eq!(s.get(&[0, 0]).unwrap(), 5);
+        assert_eq!(s.get(&[1, 1]).unwrap(), 0);
+        assert_eq!(s.total_u64(), 6);
+        assert_eq!(s.support(), 2);
+        assert!(s.add(&[3, 0], 1).is_err());
+    }
+
+    #[test]
+    fn clamped_points() {
+        let mut s = SparseMatrix::new(shape(&[2, 2]));
+        s.add_point_clamped(&[5, 5]);
+        s.add_point_clamped(&[1, 1]);
+        assert_eq!(s.get(&[1, 1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn densify_round_trip() {
+        let mut s = SparseMatrix::new(shape(&[2, 3]));
+        s.add(&[0, 1], 4).unwrap();
+        s.add(&[1, 2], 9).unwrap();
+        let d = s.to_dense();
+        assert_eq!(d.get(&[0, 1]).unwrap(), 4);
+        assert_eq!(d.get(&[1, 2]).unwrap(), 9);
+        assert_eq!(d.total_u64(), s.total_u64());
+    }
+
+    #[test]
+    fn density_fraction() {
+        let mut s = SparseMatrix::new(shape(&[4, 4]));
+        assert_eq!(s.density(), 0.0);
+        s.add(&[0, 0], 1).unwrap();
+        s.add(&[1, 1], 1).unwrap();
+        assert!((s.density() - 2.0 / 16.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+use crate::Partitioning;
+use dpod_fmatrix::{AxisBox, Shape};
+use serde::{Deserialize, Serialize};
+
+/// An equi-width grid over a frequency-matrix domain.
+///
+/// Dimension `i` is divided into `cells[i]` intervals whose widths differ by
+/// at most one cell (exact equi-width division is impossible when `m` does
+/// not divide `F_i`; the paper's "divide each dimension by m" — Alg. 1
+/// line 6 — is implemented as the balanced split used by all grid methods).
+///
+/// ```
+/// use dpod_partition::UniformGrid;
+/// use dpod_fmatrix::Shape;
+/// let g = UniformGrid::new(&Shape::new(vec![10, 7]).unwrap(), &[3, 2]).unwrap();
+/// assert_eq!(g.num_partitions(), 6);
+/// let widths: Vec<usize> = g.boundaries(1).windows(2).map(|w| w[1] - w[0]).collect();
+/// assert_eq!(widths, vec![4, 3]); // 7 cells into 2 near-equal intervals
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniformGrid {
+    shape: Shape,
+    /// Interval boundaries per dimension: `boundaries[i]` has
+    /// `cells[i] + 1` entries from `0` to `F_i`.
+    boundaries: Vec<Vec<usize>>,
+}
+
+impl UniformGrid {
+    /// Builds a grid with `cells[i]` intervals in dimension `i`.
+    ///
+    /// Cell counts are clamped to `[1, F_i]`, mirroring how the paper's
+    /// granularity formulas are applied to finite domains.
+    ///
+    /// # Errors
+    /// Returns `None`-like error via `Result` in the crate? — no: cell
+    /// counts are clamped, so the only failure is a dimensionality mismatch.
+    pub fn new(shape: &Shape, cells: &[usize]) -> Result<Self, String> {
+        if cells.len() != shape.ndim() {
+            return Err(format!(
+                "grid cells have {} dims, domain has {}",
+                cells.len(),
+                shape.ndim()
+            ));
+        }
+        let boundaries = cells
+            .iter()
+            .zip(shape.dims())
+            .map(|(&m, &f)| split_boundaries(f, m.clamp(1, f)))
+            .collect();
+        Ok(UniformGrid {
+            shape: shape.clone(),
+            boundaries,
+        })
+    }
+
+    /// Builds a grid with the same granularity `m` in every dimension
+    /// (clamped per dimension).
+    pub fn isotropic(shape: &Shape, m: usize) -> Self {
+        let cells = vec![m; shape.ndim()];
+        UniformGrid::new(shape, &cells).expect("dimensions match by construction")
+    }
+
+    /// The domain shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of intervals in dimension `dim`.
+    #[inline]
+    pub fn cells(&self, dim: usize) -> usize {
+        self.boundaries[dim].len() - 1
+    }
+
+    /// Interval boundaries in dimension `dim` (length `cells(dim) + 1`).
+    #[inline]
+    pub fn boundaries(&self, dim: usize) -> &[usize] {
+        &self.boundaries[dim]
+    }
+
+    /// Total number of grid partitions `∏ cells(i)`.
+    pub fn num_partitions(&self) -> usize {
+        self.boundaries.iter().map(|b| b.len() - 1).product()
+    }
+
+    /// Iterates the grid boxes in row-major order of their grid coordinates.
+    pub fn iter_boxes(&self) -> impl Iterator<Item = AxisBox> + '_ {
+        let d = self.shape.ndim();
+        let mut idx = if self.num_partitions() == 0 {
+            None
+        } else {
+            Some(vec![0usize; d])
+        };
+        std::iter::from_fn(move || {
+            let current = idx.take()?;
+            let lo: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| self.boundaries[i][c])
+                .collect();
+            let hi: Vec<usize> = current
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| self.boundaries[i][c + 1])
+                .collect();
+            let b = AxisBox::new(lo, hi).expect("grid boundaries are ordered");
+            let mut succ = current;
+            let mut dim = d;
+            loop {
+                if dim == 0 {
+                    break;
+                }
+                dim -= 1;
+                succ[dim] += 1;
+                if succ[dim] < self.cells(dim) {
+                    idx = Some(succ);
+                    break;
+                }
+                succ[dim] = 0;
+            }
+            Some(b)
+        })
+    }
+
+    /// Materializes the grid as a validated [`Partitioning`].
+    pub fn to_partitioning(&self) -> Partitioning {
+        Partitioning::from_grid(self)
+    }
+
+    /// Grid coordinates of the interval containing domain coordinate `c` in
+    /// dimension `dim` (binary search over boundaries).
+    pub fn locate(&self, dim: usize, c: usize) -> usize {
+        debug_assert!(c < self.shape.dim(dim));
+        let b = &self.boundaries[dim];
+        match b.binary_search(&c) {
+            Ok(i) => i.min(b.len() - 2),
+            Err(i) => i - 1,
+        }
+    }
+}
+
+/// Splits `len` cells into `m` near-equal intervals, returning the `m + 1`
+/// boundaries. The first `len mod m` intervals get the extra cell.
+fn split_boundaries(len: usize, m: usize) -> Vec<usize> {
+    debug_assert!(m >= 1 && m <= len);
+    let base = len / m;
+    let extra = len % m;
+    let mut out = Vec::with_capacity(m + 1);
+    let mut pos = 0;
+    out.push(0);
+    for i in 0..m {
+        pos += base + usize::from(i < extra);
+        out.push(pos);
+    }
+    debug_assert_eq!(*out.last().unwrap(), len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn split_boundaries_balanced() {
+        assert_eq!(split_boundaries(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(split_boundaries(9, 3), vec![0, 3, 6, 9]);
+        assert_eq!(split_boundaries(5, 1), vec![0, 5]);
+        assert_eq!(split_boundaries(5, 5), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clamps_oversized_granularity() {
+        let g = UniformGrid::new(&shape(&[4, 4]), &[100, 2]).unwrap();
+        assert_eq!(g.cells(0), 4, "granularity clamps to dimension size");
+        assert_eq!(g.cells(1), 2);
+    }
+
+    #[test]
+    fn clamps_zero_granularity() {
+        let g = UniformGrid::new(&shape(&[4]), &[0]).unwrap();
+        assert_eq!(g.cells(0), 1);
+        assert_eq!(g.num_partitions(), 1);
+    }
+
+    #[test]
+    fn rejects_dim_mismatch() {
+        assert!(UniformGrid::new(&shape(&[4, 4]), &[2]).is_err());
+    }
+
+    #[test]
+    fn boxes_tile_domain() {
+        let s = shape(&[7, 5, 3]);
+        let g = UniformGrid::new(&s, &[3, 2, 3]).unwrap();
+        let boxes: Vec<AxisBox> = g.iter_boxes().collect();
+        assert_eq!(boxes.len(), g.num_partitions());
+        let total: usize = boxes.iter().map(AxisBox::volume).sum();
+        assert_eq!(total, s.size());
+        // Pairwise disjoint.
+        for i in 0..boxes.len() {
+            for j in i + 1..boxes.len() {
+                assert_eq!(boxes[i].overlap_volume(&boxes[j]), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_finds_containing_interval() {
+        let g = UniformGrid::new(&shape(&[10]), &[3]).unwrap();
+        // boundaries [0,4,7,10]
+        assert_eq!(g.locate(0, 0), 0);
+        assert_eq!(g.locate(0, 3), 0);
+        assert_eq!(g.locate(0, 4), 1);
+        assert_eq!(g.locate(0, 6), 1);
+        assert_eq!(g.locate(0, 7), 2);
+        assert_eq!(g.locate(0, 9), 2);
+    }
+
+    #[test]
+    fn isotropic_uses_same_m_everywhere() {
+        let g = UniformGrid::isotropic(&shape(&[8, 8, 8]), 2);
+        assert_eq!(g.num_partitions(), 8);
+        for d in 0..3 {
+            assert_eq!(g.cells(d), 2);
+        }
+    }
+}

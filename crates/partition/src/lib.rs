@@ -1,0 +1,24 @@
+//! # dpod-partition
+//!
+//! Partition representations for DP frequency-matrix mechanisms:
+//!
+//! * [`Partitioning`] — a validated set of disjoint [`AxisBox`]es covering a
+//!   domain (the output structure of every mechanism in the paper: each box
+//!   is published with one noisy count);
+//! * [`UniformGrid`] — the `m₁ × … × m_d` equi-width grids used by the
+//!   non-adaptive methods (EUG, EBP, MKM; §3);
+//! * [`tree`] — the hierarchical partition tree underlying the DAF family
+//!   (§4): depth-`i` nodes split dimension `i+1`, maximum height `d + 1`.
+//!
+//! Everything here is geometry only — no randomness, no privacy budget.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod grid;
+mod set;
+pub mod tree;
+
+pub use dpod_fmatrix::AxisBox;
+pub use grid::UniformGrid;
+pub use set::{Partitioning, ValidationError};

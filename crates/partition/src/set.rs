@@ -1,0 +1,270 @@
+use crate::UniformGrid;
+use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a box set failed partition validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A box does not fit inside the domain.
+    OutOfDomain {
+        /// Index of the offending box.
+        index: usize,
+    },
+    /// Two boxes overlap in at least one cell.
+    Overlap {
+        /// Indices of the overlapping pair.
+        first: usize,
+        /// Indices of the overlapping pair.
+        second: usize,
+    },
+    /// The boxes do not cover the whole domain.
+    IncompleteCover {
+        /// Number of domain cells covered.
+        covered: usize,
+        /// Number of domain cells expected.
+        expected: usize,
+    },
+    /// A box has a different dimensionality than the domain.
+    DimensionMismatch {
+        /// Index of the offending box.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::OutOfDomain { index } => {
+                write!(f, "box {index} does not fit the domain")
+            }
+            ValidationError::Overlap { first, second } => {
+                write!(f, "boxes {first} and {second} overlap")
+            }
+            ValidationError::IncompleteCover { covered, expected } => {
+                write!(f, "boxes cover {covered} of {expected} domain cells")
+            }
+            ValidationError::DimensionMismatch { index } => {
+                write!(f, "box {index} has wrong dimensionality")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// A set of disjoint boxes covering a domain — the paper's *partitioning*
+/// (§2.2). Sensitivity of the induced count-vector query is 1 because each
+/// record falls in exactly one partition; [`Partitioning::validate`] is the
+/// executable form of that argument and is asserted for every mechanism in
+/// the test suites.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partitioning {
+    domain: Shape,
+    boxes: Vec<AxisBox>,
+}
+
+impl Partitioning {
+    /// Wraps boxes without validating (use [`Partitioning::validate`] in
+    /// tests or [`Partitioning::new_validated`] when correctness is not
+    /// structurally guaranteed).
+    pub fn new_unchecked(domain: Shape, boxes: Vec<AxisBox>) -> Self {
+        Partitioning { domain, boxes }
+    }
+
+    /// Wraps boxes and eagerly validates disjointness and coverage.
+    ///
+    /// # Errors
+    /// The first [`ValidationError`] encountered.
+    pub fn new_validated(
+        domain: Shape,
+        boxes: Vec<AxisBox>,
+    ) -> Result<Self, ValidationError> {
+        let p = Partitioning { domain, boxes };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The partitioning induced by a [`UniformGrid`] (structurally valid —
+    /// no validation pass needed).
+    pub fn from_grid(grid: &UniformGrid) -> Self {
+        Partitioning {
+            domain: grid.shape().clone(),
+            boxes: grid.iter_boxes().collect(),
+        }
+    }
+
+    /// The trivial single-partition partitioning (the UNIFORM baseline).
+    pub fn single(domain: Shape) -> Self {
+        let full = AxisBox::full(&domain);
+        Partitioning {
+            domain,
+            boxes: vec![full],
+        }
+    }
+
+    /// The finest partitioning: one box per cell (the IDENTITY baseline).
+    /// `O(size)` boxes — intended for small/benchmark domains.
+    pub fn per_cell(domain: Shape) -> Self {
+        let boxes = domain.iter_coords().map(|c| AxisBox::cell(&c)).collect();
+        Partitioning { domain, boxes }
+    }
+
+    /// The domain shape.
+    #[inline]
+    pub fn domain(&self) -> &Shape {
+        &self.domain
+    }
+
+    /// The partition boxes.
+    #[inline]
+    pub fn boxes(&self) -> &[AxisBox] {
+        &self.boxes
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when there are no partitions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Checks that the boxes are pairwise disjoint and exactly cover the
+    /// domain.
+    ///
+    /// Cost: `O(size)` via a coverage bitmap (each cell must be hit exactly
+    /// once), which simultaneously proves disjointness and coverage without
+    /// the `O(n²)` pairwise test.
+    ///
+    /// # Errors
+    /// The first violation found, as a [`ValidationError`].
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        let size = self.domain.size();
+        let mut hits: DenseMatrix<u32> = DenseMatrix::zeros(self.domain.clone());
+        let mut covered = 0usize;
+        for (i, b) in self.boxes.iter().enumerate() {
+            if b.ndim() != self.domain.ndim() {
+                return Err(ValidationError::DimensionMismatch { index: i });
+            }
+            if !b.fits(&self.domain) {
+                return Err(ValidationError::OutOfDomain { index: i });
+            }
+            for c in b.iter_points() {
+                let idx = self.domain.flat_index_unchecked(&c);
+                if hits.get_flat(idx) != 0 {
+                    // Identify the previous owner for the error message.
+                    let first = self
+                        .boxes
+                        .iter()
+                        .position(|other| other.contains(&c))
+                        .unwrap_or(0);
+                    return Err(ValidationError::Overlap { first, second: i });
+                }
+                hits.set_flat(idx, 1);
+                covered += 1;
+            }
+        }
+        if covered != size {
+            return Err(ValidationError::IncompleteCover {
+                covered,
+                expected: size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Index of the partition containing `coords` by linear scan
+    /// (`O(n·d)`; tests and small inputs only).
+    pub fn find(&self, coords: &[usize]) -> Option<usize> {
+        self.boxes.iter().position(|b| b.contains(coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    fn bx(lo: &[usize], hi: &[usize]) -> AxisBox {
+        AxisBox::new(lo.to_vec(), hi.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn valid_partition_passes() {
+        let p = Partitioning::new_validated(
+            shape(&[4, 4]),
+            vec![bx(&[0, 0], &[2, 4]), bx(&[2, 0], &[4, 4])],
+        );
+        assert!(p.is_ok());
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let err = Partitioning::new_validated(
+            shape(&[4, 4]),
+            vec![bx(&[0, 0], &[3, 4]), bx(&[2, 0], &[4, 4])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::Overlap { .. }));
+    }
+
+    #[test]
+    fn gap_detected() {
+        let err = Partitioning::new_validated(
+            shape(&[4, 4]),
+            vec![bx(&[0, 0], &[2, 4])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::IncompleteCover { .. }));
+    }
+
+    #[test]
+    fn out_of_domain_detected() {
+        let err = Partitioning::new_validated(
+            shape(&[4, 4]),
+            vec![bx(&[0, 0], &[4, 5])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidationError::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let err = Partitioning::new_validated(shape(&[4, 4]), vec![bx(&[0], &[4])])
+            .unwrap_err();
+        assert!(matches!(err, ValidationError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn single_and_per_cell() {
+        let s = shape(&[3, 3]);
+        assert!(Partitioning::single(s.clone()).validate().is_ok());
+        let pc = Partitioning::per_cell(s);
+        assert_eq!(pc.len(), 9);
+        assert!(pc.validate().is_ok());
+    }
+
+    #[test]
+    fn grid_partitioning_is_valid() {
+        let g = UniformGrid::new(&shape(&[7, 5]), &[3, 2]).unwrap();
+        assert!(g.to_partitioning().validate().is_ok());
+    }
+
+    #[test]
+    fn find_locates_owner() {
+        let p = Partitioning::new_unchecked(
+            shape(&[4, 4]),
+            vec![bx(&[0, 0], &[2, 4]), bx(&[2, 0], &[4, 4])],
+        );
+        assert_eq!(p.find(&[1, 3]), Some(0));
+        assert_eq!(p.find(&[2, 0]), Some(1));
+    }
+}

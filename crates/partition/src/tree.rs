@@ -1,0 +1,233 @@
+//! The hierarchical partition tree underlying the DAF family (§4.1).
+//!
+//! Each node covers a box of the frequency matrix; children are produced by
+//! a disjoint split of the parent's box along a single dimension (nodes at
+//! depth `i` split dimension `i`, 0-based; the index height is at most
+//! `d + 1`). The tree is generic over a payload so the mechanisms can hang
+//! counts, noisy counts and budget bookkeeping on nodes while this crate
+//! owns the geometry invariants.
+
+use crate::Partitioning;
+use dpod_fmatrix::{AxisBox, Shape};
+
+/// A node of a hierarchical partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode<T> {
+    /// The box of the frequency matrix this node covers.
+    pub bounds: AxisBox,
+    /// Depth in the tree (root = 0).
+    pub depth: usize,
+    /// Mechanism-specific payload (counts, budgets, …).
+    pub payload: T,
+    /// Child nodes; empty for leaves.
+    pub children: Vec<TreeNode<T>>,
+}
+
+impl<T> TreeNode<T> {
+    /// A leaf covering `bounds` at `depth`.
+    pub fn leaf(bounds: AxisBox, depth: usize, payload: T) -> Self {
+        TreeNode {
+            bounds,
+            depth,
+            payload,
+            children: Vec::new(),
+        }
+    }
+
+    /// A root node covering the whole domain.
+    pub fn root(domain: &Shape, payload: T) -> Self {
+        TreeNode::leaf(AxisBox::full(domain), 0, payload)
+    }
+
+    /// `true` when the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Total number of nodes in the subtree (including `self`).
+    pub fn num_nodes(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::num_nodes).sum::<usize>()
+    }
+
+    /// Number of leaves in the subtree.
+    pub fn num_leaves(&self) -> usize {
+        if self.is_leaf() {
+            1
+        } else {
+            self.children.iter().map(TreeNode::num_leaves).sum()
+        }
+    }
+
+    /// Maximum depth reached in the subtree.
+    pub fn max_depth(&self) -> usize {
+        self.children
+            .iter()
+            .map(TreeNode::max_depth)
+            .max()
+            .unwrap_or(self.depth)
+    }
+
+    /// Pre-order visit of every node.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a TreeNode<T>)) {
+        f(self);
+        for c in &self.children {
+            c.visit(f);
+        }
+    }
+
+    /// Collects references to all leaves in pre-order.
+    pub fn leaves(&self) -> Vec<&TreeNode<T>> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if n.is_leaf() {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    /// The partitioning induced by the leaf boxes over `domain`.
+    ///
+    /// Valid whenever the split invariant holds (checked by
+    /// [`TreeNode::check_split_invariant`] / asserted in mechanism tests).
+    pub fn leaf_partitioning(&self, domain: Shape) -> Partitioning {
+        let boxes = self
+            .leaves()
+            .into_iter()
+            .map(|n| n.bounds.clone())
+            .collect();
+        Partitioning::new_unchecked(domain, boxes)
+    }
+
+    /// Verifies structurally that every internal node's children are
+    /// disjoint, lie inside the parent and cover its volume exactly, and
+    /// that child depths are `parent.depth + 1`.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn check_split_invariant(&self) -> Result<(), String> {
+        if self.is_leaf() {
+            return Ok(());
+        }
+        let mut vol = 0usize;
+        for (i, c) in self.children.iter().enumerate() {
+            if c.depth != self.depth + 1 {
+                return Err(format!(
+                    "child {i} at depth {} under parent depth {}",
+                    c.depth, self.depth
+                ));
+            }
+            if !self.bounds.contains_box(&c.bounds) {
+                return Err(format!("child {i} escapes parent bounds"));
+            }
+            vol += c.bounds.volume();
+            for (j, other) in self.children.iter().enumerate().skip(i + 1) {
+                if c.bounds.overlap_volume(&other.bounds) > 0 {
+                    return Err(format!("children {i} and {j} overlap"));
+                }
+            }
+        }
+        if vol != self.bounds.volume() {
+            return Err(format!(
+                "children cover {vol} cells of parent's {}",
+                self.bounds.volume()
+            ));
+        }
+        for c in &self.children {
+            c.check_split_invariant()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    fn bx(lo: &[usize], hi: &[usize]) -> AxisBox {
+        AxisBox::new(lo.to_vec(), hi.to_vec()).unwrap()
+    }
+
+    fn sample_tree() -> TreeNode<u32> {
+        // Root splits dim 0 into [0,2) and [2,4); left child splits dim 1.
+        let mut root = TreeNode::root(&shape(&[4, 4]), 0u32);
+        let mut left = TreeNode::leaf(bx(&[0, 0], &[2, 4]), 1, 1);
+        left.children = vec![
+            TreeNode::leaf(bx(&[0, 0], &[2, 2]), 2, 3),
+            TreeNode::leaf(bx(&[0, 2], &[2, 4]), 2, 4),
+        ];
+        let right = TreeNode::leaf(bx(&[2, 0], &[4, 4]), 1, 2);
+        root.children = vec![left, right];
+        root
+    }
+
+    #[test]
+    fn counts_and_depth() {
+        let t = sample_tree();
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.max_depth(), 2);
+        assert!(!t.is_leaf());
+    }
+
+    #[test]
+    fn leaves_in_preorder() {
+        let t = sample_tree();
+        let payloads: Vec<u32> = t.leaves().iter().map(|n| n.payload).collect();
+        assert_eq!(payloads, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn leaf_partitioning_is_valid() {
+        let t = sample_tree();
+        let p = t.leaf_partitioning(shape(&[4, 4]));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn split_invariant_holds_for_sample() {
+        assert!(sample_tree().check_split_invariant().is_ok());
+    }
+
+    #[test]
+    fn split_invariant_catches_overlap() {
+        let mut root = TreeNode::root(&shape(&[4, 4]), ());
+        root.children = vec![
+            TreeNode::leaf(bx(&[0, 0], &[3, 4]), 1, ()),
+            TreeNode::leaf(bx(&[2, 0], &[4, 4]), 1, ()),
+        ];
+        let err = root.check_split_invariant().unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn split_invariant_catches_gap() {
+        let mut root = TreeNode::root(&shape(&[4, 4]), ());
+        root.children = vec![TreeNode::leaf(bx(&[0, 0], &[2, 4]), 1, ())];
+        let err = root.check_split_invariant().unwrap_err();
+        assert!(err.contains("cover"), "{err}");
+    }
+
+    #[test]
+    fn split_invariant_catches_bad_depth() {
+        let mut root = TreeNode::root(&shape(&[2, 2]), ());
+        root.children = vec![
+            TreeNode::leaf(bx(&[0, 0], &[1, 2]), 5, ()),
+            TreeNode::leaf(bx(&[1, 0], &[2, 2]), 1, ()),
+        ];
+        assert!(root.check_split_invariant().is_err());
+    }
+
+    #[test]
+    fn visit_preorder_order() {
+        let t = sample_tree();
+        let mut order = Vec::new();
+        t.visit(&mut |n| order.push(n.payload));
+        assert_eq!(order, vec![0, 1, 3, 4, 2]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for grids, partition sets and trees.
+
+use dpod_fmatrix::{AxisBox, Shape};
+use dpod_partition::{tree::TreeNode, Partitioning, UniformGrid};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop::collection::vec(1usize..=9, 1..=4).prop_map(|d| Shape::new(d).unwrap())
+}
+
+proptest! {
+    /// Any uniform grid (with any requested granularity, including absurd
+    /// ones) yields a valid partitioning of the domain.
+    #[test]
+    fn grids_always_partition(
+        (shape, cells) in arb_shape().prop_flat_map(|s| {
+            let d = s.ndim();
+            (Just(s), prop::collection::vec(0usize..20, d))
+        })
+    ) {
+        let g = UniformGrid::new(&shape, &cells).unwrap();
+        prop_assert!(g.to_partitioning().validate().is_ok());
+    }
+
+    /// `locate` inverts the boundary structure: every domain coordinate maps
+    /// to the interval that contains it.
+    #[test]
+    fn locate_is_consistent(
+        (shape, m) in arb_shape().prop_flat_map(|s| (Just(s), 1usize..10))
+    ) {
+        let g = UniformGrid::isotropic(&shape, m);
+        for dim in 0..shape.ndim() {
+            for c in 0..shape.dim(dim) {
+                let i = g.locate(dim, c);
+                let b = g.boundaries(dim);
+                prop_assert!(b[i] <= c && c < b[i + 1]);
+            }
+        }
+    }
+
+    /// Recursively splitting a root box along successive dimensions always
+    /// maintains the split invariant and produces a valid leaf partitioning.
+    #[test]
+    fn random_axis_splits_keep_invariant(
+        (shape, cut_fracs) in arb_shape().prop_flat_map(|s| {
+            let d = s.ndim();
+            (Just(s), prop::collection::vec(0.0f64..1.0, d))
+        })
+    ) {
+        fn grow(node: &mut TreeNode<()>, fracs: &[f64], d: usize) {
+            if node.depth >= d {
+                return;
+            }
+            let dim = node.depth;
+            let extent = node.bounds.extent(dim);
+            if extent < 2 {
+                return;
+            }
+            let at = node.bounds.lo()[dim]
+                + 1
+                + ((extent - 1) as f64 * fracs[dim]) as usize;
+            let at = at.min(node.bounds.hi()[dim] - 1);
+            let (l, r) = node.bounds.split_at(dim, at).unwrap();
+            node.children = vec![
+                TreeNode::leaf(l, node.depth + 1, ()),
+                TreeNode::leaf(r, node.depth + 1, ()),
+            ];
+            for c in &mut node.children {
+                grow(c, fracs, d);
+            }
+        }
+        let d = shape.ndim();
+        let mut root = TreeNode::root(&shape, ());
+        grow(&mut root, &cut_fracs, d);
+        prop_assert!(root.check_split_invariant().is_ok());
+        prop_assert!(root.leaf_partitioning(shape).validate().is_ok());
+    }
+
+    /// Validation rejects any partitioning from which one box was removed
+    /// (unless it was empty).
+    #[test]
+    fn validation_detects_missing_box(
+        (shape, m, victim) in arb_shape().prop_flat_map(|s| {
+            (Just(s), 2usize..5, any::<prop::sample::Index>())
+        })
+    ) {
+        let g = UniformGrid::isotropic(&shape, m);
+        let mut boxes: Vec<AxisBox> = g.iter_boxes().collect();
+        if boxes.len() < 2 {
+            return Ok(());
+        }
+        let removed = boxes.remove(victim.index(boxes.len()));
+        let p = Partitioning::new_unchecked(shape, boxes);
+        if removed.volume() > 0 {
+            prop_assert!(p.validate().is_err());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # dpod-query
+//!
+//! Range-query workloads and accuracy evaluation for sanitized frequency
+//! matrices (§6.1 of the paper):
+//!
+//! * [`workload`] — generators for the paper's two query classes: random
+//!   shape/size queries and fixed-coverage queries (1 %, 5 %, 10 % of each
+//!   dimension's side);
+//! * [`metrics`] — mean relative error (Eq. 3) with the standard
+//!   denominator smoothing for empty queries, plus distribution summaries;
+//! * [`eval`] — the evaluation loop: true answers from a prefix-sum table
+//!   over the raw matrix, private answers from a [`SanitizedMatrix`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod eval;
+pub mod metrics;
+pub mod od;
+pub mod workload;
+
+pub use eval::{evaluate, EvalReport};
+pub use metrics::{MreOptions, SummaryStats};
+pub use od::{OdQuery, Region};
+pub use workload::QueryWorkload;

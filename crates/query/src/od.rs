@@ -1,0 +1,192 @@
+//! Analyst-friendly query builders for OD matrices.
+//!
+//! An OD matrix with `k` stops has `2(k+2)` dimensions laid out as
+//! `(x_o, y_o, x_s1, y_s1, …, x_d, y_d)` (see `dpod-data`'s builder).
+//! Hand-writing 8-dimensional boxes is error-prone; these builders compose
+//! them from 2-D spatial regions, with unspecified legs defaulting to the
+//! full extent — e.g. "trips from region A to region B, any stops".
+
+use dpod_fmatrix::{AxisBox, FmError, Shape};
+
+/// A rectangular spatial region in cell coordinates (half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Inclusive lower corner `(x, y)`.
+    pub lo: (usize, usize),
+    /// Exclusive upper corner `(x, y)`.
+    pub hi: (usize, usize),
+}
+
+impl Region {
+    /// A region from corner cells.
+    pub fn new(lo: (usize, usize), hi: (usize, usize)) -> Self {
+        Region { lo, hi }
+    }
+}
+
+/// Builder for OD-matrix range queries.
+///
+/// ```
+/// use dpod_fmatrix::Shape;
+/// use dpod_query::od::{OdQuery, Region};
+/// let shape = Shape::cube(4, 16).unwrap(); // 4-D OD matrix
+/// let q = OdQuery::new(&shape)
+///     .unwrap()
+///     .origin(Region::new((0, 0), (4, 4)))
+///     .destination(Region::new((8, 8), (16, 16)))
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.lo(), &[0, 0, 8, 8]);
+/// assert_eq!(q.hi(), &[4, 4, 16, 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OdQuery {
+    shape: Shape,
+    /// One optional region per leg: origin, stops…, destination.
+    legs: Vec<Option<Region>>,
+}
+
+impl OdQuery {
+    /// Starts a query over an OD matrix of the given shape.
+    ///
+    /// # Errors
+    /// [`FmError::DimensionMismatch`] unless the shape has an even number
+    /// (≥ 4) of dimensions.
+    pub fn new(shape: &Shape) -> Result<Self, FmError> {
+        if shape.ndim() % 2 != 0 || shape.ndim() < 4 {
+            return Err(FmError::DimensionMismatch {
+                expected: 4,
+                got: shape.ndim(),
+            });
+        }
+        Ok(OdQuery {
+            shape: shape.clone(),
+            legs: vec![None; shape.ndim() / 2],
+        })
+    }
+
+    /// Number of legs (origin + stops + destination).
+    pub fn num_legs(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// Constrains the origin leg.
+    #[must_use]
+    pub fn origin(mut self, r: Region) -> Self {
+        self.legs[0] = Some(r);
+        self
+    }
+
+    /// Constrains the destination leg.
+    #[must_use]
+    pub fn destination(mut self, r: Region) -> Self {
+        *self.legs.last_mut().expect("at least two legs") = Some(r);
+        self
+    }
+
+    /// Constrains intermediate stop `index` (0-based).
+    ///
+    /// # Panics
+    /// Panics when `index` is not a valid stop index (legs − 2).
+    #[must_use]
+    pub fn stop(mut self, index: usize, r: Region) -> Self {
+        let stops = self.legs.len() - 2;
+        assert!(index < stops, "stop {index} of {stops}");
+        self.legs[index + 1] = Some(r);
+        self
+    }
+
+    /// Materializes the `2(k+2)`-dimensional box. Unconstrained legs span
+    /// their full extent.
+    ///
+    /// # Errors
+    /// [`FmError::BoxOutOfDomain`] when a region exceeds the matrix grid
+    /// or is inverted.
+    pub fn build(&self) -> Result<AxisBox, FmError> {
+        let d = self.shape.ndim();
+        let mut lo = Vec::with_capacity(d);
+        let mut hi = Vec::with_capacity(d);
+        for (leg, region) in self.legs.iter().enumerate() {
+            let (dx, dy) = (self.shape.dim(2 * leg), self.shape.dim(2 * leg + 1));
+            match region {
+                None => {
+                    lo.extend([0, 0]);
+                    hi.extend([dx, dy]);
+                }
+                Some(r) => {
+                    if r.hi.0 > dx || r.hi.1 > dy {
+                        return Err(FmError::BoxOutOfDomain {
+                            reason: format!(
+                                "leg {leg} region {r:?} exceeds grid {dx}x{dy}"
+                            ),
+                        });
+                    }
+                    lo.extend([r.lo.0, r.lo.1]);
+                    hi.extend([r.hi.0, r.hi.1]);
+                }
+            }
+        }
+        AxisBox::new(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_d_query_with_stop() {
+        let shape = Shape::cube(6, 10).unwrap();
+        let q = OdQuery::new(&shape)
+            .unwrap()
+            .origin(Region::new((0, 0), (5, 5)))
+            .stop(0, Region::new((4, 4), (6, 6)))
+            .build()
+            .unwrap();
+        assert_eq!(q.lo(), &[0, 0, 4, 4, 0, 0]);
+        assert_eq!(q.hi(), &[5, 5, 6, 6, 10, 10]);
+        assert_eq!(OdQuery::new(&shape).unwrap().num_legs(), 3);
+    }
+
+    #[test]
+    fn unconstrained_query_is_full_domain() {
+        let shape = Shape::cube(4, 8).unwrap();
+        let q = OdQuery::new(&shape).unwrap().build().unwrap();
+        assert_eq!(q, AxisBox::full(&shape));
+    }
+
+    #[test]
+    fn rejects_odd_dimensionality() {
+        assert!(OdQuery::new(&Shape::cube(3, 8).unwrap()).is_err());
+        assert!(OdQuery::new(&Shape::cube(2, 8).unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_grid_regions() {
+        let shape = Shape::cube(4, 8).unwrap();
+        let err = OdQuery::new(&shape)
+            .unwrap()
+            .origin(Region::new((0, 0), (9, 4)))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "stop 0 of 0")]
+    fn stop_on_stopless_matrix_panics() {
+        let shape = Shape::cube(4, 8).unwrap();
+        let _ = OdQuery::new(&shape)
+            .unwrap()
+            .stop(0, Region::new((0, 0), (1, 1)));
+    }
+
+    #[test]
+    fn inverted_region_is_rejected_at_build() {
+        let shape = Shape::cube(4, 8).unwrap();
+        let res = OdQuery::new(&shape)
+            .unwrap()
+            .origin(Region::new((5, 0), (2, 4)))
+            .build();
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Query-workload generators (§6.1: "1000 queries generated based on
+//! random shapes and sizes" and "fixed coverage queries with range from 1%
+//! to 10% of dataspace side").
+
+use dpod_fmatrix::{AxisBox, Shape};
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// The two query classes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryWorkload {
+    /// Uniformly random shape and size: each dimension's interval endpoints
+    /// are drawn independently.
+    Random,
+    /// Fixed coverage: each dimension's side length is `coverage · F_i`
+    /// (at least one cell), position uniform.
+    FixedCoverage {
+        /// Fraction of each dimension's side, in `(0, 1]`.
+        coverage: f64,
+    },
+}
+
+impl QueryWorkload {
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            QueryWorkload::Random => "random".to_string(),
+            QueryWorkload::FixedCoverage { coverage } => {
+                format!("{:.0}% coverage", coverage * 100.0)
+            }
+        }
+    }
+
+    /// Draws one query over `shape`.
+    pub fn draw(&self, shape: &Shape, rng: &mut dyn RngCore) -> AxisBox {
+        match *self {
+            QueryWorkload::Random => random_box(shape, rng),
+            QueryWorkload::FixedCoverage { coverage } => {
+                debug_assert!(coverage > 0.0 && coverage <= 1.0);
+                let mut lo = Vec::with_capacity(shape.ndim());
+                let mut hi = Vec::with_capacity(shape.ndim());
+                for &len in shape.dims() {
+                    let side = (((len as f64) * coverage).round() as usize).clamp(1, len);
+                    let start = rng.gen_range(0..=len - side);
+                    lo.push(start);
+                    hi.push(start + side);
+                }
+                AxisBox::new(lo, hi).expect("coverage boxes are valid")
+            }
+        }
+    }
+
+    /// Draws `n` queries.
+    pub fn draw_many(&self, shape: &Shape, n: usize, rng: &mut dyn RngCore) -> Vec<AxisBox> {
+        (0..n).map(|_| self.draw(shape, rng)).collect()
+    }
+}
+
+/// A non-empty uniformly random box: endpoints drawn per dimension,
+/// swapped into order, widened by one cell so the query is never empty.
+fn random_box(shape: &Shape, rng: &mut dyn RngCore) -> AxisBox {
+    let mut lo = Vec::with_capacity(shape.ndim());
+    let mut hi = Vec::with_capacity(shape.ndim());
+    for &len in shape.dims() {
+        let a = rng.gen_range(0..len);
+        let b = rng.gen_range(0..len);
+        let (l, h) = if a <= b { (a, b) } else { (b, a) };
+        lo.push(l);
+        hi.push(h + 1);
+    }
+    AxisBox::new(lo, hi).expect("ordered endpoints")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn random_queries_are_valid_and_nonempty() {
+        let s = shape(&[30, 20, 10]);
+        let mut rng = dpod_dp::seeded_rng(1);
+        for q in QueryWorkload::Random.draw_many(&s, 500, &mut rng) {
+            assert!(q.fits(&s));
+            assert!(!q.is_empty());
+        }
+    }
+
+    #[test]
+    fn fixed_coverage_has_fixed_side() {
+        let s = shape(&[100, 100]);
+        let w = QueryWorkload::FixedCoverage { coverage: 0.05 };
+        let mut rng = dpod_dp::seeded_rng(2);
+        for q in w.draw_many(&s, 200, &mut rng) {
+            assert!(q.fits(&s));
+            assert_eq!(q.extent(0), 5);
+            assert_eq!(q.extent(1), 5);
+        }
+    }
+
+    #[test]
+    fn full_coverage_is_the_whole_domain() {
+        let s = shape(&[12, 7]);
+        let w = QueryWorkload::FixedCoverage { coverage: 1.0 };
+        let mut rng = dpod_dp::seeded_rng(3);
+        let q = w.draw(&s, &mut rng);
+        assert_eq!(q, AxisBox::full(&s));
+    }
+
+    #[test]
+    fn tiny_coverage_clamps_to_one_cell() {
+        let s = shape(&[10]);
+        let w = QueryWorkload::FixedCoverage { coverage: 0.001 };
+        let mut rng = dpod_dp::seeded_rng(4);
+        let q = w.draw(&s, &mut rng);
+        assert_eq!(q.volume(), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(QueryWorkload::Random.label(), "random");
+        assert_eq!(
+            QueryWorkload::FixedCoverage { coverage: 0.05 }.label(),
+            "5% coverage"
+        );
+    }
+
+    #[test]
+    fn random_positions_vary() {
+        let s = shape(&[50, 50]);
+        let mut rng = dpod_dp::seeded_rng(5);
+        let qs = QueryWorkload::Random.draw_many(&s, 50, &mut rng);
+        let first = &qs[0];
+        assert!(qs.iter().any(|q| q != first));
+    }
+}

@@ -1,0 +1,61 @@
+//! Miniature of the paper's Figure 6: compare all six mechanisms across
+//! the three city archetypes at a fixed budget, on random range queries.
+//!
+//! ```sh
+//! cargo run --release -p dpod-examples --example city_comparison
+//! ```
+
+use dpod_core::paper_suite;
+use dpod_data::City;
+use dpod_dp::Epsilon;
+use dpod_query::{evaluate, metrics::MreOptions, workload::QueryWorkload};
+
+const GRID: usize = 256;
+const POINTS: usize = 200_000;
+const QUERIES: usize = 400;
+const EPSILON: f64 = 0.1;
+
+fn main() {
+    let epsilon = Epsilon::new(EPSILON).expect("positive budget");
+    let mechanisms = paper_suite();
+
+    println!(
+        "MRE (%) on {QUERIES} random queries, {GRID}² grid, {POINTS} points, ε = {EPSILON}\n"
+    );
+    print!("{:<18}", "mechanism");
+    for city in City::ALL {
+        print!("{:>12}", city.name());
+    }
+    println!();
+
+    // Per-city data and workloads are fixed across mechanisms so the
+    // comparison is apples-to-apples.
+    let datasets: Vec<_> = City::ALL
+        .iter()
+        .map(|city| {
+            let mut rng = dpod_dp::seeded_rng(7 + *city as u64);
+            let matrix = city.model().population_matrix(GRID, POINTS, &mut rng);
+            let queries =
+                QueryWorkload::Random.draw_many(matrix.shape(), QUERIES, &mut rng);
+            (matrix, queries)
+        })
+        .collect();
+
+    for mech in &mechanisms {
+        print!("{:<18}", mech.name());
+        for (matrix, queries) in &datasets {
+            let mut rng = dpod_dp::seeded_rng(99);
+            let out = mech
+                .sanitize(matrix, epsilon, &mut rng)
+                .expect("sanitization succeeds");
+            let report = evaluate(matrix, &out, queries, MreOptions::default());
+            print!("{:>12.2}", report.stats.mean);
+        }
+        println!();
+    }
+
+    println!(
+        "\nExpected shape (paper §6.3): IDENTITY/MKM an order of magnitude worse;\n\
+         EBP strong in 2-D; DAF methods close behind and fastest to compute."
+    );
+}

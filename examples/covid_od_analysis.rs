@@ -1,0 +1,89 @@
+//! The paper's motivating scenario (§1): pandemic-spread analysis over
+//! trajectories with intermediate stops, without exposing any individual's
+//! movements.
+//!
+//! A health agency holds trips of the form *home → venue → work*. It wants
+//! analysts to ask "how many people passed through the venue district on
+//! their way across town?" — a 6-D range query — while individuals stay
+//! protected by ε-differential privacy.
+//!
+//! ```sh
+//! cargo run --release -p dpod-examples --example covid_od_analysis
+//! ```
+
+use dpod_core::{daf::DafEntropy, Mechanism};
+use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
+use dpod_dp::Epsilon;
+use dpod_fmatrix::{AxisBox, PrefixSum};
+
+fn main() {
+    // 1. Simulate the sensitive input: 50 000 trips with one intermediate
+    //    stop over the Denver archetype.
+    let city = City::Denver.model();
+    let mut rng = dpod_dp::seeded_rng(2020);
+    let trips = TrajectoryConfig::with_stops(1).generate(&city, 50_000, &mut rng);
+    println!("collected {} trajectories (home → stop → destination)", trips.len());
+
+    // 2. Build the OD matrix with intermediate stops: 6 dimensions
+    //    (x,y of origin, stop, destination), 8 cells per axis.
+    let builder = OdMatrixBuilder::new(8);
+    let od = builder.build_dense(&trips, 1).expect("domain fits in memory");
+    println!(
+        "OD matrix: {:?} = {} cells, {:.3}% non-empty",
+        od.shape().dims(),
+        od.len(),
+        100.0 * od.nonzero_count() as f64 / od.len() as f64
+    );
+
+    // 3. Publish it under ε = 0.5 with DAF-Entropy — the paper's
+    //    density-aware mechanism, built for exactly this sparse
+    //    high-dimensional regime.
+    let epsilon = Epsilon::new(0.5).expect("positive budget");
+    let private = DafEntropy::default()
+        .sanitize(&od, epsilon, &mut rng)
+        .expect("sanitization succeeds");
+    println!(
+        "published {} partitions under {epsilon}\n",
+        private.num_partitions()
+    );
+
+    // 4. Exposure analysis on the private release: trips from the west
+    //    half of town that stopped in the central venue district (cells
+    //    3..5 in each stop axis) and ended anywhere.
+    let full = AxisBox::full(od.shape());
+    let exposure_query = AxisBox::new(
+        //  origin x  origin y  stop x  stop y  dest x  dest y
+        vec![0, 0, 3, 3, 0, 0],
+        vec![4, 8, 5, 5, 8, 8],
+    )
+    .expect("valid query");
+
+    let truth = PrefixSum::from_counts(&od);
+    for (name, q) in [("exposure corridor", &exposure_query), ("all trips", &full)] {
+        let t = truth.box_count(q) as f64;
+        let p = private.range_sum(q);
+        println!(
+            "{name:<20} true {t:>9.0}   private {p:>10.1}   rel.err {:>6.1}%",
+            (p - t).abs() / t.max(1.0) * 100.0
+        );
+    }
+
+    println!(
+        "\nEvery count above is covered by the ε-DP guarantee: no analyst can\n\
+         tell whether any single person's trajectory was in the input."
+    );
+
+    // 5. Bonus (Fig. 2 of the paper): the same trips as a *time-framed*
+    //    matrix where each frame picks its own spatial resolution —
+    //    morning coarse (people are at home), noon fine (where did they
+    //    stop?), evening medium.
+    let frames = dpod_data::timeframe::FrameGrid::new(vec![4, 12, 6])
+        .expect("valid frame grid");
+    let framed = frames.build_dense(&trips).expect("domain fits");
+    println!(
+        "\ntime-framed matrix (morning 4², noon 12², evening 6²): dims {:?}, \
+         {:.2}% non-empty",
+        framed.shape().dims(),
+        100.0 * framed.nonzero_count() as f64 / framed.len() as f64
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: publish a differentially-private frequency matrix and
+//! query it.
+//!
+//! ```sh
+//! cargo run --release -p dpod-examples --example quickstart
+//! ```
+
+use dpod_core::{grid::Ebp, Mechanism};
+use dpod_dp::Epsilon;
+use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum, Shape};
+
+fn main() {
+    // 1. A 2-D frequency matrix: a 128×128 map with a dense downtown
+    //    cluster and a sparse rest-of-town.
+    let shape = Shape::new(vec![128, 128]).expect("valid shape");
+    let mut population = DenseMatrix::<u64>::zeros(shape);
+    for x in 40..56 {
+        for y in 40..56 {
+            population.set(&[x, y], 300).expect("in bounds");
+        }
+    }
+    for i in 0..128 {
+        population.add_at(&[i, i], 5).expect("in bounds");
+    }
+    println!("true total population: {}", population.total_u64());
+
+    // 2. Sanitize under ε-differential privacy with EBP (§3.2 of the
+    //    paper): the library picks the grid granularity privately.
+    let epsilon = Epsilon::new(0.5).expect("positive budget");
+    let mut rng = dpod_dp::seeded_rng(42);
+    let private = Ebp::default()
+        .sanitize(&population, epsilon, &mut rng)
+        .expect("sanitization succeeds");
+    println!(
+        "released {} partitions under {epsilon}",
+        private.num_partitions(),
+    );
+
+    // 3. Ask range queries against the private release. Analysts never see
+    //    the raw matrix.
+    let truth = PrefixSum::from_counts(&population);
+    let queries = [
+        ("downtown", AxisBox::new(vec![40, 40], vec![56, 56]).unwrap()),
+        ("suburb", AxisBox::new(vec![90, 0], vec![128, 40]).unwrap()),
+        ("everything", AxisBox::full(population.shape())),
+    ];
+    println!("\n{:<12}{:>12}{:>14}{:>12}", "query", "true", "private", "error%");
+    for (name, q) in &queries {
+        let t = truth.box_count(q) as f64;
+        let p = private.range_sum(q);
+        let err = if t > 0.0 { (p - t).abs() / t * 100.0 } else { 0.0 };
+        println!("{name:<12}{t:>12.0}{p:>14.1}{err:>11.1}%");
+    }
+}

@@ -1,0 +1,22 @@
+//! Integration-test crate: the tests in `tests/tests/` exercise complete
+//! pipelines across every workspace crate (data generation → sanitization →
+//! query evaluation). This library only hosts shared test helpers.
+
+use dpod_fmatrix::{DenseMatrix, Shape};
+
+/// A small deterministic 2-D matrix with one dense cluster and a sparse
+/// background — the minimal fixture exhibiting the skew every mechanism
+/// must handle.
+pub fn clustered_fixture(side: usize, cluster: u64) -> DenseMatrix<u64> {
+    let shape = Shape::new(vec![side, side]).expect("valid shape");
+    let mut m = DenseMatrix::zeros(shape);
+    for x in 0..side / 4 {
+        for y in 0..side / 4 {
+            m.set(&[x, y], cluster).expect("in bounds");
+        }
+    }
+    for i in 0..side {
+        m.add_at(&[i, i], 1).expect("in bounds");
+    }
+    m
+}

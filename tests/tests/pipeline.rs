@@ -1,0 +1,79 @@
+//! End-to-end pipeline tests: city model → trajectories → OD matrix →
+//! sanitization → query evaluation, across every mechanism.
+
+use dpod_core::{all_mechanisms, paper_suite, PartitionSummary};
+use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
+use dpod_dp::Epsilon;
+use dpod_query::{evaluate, metrics::MreOptions, workload::QueryWorkload};
+
+fn od_input(stops: usize, cells: usize, trips: usize) -> dpod_fmatrix::DenseMatrix<u64> {
+    let city = City::NewYork.model();
+    let mut rng = dpod_dp::seeded_rng(11);
+    let trajectories = TrajectoryConfig::with_stops(stops).generate(&city, trips, &mut rng);
+    OdMatrixBuilder::new(cells)
+        .build_dense(&trajectories, stops)
+        .expect("domain fits")
+}
+
+#[test]
+fn full_pipeline_4d_od_all_mechanisms() {
+    let input = od_input(0, 8, 20_000);
+    assert_eq!(input.ndim(), 4);
+    let eps = Epsilon::new(0.5).unwrap();
+    let mut rng = dpod_dp::seeded_rng(1);
+    let queries = QueryWorkload::Random.draw_many(input.shape(), 120, &mut rng);
+    for mech in all_mechanisms() {
+        let out = mech
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(2))
+            .unwrap_or_else(|e| panic!("{}: {e}", mech.name()));
+        let report = evaluate(&input, &out, &queries, MreOptions::default());
+        assert!(
+            report.stats.mean.is_finite(),
+            "{} produced non-finite MRE",
+            mech.name()
+        );
+        if let PartitionSummary::Boxes { partitioning, .. } = out.summary() {
+            partitioning
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: invalid partitioning: {e}", mech.name()));
+        }
+    }
+}
+
+#[test]
+fn six_dimensional_od_with_stop_is_supported() {
+    let input = od_input(1, 5, 10_000);
+    assert_eq!(input.ndim(), 6);
+    let eps = Epsilon::new(0.3).unwrap();
+    for mech in paper_suite() {
+        let out = mech
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(3))
+            .unwrap_or_else(|e| panic!("{}: {e}", mech.name()));
+        assert!((out.total() - 10_000.0).abs() < 10_000.0, "{}", mech.name());
+    }
+}
+
+#[test]
+fn trip_mass_is_preserved_through_the_pipeline() {
+    let input = od_input(0, 10, 15_000);
+    assert_eq!(input.total_u64(), 15_000);
+    // At a generous budget, every mechanism's total tracks the input.
+    let eps = Epsilon::new(5.0).unwrap();
+    for mech in paper_suite() {
+        let out = mech
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(4))
+            .unwrap();
+        let rel = (out.total() - 15_000.0).abs() / 15_000.0;
+        assert!(rel < 0.25, "{}: total off by {:.1}%", mech.name(), rel * 100.0);
+    }
+}
+
+#[test]
+fn clustered_fixture_is_skewed() {
+    // The shared helper used across the integration suite behaves as
+    // documented: most mass in the corner cluster.
+    let m = dpod_integration::clustered_fixture(32, 100);
+    let corner = dpod_fmatrix::AxisBox::new(vec![0, 0], vec![8, 8]).unwrap();
+    let p = dpod_fmatrix::PrefixSum::from_counts(&m);
+    assert!(p.box_count(&corner) as f64 > 0.9 * m.total());
+}
