@@ -19,12 +19,21 @@ fn bench_stop_policies(c: &mut Criterion) {
     group.sample_size(10);
     let policies = [
         ("never", StopPolicy::Never),
-        ("noise_dominated_x2", StopPolicy::NoiseDominated { factor: 2.0 }),
-        ("noise_dominated_x8", StopPolicy::NoiseDominated { factor: 8.0 }),
+        (
+            "noise_dominated_x2",
+            StopPolicy::NoiseDominated { factor: 2.0 },
+        ),
+        (
+            "noise_dominated_x8",
+            StopPolicy::NoiseDominated { factor: 8.0 },
+        ),
         ("count_below_50", StopPolicy::CountBelow(50.0)),
     ];
     for (name, stop) in policies {
-        let mech = DafEntropy { stop, ..DafEntropy::default() };
+        let mech = DafEntropy {
+            stop,
+            ..DafEntropy::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &ds.matrix, |b, input| {
             let mut seed = 0u64;
             b.iter(|| {

@@ -3,9 +3,7 @@
 //! per query via the embedded prefix table — is what makes the released
 //! matrices practical; this bench pins it.
 
-use criterion::{
-    black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput,
-};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpod_bench::{datasets, HarnessConfig, Scale};
 use dpod_core::{grid::Ebp, Mechanism};
 use dpod_dp::Epsilon;

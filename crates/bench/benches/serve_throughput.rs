@@ -1,0 +1,199 @@
+//! Serving-layer throughput: queries/sec against a warm release catalog.
+//!
+//! The paper's deployment model is publish-once, query-forever; the
+//! serving subsystem's job is to make the query side cheap at volume.
+//! This bench pins three paths over a catalog of three 256×256 releases:
+//!
+//! * `handle/single` — one in-process `Server::handle` round trip per
+//!   range query (the CLI/bench path);
+//! * `handle/batch` — 1000-range batches through one request (amortized
+//!   name resolution and cache lookup);
+//! * `tcp/pipelined` — end-to-end newline-delimited JSON over a local
+//!   socket.
+//!
+//! Besides the criterion-style console lines, it writes the measured
+//! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
+//! workspace's perf trajectory accumulates across PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dpod_bench::report::{Experiment, Panel};
+use dpod_bench::{datasets, HarnessConfig, Scale};
+use dpod_core::{baselines::Identity, grid::Ebp, grid::Eug, Mechanism, PublishedRelease};
+use dpod_dp::Epsilon;
+use dpod_query::workload::QueryWorkload;
+use dpod_serve::protocol::{Request, Response};
+use dpod_serve::{Catalog, Server};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SIDE: usize = 256;
+const BATCH: usize = 1_000;
+
+/// Catalog of three 256×256 releases from distinct mechanisms.
+fn build_server() -> Arc<Server> {
+    let cfg = HarnessConfig::at_scale(Scale::Quick);
+    let ds = datasets::gaussian(&cfg, 2, 0.1);
+    let eps = Epsilon::new(0.5).expect("valid epsilon");
+    let catalog = Catalog::new();
+    let mechanisms: [(&str, Box<dyn Mechanism>); 3] = [
+        ("gauss-ebp", Box::new(Ebp::default())),
+        ("gauss-eug", Box::new(Eug::default())),
+        ("gauss-identity", Box::new(Identity)),
+    ];
+    for (i, (name, mech)) in mechanisms.into_iter().enumerate() {
+        let out = mech
+            .sanitize(&ds.matrix, eps, &mut dpod_dp::seeded_rng(100 + i as u64))
+            .expect("sanitize");
+        catalog.publish(name, PublishedRelease::from_sanitized(&out));
+    }
+    Arc::new(Server::new(Arc::new(catalog), 256 << 20))
+}
+
+fn query_requests(n: usize) -> Vec<Request> {
+    let shape = dpod_fmatrix::Shape::new(vec![SIDE, SIDE]).expect("shape");
+    let mut rng = dpod_dp::seeded_rng(7);
+    let names = ["gauss-ebp", "gauss-eug", "gauss-identity"];
+    QueryWorkload::Random
+        .draw_many(&shape, n, &mut rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| Request::Query {
+            release: names[i % names.len()].to_string(),
+            lo: q.lo().to_vec(),
+            hi: q.hi().to_vec(),
+        })
+        .collect()
+}
+
+/// Directly measured queries/sec for the trajectory file.
+fn measure_qps(server: &Server, requests: &[Request], rounds: usize) -> f64 {
+    let start = Instant::now();
+    let mut answered = 0u64;
+    for _ in 0..rounds {
+        for req in requests {
+            match server.handle(req) {
+                Response::Value { value } => {
+                    black_box(value);
+                    answered += 1;
+                }
+                other => panic!("query failed: {other:?}"),
+            }
+        }
+    }
+    answered as f64 / start.elapsed().as_secs_f64()
+}
+
+fn measure_batch_qps(server: &Server, rounds: usize) -> f64 {
+    let shape = dpod_fmatrix::Shape::new(vec![SIDE, SIDE]).expect("shape");
+    let mut rng = dpod_dp::seeded_rng(8);
+    let ranges: Vec<(Vec<usize>, Vec<usize>)> = QueryWorkload::Random
+        .draw_many(&shape, BATCH, &mut rng)
+        .into_iter()
+        .map(|q| (q.lo().to_vec(), q.hi().to_vec()))
+        .collect();
+    let req = Request::Batch {
+        release: "gauss-ebp".into(),
+        ranges,
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        match server.handle(&req) {
+            Response::Values { values } => {
+                black_box(values.len());
+            }
+            other => panic!("batch failed: {other:?}"),
+        }
+    }
+    (BATCH * rounds) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn measure_tcp_qps(server: Arc<Server>, n: usize) -> f64 {
+    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let requests = query_requests(n);
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    let start = Instant::now();
+    // Pipeline everything, then read all responses back.
+    for req in &requests {
+        writer
+            .write_all(serde_json::to_string(req).expect("encode").as_bytes())
+            .expect("write");
+        writer.write_all(b"\n").expect("write");
+    }
+    writer.flush().expect("flush");
+    let mut line = String::new();
+    for _ in 0..requests.len() {
+        line.clear();
+        reader.read_line(&mut line).expect("read");
+        let resp: Response = serde_json::from_str(line.trim()).expect("decode");
+        match resp {
+            Response::Value { value } => {
+                black_box(value);
+            }
+            other => panic!("tcp query failed: {other:?}"),
+        }
+    }
+    let qps = requests.len() as f64 / start.elapsed().as_secs_f64();
+    drop(writer);
+    drop(reader);
+    handle.stop();
+    qps
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let server = build_server();
+    let requests = query_requests(1_024);
+    // Warm the rebuild cache so the bench measures the steady state.
+    for req in requests.iter().take(3) {
+        server.handle(req);
+    }
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    group.bench_function("handle/single", |b| {
+        b.iter(|| {
+            i = (i + 1) % requests.len();
+            black_box(server.handle(&requests[i]))
+        });
+    });
+    group.finish();
+
+    // Trajectory measurements (fixed work, direct wall-clock).
+    let single_qps = measure_qps(&server, &requests, 10);
+    let batch_qps = measure_batch_qps(&server, 10);
+    let tcp_qps = measure_tcp_qps(Arc::clone(&server), 10_000);
+    println!(
+        "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp {:.0} q/s",
+        single_qps, batch_qps, tcp_qps
+    );
+
+    let triples = vec![
+        ("handle_single".to_string(), SIDE as f64, single_qps),
+        ("handle_batch1000".to_string(), SIDE as f64, batch_qps),
+        ("tcp_pipelined".to_string(), SIDE as f64, tcp_qps),
+    ];
+    let experiment = Experiment {
+        id: "BENCH_serve".into(),
+        description: format!(
+            "Serving throughput: random range queries/sec over a warm \
+             catalog of 3 {SIDE}x{SIDE} releases"
+        ),
+        panels: vec![Panel::from_triples(
+            "queries per second (warm cache)",
+            "release side",
+            "queries/sec",
+            &triples,
+        )],
+    };
+    let out_dir = std::env::var("DPOD_BENCH_OUT").unwrap_or_else(|_| ".".into());
+    match experiment.save_json(std::path::Path::new(&out_dir)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("!! could not write BENCH_serve.json: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

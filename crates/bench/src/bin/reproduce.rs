@@ -35,7 +35,15 @@ fn main() -> ExitCode {
 }
 
 const ALL: [&str; 9] = [
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table3", "ablation", "extensions",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table3",
+    "ablation",
+    "extensions",
 ];
 
 fn parse(args: &[String]) -> Result<(HarnessConfig, Vec<String>), String> {

@@ -60,9 +60,9 @@ pub fn zipf(cfg: &HarnessConfig, d: usize, a: f64) -> Dataset {
 pub fn city_2d(cfg: &HarnessConfig, city: City) -> Dataset {
     let label = format!("city2d/{}", city.name());
     let mut rng = dpod_dp::seeded_rng(cfg.sub_seed(&label));
-    let matrix =
-        city.model()
-            .population_matrix(cfg.city_grid(), cfg.num_points(), &mut rng);
+    let matrix = city
+        .model()
+        .population_matrix(cfg.city_grid(), cfg.num_points(), &mut rng);
     Dataset {
         name: format!("{} 2D", city.name()),
         matrix,

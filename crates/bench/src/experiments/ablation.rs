@@ -74,9 +74,21 @@ fn stop_policy_panel(cfg: &HarnessConfig) -> Panel {
             8.0,
             boxed_daf(StopPolicy::NoiseDominated { factor: 8.0 }),
         ),
-        ("CountBelow".into(), 1.0, boxed_daf(StopPolicy::CountBelow(10.0))),
-        ("CountBelow".into(), 2.0, boxed_daf(StopPolicy::CountBelow(50.0))),
-        ("CountBelow".into(), 4.0, boxed_daf(StopPolicy::CountBelow(200.0))),
+        (
+            "CountBelow".into(),
+            1.0,
+            boxed_daf(StopPolicy::CountBelow(10.0)),
+        ),
+        (
+            "CountBelow".into(),
+            2.0,
+            boxed_daf(StopPolicy::CountBelow(50.0)),
+        ),
+        (
+            "CountBelow".into(),
+            4.0,
+            boxed_daf(StopPolicy::CountBelow(200.0)),
+        ),
     ];
     let cells: Vec<Cell<'_>> = variants
         .iter()
@@ -100,7 +112,10 @@ fn stop_policy_panel(cfg: &HarnessConfig) -> Panel {
 }
 
 fn boxed_daf(stop: StopPolicy) -> DynMechanism {
-    Box::new(DafEntropy { stop, ..DafEntropy::default() })
+    Box::new(DafEntropy {
+        stop,
+        ..DafEntropy::default()
+    })
 }
 
 /// A2a: EUG's c₀ sweep on 4-D Gaussian data (where grid sizing matters
@@ -256,8 +271,7 @@ fn noise_kind_panel(cfg: &HarnessConfig) -> Panel {
         cfg.num_queries(),
         cfg.sub_seed("ablation/noise/queries"),
     );
-    let mechs: Vec<DynMechanism> =
-        vec![Box::new(Identity), Box::new(GeometricIdentity)];
+    let mechs: Vec<DynMechanism> = vec![Box::new(Identity), Box::new(GeometricIdentity)];
     let mut cells = Vec::new();
     for (x, eps) in [(0.1, 0.1), (0.3, 0.3), (0.5, 0.5)] {
         for mech in &mechs {

@@ -22,9 +22,8 @@ pub fn extensions(cfg: &HarnessConfig) -> Experiment {
     panels.extend(od6d_panels(cfg));
     Experiment {
         id: "extensions".into(),
-        description:
-            "Extension baselines (Privelet/QuadTree) and 6D OD-with-stops on city data"
-                .into(),
+        description: "Extension baselines (Privelet/QuadTree) and 6D OD-with-stops on city data"
+            .into(),
         panels,
     }
 }
@@ -83,16 +82,15 @@ fn od6d_panels(cfg: &HarnessConfig) -> Vec<Panel> {
                     ctx: &ctx,
                     mechanism: mech,
                     epsilon: eps,
-                    seed: cfg.sub_seed(&format!(
-                        "ext/od6d/{}/e{eps}/{}",
-                        city.name(),
-                        mech.name()
-                    )),
+                    seed: cfg.sub_seed(&format!("ext/od6d/{}/e{eps}/{}", city.name(), mech.name())),
                 });
             }
         }
         panels.push(Panel::from_triples(
-            &format!("E2: {} OD 6D (one intermediate stop), random queries", city.name()),
+            &format!(
+                "E2: {} OD 6D (one intermediate stop), random queries",
+                city.name()
+            ),
             "ε_tot",
             "MRE (%)",
             &sweep(cells),

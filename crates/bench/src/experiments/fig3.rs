@@ -11,9 +11,9 @@ use dpod_core::{
     grid::Eug,
     Mechanism, PartitionSummary, SanitizedMatrix,
 };
+use dpod_data::City;
 use dpod_dp::Epsilon;
 use dpod_fmatrix::DenseMatrix;
-use dpod_data::City;
 
 /// Canvas size of the ASCII rendering (characters).
 const CANVAS_W: usize = 96;

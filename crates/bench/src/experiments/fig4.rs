@@ -50,10 +50,7 @@ pub fn fig4(cfg: &HarnessConfig) -> Experiment {
                         ctx,
                         mechanism: mech,
                         epsilon: eps,
-                        seed: cfg.sub_seed(&format!(
-                            "fig4/run/d{d}/e{eps}/sf{sf}/{}",
-                            mech.name()
-                        )),
+                        seed: cfg.sub_seed(&format!("fig4/run/d{d}/e{eps}/sf{sf}/{}", mech.name())),
                     });
                 }
             }
@@ -68,8 +65,7 @@ pub fn fig4(cfg: &HarnessConfig) -> Experiment {
     }
     Experiment {
         id: "fig4".into(),
-        description: "Gaussian synthetic data, random shape/size queries (paper Fig. 4)"
-            .into(),
+        description: "Gaussian synthetic data, random shape/size queries (paper Fig. 4)".into(),
         panels,
     }
 }

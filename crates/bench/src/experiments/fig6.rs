@@ -92,8 +92,7 @@ pub fn fig7_from(fig6: &Experiment) -> Experiment {
         .collect();
     Experiment {
         id: "fig7".into(),
-        description: "City population histograms in 2D, no baselines (paper Fig. 7)"
-            .into(),
+        description: "City population histograms in 2D, no baselines (paper Fig. 7)".into(),
         panels,
     }
 }
@@ -117,7 +116,10 @@ mod tests {
         assert_eq!(e7.panels.len(), 12);
         for p in &e7.panels {
             assert_eq!(p.series.len(), 4);
-            assert!(p.series.iter().all(|s| FIG7_METHODS.contains(&s.label.as_str())));
+            assert!(p
+                .series
+                .iter()
+                .all(|s| FIG7_METHODS.contains(&s.label.as_str())));
         }
     }
 }

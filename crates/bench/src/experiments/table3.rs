@@ -28,8 +28,11 @@ pub fn table3(cfg: &HarnessConfig) -> Experiment {
         let ds = city_2d(cfg, city);
         let mut series = Vec::new();
         for mech in &mechanisms {
-            let mut rng =
-                dpod_dp::seeded_rng(cfg.sub_seed(&format!("table3/{}/{}", city.name(), mech.name())));
+            let mut rng = dpod_dp::seeded_rng(cfg.sub_seed(&format!(
+                "table3/{}/{}",
+                city.name(),
+                mech.name()
+            )));
             let start = Instant::now();
             let out = mech
                 .sanitize(&ds.matrix, eps, &mut rng)

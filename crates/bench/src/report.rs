@@ -90,7 +90,10 @@ impl Panel {
 
         let mut out = String::new();
         out.push_str(&format!("-- {} --\n", self.title));
-        out.push_str(&format!("{:<label_width$}", format!("{} \\ {}", self.y_label, self.x_label)));
+        out.push_str(&format!(
+            "{:<label_width$}",
+            format!("{} \\ {}", self.y_label, self.x_label)
+        ));
         for x in &xs {
             out.push_str(&format!("{:>col$}", trim_float(*x)));
         }
@@ -201,7 +204,7 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip(){
+    fn json_round_trip() {
         let e = Experiment {
             id: "figX".into(),
             description: "demo".into(),

@@ -4,11 +4,7 @@
 use dpod_core::{DynMechanism, Mechanism};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum};
-use dpod_query::{
-    eval::evaluate_with_prefix,
-    metrics::MreOptions,
-    workload::QueryWorkload,
-};
+use dpod_query::{eval::evaluate_with_prefix, metrics::MreOptions, workload::QueryWorkload};
 use rayon::prelude::*;
 
 /// Precomputed ground truth for one (input, workload) pair, shared across
@@ -52,7 +48,11 @@ pub fn run_cell(
 ) -> f64 {
     let mut rng = dpod_dp::seeded_rng(seed);
     let sanitized = mechanism
-        .sanitize(input, Epsilon::new(epsilon).expect("valid epsilon"), &mut rng)
+        .sanitize(
+            input,
+            Epsilon::new(epsilon).expect("valid epsilon"),
+            &mut rng,
+        )
         .unwrap_or_else(|e| panic!("{} failed at ε={epsilon}: {e}", mechanism.name()));
     evaluate_with_prefix(
         &ctx.prefix,
@@ -135,8 +135,7 @@ mod tests {
     fn sweep_preserves_labels_and_order() {
         let input = skewed_input();
         let ctx = TruthContext::new(&input, QueryWorkload::Random, 50, 5);
-        let mechs: Vec<dpod_core::DynMechanism> =
-            vec![Box::new(Identity), Box::new(Uniform)];
+        let mechs: Vec<dpod_core::DynMechanism> = vec![Box::new(Identity), Box::new(Uniform)];
         let cells: Vec<Cell<'_>> = mechs
             .iter()
             .enumerate()

@@ -13,12 +13,18 @@ USAGE:
                 [--seed S] [--out FILE]
   dpod sanitize --input trips.csv [--cells M] --epsilon E
                 [--mechanism NAME] [--seed S] [--out FILE]
+  dpod publish  --input trips.csv --name NAME --catalog DIR [--cells M]
+                --epsilon E [--mechanism NAME] [--seed S]
+  dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
+                [--cache-mb M]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
 
 RANGE SPEC: one clause per dimension, comma separated: 'lo..hi' or '*'
             e.g. --range '0..4,*,3..5,*'
 MECHANISMS: see `dpod mechanisms`
+SERVE WIRE: newline-delimited JSON; e.g.
+            {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
 ";
 
 fn main() -> ExitCode {
@@ -76,7 +82,40 @@ fn run(args: &[String]) -> Result<String, CliError> {
             }
             commands::query(release, &opts.ranges)
         }
-        "mechanisms" => Ok(format!("{}\n", registry::MECHANISM_NAMES.join("\n"))),
+        "publish" => {
+            let input = opts.require("input")?;
+            let csv_text = std::fs::read_to_string(&input)
+                .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            commands::publish(
+                &csv_text,
+                &SanitizeArgs {
+                    cells: opts.parse_or("cells", 16)?,
+                    epsilon: opts.parse_require("epsilon")?,
+                    mechanism: opts.get("mechanism").unwrap_or("daf-entropy").to_string(),
+                    seed: opts.parse_or("seed", 0)?,
+                },
+                &opts.require("name")?,
+                &PathBuf::from(opts.require("catalog")?),
+            )
+        }
+        "serve" => {
+            let (handle, server) = commands::start_server(&commands::ServeArgs {
+                catalog: PathBuf::from(opts.require("catalog")?),
+                addr: opts.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+                workers: opts.parse_or("workers", 4)?,
+                cache_mb: opts.parse_or("cache-mb", 256)?,
+            })?;
+            eprintln!(
+                "dpod-serve listening on {} ({} releases)",
+                handle.addr(),
+                server.catalog().len()
+            );
+            // Serve until killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        "mechanisms" => Ok(format!("{}\n", registry::mechanism_names().join("\n"))),
         other => Err(format!("unknown command '{other}'").into()),
     }
 }

@@ -7,7 +7,9 @@ use dpod_core::{PublishedRelease, ReleaseBody};
 use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
+use dpod_serve::{Catalog, Server, ServerHandle};
 use std::path::Path;
+use std::sync::Arc;
 
 /// `dpod generate`: writes a synthetic trajectory CSV.
 pub struct GenerateArgs {
@@ -26,7 +28,12 @@ pub struct GenerateArgs {
 /// # Errors
 /// [`CliError`] for unknown city names.
 pub fn generate(args: &GenerateArgs) -> Result<String, CliError> {
-    let city = match args.city.to_ascii_lowercase().replace([' ', '_', '-'], "").as_str() {
+    let city = match args
+        .city
+        .to_ascii_lowercase()
+        .replace([' ', '_', '-'], "")
+        .as_str()
+    {
         "newyork" | "ny" => City::NewYork,
         "denver" => City::Denver,
         "detroit" => City::Detroit,
@@ -48,7 +55,7 @@ pub struct SanitizeArgs {
     pub cells: usize,
     /// Total privacy budget ε.
     pub epsilon: f64,
-    /// Mechanism CLI name (see [`registry::MECHANISM_NAMES`]).
+    /// Mechanism CLI name (see [`registry::mechanism_names`]).
     pub mechanism: String,
     /// RNG seed.
     pub seed: u64,
@@ -62,6 +69,18 @@ pub struct SanitizeArgs {
 /// [`CliError`] for malformed CSV, unknown mechanisms, invalid ε, or
 /// domains too large to densify.
 pub fn sanitize(csv_text: &str, args: &SanitizeArgs) -> Result<String, CliError> {
+    let release = sanitize_to_release(csv_text, args)?;
+    serde_json::to_string_pretty(&release).map_err(|e| CliError(e.to_string()))
+}
+
+/// The shared curator pipeline: CSV → OD matrix → DP release artifact.
+///
+/// # Errors
+/// Same as [`sanitize`].
+pub fn sanitize_to_release(
+    csv_text: &str,
+    args: &SanitizeArgs,
+) -> Result<PublishedRelease, CliError> {
     let trips = csv::from_csv(csv_text)?;
     if trips.is_empty() {
         return Err("input contains no trajectories".into());
@@ -70,14 +89,77 @@ pub fn sanitize(csv_text: &str, args: &SanitizeArgs) -> Result<String, CliError>
     let builder = OdMatrixBuilder::new(args.cells);
     let matrix = builder.build_dense(&trips, stops).map_err(CliError)?;
     let mechanism = registry::mechanism_by_name(&args.mechanism)?;
-    let epsilon = Epsilon::new(args.epsilon)
-        .map_err(|e| CliError(format!("bad epsilon: {e}")))?;
+    let epsilon = Epsilon::new(args.epsilon).map_err(|e| CliError(format!("bad epsilon: {e}")))?;
     let mut rng = dpod_dp::seeded_rng(args.seed);
     let sanitized = mechanism
         .sanitize(&matrix, epsilon, &mut rng)
         .map_err(|e| CliError(format!("sanitization failed: {e}")))?;
-    let release = PublishedRelease::from_sanitized(&sanitized);
-    serde_json::to_string_pretty(&release).map_err(|e| CliError(e.to_string()))
+    Ok(PublishedRelease::from_sanitized(&sanitized))
+}
+
+/// `dpod publish`: sanitize and install the release into a serving
+/// catalog directory under `name` (creating or updating the directory's
+/// `DPRL` frames and manifest). Returns a confirmation line.
+///
+/// # Errors
+/// [`CliError`] for pipeline failures or catalog IO.
+pub fn publish(
+    csv_text: &str,
+    args: &SanitizeArgs,
+    name: &str,
+    catalog_dir: &Path,
+) -> Result<String, CliError> {
+    if name.is_empty() {
+        return Err("release name must not be empty".into());
+    }
+    let release = sanitize_to_release(csv_text, args)?;
+    let catalog = if catalog_dir.is_dir() {
+        Catalog::load_dir(catalog_dir).map_err(|e| CliError(e.0))?
+    } else {
+        Catalog::new()
+    };
+    let version = catalog.publish(name, release);
+    let total = catalog.save_dir(catalog_dir).map_err(|e| CliError(e.0))?;
+    Ok(format!(
+        "published '{name}' v{version} to {} ({total} release{})\n",
+        catalog_dir.display(),
+        if total == 1 { "" } else { "s" }
+    ))
+}
+
+/// `dpod serve` configuration.
+pub struct ServeArgs {
+    /// Catalog directory produced by `dpod publish`.
+    pub catalog: std::path::PathBuf,
+    /// Bind address (e.g. `127.0.0.1:7878`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads in the connection pool.
+    pub workers: usize,
+    /// Rebuild-cache budget in mebibytes.
+    pub cache_mb: usize,
+}
+
+/// Starts the serving stack for `dpod serve`, returning the running
+/// handle plus the shared server (the binary parks; tests drive it).
+///
+/// # Errors
+/// [`CliError`] when the catalog cannot be loaded or the address cannot
+/// be bound.
+pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), CliError> {
+    let catalog = Catalog::load_dir(&args.catalog).map_err(|e| CliError(e.0))?;
+    if catalog.is_empty() {
+        return Err(CliError(format!(
+            "catalog {} holds no releases; run `dpod publish` first",
+            args.catalog.display()
+        )));
+    }
+    let server = Arc::new(Server::new(
+        Arc::new(catalog),
+        args.cache_mb.saturating_mul(1 << 20),
+    ));
+    let handle = dpod_serve::spawn(Arc::clone(&server), args.addr.as_str(), args.workers)
+        .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
+    Ok((handle, server))
 }
 
 /// Loads and validates a release JSON file.
@@ -119,8 +201,8 @@ pub fn inspect(release: PublishedRelease) -> Result<String, CliError> {
 /// # Errors
 /// [`CliError`] for invalid artifacts or specs.
 pub fn query(release: PublishedRelease, specs: &[String]) -> Result<String, CliError> {
-    let shape = Shape::new(release.domain.clone())
-        .map_err(|e| CliError(format!("bad domain: {e}")))?;
+    let shape =
+        Shape::new(release.domain.clone()).map_err(|e| CliError(format!("bad domain: {e}")))?;
     let sanitized = release
         .into_sanitized()
         .map_err(|e| CliError(format!("invalid release: {e}")))?;
@@ -224,6 +306,98 @@ mod tests {
             }
         };
         assert!(sanitize("0.1,0.1,0.2,0.2\n", &bad_eps).is_err());
+    }
+
+    #[test]
+    fn publish_then_serve_answers_over_tcp() {
+        use dpod_serve::protocol::{Request, Response};
+        use std::io::{BufRead, BufReader, BufWriter, Write};
+
+        let dir = std::env::temp_dir().join(format!("dpod_cli_serve_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Curator: publish two releases into the catalog directory.
+        let csv_text = generate(&GenerateArgs {
+            city: "denver".into(),
+            trips: 3_000,
+            stops: 0,
+            seed: 21,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 8,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 22,
+        };
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir).unwrap();
+        assert!(msg.contains("v1"), "{msg}");
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir).unwrap();
+        assert!(msg.contains("v2"), "{msg}");
+        publish(
+            &csv_text,
+            &SanitizeArgs {
+                mechanism: "identity".into(),
+                ..SanitizeArgs {
+                    cells: 8,
+                    epsilon: 1.0,
+                    mechanism: String::new(),
+                    seed: 23,
+                }
+            },
+            "denver-id",
+            &dir,
+        )
+        .unwrap();
+
+        // Analyst: serve the catalog and query it over TCP.
+        let (handle, server) = start_server(&ServeArgs {
+            catalog: dir.clone(),
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_mb: 64,
+        })
+        .unwrap();
+        assert_eq!(server.catalog().len(), 2);
+
+        let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let req = Request::Batch {
+            release: "denver-ebp".into(),
+            ranges: vec![(vec![0, 0, 0, 0], vec![8, 8, 8, 8])],
+        };
+        writer
+            .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+            .unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        let Response::Values { values } = resp else {
+            panic!("expected values, got {resp:?}");
+        };
+        // Full-domain estimate near the 3000 generated trips.
+        assert!((values[0] - 3_000.0).abs() < 600.0, "total {}", values[0]);
+
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_refuses_empty_catalog() {
+        let dir = std::env::temp_dir().join(format!("dpod_cli_empty_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(start_server(&ServeArgs {
+            catalog: dir.clone(),
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            cache_mb: 1,
+        })
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

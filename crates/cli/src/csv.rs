@@ -42,7 +42,7 @@ pub fn from_csv(text: &str) -> Result<Vec<Trajectory>, CliError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() % 2 != 0 || fields.len() < 4 {
+        if !fields.len().is_multiple_of(2) || fields.len() < 4 {
             return Err(CliError(format!(
                 "line {}: expected an even number (>= 4) of coordinates, got {}",
                 lineno + 1,
@@ -62,12 +62,12 @@ pub fn from_csv(text: &str) -> Result<Vec<Trajectory>, CliError> {
         }
         let mut points = Vec::with_capacity(fields.len() / 2);
         for pair in fields.chunks_exact(2) {
-            let x: f64 = pair[0].parse().map_err(|_| {
-                CliError(format!("line {}: bad float '{}'", lineno + 1, pair[0]))
-            })?;
-            let y: f64 = pair[1].parse().map_err(|_| {
-                CliError(format!("line {}: bad float '{}'", lineno + 1, pair[1]))
-            })?;
+            let x: f64 = pair[0]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad float '{}'", lineno + 1, pair[0])))?;
+            let y: f64 = pair[1]
+                .parse()
+                .map_err(|_| CliError(format!("line {}: bad float '{}'", lineno + 1, pair[1])))?;
             for (v, label) in [(x, pair[0]), (y, pair[1])] {
                 if !v.is_finite() || !(0.0..1.0).contains(&v) {
                     return Err(CliError(format!(

@@ -1,21 +1,29 @@
 //! Mechanism lookup by CLI name.
+//!
+//! The CLI name of a mechanism is its display name
+//! ([`Mechanism::name`](dpod_core::Mechanism::name)) lowercased — derived
+//! from [`dpod_core::all_mechanisms`] rather than a hand-maintained list,
+//! so the `sanitize`/`publish`/`serve` commands can never drift from the
+//! mechanisms core actually ships: adding a mechanism to
+//! `all_mechanisms()` makes it addressable here with no CLI change.
 
 use crate::CliError;
-use dpod_core::{baselines, daf, grid, DynMechanism};
+use dpod_core::{all_mechanisms, DynMechanism};
 
-/// The CLI names, in help order.
-pub const MECHANISM_NAMES: [&str; 10] = [
-    "identity",
-    "uniform",
-    "eug",
-    "ebp",
-    "mkm",
-    "daf-entropy",
-    "daf-homogeneity",
-    "privelet",
-    "quadtree",
-    "ag",
-];
+/// The CLI name of a mechanism display name (`"DAF-Entropy"` →
+/// `"daf-entropy"`).
+pub fn cli_name(display_name: &str) -> String {
+    display_name.to_ascii_lowercase()
+}
+
+/// Every mechanism's CLI name, in [`all_mechanisms`] order (paper suite
+/// first, then the extension baselines).
+pub fn mechanism_names() -> Vec<String> {
+    all_mechanisms()
+        .iter()
+        .map(|m| cli_name(m.name()))
+        .collect()
+}
 
 /// Resolves a CLI mechanism name (case-insensitive) to a boxed mechanism
 /// with default parameters.
@@ -23,25 +31,16 @@ pub const MECHANISM_NAMES: [&str; 10] = [
 /// # Errors
 /// [`CliError`] listing the valid names.
 pub fn mechanism_by_name(name: &str) -> Result<DynMechanism, CliError> {
-    let m: DynMechanism = match name.to_ascii_lowercase().as_str() {
-        "identity" => Box::new(baselines::Identity),
-        "uniform" => Box::new(baselines::Uniform),
-        "eug" => Box::new(grid::Eug::default()),
-        "ebp" => Box::new(grid::Ebp::default()),
-        "mkm" => Box::new(baselines::Mkm::default()),
-        "daf-entropy" => Box::new(daf::DafEntropy::default()),
-        "daf-homogeneity" => Box::new(daf::DafHomogeneity::default()),
-        "privelet" => Box::new(baselines::Privelet),
-        "quadtree" => Box::new(baselines::QuadTree::default()),
-        "ag" => Box::new(grid::AdaptiveGrid::default()),
-        other => {
-            return Err(CliError(format!(
-                "unknown mechanism '{other}'; valid: {}",
-                MECHANISM_NAMES.join(", ")
-            )))
-        }
-    };
-    Ok(m)
+    let want = cli_name(name);
+    all_mechanisms()
+        .into_iter()
+        .find(|m| cli_name(m.name()) == want)
+        .ok_or_else(|| {
+            CliError(format!(
+                "unknown mechanism '{name}'; valid: {}",
+                mechanism_names().join(", ")
+            ))
+        })
 }
 
 #[cfg(test)]
@@ -50,8 +49,8 @@ mod tests {
 
     #[test]
     fn every_listed_name_resolves() {
-        for name in MECHANISM_NAMES {
-            let m = mechanism_by_name(name).unwrap();
+        for name in mechanism_names() {
+            let m = mechanism_by_name(&name).unwrap();
             assert!(!m.name().is_empty());
         }
     }
@@ -71,5 +70,24 @@ mod tests {
             panic!("'htf' should not resolve");
         };
         assert!(err.0.contains("daf-entropy"), "{err}");
+    }
+
+    #[test]
+    fn registry_matches_core_exactly() {
+        // The anti-drift property this module exists for: one CLI name
+        // per core mechanism, bijectively.
+        let core: Vec<String> = dpod_core::all_mechanisms()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        let resolved: Vec<String> = mechanism_names()
+            .iter()
+            .map(|n| mechanism_by_name(n).unwrap().name().to_string())
+            .collect();
+        assert_eq!(core, resolved);
+        let mut dedup = mechanism_names();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), core.len(), "CLI names must be unique");
     }
 }

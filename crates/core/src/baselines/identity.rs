@@ -81,12 +81,7 @@ mod tests {
             let out = Identity
                 .sanitize(&m, eps(e), &mut dpod_dp::seeded_rng(seed))
                 .unwrap();
-            out.matrix()
-                .as_slice()
-                .iter()
-                .map(|v| v.abs())
-                .sum::<f64>()
-                / 1600.0
+            out.matrix().as_slice().iter().map(|v| v.abs()).sum::<f64>() / 1600.0
         };
         assert!(spread(0.1, 3) > 4.0 * spread(10.0, 3));
     }

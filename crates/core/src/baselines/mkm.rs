@@ -54,8 +54,7 @@ impl Mechanism for Mkm {
             .iter()
             .map(|&len| round_granularity(m, len))
             .collect();
-        let grid = UniformGrid::new(input.shape(), &cells)
-            .map_err(MechanismError::Invalid)?;
+        let grid = UniformGrid::new(input.shape(), &cells).map_err(MechanismError::Invalid)?;
         sanitize_grid(input, &grid, nt.accountant, epsilon, self.name(), rng)
     }
 }

@@ -88,7 +88,10 @@ mod tests {
             let i1 = (i + 1) as f64;
             let expected = eps * m0.powf(i1 / 3.0) * (1.0 - m0.powf(1.0 / 3.0))
                 / (m0.powf(1.0 / 3.0) * (1.0 - m0.powf(d as f64 / 3.0)));
-            assert!((got - expected).abs() < 1e-9, "level {i}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "level {i}: {got} vs {expected}"
+            );
         }
     }
 

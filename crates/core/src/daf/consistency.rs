@@ -78,11 +78,7 @@ fn downward(node: &mut TreeNode<DafPayload>, target: f64) {
         return;
     }
     let child_sum: f64 = node.children.iter().map(|c| c.payload.ncount).sum();
-    let total_var: f64 = node
-        .children
-        .iter()
-        .map(|c| own_variance(&c.payload))
-        .sum();
+    let total_var: f64 = node.children.iter().map(|c| own_variance(&c.payload)).sum();
     let mismatch = target - child_sum;
     let num_children = node.children.len() as f64;
     for c in &mut node.children {

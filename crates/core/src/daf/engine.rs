@@ -106,18 +106,14 @@ impl<'a, P: SplitPlanner> DafRun<'a, P> {
         };
         let tree = run.run_root(rng)?;
         debug_assert!(tree.check_split_invariant().is_ok());
-        let sanitized =
-            sanitized_from_tree(mechanism_name, run.eps_tot, input.shape(), &tree);
+        let sanitized = sanitized_from_tree(mechanism_name, run.eps_tot, input.shape(), &tree);
         Ok((sanitized, tree))
     }
 
     /// Processes the root (depth 0): fixes m₀, derives the per-level
     /// budgets, then recurses. The root never prunes (Alg. 2 places the
     /// stop check in the non-root branch).
-    fn run_root(
-        &mut self,
-        rng: &mut dyn RngCore,
-    ) -> Result<TreeNode<DafPayload>, MechanismError> {
+    fn run_root(&mut self, rng: &mut dyn RngCore) -> Result<TreeNode<DafPayload>, MechanismError> {
         let bounds = AxisBox::full(self.input.shape());
         let count = self.prefix.box_count(&bounds);
         let eps0 = self.eps_tot * ROOT_BUDGET_FRACTION;

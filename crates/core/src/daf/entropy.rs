@@ -63,8 +63,14 @@ impl DafEntropy {
         epsilon: Epsilon,
         rng: &mut dyn RngCore,
     ) -> Result<(SanitizedMatrix, TreeNode<DafPayload>), MechanismError> {
-        let (sanitized, mut tree) =
-            DafRun::execute(input, &EqualWidthPlanner, self.stop, epsilon, self.name(), rng)?;
+        let (sanitized, mut tree) = DafRun::execute(
+            input,
+            &EqualWidthPlanner,
+            self.stop,
+            epsilon,
+            self.name(),
+            rng,
+        )?;
         if !self.consistency {
             return Ok((sanitized, tree));
         }

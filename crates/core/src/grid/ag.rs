@@ -80,8 +80,7 @@ impl Mechanism for AdaptiveGrid {
             .iter()
             .map(|&len| round_granularity(m1, len))
             .collect();
-        let level1 = UniformGrid::new(input.shape(), &cells1)
-            .map_err(MechanismError::Invalid)?;
+        let level1 = UniformGrid::new(input.shape(), &cells1).map_err(MechanismError::Invalid)?;
 
         let lap = LaplaceMechanism::counting();
         let prefix = PrefixSum::from_counts(input);

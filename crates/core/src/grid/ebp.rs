@@ -55,8 +55,7 @@ impl Mechanism for Ebp {
             .iter()
             .map(|&len| round_granularity(m, len))
             .collect();
-        let grid = UniformGrid::new(input.shape(), &cells)
-            .map_err(MechanismError::Invalid)?;
+        let grid = UniformGrid::new(input.shape(), &cells).map_err(MechanismError::Invalid)?;
         sanitize_grid(input, &grid, nt.accountant, epsilon, self.name(), rng)
     }
 }

@@ -74,7 +74,10 @@ impl Mechanism for Eug {
         rng: &mut dyn RngCore,
     ) -> Result<SanitizedMatrix, MechanismError> {
         if !(self.c0 > 0.0 && self.c0.is_finite()) {
-            return Err(MechanismError::Invalid(format!("c0 must be > 0, got {}", self.c0)));
+            return Err(MechanismError::Invalid(format!(
+                "c0 must be > 0, got {}",
+                self.c0
+            )));
         }
         if let Some(r) = self.query_ratio {
             if !(r > 0.0 && r <= 1.0) {
@@ -92,8 +95,7 @@ impl Mechanism for Eug {
             .iter()
             .map(|&len| round_granularity(m, len))
             .collect();
-        let grid = UniformGrid::new(input.shape(), &cells)
-            .map_err(MechanismError::Invalid)?;
+        let grid = UniformGrid::new(input.shape(), &cells).map_err(MechanismError::Invalid)?;
         sanitize_grid(input, &grid, nt.accountant, epsilon, self.name(), rng)
     }
 }

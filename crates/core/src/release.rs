@@ -11,9 +11,15 @@
 //! the sanitized outputs, never the raw counts.
 
 use crate::{MechanismError, PartitionSummary, SanitizedMatrix};
+use dpod_fmatrix::codec::{FrameReader, FrameWriter, RELEASE_MAGIC, RELEASE_VERSION};
 use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
 use dpod_partition::Partitioning;
 use serde::{Deserialize, Serialize};
+
+/// Body discriminant in the `DPRL` binary frame.
+const BODY_PER_ENTRY: u8 = 0;
+/// Body discriminant in the `DPRL` binary frame.
+const BODY_PARTITIONS: u8 = 1;
 
 /// A self-contained, serializable DP release of a frequency matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,6 +132,108 @@ impl PublishedRelease {
         }
     }
 
+    /// Serializes to the compact `DPRL` binary frame.
+    ///
+    /// JSON inflates a large release roughly 3×; serving catalogs store
+    /// and ship this frame instead. Layout (all little-endian, after the
+    /// `"DPRL"` magic and version byte):
+    ///
+    /// ```text
+    /// mechanism  u16 len + UTF-8 bytes
+    /// epsilon    f64 bits
+    /// domain     u64 count + count × u64
+    /// body_kind  u8 (0 = per-entry, 1 = partitions)
+    /// PerEntry:   values  u64 count + count × f64 bits
+    /// Partitions: nboxes  u64
+    ///             boxes   nboxes × (u64 count + count × u64) twice (lo, hi)
+    ///             counts  u64 count + count × f64 bits
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_guess = 32 + self.domain.len() * 8 + self.len() * 8;
+        let mut w = FrameWriter::with_capacity(RELEASE_MAGIC, RELEASE_VERSION, payload_guess);
+        w.put_str(&self.mechanism);
+        w.put_f64(self.epsilon);
+        w.put_usize_slice(&self.domain);
+        match &self.body {
+            ReleaseBody::PerEntry { values } => {
+                w.put_u8(BODY_PER_ENTRY);
+                w.put_f64_slice(values);
+            }
+            ReleaseBody::Partitions { boxes, counts } => {
+                w.put_u8(BODY_PARTITIONS);
+                w.put_u64(boxes.len() as u64);
+                for (lo, hi) in boxes {
+                    w.put_usize_slice(lo);
+                    w.put_usize_slice(hi);
+                }
+                w.put_f64_slice(counts);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Parses a `DPRL` binary frame.
+    ///
+    /// Framing errors are caught here; semantic validation (disjoint
+    /// cover, finite counts, …) still happens in [`Self::into_sanitized`],
+    /// exactly as for a release parsed from JSON.
+    ///
+    /// # Errors
+    /// [`MechanismError::Invalid`] describing the first framing violation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, MechanismError> {
+        let frame =
+            |e: dpod_fmatrix::FmError| MechanismError::Invalid(format!("bad DPRL frame: {e}"));
+        let mut r = FrameReader::new(bytes, RELEASE_MAGIC, RELEASE_VERSION).map_err(frame)?;
+        let mechanism = r.get_str("mechanism").map_err(frame)?;
+        let epsilon = r.get_f64("epsilon").map_err(frame)?;
+        let domain = r.get_usize_vec("domain").map_err(frame)?;
+        let body = match r.get_u8("body kind").map_err(frame)? {
+            BODY_PER_ENTRY => ReleaseBody::PerEntry {
+                values: r.get_f64_vec("values").map_err(frame)?,
+            },
+            BODY_PARTITIONS => {
+                let nboxes = r.get_u64("box count").map_err(frame)? as usize;
+                // Guard against adversarial counts before allocating.
+                if nboxes.saturating_mul(2 * 8) > bytes.len() {
+                    return Err(MechanismError::Invalid(format!(
+                        "DPRL frame claims {nboxes} boxes but holds only {} bytes",
+                        bytes.len()
+                    )));
+                }
+                let mut boxes = Vec::with_capacity(nboxes);
+                for i in 0..nboxes {
+                    let lo = r.get_usize_vec("box lo").map_err(frame)?;
+                    let hi = r.get_usize_vec("box hi").map_err(frame)?;
+                    if lo.len() != domain.len() || hi.len() != domain.len() {
+                        return Err(MechanismError::Invalid(format!(
+                            "box {i} has {}–{} coords for a {}-d domain",
+                            lo.len(),
+                            hi.len(),
+                            domain.len()
+                        )));
+                    }
+                    boxes.push((lo, hi));
+                }
+                ReleaseBody::Partitions {
+                    boxes,
+                    counts: r.get_f64_vec("counts").map_err(frame)?,
+                }
+            }
+            other => {
+                return Err(MechanismError::Invalid(format!(
+                    "unknown DPRL body kind {other}"
+                )))
+            }
+        };
+        r.finish().map_err(frame)?;
+        Ok(PublishedRelease {
+            mechanism,
+            epsilon,
+            domain,
+            body,
+        })
+    }
+
     /// Number of released values.
     pub fn len(&self) -> usize {
         match &self.body {
@@ -216,6 +324,69 @@ mod tests {
         let mut bad = good;
         bad.domain = vec![5, 5];
         assert!(bad.into_sanitized().is_err());
+    }
+
+    #[test]
+    fn binary_frame_round_trips_both_bodies() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        for artifact in [
+            PublishedRelease::from_sanitized(
+                &Ebp::default()
+                    .sanitize(&input, eps, &mut dpod_dp::seeded_rng(11))
+                    .unwrap(),
+            ),
+            PublishedRelease::from_sanitized(
+                &Identity
+                    .sanitize(&input, eps, &mut dpod_dp::seeded_rng(12))
+                    .unwrap(),
+            ),
+        ] {
+            let bytes = artifact.to_bytes();
+            let back = PublishedRelease::from_bytes(&bytes).unwrap();
+            assert_eq!(back, artifact);
+        }
+    }
+
+    #[test]
+    fn binary_frame_rejects_corruption() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        let out = Ebp::default()
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(13))
+            .unwrap();
+        let bytes = PublishedRelease::from_sanitized(&out).to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(PublishedRelease::from_bytes(&bad).is_err());
+
+        let mut bad = bytes.clone();
+        bad[4] = RELEASE_VERSION + 1;
+        assert!(PublishedRelease::from_bytes(&bad).is_err());
+
+        assert!(PublishedRelease::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(&[0u8; 3]);
+        assert!(PublishedRelease::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn binary_frame_is_denser_than_json() {
+        let input = skewed_input();
+        let eps = Epsilon::new(0.5).unwrap();
+        let out = Identity
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(14))
+            .unwrap();
+        let artifact = PublishedRelease::from_sanitized(&out);
+        let json = serde_json::to_string(&artifact).unwrap();
+        assert!(
+            artifact.to_bytes().len() * 2 < json.len(),
+            "binary {} vs json {}",
+            artifact.to_bytes().len(),
+            json.len()
+        );
     }
 
     #[test]

@@ -165,13 +165,7 @@ mod tests {
         let grid = UniformGrid::isotropic(&s, 2);
         let p = grid.to_partitioning();
         // Counts 8, 0, -4, 16 over the four 2x2 blocks.
-        let out = SanitizedMatrix::from_partitions(
-            "test",
-            0.5,
-            s,
-            p,
-            vec![8.0, 0.0, -4.0, 16.0],
-        );
+        let out = SanitizedMatrix::from_partitions("test", 0.5, s, p, vec![8.0, 0.0, -4.0, 16.0]);
         assert_eq!(out.entry(&[0, 0]).unwrap(), 2.0);
         assert_eq!(out.entry(&[0, 2]).unwrap(), 0.0);
         assert_eq!(out.entry(&[2, 1]).unwrap(), -1.0);
@@ -207,8 +201,7 @@ mod tests {
 
     #[test]
     fn non_negative_clamps_only_negatives() {
-        let m =
-            DenseMatrix::<f64>::from_vec(shape(&[3]), vec![-2.0, 0.5, 3.0]).unwrap();
+        let m = DenseMatrix::<f64>::from_vec(shape(&[3]), vec![-2.0, 0.5, 3.0]).unwrap();
         let out = SanitizedMatrix::from_entries("id", 0.1, m).non_negative();
         assert_eq!(out.entry(&[0]).unwrap(), 0.0);
         assert_eq!(out.entry(&[1]).unwrap(), 0.5);

@@ -267,7 +267,9 @@ mod tests {
 
     #[test]
     fn population_matrix_conserves_mass() {
-        let m = City::Denver.model().population_matrix(64, 10_000, &mut rng(2));
+        let m = City::Denver
+            .model()
+            .population_matrix(64, 10_000, &mut rng(2));
         assert_eq!(m.total_u64(), 10_000);
     }
 

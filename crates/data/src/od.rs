@@ -66,11 +66,7 @@ impl OdMatrixBuilder {
 
     /// Accumulates trajectories into a sparse OD matrix, skipping
     /// wrong-arity trips. Returns the matrix and the number skipped.
-    pub fn build_sparse(
-        &self,
-        trips: &[Trajectory],
-        num_stops: usize,
-    ) -> (SparseMatrix, usize) {
+    pub fn build_sparse(&self, trips: &[Trajectory], num_stops: usize) -> (SparseMatrix, usize) {
         let mut m = SparseMatrix::new(self.shape(num_stops));
         let mut skipped = 0usize;
         for t in trips {

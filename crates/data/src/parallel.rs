@@ -34,13 +34,13 @@ pub fn population_matrix_parallel(
         .collect();
     let next = AtomicUsize::new(0);
     let mut partials: Vec<Option<DenseMatrix<u64>>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let shape = shape.clone();
                 let sizes = &sizes;
                 let next = &next;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = DenseMatrix::<u64>::zeros(shape);
                     loop {
                         let chunk = next.fetch_add(1, Ordering::Relaxed);
@@ -66,8 +66,7 @@ pub fn population_matrix_parallel(
         for h in handles {
             partials.push(Some(h.join().expect("worker does not panic")));
         }
-    })
-    .expect("scoped threads join cleanly");
+    });
 
     // Merge partials.
     let mut out = DenseMatrix::<u64>::zeros(shape);

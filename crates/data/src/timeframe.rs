@@ -61,11 +61,7 @@ impl FrameGrid {
     /// The matrix shape: `2·frames` dimensions, frame `t` contributing
     /// `(cells[t], cells[t])`.
     pub fn shape(&self) -> Shape {
-        let dims: Vec<usize> = self
-            .cells
-            .iter()
-            .flat_map(|&c| [c, c])
-            .collect();
+        let dims: Vec<usize> = self.cells.iter().flat_map(|&c| [c, c]).collect();
         Shape::new(dims).expect("validated cells")
     }
 
@@ -175,7 +171,10 @@ mod tests {
     fn uniform_matches_od_builder_semantics() {
         let city = City::NewYork.model();
         let trips = TrajectoryConfig::with_stops(0).generate(&city, 500, &mut rng(2));
-        let frame = FrameGrid::uniform(2, 8).unwrap().build_dense(&trips).unwrap();
+        let frame = FrameGrid::uniform(2, 8)
+            .unwrap()
+            .build_dense(&trips)
+            .unwrap();
         let od = crate::od::OdMatrixBuilder::new(8)
             .build_dense(&trips, 0)
             .unwrap();

@@ -118,12 +118,7 @@ impl TrajectoryConfig {
     }
 
     /// Generates `n` trajectories.
-    pub fn generate(
-        &self,
-        city: &CityModel,
-        n: usize,
-        rng: &mut dyn RngCore,
-    ) -> Vec<Trajectory> {
+    pub fn generate(&self, city: &CityModel, n: usize, rng: &mut dyn RngCore) -> Vec<Trajectory> {
         (0..n).map(|_| self.generate_one(city, rng)).collect()
     }
 }

@@ -49,7 +49,10 @@ impl Epsilon {
         if !(fraction > 0.0 && fraction < 1.0) {
             return Err(DpError::InvalidFraction { value: fraction });
         }
-        Ok((Epsilon(self.0 * fraction), Epsilon(self.0 * (1.0 - fraction))))
+        Ok((
+            Epsilon(self.0 * fraction),
+            Epsilon(self.0 * (1.0 - fraction)),
+        ))
     }
 
     /// Divides the budget evenly across `n` sequential uses.

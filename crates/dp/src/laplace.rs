@@ -15,7 +15,10 @@ use rand::RngCore;
 /// Debug-asserts that `b` is finite and positive.
 #[inline]
 pub fn sample_laplace(rng: &mut dyn RngCore, scale: f64) -> f64 {
-    debug_assert!(scale.is_finite() && scale > 0.0, "bad Laplace scale {scale}");
+    debug_assert!(
+        scale.is_finite() && scale > 0.0,
+        "bad Laplace scale {scale}"
+    );
     use rand::Rng;
     // Uniform in (−0.5, 0.5]; reject the exact 0.5 endpoint so that
     // 1 − 2|u| never reaches zero.

@@ -87,11 +87,7 @@ impl AxisBox {
     /// Number of cells covered (product of extents). Zero if empty.
     #[inline]
     pub fn volume(&self) -> usize {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&l, &h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(&l, &h)| h - l).product()
     }
 
     /// `true` when the box covers no cells.
@@ -320,10 +316,7 @@ mod tests {
     fn iter_points_row_major() {
         let a = b(&[1, 2], &[3, 4]);
         let pts: Vec<_> = a.iter_points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]
-        );
+        assert_eq!(pts, vec![vec![1, 2], vec![1, 3], vec![2, 2], vec![2, 3]]);
         assert_eq!(b(&[0, 0], &[0, 5]).iter_points().count(), 0);
     }
 

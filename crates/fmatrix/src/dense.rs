@@ -193,9 +193,8 @@ impl<T: Element> DenseMatrix<T> {
     /// order.
     pub fn box_values<'a>(&'a self, b: &'a AxisBox) -> impl Iterator<Item = (usize, T)> + 'a {
         debug_assert!(b.fits(&self.shape));
-        BoxRuns::new(&self.shape, b).flat_map(move |(start, run)| {
-            (start..start + run).map(move |i| (i, self.data[i]))
-        })
+        BoxRuns::new(&self.shape, b)
+            .flat_map(move |(start, run)| (start..start + run).map(move |i| (i, self.data[i])))
     }
 
     /// Applies `f` to every value, producing a matrix of another element type.
@@ -253,11 +252,7 @@ impl DenseMatrix<u64> {
             let p = p.as_ref();
             debug_assert_eq!(p.len(), m.ndim());
             clamped.clear();
-            clamped.extend(
-                p.iter()
-                    .zip(m.shape.dims())
-                    .map(|(&c, &d)| c.min(d - 1)),
-            );
+            clamped.extend(p.iter().zip(m.shape.dims()).map(|(&c, &d)| c.min(d - 1)));
             let idx = m.shape.flat_index_unchecked(&clamped);
             m.data[idx] = m.data[idx].saturating_add(1);
         }
@@ -384,13 +379,9 @@ mod tests {
     #[test]
     fn box_sum_naive_3d() {
         let s = shape(&[2, 3, 2]);
-        let m =
-            DenseMatrix::<u64>::from_vec(s.clone(), (1..=12).collect::<Vec<u64>>()).unwrap();
+        let m = DenseMatrix::<u64>::from_vec(s.clone(), (1..=12).collect::<Vec<u64>>()).unwrap();
         let b = AxisBox::new(vec![0, 1, 0], vec![2, 3, 2]).unwrap();
-        let expected: f64 = b
-            .iter_points()
-            .map(|c| m.get(&c).unwrap() as f64)
-            .sum();
+        let expected: f64 = b.iter_points().map(|c| m.get(&c).unwrap() as f64).sum();
         assert_eq!(m.box_sum_naive(&b), expected);
     }
 

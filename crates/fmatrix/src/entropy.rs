@@ -119,18 +119,14 @@ mod tests {
     #[test]
     fn entropy_is_maximal_for_uniform() {
         let uniform = DenseMatrix::<u64>::from_vec(shape(&[8]), vec![5; 8]).unwrap();
-        let skewed = DenseMatrix::<u64>::from_vec(
-            shape(&[8]),
-            vec![33, 1, 1, 1, 1, 1, 1, 1],
-        )
-        .unwrap();
+        let skewed =
+            DenseMatrix::<u64>::from_vec(shape(&[8]), vec![33, 1, 1, 1, 1, 1, 1, 1]).unwrap();
         assert!(matrix_entropy(&skewed) < matrix_entropy(&uniform));
     }
 
     #[test]
     fn partition_entropy_matches_manual() {
-        let m =
-            DenseMatrix::<u64>::from_vec(shape(&[4]), vec![1, 1, 3, 3]).unwrap();
+        let m = DenseMatrix::<u64>::from_vec(shape(&[4]), vec![1, 1, 3, 3]).unwrap();
         let p = PrefixSum::from_counts(&m);
         let parts = vec![
             AxisBox::new(vec![0], vec![2]).unwrap(), // total 2

@@ -47,7 +47,10 @@ impl fmt::Display for FmError {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")
             }
             FmError::LengthMismatch { expected, got } => {
-                write!(f, "length mismatch: expected {expected} elements, got {got}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {got}"
+                )
             }
             FmError::BoxOutOfDomain { reason } => write!(f, "box out of domain: {reason}"),
         }

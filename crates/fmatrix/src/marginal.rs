@@ -85,12 +85,15 @@ mod tests {
 
     #[test]
     fn marginal_preserves_total() {
-        let m = DenseMatrix::from_vec(
-            shape(&[2, 3, 4]),
-            (0..24u64).collect::<Vec<_>>(),
-        )
-        .unwrap();
-        for keep in [vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![1, 2]] {
+        let m = DenseMatrix::from_vec(shape(&[2, 3, 4]), (0..24u64).collect::<Vec<_>>()).unwrap();
+        for keep in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+        ] {
             let g = m.marginalize(&keep).unwrap();
             assert_eq!(g.total_u64(), m.total_u64(), "keep {keep:?}");
         }
@@ -98,11 +101,7 @@ mod tests {
 
     #[test]
     fn marginal_matches_manual_sum() {
-        let m = DenseMatrix::from_vec(
-            shape(&[2, 2, 2]),
-            vec![1u64, 2, 3, 4, 5, 6, 7, 8],
-        )
-        .unwrap();
+        let m = DenseMatrix::from_vec(shape(&[2, 2, 2]), vec![1u64, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         let g = m.marginalize(&[0, 2]).unwrap();
         assert_eq!(g.shape().dims(), &[2, 2]);
         // g[a][c] = sum over b of m[a][b][c]
@@ -114,16 +113,14 @@ mod tests {
 
     #[test]
     fn keeping_all_dims_is_identity() {
-        let m = DenseMatrix::from_vec(shape(&[3, 2]), (0..6u64).collect::<Vec<_>>())
-            .unwrap();
+        let m = DenseMatrix::from_vec(shape(&[3, 2]), (0..6u64).collect::<Vec<_>>()).unwrap();
         let g = m.marginalize(&[0, 1]).unwrap();
         assert_eq!(g, m);
     }
 
     #[test]
     fn works_for_f64_matrices() {
-        let m = DenseMatrix::from_vec(shape(&[2, 2]), vec![0.5f64, 1.5, -1.0, 2.0])
-            .unwrap();
+        let m = DenseMatrix::from_vec(shape(&[2, 2]), vec![0.5f64, 1.5, -1.0, 2.0]).unwrap();
         let g = m.marginalize(&[1]).unwrap();
         assert_eq!(g.as_slice(), &[-0.5, 3.5]);
     }

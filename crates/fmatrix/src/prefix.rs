@@ -176,11 +176,7 @@ mod tests {
                 for lo1 in 0..4 {
                     for hi1 in lo1..=4 {
                         let b = AxisBox::new(vec![lo0, lo1], vec![hi0, hi1]).unwrap();
-                        assert_eq!(
-                            p.box_count(&b) as f64,
-                            m.box_sum_naive(&b),
-                            "box {b:?}"
-                        );
+                        assert_eq!(p.box_count(&b) as f64, m.box_sum_naive(&b), "box {b:?}");
                     }
                 }
             }

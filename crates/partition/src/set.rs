@@ -76,10 +76,7 @@ impl Partitioning {
     ///
     /// # Errors
     /// The first [`ValidationError`] encountered.
-    pub fn new_validated(
-        domain: Shape,
-        boxes: Vec<AxisBox>,
-    ) -> Result<Self, ValidationError> {
+    pub fn new_validated(domain: Shape, boxes: Vec<AxisBox>) -> Result<Self, ValidationError> {
         let p = Partitioning { domain, boxes };
         p.validate()?;
         Ok(p)
@@ -218,28 +215,21 @@ mod tests {
 
     #[test]
     fn gap_detected() {
-        let err = Partitioning::new_validated(
-            shape(&[4, 4]),
-            vec![bx(&[0, 0], &[2, 4])],
-        )
-        .unwrap_err();
+        let err =
+            Partitioning::new_validated(shape(&[4, 4]), vec![bx(&[0, 0], &[2, 4])]).unwrap_err();
         assert!(matches!(err, ValidationError::IncompleteCover { .. }));
     }
 
     #[test]
     fn out_of_domain_detected() {
-        let err = Partitioning::new_validated(
-            shape(&[4, 4]),
-            vec![bx(&[0, 0], &[4, 5])],
-        )
-        .unwrap_err();
+        let err =
+            Partitioning::new_validated(shape(&[4, 4]), vec![bx(&[0, 0], &[4, 5])]).unwrap_err();
         assert!(matches!(err, ValidationError::OutOfDomain { .. }));
     }
 
     #[test]
     fn dimension_mismatch_detected() {
-        let err = Partitioning::new_validated(shape(&[4, 4]), vec![bx(&[0], &[4])])
-            .unwrap_err();
+        let err = Partitioning::new_validated(shape(&[4, 4]), vec![bx(&[0], &[4])]).unwrap_err();
         assert!(matches!(err, ValidationError::DimensionMismatch { .. }));
     }
 

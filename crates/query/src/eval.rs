@@ -69,11 +69,8 @@ mod tests {
         let s = Shape::new(vec![10, 10]).unwrap();
         let truth = DenseMatrix::from_vec(s.clone(), vec![4u64; 100]).unwrap();
         // Fake a "release" that is exactly the truth.
-        let perfect = SanitizedMatrix::from_entries(
-            "oracle",
-            f64::INFINITY,
-            truth.map(|v| v as f64),
-        );
+        let perfect =
+            SanitizedMatrix::from_entries("oracle", f64::INFINITY, truth.map(|v| v as f64));
         let mut rng = dpod_dp::seeded_rng(1);
         let queries = QueryWorkload::Random.draw_many(&s, 200, &mut rng);
         let report = evaluate(&truth, &perfect, &queries, MreOptions::default());
@@ -87,11 +84,14 @@ mod tests {
         let mut truth = DenseMatrix::<u64>::zeros(s.clone());
         truth.set(&[0, 0], 10_000).unwrap();
         let out = Uniform
-            .sanitize(&truth, Epsilon::new(1.0).unwrap(), &mut dpod_dp::seeded_rng(2))
+            .sanitize(
+                &truth,
+                Epsilon::new(1.0).unwrap(),
+                &mut dpod_dp::seeded_rng(2),
+            )
             .unwrap();
         let mut rng = dpod_dp::seeded_rng(3);
-        let queries = QueryWorkload::FixedCoverage { coverage: 0.25 }
-            .draw_many(&s, 100, &mut rng);
+        let queries = QueryWorkload::FixedCoverage { coverage: 0.25 }.draw_many(&s, 100, &mut rng);
         let report = evaluate(&truth, &out, &queries, MreOptions::default());
         assert!(report.stats.mean > 10.0, "mean {:?}", report.stats.mean);
         assert_eq!(report.mechanism, "UNIFORM");
@@ -100,10 +100,13 @@ mod tests {
     #[test]
     fn prefix_reuse_matches_direct_evaluation() {
         let s = Shape::new(vec![12, 12]).unwrap();
-        let truth =
-            DenseMatrix::from_vec(s.clone(), (0..144).map(|i| i % 7).collect()).unwrap();
+        let truth = DenseMatrix::from_vec(s.clone(), (0..144).map(|i| i % 7).collect()).unwrap();
         let out = Uniform
-            .sanitize(&truth, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(4))
+            .sanitize(
+                &truth,
+                Epsilon::new(0.5).unwrap(),
+                &mut dpod_dp::seeded_rng(4),
+            )
             .unwrap();
         let mut rng = dpod_dp::seeded_rng(5);
         let queries = QueryWorkload::Random.draw_many(&s, 50, &mut rng);

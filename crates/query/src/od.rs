@@ -53,7 +53,7 @@ impl OdQuery {
     /// [`FmError::DimensionMismatch`] unless the shape has an even number
     /// (≥ 4) of dimensions.
     pub fn new(shape: &Shape) -> Result<Self, FmError> {
-        if shape.ndim() % 2 != 0 || shape.ndim() < 4 {
+        if !shape.ndim().is_multiple_of(2) || shape.ndim() < 4 {
             return Err(FmError::DimensionMismatch {
                 expected: 4,
                 got: shape.ndim(),
@@ -116,9 +116,7 @@ impl OdQuery {
                 Some(r) => {
                     if r.hi.0 > dx || r.hi.1 > dy {
                         return Err(FmError::BoxOutOfDomain {
-                            reason: format!(
-                                "leg {leg} region {r:?} exceeds grid {dx}x{dy}"
-                            ),
+                            reason: format!("leg {leg} region {r:?} exceeds grid {dx}x{dy}"),
                         });
                     }
                     lo.extend([r.lo.0, r.lo.1]);

@@ -1,0 +1,449 @@
+//! The release catalog: a sharded, lock-striped store of named, versioned
+//! releases with directory persistence.
+//!
+//! Sharding bounds contention under the north-star workload (many analyst
+//! threads resolving names while curators publish): each name hashes to
+//! one of [`Catalog::shards`] independent `RwLock`-protected maps, so
+//! reads of different names never serialize and a publish only blocks the
+//! one shard it lands in.
+
+use crate::ServeError;
+use dpod_core::PublishedRelease;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// Default shard count (power of two; plenty for tens of worker threads).
+const DEFAULT_SHARDS: usize = 16;
+
+/// Name of the JSON manifest written next to the `.dprl` frames.
+const MANIFEST: &str = "catalog.json";
+
+/// One catalogued release.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    /// Catalog name (analyst-visible identifier).
+    pub name: String,
+    /// Monotonic per-name version, bumped on every publish.
+    pub version: u64,
+    /// The published artifact (shared, immutable).
+    pub release: Arc<PublishedRelease>,
+}
+
+/// Manifest row persisted alongside the binary frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestEntry {
+    name: String,
+    version: u64,
+    file: String,
+}
+
+/// One lock stripe: the live entries plus the last version ever
+/// assigned per name. `last_versions` outlives removal so that a
+/// remove-then-republish still advances the version — the
+/// `QueryEngine` cache keys on `(name, version)` and must never see a
+/// version reused for different data.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, Arc<CatalogEntry>>,
+    last_versions: HashMap<String, u64>,
+}
+
+/// A sharded, `RwLock`-striped in-memory release store.
+#[derive(Debug)]
+pub struct Catalog {
+    shards: Vec<RwLock<Shard>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// An empty catalog with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty catalog with `shards` lock stripes (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Catalog {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, name: &str) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Publishes `release` under `name`, returning the new version
+    /// (1 for a never-before-seen name, previous + 1 otherwise — versions
+    /// keep advancing across [`Self::remove`], never repeating).
+    pub fn publish(&self, name: &str, release: PublishedRelease) -> u64 {
+        let shard = self.shard_for(name);
+        let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+        let version = shard.last_versions.get(name).copied().unwrap_or(0) + 1;
+        shard.last_versions.insert(name.to_string(), version);
+        shard.entries.insert(
+            name.to_string(),
+            Arc::new(CatalogEntry {
+                name: name.to_string(),
+                version,
+                release: Arc::new(release),
+            }),
+        );
+        version
+    }
+
+    /// Resolves `name` to its current entry.
+    pub fn get(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        self.shard_for(name)
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .get(name)
+            .cloned()
+    }
+
+    /// Removes `name`, returning whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.shard_for(name)
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .remove(name)
+            .is_some()
+    }
+
+    /// All current entries, sorted by name.
+    pub fn entries(&self) -> Vec<Arc<CatalogEntry>> {
+        let mut out: Vec<Arc<CatalogEntry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entries
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// All current names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries().iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Number of catalogued releases.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// `true` when no releases are catalogued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists every release to `dir`: one `DPRL` frame per entry plus a
+    /// `catalog.json` manifest mapping names/versions to files. Returns
+    /// the number of entries written.
+    ///
+    /// Frame files are keyed by release *name* (sanitized, hash-suffixed
+    /// for uniqueness) and every write goes through a temp-file + rename,
+    /// so a crash mid-save can never leave one name's manifest row
+    /// pointing at another name's data — the worst case is a frame one
+    /// publish newer than the manifest row describing it.
+    ///
+    /// # Errors
+    /// [`ServeError`] wrapping the first IO or serialization failure.
+    pub fn save_dir(&self, dir: &Path) -> Result<usize, ServeError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ServeError(format!("cannot create {}: {e}", dir.display())))?;
+        let entries = self.entries();
+        let mut manifest = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            let file = frame_file_name(&entry.name);
+            write_atomically(&dir.join(&file), &entry.release.to_bytes())?;
+            manifest.push(ManifestEntry {
+                name: entry.name.clone(),
+                version: entry.version,
+                file,
+            });
+        }
+        let manifest_json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| ServeError(format!("cannot serialize manifest: {e}")))?;
+        write_atomically(&dir.join(MANIFEST), manifest_json.as_bytes())?;
+        // Delete frames no longer referenced (removed releases): the
+        // manifest-less scan fallback in `load_dir` must not resurrect
+        // a release the curator deliberately removed.
+        let live: std::collections::HashSet<&str> =
+            manifest.iter().map(|m| m.file.as_str()).collect();
+        if let Ok(listing) = std::fs::read_dir(dir) {
+            for dirent in listing.flatten() {
+                let path = dirent.path();
+                let is_stale_frame = path.extension().is_some_and(|e| e == "dprl")
+                    && path
+                        .file_name()
+                        .and_then(|f| f.to_str())
+                        .is_some_and(|f| !live.contains(f));
+                if is_stale_frame {
+                    std::fs::remove_file(&path).ok();
+                }
+            }
+        }
+        Ok(entries.len())
+    }
+
+    /// Loads a catalog persisted by [`Self::save_dir`]. Without a
+    /// manifest, every `*.dprl` file in `dir` is loaded under its file
+    /// stem at version 1 (so hand-assembled directories also serve).
+    ///
+    /// # Errors
+    /// [`ServeError`] when the directory is unreadable, a frame fails to
+    /// parse, or a manifest entry points at a missing file.
+    pub fn load_dir(dir: &Path) -> Result<Self, ServeError> {
+        let catalog = Catalog::new();
+        let manifest_path = dir.join(MANIFEST);
+        if manifest_path.is_file() {
+            let text = std::fs::read_to_string(&manifest_path)
+                .map_err(|e| ServeError(format!("cannot read {}: {e}", manifest_path.display())))?;
+            let manifest: Vec<ManifestEntry> = serde_json::from_str(&text)
+                .map_err(|e| ServeError(format!("bad manifest: {e}")))?;
+            for row in manifest {
+                let path = dir.join(&row.file);
+                let release = read_release(&path)?;
+                let shard = catalog.shard_for(&row.name);
+                let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+                shard.last_versions.insert(row.name.clone(), row.version);
+                shard.entries.insert(
+                    row.name.clone(),
+                    Arc::new(CatalogEntry {
+                        name: row.name,
+                        version: row.version,
+                        release: Arc::new(release),
+                    }),
+                );
+            }
+        } else {
+            let listing = std::fs::read_dir(dir)
+                .map_err(|e| ServeError(format!("cannot read {}: {e}", dir.display())))?;
+            for dirent in listing {
+                let path = dirent
+                    .map_err(|e| ServeError(format!("cannot list {}: {e}", dir.display())))?
+                    .path();
+                if path.extension().is_some_and(|e| e == "dprl") {
+                    let name = path
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .ok_or_else(|| ServeError(format!("bad file name {}", path.display())))?;
+                    let release = read_release(&path)?;
+                    catalog.publish(&name, release);
+                }
+            }
+        }
+        Ok(catalog)
+    }
+}
+
+/// Stable, filesystem-safe frame name for a release: a sanitized prefix
+/// of the name plus a hash suffix disambiguating collisions ("a/b" vs
+/// "a_b"). Keying by name keeps a file's content bound to one release
+/// across saves.
+fn frame_file_name(name: &str) -> String {
+    let safe: String = name
+        .chars()
+        .take(48)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut h = DefaultHasher::new();
+    name.hash(&mut h);
+    format!("{safe}-{:016x}.dprl", h.finish())
+}
+
+/// Writes via a sibling temp file + rename (atomic on one filesystem).
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| ServeError(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ServeError(format!("cannot rename into {}: {e}", path.display())))
+}
+
+fn read_release(path: &Path) -> Result<PublishedRelease, ServeError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| ServeError(format!("cannot read {}: {e}", path.display())))?;
+    PublishedRelease::from_bytes(&bytes).map_err(|e| ServeError(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_core::{baselines::Identity, grid::Ebp, Mechanism};
+    use dpod_dp::Epsilon;
+    use dpod_fmatrix::{DenseMatrix, Shape};
+
+    fn release(seed: u64) -> PublishedRelease {
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[1, 2], 300).unwrap();
+        let out = Ebp::default()
+            .sanitize(
+                &m,
+                Epsilon::new(0.5).unwrap(),
+                &mut dpod_dp::seeded_rng(seed),
+            )
+            .unwrap();
+        PublishedRelease::from_sanitized(&out)
+    }
+
+    #[test]
+    fn publish_bumps_versions_per_name() {
+        let c = Catalog::new();
+        assert_eq!(c.publish("a", release(1)), 1);
+        assert_eq!(c.publish("a", release(2)), 2);
+        assert_eq!(c.publish("b", release(3)), 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").unwrap().version, 2);
+        assert_eq!(c.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn versions_advance_across_remove() {
+        // (name, version) is the QueryEngine cache key; reusing a version
+        // after remove would serve the deleted release's answers.
+        let c = Catalog::new();
+        assert_eq!(c.publish("a", release(1)), 1);
+        assert_eq!(c.publish("a", release(2)), 2);
+        assert!(c.remove("a"));
+        assert_eq!(c.publish("a", release(3)), 3);
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let c = Catalog::new();
+        c.publish("ebp-city", release(7));
+        c.publish("ebp-city", release(8)); // v2
+        c.publish("other", release(9));
+        let dir = std::env::temp_dir().join(format!("dpod_catalog_{}", std::process::id()));
+        let written = c.save_dir(&dir).unwrap();
+        assert_eq!(written, 2);
+
+        let loaded = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let entry = loaded.get("ebp-city").unwrap();
+        assert_eq!(entry.version, 2);
+        assert_eq!(*entry.release, *c.get("ebp-city").unwrap().release);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_dir_deletes_frames_of_removed_releases() {
+        let c = Catalog::new();
+        c.publish("keep", release(1));
+        c.publish("drop", release(2));
+        let dir = std::env::temp_dir().join(format!("dpod_prune_{}", std::process::id()));
+        c.save_dir(&dir).unwrap();
+        c.remove("drop");
+        c.save_dir(&dir).unwrap();
+        let frames: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|d| d.ok())
+            .map(|d| d.file_name().to_string_lossy().into_owned())
+            .filter(|f| f.ends_with(".dprl"))
+            .collect();
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        assert!(frames[0].starts_with("keep-"));
+        // Even the manifest-less scan fallback cannot resurrect "drop".
+        std::fs::remove_file(dir.join(MANIFEST)).unwrap();
+        let scanned = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(scanned.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_without_manifest_scans_frames() {
+        let dir = std::env::temp_dir().join(format!("dpod_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("city.dprl"), release(4).to_bytes()).unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+        let loaded = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(loaded.names(), vec!["city".to_string()]);
+        assert_eq!(loaded.get("city").unwrap().version, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_frames() {
+        let dir = std::env::temp_dir().join(format!("dpod_corrupt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.dprl"), b"not a frame").unwrap();
+        assert!(Catalog::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_publish_and_get() {
+        let c = Arc::new(Catalog::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                let name = format!("r{}", t % 4);
+                for _ in 0..50 {
+                    c.publish(&name, release(t));
+                    let entry = c.get(&name).expect("entry visible after publish");
+                    assert_eq!(entry.name, name);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 4);
+        // Each name saw 2 writers × 50 publishes.
+        for i in 0..4 {
+            assert_eq!(c.get(&format!("r{i}")).unwrap().version, 100);
+        }
+    }
+
+    #[test]
+    fn per_entry_releases_catalog_too() {
+        let s = Shape::new(vec![4, 4]).unwrap();
+        let m = DenseMatrix::<u64>::zeros(s);
+        let out = Identity
+            .sanitize(&m, Epsilon::new(1.0).unwrap(), &mut dpod_dp::seeded_rng(1))
+            .unwrap();
+        let c = Catalog::new();
+        c.publish("id", PublishedRelease::from_sanitized(&out));
+        assert_eq!(c.get("id").unwrap().release.len(), 16);
+    }
+}

@@ -1,0 +1,326 @@
+//! The query engine: memoized analyst-side rebuilds.
+//!
+//! A `PublishedRelease` is cheap to store but must be rebuilt into a
+//! [`SanitizedMatrix`] — dense estimate plus prefix-sum table — before it
+//! can answer `O(2^d)` range queries. The rebuild is `O(domain size)` and
+//! the table doubles the memory, so the engine memoizes rebuilds per
+//! `(name, version)` under an LRU byte budget: hot releases answer from
+//! cache, cold ones pay one rebuild, and a republish (new version) never
+//! serves stale answers because the version is part of the key.
+
+use crate::{CatalogEntry, ServeError};
+use dpod_core::SanitizedMatrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A memoizing rebuild cache with an LRU byte budget.
+#[derive(Debug)]
+pub struct QueryEngine {
+    byte_budget: usize,
+    state: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct LruState {
+    map: HashMap<(String, u64), Cached>,
+    tick: u64,
+    bytes: usize,
+}
+
+#[derive(Debug)]
+struct Cached {
+    matrix: Arc<SanitizedMatrix>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cached rebuilds currently resident.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// Lifetime cache hits.
+    pub hits: u64,
+    /// Lifetime cache misses (— rebuilds performed).
+    pub misses: u64,
+}
+
+/// Estimated resident size of one rebuilt release: the dense estimate and
+/// its prefix table are each `size × 8` bytes, and a retained
+/// [`PartitionSummary::Boxes`](dpod_core::PartitionSummary) carries two
+/// heap-allocated corner vectors plus one count per box — significant for
+/// partition-heavy (DAF/quadtree) releases over large domains.
+fn resident_bytes(m: &SanitizedMatrix) -> usize {
+    let tables = m.matrix().len() * 16;
+    let summary = match m.summary() {
+        dpod_core::PartitionSummary::PerEntry => 0,
+        dpod_core::PartitionSummary::Boxes { partitioning, .. } => {
+            let d = m.matrix().shape().ndim();
+            // Two Vec<usize> corners (24-byte header + 8·d payload each)
+            // plus the box struct and its noisy count.
+            partitioning.len() * (2 * (24 + 8 * d) + 32)
+        }
+    };
+    tables + summary + 512
+}
+
+impl QueryEngine {
+    /// An engine caching up to ~`byte_budget` bytes of rebuilt releases.
+    ///
+    /// A single release larger than the whole budget is still cached (the
+    /// alternative — rebuilding on every query — is strictly worse); the
+    /// budget then holds exactly that one entry.
+    pub fn new(byte_budget: usize) -> Self {
+        QueryEngine {
+            byte_budget,
+            state: Mutex::new(LruState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Returns the queryable rebuild of `entry`, from cache when warm.
+    ///
+    /// # Errors
+    /// [`ServeError`] when the artifact fails validation (tampered or
+    /// corrupt release) — the entry is *not* cached in that case.
+    pub fn sanitized(&self, entry: &CatalogEntry) -> Result<Arc<SanitizedMatrix>, ServeError> {
+        let key = (entry.name.clone(), entry.version);
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(cached) = state.map.get_mut(&key) {
+                cached.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&cached.matrix));
+            }
+        }
+        // Rebuild outside the lock: concurrent first-touch of the same
+        // release may rebuild twice, but a slow rebuild never blocks
+        // queries against other (cached) releases.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let rebuilt = entry
+            .release
+            .as_ref()
+            .clone()
+            .into_sanitized()
+            .map_err(|e| ServeError(format!("release '{}' is invalid: {e}", entry.name)))?;
+        let matrix = Arc::new(rebuilt);
+        let bytes = resident_bytes(&matrix);
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.tick += 1;
+        let tick = state.tick;
+        // Another thread may have raced the rebuild; keep the winner.
+        if let Some(cached) = state.map.get_mut(&key) {
+            cached.last_used = tick;
+            return Ok(Arc::clone(&cached.matrix));
+        }
+        state.bytes += bytes;
+        state.map.insert(
+            key.clone(),
+            Cached {
+                matrix: Arc::clone(&matrix),
+                bytes,
+                last_used: tick,
+            },
+        );
+        // Evict least-recently-used entries (never the one just added)
+        // until the budget holds.
+        while state.bytes > self.byte_budget && state.map.len() > 1 {
+            let victim = state
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(v) => {
+                    if let Some(evicted) = state.map.remove(&v) {
+                        state.bytes -= evicted.bytes;
+                    }
+                }
+                None => break,
+            }
+        }
+        Ok(matrix)
+    }
+
+    /// Drops every cached rebuild (counters are preserved).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.map.clear();
+        state.bytes = 0;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        EngineStats {
+            entries: state.map.len(),
+            bytes: state.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+    use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
+    use dpod_dp::Epsilon;
+    use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+
+    fn catalog_with(names: &[&str], side: usize) -> Catalog {
+        let c = Catalog::new();
+        for (i, name) in names.iter().enumerate() {
+            let s = Shape::new(vec![side, side]).unwrap();
+            let mut m = DenseMatrix::<u64>::zeros(s);
+            m.add_at(&[1, 1], 100 + i as u64).unwrap();
+            let out = Ebp::default()
+                .sanitize(
+                    &m,
+                    Epsilon::new(0.5).unwrap(),
+                    &mut dpod_dp::seeded_rng(i as u64),
+                )
+                .unwrap();
+            c.publish(name, PublishedRelease::from_sanitized(&out));
+        }
+        c
+    }
+
+    #[test]
+    fn second_access_hits_cache() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let e = c.get("a").unwrap();
+        let m1 = engine.sanitized(&e).unwrap();
+        let m2 = engine.sanitized(&e).unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2));
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn republish_invalidates_by_version() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let v1 = engine.sanitized(&c.get("a").unwrap()).unwrap();
+        // Republish under the same name.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[2, 2], 999).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(42))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let v2 = engine.sanitized(&c.get("a").unwrap()).unwrap();
+        assert!(!Arc::ptr_eq(&v1, &v2));
+        let q = AxisBox::new(vec![0, 0], vec![8, 8]).unwrap();
+        assert_ne!(v1.range_sum(&q), v2.range_sum(&q));
+    }
+
+    #[test]
+    fn remove_then_republish_never_serves_stale_answers() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let old = engine.sanitized(&c.get("a").unwrap()).unwrap();
+        c.remove("a");
+        // Republish different data under the same name.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[5, 5], 7_777).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(90))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let fresh = engine.sanitized(&c.get("a").unwrap()).unwrap();
+        assert!(
+            !Arc::ptr_eq(&old, &fresh),
+            "cache must not serve the removed release"
+        );
+        let q = AxisBox::new(vec![0, 0], vec![8, 8]).unwrap();
+        assert_eq!(fresh.range_sum(&q), out.range_sum(&q));
+    }
+
+    #[test]
+    fn lru_evicts_cold_entries_under_budget() {
+        let c = catalog_with(&["a", "b", "c"], 16);
+        // Measure one rebuild's charged size, then budget for exactly two.
+        let probe = QueryEngine::new(usize::MAX);
+        probe.sanitized(&c.get("a").unwrap()).unwrap();
+        let per_entry = probe.stats().bytes;
+        let engine = QueryEngine::new(per_entry * 2 + per_entry / 2);
+        let (ea, eb, ec) = (
+            c.get("a").unwrap(),
+            c.get("b").unwrap(),
+            c.get("c").unwrap(),
+        );
+        engine.sanitized(&ea).unwrap();
+        engine.sanitized(&eb).unwrap();
+        engine.sanitized(&ea).unwrap(); // refresh a; b is now LRU
+        engine.sanitized(&ec).unwrap(); // evicts b
+        assert_eq!(engine.stats().entries, 2);
+        let misses_before = engine.stats().misses;
+        engine.sanitized(&ea).unwrap(); // still cached
+        assert_eq!(engine.stats().misses, misses_before);
+        engine.sanitized(&eb).unwrap(); // rebuilt
+        assert_eq!(engine.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn oversized_release_is_still_served() {
+        let c = catalog_with(&["big"], 32);
+        let engine = QueryEngine::new(16); // far below one rebuild
+        let e = c.get("big").unwrap();
+        assert!(engine.sanitized(&e).is_ok());
+        assert_eq!(engine.stats().entries, 1);
+        // And it stays cached (evicting the only entry would thrash).
+        engine.sanitized(&e).unwrap();
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalid_release_errors_and_is_not_cached() {
+        let c = Catalog::new();
+        let mut release = {
+            let s = Shape::new(vec![4, 4]).unwrap();
+            let m = DenseMatrix::<u64>::zeros(s);
+            let out = Ebp::default()
+                .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(1))
+                .unwrap();
+            PublishedRelease::from_sanitized(&out)
+        };
+        release.domain = vec![3, 3]; // tampered
+        c.publish("bad", release);
+        let engine = QueryEngine::new(1 << 20);
+        assert!(engine.sanitized(&c.get("bad").unwrap()).is_err());
+        assert_eq!(engine.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_resets_residency() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        engine.sanitized(&c.get("a").unwrap()).unwrap();
+        engine.clear();
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.bytes, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # dpod-serve
+//!
+//! The analyst-facing serving layer of the publication model (Fig. 1 of
+//! the paper): a trusted curator *publishes* sanitized releases; untrusted
+//! analysts *query* them — at volume. This crate turns the workspace's
+//! one-shot `PublishedRelease` artifact into a long-lived service:
+//!
+//! * [`Catalog`] — a sharded, `RwLock`-striped in-memory store of named,
+//!   versioned releases, with directory persistence via the `DPRL` binary
+//!   frame (`dpod_fmatrix::codec::RELEASE_MAGIC`);
+//! * [`QueryEngine`] — rebuilds a release into its queryable
+//!   [`SanitizedMatrix`](dpod_core::SanitizedMatrix) (prefix-sum table
+//!   included) on first access and memoizes it under an LRU byte budget,
+//!   so steady-state range queries are `O(2^d)` lookups;
+//! * [`Server`] — the request front end: an in-process [`Server::handle`]
+//!   API driven directly by the CLI, tests and benches, plus a std-only
+//!   thread-pool TCP loop ([`spawn`]) speaking newline-delimited JSON.
+//!
+//! Everything released through this crate is DP post-processing: the
+//! catalog stores only `PublishedRelease` artifacts, never raw counts.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod catalog;
+mod engine;
+pub mod protocol;
+mod server;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use engine::{EngineStats, QueryEngine};
+pub use server::{spawn, Server, ServerHandle, DEFAULT_CACHE_BYTES};
+
+/// Serving-layer error: a displayable message naming the failing operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<String> for ServeError {
+    fn from(s: String) -> Self {
+        ServeError(s)
+    }
+}
+
+impl From<&str> for ServeError {
+    fn from(s: &str) -> Self {
+        ServeError(s.to_string())
+    }
+}

@@ -1,0 +1,161 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One JSON document per line; the server answers every request line with
+//! exactly one response line, in order, so a client can pipeline an
+//! entire batch and read answers back positionally. The same types drive
+//! the in-process [`Server::handle`](crate::Server::handle) path — the
+//! TCP framing is just serialization around it.
+//!
+//! ```text
+//! → {"Query":{"release":"city","lo":[0,0],"hi":[4,4]}}
+//! ← {"Value":{"value":812.4375}}
+//! → "List"
+//! ← {"Releases":{"releases":[…]}}
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// One analyst request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// A single range sum over the named release.
+    Query {
+        /// Catalog name of the release.
+        release: String,
+        /// Inclusive lower corner (one entry per dimension).
+        lo: Vec<usize>,
+        /// Exclusive upper corner.
+        hi: Vec<usize>,
+    },
+    /// Many range sums over the same release (amortizes name resolution).
+    Batch {
+        /// Catalog name of the release.
+        release: String,
+        /// `(lo, hi)` corner pairs, half-open.
+        ranges: Vec<(Vec<usize>, Vec<usize>)>,
+    },
+    /// Enumerate the catalog.
+    List,
+    /// Server and cache counters.
+    Stats,
+}
+
+/// One server response (same order as requests).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Value {
+        /// The estimated count.
+        value: f64,
+    },
+    /// Answer to [`Request::Batch`], in request order.
+    Values {
+        /// The estimated counts.
+        values: Vec<f64>,
+    },
+    /// Answer to [`Request::List`].
+    Releases {
+        /// Catalog contents, sorted by name.
+        releases: Vec<ReleaseInfo>,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Current counters.
+        stats: ServerStats,
+    },
+    /// Any failure; the connection stays usable.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Catalog metadata exposed to analysts (all post-processing safe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseInfo {
+    /// Catalog name.
+    pub name: String,
+    /// Current version.
+    pub version: u64,
+    /// Producing mechanism.
+    pub mechanism: String,
+    /// Privacy budget the release consumed.
+    pub epsilon: f64,
+    /// Domain cardinalities.
+    pub domain: Vec<usize>,
+    /// Number of released values.
+    pub released_values: usize,
+}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Catalogued releases.
+    pub releases: usize,
+    /// Range queries answered since start.
+    pub queries: u64,
+    /// Rebuild-cache residents.
+    pub cache_entries: usize,
+    /// Rebuild-cache resident bytes (estimate).
+    pub cache_bytes: usize,
+    /// Rebuild-cache hits.
+    pub cache_hits: u64,
+    /// Rebuild-cache misses.
+    pub cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_as_json() {
+        let reqs = vec![
+            Request::Query {
+                release: "city".into(),
+                lo: vec![0, 0],
+                hi: vec![4, 4],
+            },
+            Request::Batch {
+                release: "city".into(),
+                ranges: vec![(vec![0], vec![1]), (vec![2], vec![5])],
+            },
+            Request::List,
+            Request::Stats,
+        ];
+        for r in reqs {
+            let line = serde_json::to_string(&r).unwrap();
+            assert!(!line.contains('\n'), "{line}");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_as_json() {
+        let resps = vec![
+            Response::Value { value: 12.5 },
+            Response::Values {
+                values: vec![1.0, -2.25],
+            },
+            Response::Releases {
+                releases: vec![ReleaseInfo {
+                    name: "city".into(),
+                    version: 3,
+                    mechanism: "EBP".into(),
+                    epsilon: 0.5,
+                    domain: vec![8, 8],
+                    released_values: 16,
+                }],
+            },
+            Response::Error {
+                message: "unknown release".into(),
+            },
+        ];
+        for r in resps {
+            let line = serde_json::to_string(&r).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

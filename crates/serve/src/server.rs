@@ -1,0 +1,475 @@
+//! The request front end: in-process dispatch plus a std-only TCP loop.
+//!
+//! [`Server::handle`] is the whole request surface — the CLI, tests and
+//! benches call it directly with zero serialization. [`spawn`] wraps the
+//! same dispatch in a fixed thread pool reading newline-delimited JSON
+//! from a `TcpListener`: one acceptor thread hands sockets to workers
+//! over an `mpsc` channel, each worker answers its connection's lines in
+//! order. No async runtime. Each worker serves one connection at a time,
+//! so a connection that stays open holds its worker; the
+//! [`IDLE_TIMEOUT`] reclaims workers from clients that go quiet, which
+//! bounds how long a queued connection can wait.
+
+use crate::protocol::{ReleaseInfo, Request, Response, ServerStats};
+use crate::{Catalog, QueryEngine, ServeError};
+use dpod_fmatrix::AxisBox;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Default rebuild-cache budget: 256 MiB.
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+/// A connection with no readable line for this long is closed so its
+/// worker can serve the next queued connection.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Longest accepted request line; a client exceeding it (e.g. streaming
+/// bytes with no newline to exhaust memory) is disconnected.
+pub const MAX_LINE_BYTES: u64 = 8 << 20;
+
+/// The serving core: catalog + engine + counters.
+#[derive(Debug)]
+pub struct Server {
+    catalog: Arc<Catalog>,
+    engine: QueryEngine,
+    queries: AtomicU64,
+}
+
+impl Server {
+    /// A server over `catalog` with `cache_bytes` of rebuild cache.
+    pub fn new(catalog: Arc<Catalog>, cache_bytes: usize) -> Self {
+        Server {
+            catalog,
+            engine: QueryEngine::new(cache_bytes),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying catalog (shared with publishers).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Answers one request. Never panics on analyst input: every failure
+    /// is a [`Response::Error`].
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Query { release, lo, hi } => {
+                let answer = self.resolve(release).and_then(|m| self.sum_on(&m, lo, hi));
+                match answer {
+                    Ok(value) => Response::Value { value },
+                    Err(e) => Response::Error { message: e.0 },
+                }
+            }
+            Request::Batch { release, ranges } => {
+                // Resolve the release once: one catalog lookup and one
+                // cache access for the whole batch.
+                let matrix = match self.resolve(release) {
+                    Ok(m) => m,
+                    Err(e) => return Response::Error { message: e.0 },
+                };
+                let mut values = Vec::with_capacity(ranges.len());
+                for (lo, hi) in ranges {
+                    match self.sum_on(&matrix, lo, hi) {
+                        Ok(v) => values.push(v),
+                        Err(e) => return Response::Error { message: e.0 },
+                    }
+                }
+                Response::Values { values }
+            }
+            Request::List => Response::Releases {
+                releases: self
+                    .catalog
+                    .entries()
+                    .iter()
+                    .map(|e| ReleaseInfo {
+                        name: e.name.clone(),
+                        version: e.version,
+                        mechanism: e.release.mechanism.clone(),
+                        epsilon: e.release.epsilon,
+                        domain: e.release.domain.clone(),
+                        released_values: e.release.len(),
+                    })
+                    .collect(),
+            },
+            Request::Stats => {
+                let engine = self.engine.stats();
+                Response::Stats {
+                    stats: ServerStats {
+                        releases: self.catalog.len(),
+                        queries: self.queries.load(Ordering::Relaxed),
+                        cache_entries: engine.entries,
+                        cache_bytes: engine.bytes,
+                        cache_hits: engine.hits,
+                        cache_misses: engine.misses,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Resolves a release name to its cached queryable rebuild.
+    fn resolve(&self, release: &str) -> Result<Arc<dpod_core::SanitizedMatrix>, ServeError> {
+        let entry = self
+            .catalog
+            .get(release)
+            .ok_or_else(|| ServeError(format!("unknown release '{release}'")))?;
+        self.engine.sanitized(&entry)
+    }
+
+    /// Validates one range against `matrix` and answers it.
+    fn sum_on(
+        &self,
+        matrix: &dpod_core::SanitizedMatrix,
+        lo: &[usize],
+        hi: &[usize],
+    ) -> Result<f64, ServeError> {
+        let q = AxisBox::new(lo.to_vec(), hi.to_vec())
+            .map_err(|e| ServeError(format!("bad range: {e}")))?;
+        let shape = matrix.matrix().shape();
+        if q.ndim() != shape.ndim() || !q.fits(shape) {
+            return Err(ServeError(format!(
+                "range {:?}..{:?} does not fit domain {:?}",
+                q.lo(),
+                q.hi(),
+                shape.dims()
+            )));
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(matrix.range_sum(&q))
+    }
+
+    /// Engine counters (for benches and tests).
+    pub fn engine_stats(&self) -> crate::EngineStats {
+        self.engine.stats()
+    }
+
+    /// Range queries answered since start.
+    pub fn queries_answered(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a running TCP front end; dropping it does **not** stop the
+/// server — call [`ServerHandle::stop`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the acceptor thread.
+    /// Connections already handed to workers keep being served until the
+    /// peer closes or goes idle past [`IDLE_TIMEOUT`].
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `server` on `workers` pool threads.
+///
+/// # Errors
+/// IO errors from binding the listener.
+pub fn spawn(
+    server: Arc<Server>,
+    addr: impl ToSocketAddrs,
+    workers: usize,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = workers.max(1);
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..workers {
+        let rx = Arc::clone(&rx);
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || loop {
+            let stream = {
+                let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                guard.recv()
+            };
+            match stream {
+                Ok(s) => {
+                    // Per-connection failures are that connection's
+                    // problem; the worker lives on.
+                    let _ = handle_connection(&server, s);
+                }
+                Err(_) => return, // channel closed: server stopped
+            }
+        });
+    }
+
+    let accept_shutdown = Arc::clone(&shutdown);
+    let acceptor = std::thread::spawn(move || {
+        listener
+            .set_nonblocking(true)
+            .expect("listener supports non-blocking");
+        loop {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                return; // dropping `tx` drains and stops the workers
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false).ok();
+                    if tx.send(stream).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Answers every request line on one connection, in order, until the
+/// peer closes or stays silent past [`IDLE_TIMEOUT`].
+///
+/// The write side also carries [`IDLE_TIMEOUT`]: a pipelining client
+/// that stops draining responses would otherwise block the worker in
+/// `flush` forever once the socket buffers fill (the client itself still
+/// writing — a mutual deadlock). With the timeout the worker errors out
+/// and the connection closes instead. Responses are flushed only when no
+/// further request is already buffered, so a pipelined batch is answered
+/// in large writes rather than one syscall per line.
+fn handle_connection(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
+    stream.set_write_timeout(Some(IDLE_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Bound the line so a client cannot grow the buffer without limit.
+        let n = std::io::Read::take(std::io::Read::by_ref(&mut reader), MAX_LINE_BYTES)
+            .read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // EOF
+        }
+        if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+            let msg = format!(
+                "{{\"Error\":{{\"message\":\"request line exceeds {MAX_LINE_BYTES} bytes\"}}}}\n"
+            );
+            writer.write_all(msg.as_bytes())?;
+            writer.flush()?;
+            return Ok(()); // disconnect the abusive client
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(line.trim_end()) {
+            Ok(request) => server.handle(&request),
+            Err(e) => Response::Error {
+                message: format!("bad request: {e}"),
+            },
+        };
+        let body = serde_json::to_string(&response).unwrap_or_else(|e| {
+            format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
+        });
+        writer.write_all(body.as_bytes())?;
+        writer.write_all(b"\n")?;
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
+    use dpod_dp::Epsilon;
+    use dpod_fmatrix::{DenseMatrix, Shape};
+
+    fn test_server(names: &[&str]) -> Arc<Server> {
+        let catalog = Arc::new(Catalog::new());
+        for (i, name) in names.iter().enumerate() {
+            let s = Shape::new(vec![8, 8]).unwrap();
+            let mut m = DenseMatrix::<u64>::zeros(s);
+            m.add_at(&[2, 2], 500).unwrap();
+            let out = Ebp::default()
+                .sanitize(
+                    &m,
+                    Epsilon::new(0.5).unwrap(),
+                    &mut dpod_dp::seeded_rng(i as u64),
+                )
+                .unwrap();
+            catalog.publish(name, PublishedRelease::from_sanitized(&out));
+        }
+        Arc::new(Server::new(catalog, 1 << 20))
+    }
+
+    #[test]
+    fn handle_answers_queries_and_batches() {
+        let server = test_server(&["city"]);
+        let q = Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![8, 8],
+        };
+        let Response::Value { value } = server.handle(&q) else {
+            panic!("expected value");
+        };
+        assert!(value.is_finite());
+
+        let b = Request::Batch {
+            release: "city".into(),
+            ranges: vec![(vec![0, 0], vec![4, 4]), (vec![0, 0], vec![8, 8])],
+        };
+        let Response::Values { values } = server.handle(&b) else {
+            panic!("expected values");
+        };
+        assert_eq!(values.len(), 2);
+        assert_eq!(values[1], value);
+        assert_eq!(server.queries_answered(), 3);
+    }
+
+    #[test]
+    fn handle_reports_errors_not_panics() {
+        let server = test_server(&["city"]);
+        for bad in [
+            Request::Query {
+                release: "nope".into(),
+                lo: vec![0, 0],
+                hi: vec![4, 4],
+            },
+            Request::Query {
+                release: "city".into(),
+                lo: vec![0],
+                hi: vec![4],
+            },
+            Request::Query {
+                release: "city".into(),
+                lo: vec![0, 0],
+                hi: vec![9, 9],
+            },
+            Request::Query {
+                release: "city".into(),
+                lo: vec![5, 5],
+                hi: vec![2, 2],
+            },
+        ] {
+            let Response::Error { message } = server.handle(&bad) else {
+                panic!("expected error for {bad:?}");
+            };
+            assert!(!message.is_empty());
+        }
+    }
+
+    #[test]
+    fn list_and_stats_reflect_catalog() {
+        let server = test_server(&["a", "b"]);
+        let Response::Releases { releases } = server.handle(&Request::List) else {
+            panic!("expected releases");
+        };
+        assert_eq!(releases.len(), 2);
+        assert_eq!(releases[0].name, "a");
+        assert_eq!(releases[0].domain, vec![8, 8]);
+
+        server.handle(&Request::Query {
+            release: "a".into(),
+            lo: vec![0, 0],
+            hi: vec![1, 1],
+        });
+        let Response::Stats { stats } = server.handle(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.releases, 2);
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_concurrent_clients() {
+        let server = test_server(&["city", "transit"]);
+        let handle = spawn(Arc::clone(&server), "127.0.0.1:0", 4).unwrap();
+        let addr = handle.addr();
+
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            joins.push(std::thread::spawn(move || {
+                let release = if t % 2 == 0 { "city" } else { "transit" };
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                for i in 0..25usize {
+                    let hi = 1 + (i % 8);
+                    let req = Request::Query {
+                        release: release.into(),
+                        lo: vec![0, 0],
+                        hi: vec![hi, hi],
+                    };
+                    writer
+                        .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+                        .unwrap();
+                    writer.write_all(b"\n").unwrap();
+                    writer.flush().unwrap();
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let resp: Response = serde_json::from_str(line.trim()).unwrap();
+                    assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(server.queries_answered(), 100);
+        handle.stop();
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses() {
+        let server = test_server(&["city"]);
+        let handle = spawn(server, "127.0.0.1:0", 1).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(b"this is not json\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+
+        // The connection survives and still answers valid requests.
+        let req = Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![2, 2],
+        };
+        writer
+            .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+            .unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Value { .. }));
+        handle.stop();
+    }
+}

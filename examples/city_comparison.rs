@@ -19,9 +19,7 @@ fn main() {
     let epsilon = Epsilon::new(EPSILON).expect("positive budget");
     let mechanisms = paper_suite();
 
-    println!(
-        "MRE (%) on {QUERIES} random queries, {GRID}² grid, {POINTS} points, ε = {EPSILON}\n"
-    );
+    println!("MRE (%) on {QUERIES} random queries, {GRID}² grid, {POINTS} points, ε = {EPSILON}\n");
     print!("{:<18}", "mechanism");
     for city in City::ALL {
         print!("{:>12}", city.name());
@@ -35,8 +33,7 @@ fn main() {
         .map(|city| {
             let mut rng = dpod_dp::seeded_rng(7 + *city as u64);
             let matrix = city.model().population_matrix(GRID, POINTS, &mut rng);
-            let queries =
-                QueryWorkload::Random.draw_many(matrix.shape(), QUERIES, &mut rng);
+            let queries = QueryWorkload::Random.draw_many(matrix.shape(), QUERIES, &mut rng);
             (matrix, queries)
         })
         .collect();

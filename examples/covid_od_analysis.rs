@@ -22,12 +22,17 @@ fn main() {
     let city = City::Denver.model();
     let mut rng = dpod_dp::seeded_rng(2020);
     let trips = TrajectoryConfig::with_stops(1).generate(&city, 50_000, &mut rng);
-    println!("collected {} trajectories (home → stop → destination)", trips.len());
+    println!(
+        "collected {} trajectories (home → stop → destination)",
+        trips.len()
+    );
 
     // 2. Build the OD matrix with intermediate stops: 6 dimensions
     //    (x,y of origin, stop, destination), 8 cells per axis.
     let builder = OdMatrixBuilder::new(8);
-    let od = builder.build_dense(&trips, 1).expect("domain fits in memory");
+    let od = builder
+        .build_dense(&trips, 1)
+        .expect("domain fits in memory");
     println!(
         "OD matrix: {:?} = {} cells, {:.3}% non-empty",
         od.shape().dims(),
@@ -77,8 +82,7 @@ fn main() {
     //    matrix where each frame picks its own spatial resolution —
     //    morning coarse (people are at home), noon fine (where did they
     //    stop?), evening medium.
-    let frames = dpod_data::timeframe::FrameGrid::new(vec![4, 12, 6])
-        .expect("valid frame grid");
+    let frames = dpod_data::timeframe::FrameGrid::new(vec![4, 12, 6]).expect("valid frame grid");
     let framed = frames.build_dense(&trips).expect("domain fits");
     println!(
         "\ntime-framed matrix (morning 4², noon 12², evening 6²): dims {:?}, \

@@ -22,7 +22,9 @@ const H: usize = 32;
 
 fn main() {
     let mut rng = dpod_dp::seeded_rng(1);
-    let matrix = City::NewYork.model().population_matrix(GRID, POINTS, &mut rng);
+    let matrix = City::NewYork
+        .model()
+        .population_matrix(GRID, POINTS, &mut rng);
     let epsilon = Epsilon::new(0.5).expect("positive budget");
 
     let mechanisms: Vec<Box<dyn Mechanism>> = vec![
@@ -38,7 +40,11 @@ fn main() {
     for mech in mechanisms {
         let mut rng = dpod_dp::seeded_rng(17);
         let out = mech.sanitize(&matrix, epsilon, &mut rng).expect("sanitize");
-        println!("--- {} · {} partitions ---", mech.name(), out.num_partitions());
+        println!(
+            "--- {} · {} partitions ---",
+            mech.name(),
+            out.num_partitions()
+        );
         println!("{}", render(&matrix, &out));
     }
 }

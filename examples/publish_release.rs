@@ -40,8 +40,7 @@ fn main() {
     // ---- Analyst side: only the artifact is available. ----
     {
         let json = std::fs::read_to_string(&path).expect("artifact exists");
-        let artifact: PublishedRelease =
-            serde_json::from_str(&json).expect("valid release JSON");
+        let artifact: PublishedRelease = serde_json::from_str(&json).expect("valid release JSON");
         println!(
             "analyst: loaded a {} release over domain {:?}",
             artifact.mechanism, artifact.domain

@@ -40,15 +40,25 @@ fn main() {
     //    the raw matrix.
     let truth = PrefixSum::from_counts(&population);
     let queries = [
-        ("downtown", AxisBox::new(vec![40, 40], vec![56, 56]).unwrap()),
+        (
+            "downtown",
+            AxisBox::new(vec![40, 40], vec![56, 56]).unwrap(),
+        ),
         ("suburb", AxisBox::new(vec![90, 0], vec![128, 40]).unwrap()),
         ("everything", AxisBox::full(population.shape())),
     ];
-    println!("\n{:<12}{:>12}{:>14}{:>12}", "query", "true", "private", "error%");
+    println!(
+        "\n{:<12}{:>12}{:>14}{:>12}",
+        "query", "true", "private", "error%"
+    );
     for (name, q) in &queries {
         let t = truth.box_count(q) as f64;
         let p = private.range_sum(q);
-        let err = if t > 0.0 { (p - t).abs() / t * 100.0 } else { 0.0 };
+        let err = if t > 0.0 {
+            (p - t).abs() / t * 100.0
+        } else {
+            0.0
+        };
         println!("{name:<12}{t:>12.0}{p:>14.1}{err:>11.1}%");
     }
 }

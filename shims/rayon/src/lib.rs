@@ -1,0 +1,136 @@
+//! Offline stand-in for the slice of `rayon` the workspace uses:
+//! `vec.into_par_iter().map(f).collect::<Vec<_>>()`. Work is split into
+//! contiguous chunks, one per available core, executed on scoped threads,
+//! and re-assembled in input order — the same ordering contract rayon's
+//! indexed parallel iterators provide.
+
+/// The rayon-style glob import surface.
+pub mod prelude {
+    pub use crate::{FromParallel, IntoParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Starts a parallel pipeline over the elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A not-yet-mapped parallel pipeline.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Registers the per-element transform.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped pipeline awaiting `collect`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the pipeline across threads, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallel<R>,
+    {
+        C::from_ordered(run_chunked(self.items, &self.f))
+    }
+}
+
+fn run_chunked<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `workers` contiguous chunks of near-equal size.
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Collection targets for a parallel pipeline.
+pub trait FromParallel<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let offset = 10usize;
+        let out: Vec<usize> = vec![1, 2, 3].into_par_iter().map(|x| x + offset).collect();
+        assert_eq!(out, vec![11, 12, 13]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of upstream's visitor-based zero-copy architecture, this shim
+//! routes everything through one in-memory tree, [`Content`] — the same
+//! simplification `serde_json::Value` makes — and the derive macros in
+//! `serde_derive` generate [`Serialize`]/[`Deserialize`] impls against it.
+//! The JSON front end lives in the sibling `serde_json` shim. External
+//! enum tagging, transparent newtypes and the primitive/collection impls
+//! match upstream's JSON behaviour, which is the only wire format the
+//! workspace uses.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree both traits speak.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Deserialization failure with a human-readable path/description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the [`Content`] tree.
+pub trait Serialize {
+    /// Builds the tree representation.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, validating structure.
+    ///
+    /// # Errors
+    /// [`DeError`] naming the first structural mismatch.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    other => Err(DeError(format!(
+                        "expected unsigned integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("integer {v} out of range"))),
+                    other => Err(DeError(format!(
+                        "expected signed integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    other => Err(DeError(format!("expected number, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == N => {
+                let v: Vec<T> = items
+                    .iter()
+                    .map(T::from_content)
+                    .collect::<Result<_, _>>()?;
+                Ok(v.try_into().expect("length checked"))
+            }
+            other => Err(DeError(format!(
+                "expected sequence of length {N}, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError(format!("expected sequence, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => Ok((
+                        $($name::from_content(&items[$idx])?,)+
+                    )),
+                    other => Err(DeError(format!(
+                        "expected {}-tuple, found {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(2 => A: 0, B: 1);
+impl_tuple!(3 => A: 0, B: 1, C: 2);
+impl_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output (upstream serde_json is
+        // insertion-ordered; sorting is the deterministic analogue here).
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (content_key(&k.to_content()), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (content_key(&k.to_content()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+fn content_key(c: &Content) -> String {
+    match c {
+        Content::Str(s) => s.clone(),
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code.
+// ---------------------------------------------------------------------------
+
+/// Views `c` as a map, or errors naming `ty`.
+pub fn content_as_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Content)], DeError> {
+    match c {
+        Content::Map(entries) => Ok(entries),
+        other => Err(DeError(format!("{ty}: expected map, found {other:?}"))),
+    }
+}
+
+/// Views `c` as a sequence, or errors naming `ty`.
+pub fn content_as_seq<'a>(c: &'a Content, ty: &str) -> Result<&'a [Content], DeError> {
+    match c {
+        Content::Seq(items) => Ok(items),
+        other => Err(DeError(format!("{ty}: expected sequence, found {other:?}"))),
+    }
+}
+
+/// Extracts and deserializes field `key` from a struct map.
+pub fn field_from_map<T: Deserialize>(
+    entries: &[(String, Content)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    let c = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("{ty}: missing field `{key}`")))?;
+    T::from_content(c).map_err(|e| DeError(format!("{ty}.{key}: {e}")))
+}

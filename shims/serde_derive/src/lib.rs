@@ -1,0 +1,508 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! A hand-rolled token-tree parser (no `syn`/`quote`, which are
+//! unavailable offline) covering the item shapes this workspace derives
+//! on: named-field structs (optionally generic), tuple/newtype structs
+//! (optionally `#[serde(transparent)]`), and enums with unit, newtype,
+//! tuple and struct variants using serde's external tagging. Generated
+//! code targets the shim's `Content` tree; JSON behaviour matches
+//! upstream `serde_json` for these shapes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::Ser)
+        .parse()
+        .expect("derive emitted invalid Rust")
+}
+
+/// Derives the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Mode::De)
+        .parse()
+        .expect("derive emitted invalid Rust")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Item {
+    name: String,
+    /// Declaration generics, e.g. `<T: Element>` (empty when non-generic).
+    generics_decl: String,
+    /// Use-site generics, e.g. `<T>`.
+    generics_use: String,
+    /// Bare type-parameter names.
+    type_params: Vec<String>,
+    /// Original `where` predicates (without the keyword), may be empty.
+    where_preds: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Advances past any `#[...]` attributes (outer form only).
+fn skip_attributes(toks: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(toks.get(i), '#') {
+        match toks.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => i += 2,
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Advances past `pub` / `pub(...)`.
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&toks, 0);
+    i = skip_visibility(&toks, i);
+
+    let is_enum = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("derive expects struct or enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+
+    // Generics: capture the declaration verbatim and the bare param names.
+    let mut generics_decl = String::new();
+    let mut type_params = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        let mut depth = 0usize;
+        let mut expect_param = true;
+        loop {
+            let t = toks
+                .get(i)
+                .unwrap_or_else(|| panic!("unterminated generics on {name}"));
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Ident(id) if depth == 1 && expect_param => {
+                    let s = id.to_string();
+                    if s != "const" {
+                        type_params.push(s);
+                    }
+                    expect_param = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expect_param => {
+                    // Lifetime parameter: leave it out of the Serialize
+                    // bounds but keep it in the decl text.
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            generics_decl.push_str(&t.to_string());
+            generics_decl.push(' ');
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let generics_use = if type_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", type_params.join(", "))
+    };
+
+    // Optional where clause (kept verbatim, minus the keyword).
+    let mut where_preds = String::new();
+    if is_ident(toks.get(i), "where") {
+        i += 1;
+        while let Some(t) = toks.get(i) {
+            let body_next = matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+                || matches!(t, TokenTree::Punct(p) if p.as_char() == ';');
+            if body_next {
+                break;
+            }
+            where_preds.push_str(&t.to_string());
+            where_preds.push(' ');
+            i += 1;
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_top_level_segments(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+        other => panic!("unsupported item body for {name}: {other:?}"),
+    };
+
+    Item {
+        name,
+        generics_decl,
+        generics_use,
+        type_params,
+        where_preds,
+        kind,
+    }
+}
+
+/// Counts comma-separated segments at angle-bracket depth zero (groups are
+/// opaque single tokens, so only `<`/`>` need tracking).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => in_segment = false,
+            _ => {
+                if !in_segment {
+                    segments += 1;
+                    in_segment = true;
+                }
+            }
+        }
+    }
+    segments
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        i = skip_visibility(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_segments(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate(item: &Item, mode: Mode) -> String {
+    let trait_name = match mode {
+        Mode::Ser => "Serialize",
+        Mode::De => "Deserialize",
+    };
+    let mut bounds: Vec<String> = item
+        .type_params
+        .iter()
+        .map(|p| format!("{p}: ::serde::{trait_name}"))
+        .collect();
+    if !item.where_preds.trim().is_empty() {
+        bounds.insert(0, item.where_preds.trim().trim_end_matches(',').to_string());
+    }
+    let where_clause = if bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", bounds.join(", "))
+    };
+
+    let body = match mode {
+        Mode::Ser => gen_serialize_body(item),
+        Mode::De => gen_deserialize_body(item),
+    };
+    let signature = match mode {
+        Mode::Ser => "fn to_content(&self) -> ::serde::Content".to_string(),
+        Mode::De => {
+            "fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError>"
+                .to_string()
+        }
+    };
+    format!(
+        "impl {decl} ::serde::{trait_name} for {name}{use_g} {where_clause} {{\n\
+         {signature} {{\n{body}\n}}\n}}\n",
+        decl = item.generics_decl,
+        name = item.name,
+        use_g = item.generics_use,
+    )
+}
+
+fn gen_serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::Unit => "::serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => ::serde::Content::Map(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Seq(vec![{e}]))]),",
+                                b = binders.join(", "),
+                                e = elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::Content::Map(vec![\
+                                 (::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Content::Map(vec![{e}]))]),",
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn gen_deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.kind {
+        Kind::Unit => format!("{{ let _ = c; ::std::result::Result::Ok({name}) }}"),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "{{ let s = ::serde::content_as_seq(c, \"{name}\")?;\n\
+                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError(format!(\"{name}: expected {n} elements, got {{}}\", s.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({elems})) }}",
+                elems = elems.join(", ")
+            )
+        }
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field_from_map(m, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "{{ let m = ::serde::content_as_map(c, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }}) }}",
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let map_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(v)?)),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let s = ::serde::content_as_seq(v, \"{name}::{vn}\")?;\n\
+                                 if s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError(format!(\"{name}::{vn}: expected {n} elements, got {{}}\", s.len()))); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems})) }}",
+                                elems = elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::field_from_map(m, \"{f}\", \"{name}::{vn}\")?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{ let m = ::serde::content_as_map(v, \"{name}::{vn}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }}",
+                                inits = inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (k, v) = (&entries[0].0, &entries[0].1);\n\
+                 let _ = v;\n\
+                 match k.as_str() {{\n\
+                 {map_arms}\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(\
+                 format!(\"{name}: expected variant string or single-key map, found {{other:?}}\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                map_arms = map_arms.join("\n"),
+            )
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde_json`: compact/pretty printing and strict
+//! parsing of the shim's `Content` tree. Floats print in Rust's shortest
+//! round-trip form (what upstream's `ryu` also guarantees); parsing
+//! classifies numbers as unsigned, signed or float exactly like upstream.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON encode/decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+/// [`Error`] when the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON.
+///
+/// # Errors
+/// [`Error`] when the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+/// [`Error`] describing the first syntax or structure mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let content = parse(text)?;
+    T::from_content(&content).map_err(|e| Error(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: usize) -> Result<()> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if !v.is_finite() {
+                return Err(Error(format!("cannot serialize non-finite float {v}")));
+            }
+            // `{:?}` is Rust's shortest round-trip float form; it always
+            // contains '.' or 'e', so it re-parses as a float.
+            out.push_str(&format!("{v:?}"));
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, level + 1);
+                write_content(item, out, indent, level + 1)?;
+            }
+            if !items.is_empty() {
+                write_sep(out, indent, level);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, level + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, level + 1)?;
+            }
+            if !entries.is_empty() {
+                write_sep(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_sep(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Maximum container nesting (matches upstream serde_json's default);
+/// prevents stack overflow on adversarial documents.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+fn parse(text: &str) -> Result<Content> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error(format!("nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Content::Str(self.string()?)),
+            b't' => self.literal("true", Content::Bool(true)),
+            b'f' => self.literal("false", Content::Bool(false)),
+            b'n' => self.literal("null", Content::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected character '{}' at offset {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Content) -> Result<Content> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or '}}', found '{}' at offset {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or ']', found '{}' at offset {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("invalid \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                            // Surrogate pairs are not produced by this
+                            // writer; reject rather than mis-decode.
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| Error("invalid \\u code point".into()))?;
+                            out.push(ch);
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at pos-1.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8 sequence".into()))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| Error(format!("invalid number '{text}'")))?;
+            Ok(Content::F64(v))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let v: i64 = stripped
+                .parse::<i64>()
+                .map(|v| -v)
+                .map_err(|_| Error(format!("invalid number '{text}'")))?;
+            Ok(Content::I64(v))
+        } else {
+            let v: u64 = text
+                .parse()
+                .map_err(|_| Error(format!("invalid number '{text}'")))?;
+            Ok(Content::U64(v))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<i64>("-9").unwrap(), -9);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for v in [0.1, 1.0 / 3.0, 9e99, -0.000123, f64::MIN_POSITIVE] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, v, "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1.5f64, 2.5f64), (3.0, -4.0)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nquote\"slash\\tab\tunicode\u{263A}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let v = vec![vec![1u64, 2], vec![3]];
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Vec<Vec<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        let deep = "[".repeat(200_000);
+        let err = from_str::<Vec<u64>>(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Reasonable nesting still parses.
+        let back: Vec<Vec<Vec<u64>>> = from_str("[[[1],[2]],[[3]]]").unwrap();
+        assert_eq!(back, vec![vec![vec![1], vec![2]], vec![vec![3]]]);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<Vec<u64>>("[1,2").is_err());
+        assert!(from_str::<String>("\"abc").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<bool>("trueish").is_err());
+    }
+}

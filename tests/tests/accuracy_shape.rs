@@ -26,7 +26,9 @@ fn mean_mre(
     let n = (seeds.end - seeds.start) as f64;
     seeds
         .map(|s| {
-            let out = mech.sanitize(input, e, &mut dpod_dp::seeded_rng(s)).unwrap();
+            let out = mech
+                .sanitize(input, e, &mut dpod_dp::seeded_rng(s))
+                .unwrap();
             evaluate(input, &out, &queries, MreOptions::default())
                 .stats
                 .mean
@@ -90,18 +92,17 @@ fn coarser_queries_are_easier() {
     // denominator floor (DESIGN.md §3.9) dampens the tiny-query errors and
     // the comparison stops being meaningful.
     let mut rng = dpod_dp::seeded_rng(6);
-    let input = City::Denver.model().population_matrix(256, 150_000, &mut rng);
+    let input = City::Denver
+        .model()
+        .population_matrix(256, 150_000, &mut rng);
     let eps = Epsilon::new(0.1).unwrap();
     let out = Ebp::default()
         .sanitize(&input, eps, &mut dpod_dp::seeded_rng(7))
         .unwrap();
     let mut mres = Vec::new();
     for coverage in [0.05, 0.25, 0.40] {
-        let queries = QueryWorkload::FixedCoverage { coverage }.draw_many(
-            input.shape(),
-            300,
-            &mut rng,
-        );
+        let queries =
+            QueryWorkload::FixedCoverage { coverage }.draw_many(input.shape(), 300, &mut rng);
         mres.push(
             evaluate(&input, &out, &queries, MreOptions::default())
                 .stats
@@ -120,7 +121,9 @@ fn mkm_overpartitions_relative_to_ebp() {
     // it in the baseline tier. Check the released partition counts diverge
     // from EBP's and the error is worse on skewed city data.
     let mut rng = dpod_dp::seeded_rng(8);
-    let input = City::NewYork.model().population_matrix(128, 80_000, &mut rng);
+    let input = City::NewYork
+        .model()
+        .population_matrix(128, 80_000, &mut rng);
     let mkm = mean_mre(&input, &Mkm::default(), 0.1, 0..4);
     let ebp = mean_mre(&input, &Ebp::default(), 0.1, 0..4);
     assert!(

@@ -59,9 +59,11 @@ fn uniform_release_respects_epsilon_bound() {
 /// and never exceed it anywhere — on data of any shape.
 #[test]
 fn daf_budget_telescopes_on_assorted_inputs() {
-    let inputs = [dpod_integration::clustered_fixture(24, 50),
+    let inputs = [
+        dpod_integration::clustered_fixture(24, 50),
         DenseMatrix::<u64>::zeros(Shape::new(vec![9, 7, 5]).unwrap()),
-        DenseMatrix::from_vec(Shape::new(vec![6, 6]).unwrap(), vec![1_000; 36]).unwrap()];
+        DenseMatrix::from_vec(Shape::new(vec![6, 6]).unwrap(), vec![1_000; 36]).unwrap(),
+    ];
     for (i, input) in inputs.iter().enumerate() {
         for eps_value in [0.1, 0.5, 2.0] {
             let eps = Epsilon::new(eps_value).unwrap();

@@ -93,10 +93,7 @@ fn partition_validation_errors_identify_the_culprit() {
         }
         other => panic!("expected Overlap, got {other:?}"),
     }
-    let gap = Partitioning::new_validated(
-        s,
-        vec![AxisBox::new(vec![0], vec![2]).unwrap()],
-    );
+    let gap = Partitioning::new_validated(s, vec![AxisBox::new(vec![0], vec![2]).unwrap()]);
     match gap {
         Err(ValidationError::IncompleteCover { covered, expected }) => {
             assert_eq!((covered, expected), (2, 4));

@@ -64,7 +64,12 @@ fn trip_mass_is_preserved_through_the_pipeline() {
             .sanitize(&input, eps, &mut dpod_dp::seeded_rng(4))
             .unwrap();
         let rel = (out.total() - 15_000.0).abs() / 15_000.0;
-        assert!(rel < 0.25, "{}: total off by {:.1}%", mech.name(), rel * 100.0);
+        assert!(
+            rel < 0.25,
+            "{}: total off by {:.1}%",
+            mech.name(),
+            rel * 100.0
+        );
     }
 }
 

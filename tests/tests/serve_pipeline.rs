@@ -1,0 +1,160 @@
+//! End-to-end serving tests: curator publishes a catalog, the serving
+//! layer answers analyst query batches — and every answer must equal the
+//! direct `SanitizedMatrix::range_sum` computed against the same release,
+//! through both the in-process and the TCP front end.
+
+use dpod_core::{daf::DafEntropy, grid::Ebp, grid::Eug, Mechanism, PublishedRelease};
+use dpod_data::City;
+use dpod_dp::Epsilon;
+use dpod_fmatrix::{AxisBox, Shape};
+use dpod_query::workload::QueryWorkload;
+use dpod_serve::protocol::{Request, Response};
+use dpod_serve::{Catalog, Server};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::sync::Arc;
+
+const SIDE: usize = 64;
+
+/// Three releases from distinct mechanisms over distinct city inputs,
+/// plus the reference sanitized matrices the serving layer must agree
+/// with.
+fn reference_catalog() -> (Arc<Catalog>, HashMap<String, dpod_core::SanitizedMatrix>) {
+    let eps = Epsilon::new(0.5).unwrap();
+    let specs: [(&str, City, Box<dyn Mechanism>); 3] = [
+        ("ny-ebp", City::NewYork, Box::new(Ebp::default())),
+        ("denver-eug", City::Denver, Box::new(Eug::default())),
+        (
+            "detroit-daf",
+            City::Detroit,
+            Box::new(DafEntropy::default()),
+        ),
+    ];
+    let catalog = Catalog::new();
+    let mut reference = HashMap::new();
+    for (i, (name, city, mech)) in specs.into_iter().enumerate() {
+        let input =
+            city.model()
+                .population_matrix(SIDE, 30_000, &mut dpod_dp::seeded_rng(50 + i as u64));
+        let out = mech
+            .sanitize(&input, eps, &mut dpod_dp::seeded_rng(60 + i as u64))
+            .unwrap();
+        catalog.publish(name, PublishedRelease::from_sanitized(&out));
+        reference.insert(name.to_string(), out);
+    }
+    (Arc::new(catalog), reference)
+}
+
+fn workload(n: usize, seed: u64) -> Vec<AxisBox> {
+    let shape = Shape::new(vec![SIDE, SIDE]).unwrap();
+    QueryWorkload::Random.draw_many(&shape, n, &mut dpod_dp::seeded_rng(seed))
+}
+
+/// The tentpole acceptance property: a 10k-query batch over a 3-release
+/// catalog, every answer bit-identical to the direct range sum.
+#[test]
+fn ten_thousand_query_batch_matches_direct_range_sums() {
+    let (catalog, reference) = reference_catalog();
+    let server = Server::new(Arc::clone(&catalog), 64 << 20);
+    let names: Vec<&str> = {
+        let mut n: Vec<&str> = reference.keys().map(|s| s.as_str()).collect();
+        n.sort();
+        n
+    };
+    let queries = workload(10_000, 99);
+    for (i, q) in queries.iter().enumerate() {
+        let name = names[i % names.len()];
+        let resp = server.handle(&Request::Query {
+            release: name.into(),
+            lo: q.lo().to_vec(),
+            hi: q.hi().to_vec(),
+        });
+        let Response::Value { value } = resp else {
+            panic!("query {i} failed: {resp:?}");
+        };
+        let expected = reference[name].range_sum(q);
+        assert_eq!(value, expected, "query {i} on {name} diverged");
+    }
+    assert_eq!(server.queries_answered(), 10_000);
+    let stats = server.engine_stats();
+    assert_eq!(stats.misses, 3, "each release rebuilt exactly once");
+    assert_eq!(stats.hits, 10_000 - 3);
+}
+
+/// The same agreement holds across the TCP front end with concurrent
+/// analysts (each pipelining batches against a different release).
+#[test]
+fn tcp_clients_agree_with_direct_range_sums() {
+    let (catalog, reference) = reference_catalog();
+    let server = Arc::new(Server::new(Arc::clone(&catalog), 64 << 20));
+    let handle = dpod_serve::spawn(Arc::clone(&server), "127.0.0.1:0", 4).unwrap();
+    let addr = handle.addr();
+    let reference = Arc::new(reference);
+
+    let mut joins = Vec::new();
+    for (t, name) in ["ny-ebp", "denver-eug", "detroit-daf"]
+        .into_iter()
+        .enumerate()
+    {
+        let reference = Arc::clone(&reference);
+        joins.push(std::thread::spawn(move || {
+            let queries = workload(500, 200 + t as u64);
+            let ranges: Vec<(Vec<usize>, Vec<usize>)> = queries
+                .iter()
+                .map(|q| (q.lo().to_vec(), q.hi().to_vec()))
+                .collect();
+            let stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            let req = Request::Batch {
+                release: name.into(),
+                ranges,
+            };
+            writer
+                .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+                .unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let Response::Values { values } = serde_json::from_str(line.trim()).unwrap() else {
+                panic!("batch on {name} failed");
+            };
+            assert_eq!(values.len(), queries.len());
+            for (q, got) in queries.iter().zip(&values) {
+                let expected = reference[name].range_sum(q);
+                // JSON carries shortest-round-trip decimals: exact.
+                assert_eq!(*got, expected, "{name} diverged on {q:?}");
+            }
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+    handle.stop();
+}
+
+/// Catalog persistence composes with serving: save, reload, same answers.
+#[test]
+fn reloaded_catalog_serves_identical_answers() {
+    let (catalog, reference) = reference_catalog();
+    let dir = std::env::temp_dir().join(format!("dpod_serve_reload_{}", std::process::id()));
+    catalog.save_dir(&dir).unwrap();
+    let reloaded = Catalog::load_dir(&dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let server = Server::new(Arc::new(reloaded), 64 << 20);
+    for (name, sanitized) in reference.iter() {
+        for q in workload(200, 77) {
+            let resp = server.handle(&Request::Query {
+                release: name.clone(),
+                lo: q.lo().to_vec(),
+                hi: q.hi().to_vec(),
+            });
+            let Response::Value { value } = resp else {
+                panic!("{name}: {resp:?}");
+            };
+            assert_eq!(value, sanitized.range_sum(&q));
+        }
+    }
+}
