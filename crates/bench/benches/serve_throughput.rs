@@ -9,11 +9,18 @@
 //! * `handle/batch` — 1000-range batches through one request (amortized
 //!   name resolution and cache lookup);
 //! * `tcp/pipelined` — end-to-end newline-delimited JSON over a local
-//!   socket.
+//!   socket;
+//! * `tcp/binary` — the same single-query traffic over the `DPRB`
+//!   binary protocol (pipelined frames, one connection);
+//! * `tcp/binary-batch` — 1000-range `DPRB` batch frames, the protocol's
+//!   intended interactive-analyst shape.
 //!
 //! Besides the criterion-style console lines, it writes the measured
 //! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
-//! workspace's perf trajectory accumulates across PRs.
+//! workspace's perf trajectory accumulates across PRs. Setting
+//! `DPOD_BENCH_SMOKE=1` shrinks every workload to a seconds-long smoke
+//! run (CI uses this to catch codec regressions without paying for a
+//! full measurement; the trajectory file is not rewritten in that mode).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dpod_bench::report::{Experiment, Panel};
@@ -29,6 +36,11 @@ use std::time::Instant;
 
 const SIDE: usize = 256;
 const BATCH: usize = 1_000;
+
+/// `DPOD_BENCH_SMOKE=1` → correctness-smoke sizes, no trajectory write.
+fn smoke() -> bool {
+    std::env::var("DPOD_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Catalog of three 256×256 releases from distinct mechanisms.
 fn build_server() -> Arc<Server> {
@@ -142,6 +154,58 @@ fn measure_tcp_qps(server: Arc<Server>, n: usize) -> f64 {
     qps
 }
 
+/// Single-query `DPRB` frames, pipelined on one connection.
+fn measure_tcp_binary_qps(server: Arc<Server>, n: usize) -> f64 {
+    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let requests = query_requests(n);
+    let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
+    let start = Instant::now();
+    for req in &requests {
+        client.send(req).expect("send");
+    }
+    for _ in 0..requests.len() {
+        match client.receive().expect("receive") {
+            Response::Value { value } => {
+                black_box(value);
+            }
+            other => panic!("binary query failed: {other:?}"),
+        }
+    }
+    let qps = requests.len() as f64 / start.elapsed().as_secs_f64();
+    handle.stop();
+    qps
+}
+
+/// 1000-range `DPRB` batch frames on one connection: the protocol's
+/// intended high-volume shape (packed coordinates out, raw f64s back).
+fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
+    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let shape = dpod_fmatrix::Shape::new(vec![SIDE, SIDE]).expect("shape");
+    let mut rng = dpod_dp::seeded_rng(9);
+    let ranges: Vec<(Vec<usize>, Vec<usize>)> = QueryWorkload::Random
+        .draw_many(&shape, BATCH, &mut rng)
+        .into_iter()
+        .map(|q| (q.lo().to_vec(), q.hi().to_vec()))
+        .collect();
+    let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
+    let req = Request::Batch {
+        release: "gauss-ebp".into(),
+        ranges,
+    };
+    let start = Instant::now();
+    for _ in 0..rounds {
+        match client.request(&req).expect("batch") {
+            Response::Values { values } => {
+                black_box(values.len());
+            }
+            other => panic!("binary batch failed: {other:?}"),
+        }
+    }
+    let qps = (BATCH * rounds) as f64 / start.elapsed().as_secs_f64();
+    handle.stop();
+    qps
+}
+
 fn bench_serve_throughput(c: &mut Criterion) {
     let server = build_server();
     let requests = query_requests(1_024);
@@ -161,19 +225,39 @@ fn bench_serve_throughput(c: &mut Criterion) {
     });
     group.finish();
 
-    // Trajectory measurements (fixed work, direct wall-clock).
-    let single_qps = measure_qps(&server, &requests, 10);
-    let batch_qps = measure_batch_qps(&server, 10);
-    let tcp_qps = measure_tcp_qps(Arc::clone(&server), 10_000);
+    // Trajectory measurements (fixed work, direct wall-clock). Smoke
+    // mode shrinks everything: the point is then "the paths still
+    // answer correctly end to end", not the numbers.
+    let (rounds, tcp_n, bin_n, bin_rounds) = if smoke() {
+        (1, 1_000, 2_000, 3)
+    } else {
+        (10, 10_000, 50_000, 200)
+    };
+    let single_qps = measure_qps(&server, &requests, rounds);
+    let batch_qps = measure_batch_qps(&server, rounds);
+    let tcp_qps = measure_tcp_qps(Arc::clone(&server), tcp_n);
+    let tcp_bin_qps = measure_tcp_binary_qps(Arc::clone(&server), bin_n);
+    let tcp_bin_batch_qps = measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds);
     println!(
-        "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp {:.0} q/s",
-        single_qps, batch_qps, tcp_qps
+        "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
+         tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s",
+        single_qps, batch_qps, tcp_qps, tcp_bin_qps, tcp_bin_batch_qps
     );
+    if smoke() {
+        println!("smoke mode: skipping BENCH_serve.json update");
+        return;
+    }
 
     let triples = vec![
         ("handle_single".to_string(), SIDE as f64, single_qps),
         ("handle_batch1000".to_string(), SIDE as f64, batch_qps),
         ("tcp_pipelined".to_string(), SIDE as f64, tcp_qps),
+        ("tcp_binary_pipelined".to_string(), SIDE as f64, tcp_bin_qps),
+        (
+            "tcp_binary_batch1000".to_string(),
+            SIDE as f64,
+            tcp_bin_batch_qps,
+        ),
     ];
     let experiment = Experiment {
         id: "BENCH_serve".into(),

@@ -16,15 +16,21 @@ USAGE:
   dpod publish  --input trips.csv --name NAME --catalog DIR [--cells M]
                 --epsilon E [--mechanism NAME] [--seed S]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
-                [--cache-mb M]
+                [--cache-mb M] [--wire auto|json|binary]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
+  dpod query    --connect HOST:PORT --release NAME [--binary true]
+                --range SPEC [--range SPEC]...
 
 RANGE SPEC: one clause per dimension, comma separated: 'lo..hi' or '*'
             e.g. --range '0..4,*,3..5,*'
 MECHANISMS: see `dpod mechanisms`
-SERVE WIRE: newline-delimited JSON; e.g.
+SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
+            A connection opening with the 5-byte preamble 'DPRB'+version
+            speaks the length-prefixed binary protocol instead (fastest;
+            used by `dpod query --binary true`). --wire restricts an
+            endpoint to one encoding.
 ";
 
 fn main() -> ExitCode {
@@ -76,11 +82,21 @@ fn run(args: &[String]) -> Result<String, CliError> {
             commands::inspect(release)
         }
         "query" => {
-            let release = commands::load_release(&PathBuf::from(opts.require("release")?))?;
             if opts.ranges.is_empty() {
                 return Err("query needs at least one --range".into());
             }
-            commands::query(release, &opts.ranges)
+            match opts.get("connect") {
+                Some(addr) => commands::remote_query(
+                    addr,
+                    &opts.require("release")?,
+                    &opts.ranges,
+                    opts.parse_or("binary", false)?,
+                ),
+                None => {
+                    let release = commands::load_release(&PathBuf::from(opts.require("release")?))?;
+                    commands::query(release, &opts.ranges)
+                }
+            }
         }
         "publish" => {
             let input = opts.require("input")?;
@@ -104,6 +120,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 addr: opts.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
                 workers: opts.parse_or("workers", 4)?,
                 cache_mb: opts.parse_or("cache-mb", 256)?,
+                wire: opts.parse_or("wire", dpod_serve::WireMode::Auto)?,
             })?;
             eprintln!(
                 "dpod-serve listening on {} ({} releases)",

@@ -7,7 +7,8 @@ use dpod_core::{PublishedRelease, ReleaseBody};
 use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
-use dpod_serve::{Catalog, Server, ServerHandle};
+use dpod_serve::protocol::{Request, Response};
+use dpod_serve::{Catalog, Server, ServerHandle, WireMode};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -119,11 +120,14 @@ pub fn publish(
         Catalog::new()
     };
     let version = catalog.publish(name, release);
-    let total = catalog.save_dir(catalog_dir).map_err(|e| CliError(e.0))?;
+    let report = catalog.save_dir(catalog_dir).map_err(|e| CliError(e.0))?;
+    let total = report.live();
     Ok(format!(
-        "published '{name}' v{version} to {} ({total} release{})\n",
+        "published '{name}' v{version} to {} ({total} release{}, {} frame{} written)\n",
         catalog_dir.display(),
-        if total == 1 { "" } else { "s" }
+        if total == 1 { "" } else { "s" },
+        report.written,
+        if report.written == 1 { "" } else { "s" },
     ))
 }
 
@@ -137,6 +141,8 @@ pub struct ServeArgs {
     pub workers: usize,
     /// Rebuild-cache budget in mebibytes.
     pub cache_mb: usize,
+    /// Accepted encodings (`auto` sniffs per connection).
+    pub wire: WireMode,
 }
 
 /// Starts the serving stack for `dpod serve`, returning the running
@@ -157,9 +163,96 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
         Arc::new(catalog),
         args.cache_mb.saturating_mul(1 << 20),
     ));
-    let handle = dpod_serve::spawn(Arc::clone(&server), args.addr.as_str(), args.workers)
-        .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
+    let handle = dpod_serve::spawn_wire(
+        Arc::clone(&server),
+        args.addr.as_str(),
+        args.workers,
+        args.wire,
+    )
+    .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
     Ok((handle, server))
+}
+
+/// `dpod query --connect`: answers range specs against a *running*
+/// server instead of a local release file, over either encoding.
+///
+/// The release's domain is fetched via a `List` request first (range
+/// specs like `0..4,*` need the axis lengths), then every spec is
+/// answered in one pipelined `Batch`.
+///
+/// # Errors
+/// [`CliError`] for connection failures, unknown releases, bad specs,
+/// or server-side errors.
+pub fn remote_query(
+    addr: &str,
+    release: &str,
+    specs: &[String],
+    binary: bool,
+) -> Result<String, CliError> {
+    let transport = |req: &Request| -> Result<Response, CliError> {
+        if binary {
+            let mut client = dpod_serve::wire::Client::connect(addr)
+                .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+            client.request(req).map_err(|e| CliError(e.0))
+        } else {
+            ndjson_round_trip(addr, req)
+        }
+    };
+    // One connection per request keeps this helper trivially correct for
+    // both encodings; interactive analysts needing throughput should
+    // pipeline over `dpod_serve::wire::Client` directly.
+    let Response::Releases { releases } = transport(&Request::List)? else {
+        return Err("unexpected response to List".into());
+    };
+    let info = releases
+        .iter()
+        .find(|r| r.name == release)
+        .ok_or_else(|| CliError(format!("unknown release '{release}' on {addr}")))?;
+    let shape =
+        Shape::new(info.domain.clone()).map_err(|e| CliError(format!("bad domain: {e}")))?;
+    let ranges: Vec<(Vec<usize>, Vec<usize>)> = specs
+        .iter()
+        .map(|spec| {
+            rangespec::parse_range(spec, &shape).map(|q| (q.lo().to_vec(), q.hi().to_vec()))
+        })
+        .collect::<Result<_, _>>()?;
+    match transport(&Request::Batch {
+        release: release.to_string(),
+        ranges,
+    })? {
+        Response::Values { values } => {
+            let mut out = String::new();
+            for (spec, value) in specs.iter().zip(values) {
+                out.push_str(&format!("{spec} => {value:.2}\n"));
+            }
+            Ok(out)
+        }
+        Response::Error { message } => Err(CliError(message)),
+        other => Err(CliError(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// One NDJSON request/response round trip on a fresh connection.
+fn ndjson_round_trip(addr: &str, req: &Request) -> Result<Response, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError(format!("socket: {e}")))?,
+    );
+    let mut line = serde_json::to_string(req).map_err(|e| CliError(e.to_string()))?;
+    line.push('\n');
+    let mut stream = stream;
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| CliError(format!("send: {e}")))?;
+    let mut answer = String::new();
+    reader
+        .read_line(&mut answer)
+        .map_err(|e| CliError(format!("receive: {e}")))?;
+    serde_json::from_str(answer.trim()).map_err(|e| CliError(format!("bad response: {e}")))
 }
 
 /// Loads and validates a release JSON file.
@@ -356,6 +449,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             cache_mb: 64,
+            wire: WireMode::Auto,
         })
         .unwrap();
         assert_eq!(server.catalog().len(), 2);
@@ -381,6 +475,16 @@ mod tests {
         // Full-domain estimate near the 3000 generated trips.
         assert!((values[0] - 3_000.0).abs() < 600.0, "total {}", values[0]);
 
+        // `dpod query --connect`: identical output over both encodings,
+        // and both agree with the raw batch answer above.
+        let addr = handle.addr().to_string();
+        let spec = vec!["*,*,*,*".to_string()];
+        let json_out = remote_query(&addr, "denver-ebp", &spec, false).unwrap();
+        let bin_out = remote_query(&addr, "denver-ebp", &spec, true).unwrap();
+        assert_eq!(json_out, bin_out);
+        assert_eq!(json_out, format!("*,*,*,* => {:.2}\n", values[0]));
+        assert!(remote_query(&addr, "no-such-release", &spec, true).is_err());
+
         handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -395,6 +499,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             cache_mb: 1,
+            wire: WireMode::Auto,
         })
         .is_err());
         std::fs::remove_dir_all(&dir).ok();

@@ -29,6 +29,18 @@ pub const RELEASE_MAGIC: &[u8; 4] = b"DPRL";
 /// Current version of the `DPRL` release frame.
 pub const RELEASE_VERSION: u8 = 1;
 
+/// Magic for the binary query-protocol frame (`dpod_serve::wire`).
+///
+/// Spoken on analyst connections: a client that opens with this magic is
+/// served length-prefixed `DPRB` frames instead of newline-delimited
+/// JSON. As with [`RELEASE_MAGIC`], the codec lives downstream (it needs
+/// the request/response types) but the magic is enumerated here so every
+/// workspace frame format shares one registry.
+pub const WIRE_MAGIC: &[u8; 4] = b"DPRB";
+
+/// Current version of the `DPRB` query-protocol frame.
+pub const WIRE_VERSION: u8 = 1;
+
 /// Builder for little-endian, magic+version prefixed binary frames.
 ///
 /// The `DPFM` matrix codec below and the `DPRL` release codec in
@@ -76,6 +88,15 @@ impl FrameWriter {
         assert!(s.len() <= u16::MAX as usize, "string too long for frame");
         self.buf.put_u16_le(s.len() as u16);
         self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed (u64) raw byte slice.
+    ///
+    /// Unlike [`Self::put_str`] this carries arbitrary payloads of any
+    /// length (the query protocol's packed batch bodies).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.put_u64_le(bytes.len() as u64);
+        self.buf.put_slice(bytes);
     }
 
     /// Appends a length-prefixed (u64) slice of `usize` values as u64s.
@@ -174,6 +195,29 @@ impl<'a> FrameReader<'a> {
         String::from_utf8(raw.to_vec()).map_err(|_| FmError::InvalidShape {
             reason: format!("frame field {what} is not valid UTF-8"),
         })
+    }
+
+    /// Reads a u64-length-prefixed raw byte slice (see
+    /// [`FrameWriter::put_bytes`]). The declared length is validated
+    /// against the remaining frame before any allocation happens, so an
+    /// adversarial length cannot balloon memory.
+    pub fn get_bytes(&mut self, what: &str) -> Result<&'a [u8]> {
+        let len = self.get_u64(what)?;
+        let len = usize::try_from(len).map_err(|_| FmError::InvalidShape {
+            reason: format!("frame field {what} length overflows"),
+        })?;
+        self.take(len, what)
+    }
+
+    /// Reads `count` *unprefixed* little-endian `u64` words, returning
+    /// the raw bytes (callers that already know the word count from an
+    /// earlier field skip the length prefix — the query protocol's
+    /// packed batch coordinates). Bounds are validated before returning.
+    pub fn get_raw_u64s(&mut self, count: usize, what: &str) -> Result<&'a [u8]> {
+        let n = count.checked_mul(8).ok_or_else(|| FmError::InvalidShape {
+            reason: format!("frame field {what} length overflows"),
+        })?;
+        self.take(n, what)
     }
 
     /// Reads a u64-length-prefixed `usize` vector.
@@ -387,6 +431,8 @@ mod tests {
         w.put_str("ebp");
         w.put_usize_slice(&[1, 2, 3]);
         w.put_f64_slice(&[0.5, -0.25]);
+        w.put_bytes(b"raw\x00payload");
+        w.put_u64(7); // unprefixed word, read back via get_raw_u64s
         let bytes = w.finish();
 
         let mut r = FrameReader::new(&bytes, b"TEST", 3).unwrap();
@@ -397,6 +443,8 @@ mod tests {
         assert_eq!(r.get_str("e").unwrap(), "ebp");
         assert_eq!(r.get_usize_vec("f").unwrap(), vec![1, 2, 3]);
         assert_eq!(r.get_f64_vec("g").unwrap(), vec![0.5, -0.25]);
+        assert_eq!(r.get_bytes("h").unwrap(), b"raw\x00payload");
+        assert_eq!(r.get_raw_u64s(1, "i").unwrap(), 7u64.to_le_bytes());
         r.finish().unwrap();
     }
 

@@ -11,10 +11,11 @@ use crate::ServeError;
 use dpod_core::PublishedRelease;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Default shard count (power of two; plenty for tens of worker threads).
 const DEFAULT_SHARDS: usize = 16;
@@ -34,11 +35,58 @@ pub struct CatalogEntry {
 }
 
 /// Manifest row persisted alongside the binary frames.
+///
+/// A row with `deleted: true` is a *tombstone*: the release was removed,
+/// its frame file is gone, but its last version is retained so that a
+/// reload followed by a republish keeps the per-name version sequence
+/// monotonic (the `QueryEngine` cache keys on `(name, version)` and must
+/// never see a version reused for different data, even across a restart).
+/// `checksum` is an FNV-1a digest of the frame bytes: versions alone
+/// cannot prove a frame is current (a fresh catalog that never loaded
+/// this directory can re-assign an existing `(name, version)` pair to
+/// different data), so the incremental skip requires the content digest
+/// to match too.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ManifestEntry {
     name: String,
     version: u64,
     file: String,
+    checksum: u64,
+    deleted: bool,
+}
+
+/// FNV-1a over frame bytes: stable across processes and toolchains
+/// (unlike `DefaultHasher`, which carries no cross-version guarantee),
+/// which is what a persisted digest needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// What one [`Catalog::save_dir`] call actually did on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Frames written because the release was new or republished.
+    pub written: usize,
+    /// Frames left untouched (same name, version and file already on
+    /// disk) — the incremental fast path.
+    pub skipped: usize,
+    /// Stale files removed (frames of removed releases, orphans from an
+    /// interrupted save, leftover temp files).
+    pub pruned: usize,
+    /// Tombstone rows recorded for removed releases.
+    pub tombstones: usize,
+}
+
+impl SaveReport {
+    /// Number of live releases the saved directory holds.
+    pub fn live(&self) -> usize {
+        self.written + self.skipped
+    }
 }
 
 /// One lock stripe: the live entries plus the last version ever
@@ -51,6 +99,16 @@ struct Shard {
     entries: HashMap<String, Arc<CatalogEntry>>,
     last_versions: HashMap<String, u64>,
 }
+
+/// Serializes every [`Catalog::save_dir`] in this process — across
+/// catalog instances, not just per instance. Concurrent savers would
+/// otherwise interleave manifest writes, and the prune step's "this
+/// process's temp files are sweepable" rule is only sound if no other
+/// save in the process can be mid-`write_atomically` (two instances
+/// share one pid, so a per-instance lock would not protect them from
+/// each other). Publishes never take this lock — saving runs against a
+/// point-in-time snapshot.
+static SAVE_LOCK: Mutex<()> = Mutex::new(());
 
 /// A sharded, `RwLock`-striped in-memory release store.
 #[derive(Debug)]
@@ -164,59 +222,157 @@ impl Catalog {
         self.len() == 0
     }
 
-    /// Persists every release to `dir`: one `DPRL` frame per entry plus a
-    /// `catalog.json` manifest mapping names/versions to files. Returns
-    /// the number of entries written.
+    /// One consistent pass over the shards: the live entries plus every
+    /// last version this catalog has assigned. Both views of a name come
+    /// from the same lock acquisition (a name lives in exactly one
+    /// shard), so a concurrent publish is either wholly visible or
+    /// wholly absent — it can never appear in `last_versions` but not in
+    /// the entries, which would be misread as a removal.
+    fn snapshot(&self) -> (Vec<Arc<CatalogEntry>>, Vec<(String, u64)>) {
+        let mut entries = Vec::new();
+        let mut versions = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().unwrap_or_else(|e| e.into_inner());
+            entries.extend(shard.entries.values().cloned());
+            versions.extend(shard.last_versions.iter().map(|(n, v)| (n.clone(), *v)));
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        (entries, versions)
+    }
+
+    /// Persists the catalog to `dir` *incrementally*: one `DPRL` frame
+    /// per release plus a `catalog.json` manifest, writing only frames
+    /// whose release is new or republished since the directory's last
+    /// save. An unchanged release's frame file is not touched at all —
+    /// same bytes, same mtime. Removed releases leave a tombstone row
+    /// in the manifest (preserving version monotonicity across a
+    /// reload) and their frames are pruned.
     ///
     /// Frame files are keyed by release *name* (sanitized, hash-suffixed
-    /// for uniqueness) and every write goes through a temp-file + rename,
-    /// so a crash mid-save can never leave one name's manifest row
-    /// pointing at another name's data — the worst case is a frame one
-    /// publish newer than the manifest row describing it.
+    /// for uniqueness) and every write goes through a uniquely-named
+    /// temp file + rename, so a crash mid-save can never leave one
+    /// name's manifest row pointing at another name's data — the worst
+    /// case is a frame one publish newer than the manifest row
+    /// describing it, which the next save repairs. Concurrent
+    /// `save_dir` calls anywhere in the process serialize on one
+    /// internal lock; publishes never wait on a save.
     ///
     /// # Errors
     /// [`ServeError`] wrapping the first IO or serialization failure.
-    pub fn save_dir(&self, dir: &Path) -> Result<usize, ServeError> {
+    pub fn save_dir(&self, dir: &Path) -> Result<SaveReport, ServeError> {
+        let _guard = SAVE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         std::fs::create_dir_all(dir)
             .map_err(|e| ServeError(format!("cannot create {}: {e}", dir.display())))?;
-        let entries = self.entries();
+        // Best-effort read of the previous manifest: a missing or
+        // corrupt one simply downgrades this save to a full rewrite.
+        let previous: HashMap<String, ManifestEntry> = std::fs::read_to_string(dir.join(MANIFEST))
+            .ok()
+            .and_then(|text| serde_json::from_str::<Vec<ManifestEntry>>(&text).ok())
+            .map(|rows| rows.into_iter().map(|r| (r.name.clone(), r)).collect())
+            .unwrap_or_default();
+
+        let (entries, last_versions) = self.snapshot();
+        let live: HashSet<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        let mut report = SaveReport::default();
         let mut manifest = Vec::with_capacity(entries.len());
         for entry in &entries {
             let file = frame_file_name(&entry.name);
-            write_atomically(&dir.join(&file), &entry.release.to_bytes())?;
+            let bytes = entry.release.to_bytes();
+            let checksum = fnv1a(&bytes);
+            // Skipping requires the on-disk content to provably match:
+            // name, version, file AND content digest. Version equality
+            // alone is not proof — this catalog may never have loaded
+            // the directory it is saving into.
+            let unchanged = previous.get(&entry.name).is_some_and(|old| {
+                !old.deleted
+                    && old.version == entry.version
+                    && old.file == file
+                    && old.checksum == checksum
+                    && dir.join(&file).is_file()
+            });
+            if unchanged {
+                report.skipped += 1;
+            } else {
+                write_atomically(&dir.join(&file), &bytes)?;
+                report.written += 1;
+            }
             manifest.push(ManifestEntry {
                 name: entry.name.clone(),
                 version: entry.version,
                 file,
+                checksum,
+                deleted: false,
             });
         }
+
+        // Tombstones: every name this catalog has ever versioned, or the
+        // previous manifest recorded, that is no longer live. Keep the
+        // highest version seen from either source.
+        let mut tombstones: BTreeMap<String, u64> = BTreeMap::new();
+        for (name, version) in last_versions {
+            if !live.contains(name.as_str()) {
+                let slot = tombstones.entry(name).or_insert(0);
+                *slot = (*slot).max(version);
+            }
+        }
+        for (name, old) in &previous {
+            if !live.contains(name.as_str()) {
+                let slot = tombstones.entry(name.clone()).or_insert(0);
+                *slot = (*slot).max(old.version);
+            }
+        }
+        for (name, version) in tombstones {
+            manifest.push(ManifestEntry {
+                name,
+                version,
+                file: String::new(),
+                checksum: 0,
+                deleted: true,
+            });
+            report.tombstones += 1;
+        }
+
         let manifest_json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| ServeError(format!("cannot serialize manifest: {e}")))?;
         write_atomically(&dir.join(MANIFEST), manifest_json.as_bytes())?;
-        // Delete frames no longer referenced (removed releases): the
-        // manifest-less scan fallback in `load_dir` must not resurrect
-        // a release the curator deliberately removed.
-        let live: std::collections::HashSet<&str> =
-            manifest.iter().map(|m| m.file.as_str()).collect();
+
+        // Prune everything the new manifest does not reference: frames
+        // of removed releases (the manifest-less scan fallback in
+        // `load_dir` must not resurrect them), orphans from interrupted
+        // saves, and sweepable temp files. This process's temp files are
+        // safe to sweep (the save lock means no sibling save is
+        // mid-write); another live process may be mid-`write_atomically`
+        // right now, so foreign temp files are only swept once old
+        // enough to be a crashed writer's leftover.
+        let referenced: HashSet<&str> = manifest
+            .iter()
+            .filter(|m| !m.deleted)
+            .map(|m| m.file.as_str())
+            .collect();
         if let Ok(listing) = std::fs::read_dir(dir) {
             for dirent in listing.flatten() {
                 let path = dirent.path();
-                let is_stale_frame = path.extension().is_some_and(|e| e == "dprl")
+                let stale_frame = path.extension().is_some_and(|e| e == "dprl")
                     && path
                         .file_name()
                         .and_then(|f| f.to_str())
-                        .is_some_and(|f| !live.contains(f));
-                if is_stale_frame {
-                    std::fs::remove_file(&path).ok();
+                        .is_some_and(|f| !referenced.contains(f));
+                let sweepable_tmp =
+                    path.extension().is_some_and(|e| e == "tmp") && tmp_is_sweepable(&path);
+                if (stale_frame || sweepable_tmp) && std::fs::remove_file(&path).is_ok() {
+                    report.pruned += 1;
                 }
             }
         }
-        Ok(entries.len())
+        Ok(report)
     }
 
-    /// Loads a catalog persisted by [`Self::save_dir`]. Without a
-    /// manifest, every `*.dprl` file in `dir` is loaded under its file
-    /// stem at version 1 (so hand-assembled directories also serve).
+    /// Loads a catalog persisted by [`Self::save_dir`]. Tombstone rows
+    /// restore only the per-name version floor, so a republish after
+    /// reload continues the version sequence instead of restarting it.
+    /// Without a manifest, every `*.dprl` file in `dir` is loaded under
+    /// its file stem at version 1 (so hand-assembled directories also
+    /// serve).
     ///
     /// # Errors
     /// [`ServeError`] when the directory is unreadable, a frame fails to
@@ -230,9 +386,15 @@ impl Catalog {
             let manifest: Vec<ManifestEntry> = serde_json::from_str(&text)
                 .map_err(|e| ServeError(format!("bad manifest: {e}")))?;
             for row in manifest {
+                let shard = catalog.shard_for(&row.name);
+                if row.deleted {
+                    let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+                    let floor = shard.last_versions.entry(row.name).or_insert(0);
+                    *floor = (*floor).max(row.version);
+                    continue;
+                }
                 let path = dir.join(&row.file);
                 let release = read_release(&path)?;
-                let shard = catalog.shard_for(&row.name);
                 let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
                 shard.last_versions.insert(row.name.clone(), row.version);
                 shard.entries.insert(
@@ -286,9 +448,41 @@ fn frame_file_name(name: &str) -> String {
     format!("{safe}-{:016x}.dprl", h.finish())
 }
 
-/// Writes via a sibling temp file + rename (atomic on one filesystem).
+/// Whether a temp file may be deleted during prune: ours (the save lock
+/// guarantees this process has no write in flight by prune time), or so
+/// old it can only be a crashed writer's leftover — never another live
+/// process's in-flight rename.
+fn tmp_is_sweepable(path: &Path) -> bool {
+    let marker = format!(".{}-", std::process::id());
+    let ours = path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .is_some_and(|f| f.contains(&marker));
+    if ours {
+        return true;
+    }
+    const STALE: std::time::Duration = std::time::Duration::from_secs(15 * 60);
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|t| t.elapsed().ok())
+        .is_some_and(|age| age > STALE)
+}
+
+/// Writes via a uniquely-named sibling temp file + rename (atomic on one
+/// filesystem). The temp name carries the process id and a global
+/// sequence number so writers racing on the same target — two catalogs
+/// saving into one directory, or two processes — never interleave bytes
+/// in a shared temp file; last rename wins cleanly.
 fn write_atomically(path: &Path, bytes: &[u8]) -> Result<(), ServeError> {
-    let tmp = path.with_extension("tmp");
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "frame".to_string());
+    tmp_name.push_str(&format!(".{}-{seq}.tmp", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
     std::fs::write(&tmp, bytes)
         .map_err(|e| ServeError(format!("cannot write {}: {e}", tmp.display())))?;
     std::fs::rename(&tmp, path)
@@ -354,8 +548,10 @@ mod tests {
         c.publish("ebp-city", release(8)); // v2
         c.publish("other", release(9));
         let dir = std::env::temp_dir().join(format!("dpod_catalog_{}", std::process::id()));
-        let written = c.save_dir(&dir).unwrap();
-        assert_eq!(written, 2);
+        let report = c.save_dir(&dir).unwrap();
+        assert_eq!(report.written, 2);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.live(), 2);
 
         let loaded = Catalog::load_dir(&dir).unwrap();
         assert_eq!(loaded.len(), 2);
@@ -433,6 +629,132 @@ mod tests {
         for i in 0..4 {
             assert_eq!(c.get(&format!("r{i}")).unwrap().version, 100);
         }
+    }
+
+    /// Regression for the rewrite-everything behavior: a second save
+    /// with nothing republished must not touch an existing frame file —
+    /// identical bytes AND identical mtime (i.e. no write happened).
+    #[test]
+    fn second_save_leaves_unchanged_frames_untouched() {
+        let c = Catalog::new();
+        c.publish("stable", release(11));
+        c.publish("churning", release(12));
+        let dir = std::env::temp_dir().join(format!("dpod_incr_{}", std::process::id()));
+        let first = c.save_dir(&dir).unwrap();
+        assert_eq!((first.written, first.skipped), (2, 0));
+
+        let stable_path = dir.join(frame_file_name("stable"));
+        let bytes_before = std::fs::read(&stable_path).unwrap();
+        let mtime_before = std::fs::metadata(&stable_path).unwrap().modified().unwrap();
+        // Give the clock room so a rewrite would be observable even on
+        // coarse-mtime filesystems.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        c.publish("churning", release(13)); // v2: only this frame changes
+        let second = c.save_dir(&dir).unwrap();
+        assert_eq!((second.written, second.skipped), (1, 1));
+        assert_eq!(std::fs::read(&stable_path).unwrap(), bytes_before);
+        assert_eq!(
+            std::fs::metadata(&stable_path).unwrap().modified().unwrap(),
+            mtime_before,
+            "unchanged frame was rewritten"
+        );
+
+        // A third save with no publishes at all writes nothing.
+        let third = c.save_dir(&dir).unwrap();
+        assert_eq!((third.written, third.skipped), (0, 2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A frame that vanished out from under the manifest (operator
+    /// deleted it, partial copy) is re-written, not skipped.
+    #[test]
+    fn save_repairs_a_missing_frame() {
+        let c = Catalog::new();
+        c.publish("a", release(21));
+        let dir = std::env::temp_dir().join(format!("dpod_repair_{}", std::process::id()));
+        c.save_dir(&dir).unwrap();
+        let frame = dir.join(frame_file_name("a"));
+        std::fs::remove_file(&frame).unwrap();
+        let report = c.save_dir(&dir).unwrap();
+        assert_eq!((report.written, report.skipped), (1, 0));
+        assert!(frame.is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Tombstones carry the version floor across save → load → republish:
+    /// the reloaded catalog must not restart a removed name at version 1.
+    #[test]
+    fn tombstones_keep_versions_monotonic_across_reload() {
+        let c = Catalog::new();
+        c.publish("a", release(31));
+        c.publish("a", release(32)); // v2
+        c.publish("b", release(33));
+        let dir = std::env::temp_dir().join(format!("dpod_tomb_{}", std::process::id()));
+        c.save_dir(&dir).unwrap();
+        c.remove("a");
+        let report = c.save_dir(&dir).unwrap();
+        assert_eq!(report.tombstones, 1);
+        assert_eq!(report.live(), 1);
+
+        let reloaded = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(reloaded.len(), 1, "tombstone must not resurrect 'a'");
+        assert!(reloaded.get("a").is_none());
+        // The republished version continues past the tombstoned v2.
+        assert_eq!(reloaded.publish("a", release(34)), 3);
+        // And the tombstone clears once the name is live again.
+        let after = reloaded.save_dir(&dir).unwrap();
+        assert_eq!(after.tombstones, 0);
+        assert_eq!(
+            Catalog::load_dir(&dir).unwrap().get("a").unwrap().version,
+            3
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The incremental skip must be content-aware: a catalog that never
+    /// loaded the directory can reuse an existing `(name, version)` pair
+    /// for different data, and that save must write, not skip.
+    #[test]
+    fn save_rewrites_when_same_version_holds_different_bytes() {
+        let dir = std::env::temp_dir().join(format!("dpod_cksum_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let first = Catalog::new();
+        first.publish("x", release(51));
+        first.save_dir(&dir).unwrap();
+
+        // A fresh catalog (same name, same version 1, different data)
+        // saving into the same directory.
+        let second = Catalog::new();
+        second.publish("x", release(52));
+        let report = second.save_dir(&dir).unwrap();
+        assert_eq!((report.written, report.skipped), (1, 0));
+        let loaded = Catalog::load_dir(&dir).unwrap();
+        assert_eq!(
+            *loaded.get("x").unwrap().release,
+            *second.get("x").unwrap().release,
+            "directory must hold the saving catalog's bytes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Prune sweeps this process's leftover temp files but must not
+    /// delete a fresh foreign one — another process could be mid-way
+    /// through its atomic rename.
+    #[test]
+    fn prune_spares_fresh_foreign_temp_files() {
+        let c = Catalog::new();
+        c.publish("a", release(41));
+        let dir = std::env::temp_dir().join(format!("dpod_tmp_sweep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ours = dir.join(format!("x.dprl.{}-999.tmp", std::process::id()));
+        let foreign = dir.join("x.dprl.1-0.tmp");
+        std::fs::write(&ours, b"ours").unwrap();
+        std::fs::write(&foreign, b"foreign").unwrap();
+        c.save_dir(&dir).unwrap();
+        assert!(!ours.exists(), "own temp file must be swept");
+        assert!(foreign.exists(), "fresh foreign temp file must survive");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   so steady-state range queries are `O(2^d)` lookups;
 //! * [`Server`] — the request front end: an in-process [`Server::handle`]
 //!   API driven directly by the CLI, tests and benches, plus a std-only
-//!   thread-pool TCP loop ([`spawn`]) speaking newline-delimited JSON.
+//!   thread-pool TCP loop ([`spawn`]) speaking newline-delimited JSON
+//!   and/or the length-prefixed `DPRB` binary protocol ([`wire`]),
+//!   selected per connection by a preamble sniff ([`WireMode`]).
 //!
 //! Everything released through this crate is DP post-processing: the
 //! catalog stores only `PublishedRelease` artifacts, never raw counts.
@@ -26,10 +28,11 @@ mod catalog;
 mod engine;
 pub mod protocol;
 mod server;
+pub mod wire;
 
-pub use catalog::{Catalog, CatalogEntry};
+pub use catalog::{Catalog, CatalogEntry, SaveReport};
 pub use engine::{EngineStats, QueryEngine};
-pub use server::{spawn, Server, ServerHandle, DEFAULT_CACHE_BYTES};
+pub use server::{spawn, spawn_wire, Server, ServerHandle, WireMode, DEFAULT_CACHE_BYTES};
 
 /// Serving-layer error: a displayable message naming the failing operation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,10 +1,15 @@
-//! The wire protocol: newline-delimited JSON requests and responses.
+//! The wire protocol: one request/response vocabulary, two encodings.
 //!
-//! One JSON document per line; the server answers every request line with
-//! exactly one response line, in order, so a client can pipeline an
-//! entire batch and read answers back positionally. The same types drive
-//! the in-process [`Server::handle`](crate::Server::handle) path — the
-//! TCP framing is just serialization around it.
+//! The [`Request`]/[`Response`] types here are the whole analyst
+//! surface; they drive the in-process
+//! [`Server::handle`](crate::Server::handle) path directly, and both TCP
+//! encodings are just serialization around it. The server answers every
+//! request with exactly one response, in order, so a client can pipeline
+//! an entire batch and read answers back positionally.
+//!
+//! ## Encoding 1: newline-delimited JSON (the default)
+//!
+//! One JSON document per line:
 //!
 //! ```text
 //! → {"Query":{"release":"city","lo":[0,0],"hi":[4,4]}}
@@ -12,6 +17,30 @@
 //! → "List"
 //! ← {"Releases":{"releases":[…]}}
 //! ```
+//!
+//! ## Encoding 2: `DPRB` binary frames (see [`crate::wire`])
+//!
+//! A connection that opens with the 5-byte preamble `"DPRB" + version`
+//! switches to length-prefixed binary frames for its lifetime:
+//!
+//! ```text
+//! preamble:  "DPRB"  u8 version            (client → server, once)
+//! frame:     u32 len | "DPRB" u8 version u8 opcode payload…
+//! ```
+//!
+//! Batch requests pack their ranges as raw little-endian `u64`
+//! coordinate arrays and batch answers return as raw `f64` bit-pattern
+//! vectors, which is what lifts a single connection from ~10⁵ to >10⁶
+//! queries/sec. The full field-by-field layout is documented in
+//! [`crate::wire`].
+//!
+//! **Migration note for NDJSON clients:** nothing changes unless you opt
+//! in. The server sniffs the first four bytes of each connection; only
+//! an exact `DPRB` preamble selects binary framing, and no JSON document
+//! can begin with those bytes. To migrate, send the preamble once after
+//! connect, then exchange frames (`dpod_serve::wire::Client` wraps
+//! this); both encodings answer from the same catalog with bit-identical
+//! values, so clients can switch per-connection at any time.
 
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +131,19 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Rebuild-cache misses.
     pub cache_misses: u64,
+    /// Queries answered per release (hot-release telemetry), sorted by
+    /// name. Names persist here even after a release is removed — the
+    /// counters describe lifetime traffic, not current catalog contents.
+    pub release_hits: Vec<ReleaseHits>,
+}
+
+/// Lifetime query count against one release name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseHits {
+    /// Catalog name the queries addressed.
+    pub name: String,
+    /// Range queries answered against it since server start.
+    pub hits: u64,
 }
 
 #[cfg(test)]
@@ -147,6 +189,20 @@ mod tests {
                     domain: vec![8, 8],
                     released_values: 16,
                 }],
+            },
+            Response::Stats {
+                stats: ServerStats {
+                    releases: 1,
+                    queries: 42,
+                    cache_entries: 1,
+                    cache_bytes: 2048,
+                    cache_hits: 41,
+                    cache_misses: 1,
+                    release_hits: vec![ReleaseHits {
+                        name: "city".into(),
+                        hits: 42,
+                    }],
+                },
             },
             Response::Error {
                 message: "unknown release".into(),

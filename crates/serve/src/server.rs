@@ -2,25 +2,63 @@
 //!
 //! [`Server::handle`] is the whole request surface — the CLI, tests and
 //! benches call it directly with zero serialization. [`spawn`] wraps the
-//! same dispatch in a fixed thread pool reading newline-delimited JSON
-//! from a `TcpListener`: one acceptor thread hands sockets to workers
-//! over an `mpsc` channel, each worker answers its connection's lines in
-//! order. No async runtime. Each worker serves one connection at a time,
-//! so a connection that stays open holds its worker; the
-//! [`IDLE_TIMEOUT`] reclaims workers from clients that go quiet, which
-//! bounds how long a queued connection can wait.
+//! same dispatch in a fixed thread pool over a `TcpListener`: one
+//! acceptor thread hands sockets to workers over an `mpsc` channel, each
+//! worker answers its connection's requests in order. No async runtime.
+//! Each worker serves one connection at a time, so a connection that
+//! stays open holds its worker; the [`IDLE_TIMEOUT`] reclaims workers
+//! from clients that go quiet, which bounds how long a queued connection
+//! can wait.
+//!
+//! Each connection speaks one of two encodings, selected by its first
+//! bytes (see [`WireMode`]): the `DPRB` binary preamble switches to
+//! length-prefixed frames ([`crate::wire`]), anything else is served as
+//! newline-delimited JSON exactly as before the binary protocol existed.
 
-use crate::protocol::{ReleaseInfo, Request, Response, ServerStats};
-use crate::{Catalog, QueryEngine, ServeError};
+use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
+use crate::{wire, Catalog, QueryEngine, ServeError};
 use dpod_fmatrix::AxisBox;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Default rebuild-cache budget: 256 MiB.
 pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+/// Which encodings a TCP front end accepts.
+///
+/// `Auto` sniffs the first bytes of each connection: the `DPRB` magic
+/// selects binary framing, anything else is newline-delimited JSON. The
+/// restricted modes exist for operators who want a single-protocol
+/// endpoint (e.g. JSON only behind a line-oriented proxy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// Accept both encodings, sniffed per connection (the default).
+    #[default]
+    Auto,
+    /// Newline-delimited JSON only; `DPRB` preambles are refused.
+    Json,
+    /// `DPRB` binary frames only; JSON connections are refused.
+    Binary,
+}
+
+impl std::str::FromStr for WireMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(WireMode::Auto),
+            "json" => Ok(WireMode::Json),
+            "binary" => Ok(WireMode::Binary),
+            other => Err(format!(
+                "unknown wire mode '{other}' (expected auto|json|binary)"
+            )),
+        }
+    }
+}
 
 /// A connection with no readable line for this long is closed so its
 /// worker can serve the next queued connection.
@@ -36,6 +74,10 @@ pub struct Server {
     catalog: Arc<Catalog>,
     engine: QueryEngine,
     queries: AtomicU64,
+    /// Lifetime answered-query count per release name. Reads (the hot
+    /// path) only take the `RwLock` shared; the exclusive lock is held
+    /// once per name, on first touch.
+    release_hits: RwLock<HashMap<String, AtomicU64>>,
 }
 
 impl Server {
@@ -45,6 +87,7 @@ impl Server {
             catalog,
             engine: QueryEngine::new(cache_bytes),
             queries: AtomicU64::new(0),
+            release_hits: RwLock::new(HashMap::new()),
         }
     }
 
@@ -60,7 +103,10 @@ impl Server {
             Request::Query { release, lo, hi } => {
                 let answer = self.resolve(release).and_then(|m| self.sum_on(&m, lo, hi));
                 match answer {
-                    Ok(value) => Response::Value { value },
+                    Ok(value) => {
+                        self.note_hits(release, 1);
+                        Response::Value { value }
+                    }
                     Err(e) => Response::Error { message: e.0 },
                 }
             }
@@ -75,9 +121,15 @@ impl Server {
                 for (lo, hi) in ranges {
                     match self.sum_on(&matrix, lo, hi) {
                         Ok(v) => values.push(v),
-                        Err(e) => return Response::Error { message: e.0 },
+                        Err(e) => {
+                            // Mirror the global `queries` counter: the
+                            // ranges answered before the failure count.
+                            self.note_hits(release, values.len() as u64);
+                            return Response::Error { message: e.0 };
+                        }
                     }
                 }
+                self.note_hits(release, values.len() as u64);
                 Response::Values { values }
             }
             Request::List => Response::Releases {
@@ -105,6 +157,7 @@ impl Server {
                         cache_bytes: engine.bytes,
                         cache_hits: engine.hits,
                         cache_misses: engine.misses,
+                        release_hits: self.release_hits(),
                     },
                 }
             }
@@ -140,6 +193,38 @@ impl Server {
         }
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(matrix.range_sum(&q))
+    }
+
+    /// Records `n` answered queries against `release`.
+    fn note_hits(&self, release: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        {
+            let map = self.release_hits.read().unwrap_or_else(|e| e.into_inner());
+            if let Some(counter) = map.get(release) {
+                counter.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut map = self.release_hits.write().unwrap_or_else(|e| e.into_inner());
+        map.entry(release.to_string())
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lifetime per-release answered-query counts, sorted by name.
+    pub fn release_hits(&self) -> Vec<ReleaseHits> {
+        let map = self.release_hits.read().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<ReleaseHits> = map
+            .iter()
+            .map(|(name, hits)| ReleaseHits {
+                name: name.clone(),
+                hits: hits.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Engine counters (for benches and tests).
@@ -179,7 +264,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and serves `server` on `workers` pool threads.
+/// Binds `addr` and serves `server` on `workers` pool threads with the
+/// default [`WireMode::Auto`] encoding sniff.
 ///
 /// # Errors
 /// IO errors from binding the listener.
@@ -187,6 +273,20 @@ pub fn spawn(
     server: Arc<Server>,
     addr: impl ToSocketAddrs,
     workers: usize,
+) -> std::io::Result<ServerHandle> {
+    spawn_wire(server, addr, workers, WireMode::Auto)
+}
+
+/// Binds `addr` and serves `server` on `workers` pool threads, accepting
+/// the encodings `mode` allows.
+///
+/// # Errors
+/// IO errors from binding the listener.
+pub fn spawn_wire(
+    server: Arc<Server>,
+    addr: impl ToSocketAddrs,
+    workers: usize,
+    mode: WireMode,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -207,7 +307,7 @@ pub fn spawn(
                 Ok(s) => {
                     // Per-connection failures are that connection's
                     // problem; the worker lives on.
-                    let _ = handle_connection(&server, s);
+                    let _ = handle_connection(&server, s, mode);
                 }
                 Err(_) => return, // channel closed: server stopped
             }
@@ -226,6 +326,10 @@ pub fn spawn(
             match listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false).ok();
+                    // Request/response traffic is latency-bound; Nagle
+                    // interacting with delayed ACKs can stall a large
+                    // pipelined frame for tens of milliseconds.
+                    stream.set_nodelay(true).ok();
                     if tx.send(stream).is_err() {
                         return;
                     }
@@ -245,8 +349,117 @@ pub fn spawn(
     })
 }
 
-/// Answers every request line on one connection, in order, until the
-/// peer closes or stays silent past [`IDLE_TIMEOUT`].
+/// Serves one connection in whichever encoding its first bytes select
+/// (subject to `mode`), until the peer closes or stays silent past
+/// [`IDLE_TIMEOUT`].
+///
+/// The encoding sniff never consumes bytes from a JSON client: it peeks
+/// at the reader's buffered data and only commits (reads the 5-byte
+/// preamble) when the available prefix matches the `DPRB` magic — which
+/// no JSON document can produce, `{`/`"`-initial as they are. The JSON
+/// byte stream is therefore exactly what it was before the binary
+/// protocol existed.
+fn handle_connection(server: &Server, stream: TcpStream, mode: WireMode) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
+    stream.set_write_timeout(Some(IDLE_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Peek at whatever the first read delivers; a prefix match against
+    // the magic means a binary client (its preamble may still straddle
+    // packets, so match on what is available rather than demanding all
+    // four bytes up front).
+    let first = reader.fill_buf()?;
+    if first.is_empty() {
+        return Ok(()); // EOF before any request
+    }
+    let n = first.len().min(wire::WIRE_MAGIC.len());
+    let looks_binary = first[..n] == wire::WIRE_MAGIC[..n];
+
+    match (looks_binary, mode) {
+        (true, WireMode::Json) => {
+            // Consume the preamble so the refusal frame is this
+            // connection's only traffic, then say why in-protocol.
+            let mut preamble = [0u8; 5];
+            let _ = reader.read_exact(&mut preamble);
+            refuse_binary(&mut writer, "this endpoint serves JSON only (--wire json)")
+        }
+        (true, _) => serve_binary(server, reader, writer),
+        (false, WireMode::Binary) => refuse_binary(
+            &mut writer,
+            "this endpoint serves DPRB only (--wire binary)",
+        ),
+        (false, _) => serve_ndjson(server, reader, writer),
+    }
+}
+
+/// Sends one binary error frame and closes.
+fn refuse_binary(writer: &mut impl Write, message: &str) -> std::io::Result<()> {
+    let body = wire::encode_response(&Response::Error {
+        message: message.to_string(),
+    });
+    let _ = wire::write_frame(writer, &body);
+    writer.flush()
+}
+
+/// The `DPRB` side of [`handle_connection`]: validates the preamble,
+/// then answers one response frame per request frame, in order.
+///
+/// Error handling is split by whether the stream is still in sync: a
+/// frame that arrives intact but fails to decode (bad inner magic,
+/// unknown opcode, truncated payload, trailing bytes) gets a
+/// [`Response::Error`] frame and the connection lives on; a transport-
+/// level violation (length prefix beyond [`wire::MAX_FRAME_BYTES`],
+/// mid-frame EOF) cannot be resynced, so the worker sends a final error
+/// frame and closes.
+fn serve_binary(
+    server: &Server,
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+) -> std::io::Result<()> {
+    let mut preamble = [0u8; 5];
+    reader.read_exact(&mut preamble)?;
+    if &preamble[..4] != wire::WIRE_MAGIC {
+        return refuse_binary(&mut writer, "bad preamble magic");
+    }
+    if preamble[4] != wire::WIRE_VERSION {
+        return refuse_binary(
+            &mut writer,
+            &format!(
+                "unsupported DPRB version {}, expected {}",
+                preamble[4],
+                wire::WIRE_VERSION
+            ),
+        );
+    }
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(None) => return Ok(()), // clean EOF
+            Ok(Some(body)) => {
+                let response = match wire::decode_request(&body) {
+                    Ok(request) => server.handle(&request),
+                    Err(e) => Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                wire::write_frame(&mut writer, &wire::encode_response(&response))
+                    .map_err(std::io::Error::other)?;
+                // As on the JSON path: flush only once no further
+                // request is already buffered, so pipelined batches are
+                // answered in large writes.
+                if reader.buffer().is_empty() {
+                    writer.flush()?;
+                }
+            }
+            // An idle peer is reclaimed silently (as on the JSON path);
+            // only genuine protocol violations earn an error frame.
+            Err(e) if e.is_idle_timeout() => return Ok(()),
+            Err(e) => return refuse_binary(&mut writer, &format!("protocol error: {e}")),
+        }
+    }
+}
+
+/// The newline-delimited JSON side of [`handle_connection`].
 ///
 /// The write side also carries [`IDLE_TIMEOUT`]: a pipelining client
 /// that stops draining responses would otherwise block the worker in
@@ -255,11 +468,11 @@ pub fn spawn(
 /// and the connection closes instead. Responses are flushed only when no
 /// further request is already buffered, so a pipelined batch is answered
 /// in large writes rather than one syscall per line.
-fn handle_connection(server: &Server, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
-    stream.set_write_timeout(Some(IDLE_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+fn serve_ndjson(
+    server: &Server,
+    mut reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+) -> std::io::Result<()> {
     let mut line = String::new();
     loop {
         line.clear();
@@ -400,6 +613,157 @@ mod tests {
         assert_eq!(stats.releases, 2);
         assert_eq!(stats.queries, 1);
         assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.release_hits.len(), 1);
+        assert_eq!(stats.release_hits[0].name, "a");
+        assert_eq!(stats.release_hits[0].hits, 1);
+    }
+
+    #[test]
+    fn release_hits_track_per_release_traffic() {
+        let server = test_server(&["hot", "cold"]);
+        for _ in 0..5 {
+            server.handle(&Request::Query {
+                release: "hot".into(),
+                lo: vec![0, 0],
+                hi: vec![2, 2],
+            });
+        }
+        server.handle(&Request::Batch {
+            release: "cold".into(),
+            ranges: vec![(vec![0, 0], vec![1, 1]), (vec![0, 0], vec![3, 3])],
+        });
+        // Failures do not count.
+        server.handle(&Request::Query {
+            release: "hot".into(),
+            lo: vec![9, 9],
+            hi: vec![1, 1],
+        });
+        server.handle(&Request::Query {
+            release: "missing".into(),
+            lo: vec![0, 0],
+            hi: vec![1, 1],
+        });
+        let hits = server.release_hits();
+        let as_pairs: Vec<(&str, u64)> = hits.iter().map(|h| (h.name.as_str(), h.hits)).collect();
+        assert_eq!(as_pairs, vec![("cold", 2), ("hot", 5)]);
+    }
+
+    #[test]
+    fn binary_clients_get_identical_answers() {
+        let server = test_server(&["city"]);
+        let handle = spawn(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr();
+
+        // Reference answers via the in-process path.
+        let ranges: Vec<(Vec<usize>, Vec<usize>)> =
+            (1..=8).map(|hi| (vec![0, 0], vec![hi, hi])).collect();
+        let Response::Values { values: expected } = server.handle(&Request::Batch {
+            release: "city".into(),
+            ranges: ranges.clone(),
+        }) else {
+            panic!("reference batch failed");
+        };
+
+        let mut client = crate::wire::Client::connect(addr).unwrap();
+        let got = client.batch("city", ranges).unwrap();
+        assert_eq!(got, expected, "binary answers must be bit-identical");
+
+        // Single queries, pipelined, still in order.
+        for hi in 1..=4 {
+            client
+                .send(&Request::Query {
+                    release: "city".into(),
+                    lo: vec![0, 0],
+                    hi: vec![hi, hi],
+                })
+                .unwrap();
+        }
+        for hi in 1..=4usize {
+            let Response::Value { value } = client.receive().unwrap() else {
+                panic!("expected value");
+            };
+            assert_eq!(value, expected[hi - 1]);
+        }
+
+        // Stats and List also cross the wire.
+        let Response::Stats { stats } = client.request(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.releases, 1);
+        assert_eq!(stats.release_hits[0].name, "city");
+        let Response::Releases { releases } = client.request(&Request::List).unwrap() else {
+            panic!("expected releases");
+        };
+        assert_eq!(releases[0].name, "city");
+        handle.stop();
+    }
+
+    #[test]
+    fn json_and_binary_clients_share_one_endpoint() {
+        let server = test_server(&["city"]);
+        let handle = spawn(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr();
+        let req = Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![4, 4],
+        };
+
+        let mut binary = crate::wire::Client::connect(addr).unwrap();
+        let Response::Value { value: bin_value } = binary.request(&req).unwrap() else {
+            panic!("binary query failed");
+        };
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+            .unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let Response::Value { value: json_value } = serde_json::from_str(line.trim()).unwrap()
+        else {
+            panic!("json query failed");
+        };
+        assert_eq!(bin_value, json_value);
+        handle.stop();
+    }
+
+    #[test]
+    fn wire_mode_restrictions_refuse_the_other_encoding() {
+        // A JSON-only endpoint refuses the DPRB preamble in-protocol.
+        let server = test_server(&["city"]);
+        let handle = spawn_wire(Arc::clone(&server), "127.0.0.1:0", 1, WireMode::Json).unwrap();
+        let mut client = crate::wire::Client::connect(handle.addr()).unwrap();
+        match client.request(&Request::List) {
+            Ok(Response::Error { message }) => assert!(message.contains("JSON"), "{message}"),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        handle.stop();
+
+        // A binary-only endpoint answers JSON lines with an error frame.
+        let server = test_server(&["city"]);
+        let handle = spawn_wire(Arc::clone(&server), "127.0.0.1:0", 1, WireMode::Binary).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        writer.write_all(b"\"List\"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let body = crate::wire::read_frame(&mut reader).unwrap().unwrap();
+        match crate::wire::decode_response(&body) {
+            Ok(Response::Error { message }) => assert!(message.contains("DPRB"), "{message}"),
+            other => panic!("expected refusal frame, got {other:?}"),
+        }
+        // But binary clients are served normally.
+        let mut client = crate::wire::Client::connect(handle.addr()).unwrap();
+        assert!(matches!(
+            client.request(&Request::List),
+            Ok(Response::Releases { .. })
+        ));
+        handle.stop();
     }
 
     #[test]

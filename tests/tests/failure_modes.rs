@@ -115,6 +115,276 @@ fn epsilon_rejections_are_loud_not_silent() {
     }
 }
 
+mod serve_protocol {
+    //! Adversarial `DPRB` decode and transport tests: every malformed
+    //! input must produce a protocol error — never a panic, never a
+    //! wedged connection.
+
+    use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
+    use dpod_dp::Epsilon;
+    use dpod_fmatrix::{DenseMatrix, Shape};
+    use dpod_serve::protocol::{Request, Response};
+    use dpod_serve::{wire, Catalog, Server};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Well under the server's 30 s idle reclaim: "returns an error"
+    /// must mean promptly, not eventually.
+    const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
+
+    fn spawn_test_server() -> (dpod_serve::ServerHandle, Arc<Server>) {
+        let catalog = Catalog::new();
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(shape);
+        m.add_at(&[3, 3], 250).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(5))
+            .unwrap();
+        catalog.publish("city", PublishedRelease::from_sanitized(&out));
+        let server = Arc::new(Server::new(Arc::new(catalog), 1 << 20));
+        let handle = dpod_serve::spawn(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        (handle, server)
+    }
+
+    fn timed(stream: &TcpStream) {
+        stream.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
+        stream.set_write_timeout(Some(REPLY_TIMEOUT)).unwrap();
+    }
+
+    #[test]
+    fn truncated_binary_frames_error_without_hanging() {
+        let (handle, _server) = spawn_test_server();
+        // A frame that promises 100 bytes but delivers 10, then EOF.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(wire::WIRE_MAGIC).unwrap();
+        writer.write_all(&[wire::WIRE_VERSION]).unwrap();
+        writer.write_all(&100u32.to_le_bytes()).unwrap();
+        writer.write_all(&[0u8; 10]).unwrap();
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(stream);
+        let body = wire::read_frame(&mut reader)
+            .expect("server must answer, not hang")
+            .expect("server must send an error frame before closing");
+        match wire::decode_response(&body) {
+            Ok(Response::Error { message }) => assert!(message.contains("protocol"), "{message}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn oversized_declared_length_is_refused() {
+        let (handle, _server) = spawn_test_server();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(wire::WIRE_MAGIC).unwrap();
+        writer.write_all(&[wire::WIRE_VERSION]).unwrap();
+        // Declares ~4 GiB; the server must refuse up front rather than
+        // try to read (or allocate) it.
+        writer.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let body = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::decode_response(&body) {
+            Ok(Response::Error { message }) => {
+                assert!(message.contains("exceeds max"), "{message}")
+            }
+            other => panic!("expected length refusal, got {other:?}"),
+        }
+        // And the connection is closed, not left half-synced.
+        assert!(wire::read_frame(&mut reader).unwrap().is_none());
+        handle.stop();
+    }
+
+    #[test]
+    fn wrong_magic_preambles_get_protocol_errors() {
+        let (handle, _server) = spawn_test_server();
+
+        // Right length, wrong bytes ("DPXX"): not the binary magic, so
+        // it is served as NDJSON and answered with a JSON error line.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"DXQQ junk preamble\n").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+
+        // Correct magic, unsupported version: refused in-protocol with a
+        // binary error frame.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(wire::WIRE_MAGIC).unwrap();
+        writer.write_all(&[wire::WIRE_VERSION + 7]).unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let body = wire::read_frame(&mut reader).unwrap().unwrap();
+        match wire::decode_response(&body) {
+            Ok(Response::Error { message }) => {
+                assert!(message.contains("version"), "{message}")
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn degenerate_ranges_error_in_protocol_and_keep_the_connection() {
+        let (handle, _server) = spawn_test_server();
+        let mut client = wire::Client::connect(handle.addr()).unwrap();
+        // Zero-dimension range, lo>hi corner, wrong arity, out of
+        // domain: each is a Response::Error, and the connection keeps
+        // answering afterwards.
+        let degenerate = [
+            (vec![], vec![]),
+            (vec![5, 5], vec![2, 2]),
+            (vec![0], vec![4]),
+            (vec![0, 0], vec![9, 9]),
+        ];
+        for (lo, hi) in degenerate {
+            let resp = client
+                .request(&Request::Query {
+                    release: "city".into(),
+                    lo,
+                    hi,
+                })
+                .expect("transport must survive degenerate ranges");
+            assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        }
+        // A batch mixing good and bad ranges errors as a unit…
+        let resp = client
+            .request(&Request::Batch {
+                release: "city".into(),
+                ranges: vec![(vec![0, 0], vec![2, 2]), (vec![7, 7], vec![1, 1])],
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        // …and the connection still answers valid queries.
+        let resp = client
+            .request(&Request::Query {
+                release: "city".into(),
+                lo: vec![0, 0],
+                hi: vec![8, 8],
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+        handle.stop();
+    }
+
+    #[test]
+    fn garbage_frame_bodies_keep_the_stream_in_sync() {
+        let (handle, _server) = spawn_test_server();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(wire::WIRE_MAGIC).unwrap();
+        writer.write_all(&[wire::WIRE_VERSION]).unwrap();
+        // A length-correct frame whose body is noise: decodes to an
+        // error response, but the frame boundary holds, so a valid
+        // frame behind it is answered normally.
+        let noise = [0xABu8; 16];
+        writer
+            .write_all(&(noise.len() as u32).to_le_bytes())
+            .unwrap();
+        writer.write_all(&noise).unwrap();
+        let good = wire::encode_request(&Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![4, 4],
+        });
+        writer
+            .write_all(&(good.len() as u32).to_le_bytes())
+            .unwrap();
+        writer.write_all(&good).unwrap();
+        writer.flush().unwrap();
+
+        let mut reader = BufReader::new(stream);
+        let first = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert!(matches!(
+            wire::decode_response(&first),
+            Ok(Response::Error { .. })
+        ));
+        let second = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert!(matches!(
+            wire::decode_response(&second),
+            Ok(Response::Value { .. })
+        ));
+        handle.stop();
+    }
+
+    #[test]
+    fn decode_request_survives_bit_flips() {
+        // Header-byte corruption of a real frame: errors, never panics.
+        let good = wire::encode_request(&Request::Batch {
+            release: "city".into(),
+            ranges: vec![(vec![0, 0], vec![4, 4]), (vec![1, 1], vec![2, 2])],
+        });
+        for i in 0..good.len().min(40) {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            let _ = wire::decode_request(&bad); // must not panic
+        }
+        for cut in 0..good.len() {
+            assert!(wire::decode_request(&good[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(wire::decode_request(&[]).is_err());
+    }
+
+    #[test]
+    fn slow_preamble_still_selects_binary() {
+        // The magic arriving one byte at a time must not confuse the
+        // sniffer into the JSON path.
+        let (handle, _server) = spawn_test_server();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        for b in wire::WIRE_MAGIC.iter().chain(&[wire::WIRE_VERSION]) {
+            writer.write_all(&[*b]).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let body = wire::encode_request(&Request::List);
+        writer
+            .write_all(&(body.len() as u32).to_le_bytes())
+            .unwrap();
+        writer.write_all(&body).unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let resp = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert!(matches!(
+            wire::decode_response(&resp),
+            Ok(Response::Releases { .. })
+        ));
+        handle.stop();
+    }
+
+    #[test]
+    fn short_garbage_lines_are_still_answered_as_json() {
+        // A sub-4-byte first line must not stall the encoding sniff.
+        let (handle, _server) = spawn_test_server();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        timed(&stream);
+        let mut writer = stream.try_clone().unwrap();
+        writer.write_all(b"{}\n").unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp: Response = serde_json::from_str(line.trim()).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        handle.stop();
+    }
+}
+
 #[test]
 fn codec_rejects_every_tampering_mode() {
     let m = DenseMatrix::<u64>::zeros(Shape::new(vec![2, 2]).unwrap());
