@@ -13,7 +13,12 @@
 //! * `tcp/binary` — the same single-query traffic over the `DPRB`
 //!   binary protocol (pipelined frames, one connection);
 //! * `tcp/binary-batch` — 1000-range `DPRB` batch frames, the protocol's
-//!   intended interactive-analyst shape.
+//!   intended interactive-analyst shape;
+//! * `plan/marginal` and `plan/topk` — the typed query algebra's hot
+//!   aggregate plans (`QueryPlan::Marginal` / `QueryPlan::TopK`) over
+//!   both TCP encodings, measuring plans/sec (each plan scans the full
+//!   release, so these are orders of magnitude below range-sum rates by
+//!   design).
 //!
 //! Besides the criterion-style console lines, it writes the measured
 //! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
@@ -28,6 +33,7 @@ use dpod_bench::{datasets, HarnessConfig, Scale};
 use dpod_core::{baselines::Identity, grid::Ebp, grid::Eug, Mechanism, PublishedRelease};
 use dpod_dp::Epsilon;
 use dpod_query::workload::QueryWorkload;
+use dpod_query::QueryPlan;
 use dpod_serve::protocol::{Request, Response};
 use dpod_serve::{Catalog, Server};
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -206,6 +212,59 @@ fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
     qps
 }
 
+/// Plans/sec for one fixed typed plan, pipelined on one connection over
+/// the chosen encoding. Aggregate plans return multi-kilobyte answers,
+/// so this measures the full serialize/transport cost, not just compute.
+fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: bool) -> f64 {
+    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let req = Request::Plan {
+        release: "gauss-ebp".into(),
+        plan,
+    };
+    let qps = if binary {
+        let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
+        let start = Instant::now();
+        for _ in 0..n {
+            client.send(&req).expect("send");
+        }
+        for _ in 0..n {
+            match client.receive().expect("receive") {
+                Response::Answer { answer } => {
+                    black_box(answer.units());
+                }
+                other => panic!("plan failed: {other:?}"),
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    } else {
+        let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = BufWriter::new(stream);
+        let line = serde_json::to_string(&req).expect("encode");
+        let start = Instant::now();
+        for _ in 0..n {
+            writer.write_all(line.as_bytes()).expect("write");
+            writer.write_all(b"\n").expect("write");
+        }
+        writer.flush().expect("flush");
+        let mut answer = String::new();
+        for _ in 0..n {
+            answer.clear();
+            reader.read_line(&mut answer).expect("read");
+            let resp: Response = serde_json::from_str(answer.trim()).expect("decode");
+            match resp {
+                Response::Answer { answer } => {
+                    black_box(answer.units());
+                }
+                other => panic!("plan failed: {other:?}"),
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+    handle.stop();
+    qps
+}
+
 fn bench_serve_throughput(c: &mut Criterion) {
     let server = build_server();
     let requests = query_requests(1_024);
@@ -228,20 +287,32 @@ fn bench_serve_throughput(c: &mut Criterion) {
     // Trajectory measurements (fixed work, direct wall-clock). Smoke
     // mode shrinks everything: the point is then "the paths still
     // answer correctly end to end", not the numbers.
-    let (rounds, tcp_n, bin_n, bin_rounds) = if smoke() {
-        (1, 1_000, 2_000, 3)
+    let (rounds, tcp_n, bin_n, bin_rounds, plan_n) = if smoke() {
+        (1, 1_000, 2_000, 3, 20)
     } else {
-        (10, 10_000, 50_000, 200)
+        (10, 10_000, 50_000, 200, 400)
     };
     let single_qps = measure_qps(&server, &requests, rounds);
     let batch_qps = measure_batch_qps(&server, rounds);
     let tcp_qps = measure_tcp_qps(Arc::clone(&server), tcp_n);
     let tcp_bin_qps = measure_tcp_binary_qps(Arc::clone(&server), bin_n);
     let tcp_bin_batch_qps = measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds);
+    let marginal = QueryPlan::Marginal { keep: vec![0] };
+    let topk = QueryPlan::TopK { k: 10 };
+    let marginal_json_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), plan_n, false);
+    let marginal_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), marginal, plan_n, true);
+    let topk_json_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), plan_n, false);
+    let topk_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), topk, plan_n, true);
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
          tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s",
         single_qps, batch_qps, tcp_qps, tcp_bin_qps, tcp_bin_batch_qps
+    );
+    println!(
+        "serve_throughput plans: marginal json {:.0}/s binary {:.0}/s, \
+         topk json {:.0}/s binary {:.0}/s",
+        marginal_json_qps, marginal_bin_qps, topk_json_qps, topk_bin_qps
     );
     if smoke() {
         println!("smoke mode: skipping BENCH_serve.json update");
@@ -257,6 +328,22 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "tcp_binary_batch1000".to_string(),
             SIDE as f64,
             tcp_bin_batch_qps,
+        ),
+        (
+            "tcp_plan_marginal_json".to_string(),
+            SIDE as f64,
+            marginal_json_qps,
+        ),
+        (
+            "tcp_plan_marginal_binary".to_string(),
+            SIDE as f64,
+            marginal_bin_qps,
+        ),
+        ("tcp_plan_topk_json".to_string(), SIDE as f64, topk_json_qps),
+        (
+            "tcp_plan_topk_binary".to_string(),
+            SIDE as f64,
+            topk_bin_qps,
         ),
     ];
     let experiment = Experiment {

@@ -22,8 +22,15 @@ USAGE:
   dpod query    --connect HOST:PORT --release NAME [--binary true]
                 --range SPEC [--range SPEC]...
 
-RANGE SPEC: one clause per dimension, comma separated: 'lo..hi' or '*'
-            e.g. --range '0..4,*,3..5,*'
+QUERY SPEC (--range accepts classic ranges and the typed algebra):
+  '0..4,*,3..5,*'        range sum: one clause per dimension, 'lo..hi' or '*'
+  'total'                estimated total count
+  'top:10'               the 10 largest cells
+  'marginal:0,1'         marginal over the kept dimensions
+  'od:o=0..4x0..4;s0=2..6x2..6;d=8..16x8..16'
+                         OD query from 2-D regions (legs: o/origin,
+                         d/dest/destination, sN/stopN; unlisted legs
+                         span their full extent)
 MECHANISMS: see `dpod mechanisms`
 SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}

@@ -7,6 +7,7 @@ use dpod_core::{PublishedRelease, ReleaseBody};
 use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
+use dpod_query::{plan, Answer, QueryPlan};
 use dpod_serve::protocol::{Request, Response};
 use dpod_serve::{Catalog, Server, ServerHandle, WireMode};
 use std::path::Path;
@@ -173,12 +174,16 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
     Ok((handle, server))
 }
 
-/// `dpod query --connect`: answers range specs against a *running*
-/// server instead of a local release file, over either encoding.
+/// `dpod query --connect`: answers query specs — classic ranges or the
+/// typed algebra (`total`, `top:K`, `marginal:…`, `od:…`) — against a
+/// *running* server instead of a local release file, over either
+/// encoding.
 ///
 /// The release's domain is fetched via a `List` request first (range
 /// specs like `0..4,*` need the axis lengths), then every spec is
-/// answered in one pipelined `Batch`.
+/// answered in one request: the legacy `Batch` when every spec is a
+/// classic range (so this CLI still talks to pre-algebra servers), a
+/// `Plan` (`Many`-batched as needed) once any typed spec appears.
 ///
 /// # Errors
 /// [`CliError`] for connection failures, unknown releases, bad specs,
@@ -210,25 +215,110 @@ pub fn remote_query(
         .ok_or_else(|| CliError(format!("unknown release '{release}' on {addr}")))?;
     let shape =
         Shape::new(info.domain.clone()).map_err(|e| CliError(format!("bad domain: {e}")))?;
-    let ranges: Vec<(Vec<usize>, Vec<usize>)> = specs
+    let mut plans: Vec<QueryPlan> = specs
         .iter()
-        .map(|spec| {
-            rangespec::parse_range(spec, &shape).map(|q| (q.lo().to_vec(), q.hi().to_vec()))
-        })
+        .map(|spec| rangespec::parse_plan(spec, &shape))
         .collect::<Result<_, _>>()?;
-    match transport(&Request::Batch {
+    // All-classic-range queries keep speaking the legacy `Batch`
+    // request: it answers bit-identically, and it lets this CLI talk to
+    // servers that predate the plan algebra.
+    if plans.iter().all(|p| matches!(p, QueryPlan::Range { .. })) {
+        let ranges = plans
+            .into_iter()
+            .map(|p| {
+                let QueryPlan::Range { lo, hi } = p else {
+                    unreachable!("filtered to ranges");
+                };
+                (lo, hi)
+            })
+            .collect();
+        return match transport(&Request::Batch {
+            release: release.to_string(),
+            ranges,
+        })? {
+            Response::Values { values } => {
+                if values.len() != specs.len() {
+                    return Err(CliError(format!(
+                        "server answered {} of {} specs",
+                        values.len(),
+                        specs.len()
+                    )));
+                }
+                let mut out = String::new();
+                for (spec, value) in specs.iter().zip(values) {
+                    format_answer(&mut out, spec, &Answer::Value { value });
+                }
+                Ok(out)
+            }
+            Response::Error { message } => Err(CliError(message)),
+            other => Err(CliError(format!("unexpected response {other:?}"))),
+        };
+    }
+    let plan = if plans.len() == 1 {
+        plans.remove(0)
+    } else {
+        QueryPlan::Many { plans }
+    };
+    match transport(&Request::Plan {
         release: release.to_string(),
-        ranges,
+        plan,
     })? {
-        Response::Values { values } => {
+        Response::Answer { answer } => {
+            let answers = match answer {
+                Answer::Many { answers } if specs.len() > 1 => answers,
+                single => vec![single],
+            };
+            if answers.len() != specs.len() {
+                return Err(CliError(format!(
+                    "server answered {} of {} specs",
+                    answers.len(),
+                    specs.len()
+                )));
+            }
             let mut out = String::new();
-            for (spec, value) in specs.iter().zip(values) {
-                out.push_str(&format!("{spec} => {value:.2}\n"));
+            for (spec, answer) in specs.iter().zip(&answers) {
+                format_answer(&mut out, spec, answer);
             }
             Ok(out)
         }
         Response::Error { message } => Err(CliError(message)),
         other => Err(CliError(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// Renders one answer in the CLI's `spec => …` shape. Plain values keep
+/// the historical single-line form; marginals and top-k rankings take
+/// one header line plus indented detail.
+fn format_answer(out: &mut String, spec: &str, answer: &Answer) {
+    match answer {
+        Answer::Value { value } => out.push_str(&format!("{spec} => {value:.2}\n")),
+        Answer::Marginal { dims, values } => {
+            // `dims` are the kept axes' *sizes*; spell that out so they
+            // are not misread as dimension indices.
+            let shape: Vec<String> = dims.iter().map(usize::to_string).collect();
+            let cells: Vec<String> = values.iter().map(|v| format!("{v:.2}")).collect();
+            out.push_str(&format!(
+                "{spec} => {} marginal table: [{}]\n",
+                shape.join("x"),
+                cells.join(", ")
+            ));
+        }
+        Answer::TopK { dims, cells } => {
+            out.push_str(&format!(
+                "{spec} => top {} cells of domain {dims:?}\n",
+                cells.len()
+            ));
+            for cell in cells {
+                out.push_str(&format!("  {:?} => {:.2}\n", cell.coords, cell.value));
+            }
+        }
+        Answer::Many { answers } => {
+            // Not produced for CLI specs (each spec is one leaf plan),
+            // but render nested answers rather than dropping them.
+            for answer in answers {
+                format_answer(out, spec, answer);
+            }
+        }
     }
 }
 
@@ -289,7 +379,10 @@ pub fn inspect(release: PublishedRelease) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `dpod query`: answers range specs against a release.
+/// `dpod query`: answers query specs — classic ranges or the typed
+/// algebra (`total`, `top:K`, `marginal:…`, `od:…`) — against a local
+/// release file, through the same [`plan::execute`] path the server
+/// uses (so local and remote answers are bit-identical).
 ///
 /// # Errors
 /// [`CliError`] for invalid artifacts or specs.
@@ -301,8 +394,9 @@ pub fn query(release: PublishedRelease, specs: &[String]) -> Result<String, CliE
         .map_err(|e| CliError(format!("invalid release: {e}")))?;
     let mut out = String::new();
     for spec in specs {
-        let q = rangespec::parse_range(spec, &shape)?;
-        out.push_str(&format!("{spec} => {:.2}\n", sanitized.range_sum(&q)));
+        let plan = rangespec::parse_plan(spec, &shape)?;
+        let answer = plan::execute(&sanitized, &plan).map_err(|e| CliError(e.0))?;
+        format_answer(&mut out, spec, &answer);
     }
     Ok(out)
 }
@@ -502,6 +596,68 @@ mod tests {
             wire: WireMode::Auto,
         })
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_specs_answer_locally_and_remotely() {
+        // Publish a 1-stop (6-D) release so OD stop legs are exercised.
+        let dir = std::env::temp_dir().join(format!("dpod_cli_plan_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let csv_text = generate(&GenerateArgs {
+            city: "newyork".into(),
+            trips: 2_000,
+            stops: 1,
+            seed: 31,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 4,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 32,
+        };
+        publish(&csv_text, &args, "ny", &dir).unwrap();
+
+        let specs = vec![
+            "total".to_string(),
+            "top:3".to_string(),
+            "marginal:0,1".to_string(),
+            "od:o=0..2x0..2;s0=1..3x1..3;d=2..4x2..4".to_string(),
+            "*,*,*,*,*,*".to_string(),
+        ];
+        // Local path: the release artifact answers directly.
+        let release = sanitize_to_release(&csv_text, &args).unwrap();
+        let local = query(release, &specs).unwrap();
+        assert!(local.contains("total => "), "{local}");
+        assert!(local.contains("top:3 => top 3 cells"), "{local}");
+        assert!(
+            local.contains("marginal:0,1 => 4x4 marginal table"),
+            "{local}"
+        );
+
+        // Remote path: identical output over both encodings, which also
+        // pins JSON/DPRB agreement through the full CLI stack.
+        let (handle, _server) = start_server(&ServeArgs {
+            catalog: dir.clone(),
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_mb: 64,
+            wire: WireMode::Auto,
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let json_out = remote_query(&addr, "ny", &specs, false).unwrap();
+        let bin_out = remote_query(&addr, "ny", &specs, true).unwrap();
+        assert_eq!(json_out, bin_out);
+        assert_eq!(json_out, local, "serving must not change the answers");
+
+        // A bad plan (stop index past the release's one stop) is a
+        // server-side error carried back verbatim.
+        let bad = vec!["od:s5=0..1x0..1".to_string()];
+        let err = remote_query(&addr, "ny", &bad, true).unwrap_err();
+        assert!(err.0.contains("stop index"), "{err}");
+        handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }
 

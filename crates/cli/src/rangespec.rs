@@ -1,11 +1,26 @@
-//! Parsing of analyst range-query specifications.
+//! Parsing of analyst query specifications.
 //!
-//! One comma-separated clause per matrix dimension:
-//! `lo..hi` (half-open cell interval) or `*` (full extent), e.g.
-//! `0..4,*,3..5,*` for a 4-D matrix.
+//! The classic range form is one comma-separated clause per matrix
+//! dimension: `lo..hi` (half-open cell interval) or `*` (full extent),
+//! e.g. `0..4,*,3..5,*` for a 4-D matrix.
+//!
+//! [`parse_plan`] accepts that form plus the typed query algebra
+//! (`dpod_query::QueryPlan`):
+//!
+//! ```text
+//! total                          estimated total count
+//! top:K                          the K largest cells (e.g. top:10)
+//! marginal:D0,D1,…               marginal over the kept dimensions
+//! od:LEG=REGION;LEG=REGION;…     OD query from 2-D regions, where LEG is
+//!                                o|origin, d|dest|destination, or sN|stopN
+//!                                and REGION is XLO..XHIxYLO..YHI
+//!                                (e.g. od:o=0..4x0..4;s0=2..6x2..6;d=8..16x8..16)
+//! lo..hi,*,…                     classic range sum (one clause per dim)
+//! ```
 
 use crate::CliError;
 use dpod_fmatrix::{AxisBox, Shape};
+use dpod_query::{QueryPlan, Region};
 
 /// Parses a range spec against a concrete domain.
 ///
@@ -57,6 +72,105 @@ pub fn parse_range(spec: &str, shape: &Shape) -> Result<AxisBox, CliError> {
     AxisBox::new(lo, hi).map_err(|e| CliError(e.to_string()))
 }
 
+/// Parses one query spec — classic range or typed-algebra form — into a
+/// [`QueryPlan`] against a concrete domain.
+///
+/// # Errors
+/// [`CliError`] naming the offending clause; OD leg and marginal
+/// dimension *indices* are validated at execution time against the
+/// release (only the classic range form needs the domain here).
+pub fn parse_plan(spec: &str, shape: &Shape) -> Result<QueryPlan, CliError> {
+    let spec = spec.trim();
+    // Keywords are case-insensitive across the board; the payloads are
+    // digits and punctuation (plus the od leg names, themselves
+    // lowercased during parsing), so matching on a lowercased copy is
+    // lossless. Error messages keep the user's original spelling.
+    let lower = spec.to_ascii_lowercase();
+    if lower == "total" {
+        return Ok(QueryPlan::Total);
+    }
+    if let Some(k) = lower
+        .strip_prefix("top:")
+        .or_else(|| lower.strip_prefix("topk:"))
+    {
+        let k: usize = k
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("top spec '{spec}': bad count '{k}'")))?;
+        return Ok(QueryPlan::TopK { k });
+    }
+    if let Some(dims) = lower.strip_prefix("marginal:") {
+        let keep = dims
+            .split(',')
+            .map(|d| {
+                d.trim()
+                    .parse::<usize>()
+                    .map_err(|_| CliError(format!("marginal spec '{spec}': bad dimension '{d}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(QueryPlan::Marginal { keep });
+    }
+    if let Some(legs) = lower.strip_prefix("od:") {
+        return parse_od(spec, legs);
+    }
+    let q = parse_range(spec, shape)?;
+    Ok(QueryPlan::Range {
+        lo: q.lo().to_vec(),
+        hi: q.hi().to_vec(),
+    })
+}
+
+/// Parses the `LEG=REGION;…` tail of an `od:` spec.
+fn parse_od(spec: &str, legs: &str) -> Result<QueryPlan, CliError> {
+    let mut plan = QueryPlan::od();
+    for clause in legs.split(';').filter(|c| !c.trim().is_empty()) {
+        let (leg, region) = clause.split_once('=').ok_or_else(|| {
+            CliError(format!(
+                "od spec '{spec}': clause '{clause}' needs LEG=REGION"
+            ))
+        })?;
+        let region = parse_region(spec, region)?;
+        let leg = leg.trim().to_ascii_lowercase();
+        plan = match leg.as_str() {
+            "o" | "origin" => plan.with_origin(region),
+            "d" | "dest" | "destination" => plan.with_destination(region),
+            _ => {
+                let index = leg
+                    .strip_prefix("stop")
+                    .or_else(|| leg.strip_prefix('s'))
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .ok_or_else(|| {
+                        CliError(format!(
+                            "od spec '{spec}': unknown leg '{leg}' \
+                             (expected o, d, or sN/stopN)"
+                        ))
+                    })?;
+                plan.with_stop(index, region)
+            }
+        };
+    }
+    Ok(plan)
+}
+
+/// Parses a 2-D region `XLO..XHIxYLO..YHI` (half-open on both axes).
+fn parse_region(spec: &str, region: &str) -> Result<Region, CliError> {
+    let err = || {
+        CliError(format!(
+            "od spec '{spec}': region '{region}' must be XLO..XHIxYLO..YHI"
+        ))
+    };
+    let (x, y) = region.trim().split_once('x').ok_or_else(err)?;
+    let axis = |clause: &str| -> Result<(usize, usize), CliError> {
+        let (a, b) = clause.trim().split_once("..").ok_or_else(err)?;
+        let a: usize = a.trim().parse().map_err(|_| err())?;
+        let b: usize = b.trim().parse().map_err(|_| err())?;
+        Ok((a, b))
+    };
+    let (xlo, xhi) = axis(x)?;
+    let (ylo, yhi) = axis(y)?;
+    Ok(Region::new((xlo, ylo), (xhi, yhi)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +201,71 @@ mod tests {
     #[test]
     fn rejects_out_of_domain() {
         assert!(parse_range("0..11,*,*", &shape()).is_err());
+    }
+
+    #[test]
+    fn plan_specs_parse_every_form() {
+        let s = shape();
+        assert_eq!(parse_plan("total", &s).unwrap(), QueryPlan::Total);
+        // Keywords accept any casing, consistently.
+        assert_eq!(parse_plan("Total", &s).unwrap(), QueryPlan::Total);
+        assert_eq!(parse_plan("Top:7", &s).unwrap(), QueryPlan::TopK { k: 7 });
+        assert_eq!(
+            parse_plan("MARGINAL:1", &s).unwrap(),
+            QueryPlan::Marginal { keep: vec![1] }
+        );
+        assert_eq!(
+            parse_plan("OD:o=0..2x0..2", &s).unwrap(),
+            QueryPlan::od().with_origin(Region::new((0, 0), (2, 2)))
+        );
+        assert_eq!(parse_plan("top:5", &s).unwrap(), QueryPlan::TopK { k: 5 });
+        assert_eq!(
+            parse_plan("topk:12", &s).unwrap(),
+            QueryPlan::TopK { k: 12 }
+        );
+        assert_eq!(
+            parse_plan("marginal:0,2", &s).unwrap(),
+            QueryPlan::Marginal { keep: vec![0, 2] }
+        );
+        assert_eq!(
+            parse_plan("2..5,*,10..30", &s).unwrap(),
+            QueryPlan::Range {
+                lo: vec![2, 0, 10],
+                hi: vec![5, 20, 30],
+            }
+        );
+    }
+
+    #[test]
+    fn od_specs_compose_regions() {
+        let s = shape();
+        let plan = parse_plan("od:o=0..4x0..4; s0=2..6x3..7 ;dest=8..16x8..16", &s).unwrap();
+        assert_eq!(
+            plan,
+            QueryPlan::od()
+                .with_origin(Region::new((0, 0), (4, 4)))
+                .with_stop(0, Region::new((2, 3), (6, 7)))
+                .with_destination(Region::new((8, 8), (16, 16)))
+        );
+        // A bare od: spec is the full-extent OD query.
+        assert_eq!(parse_plan("od:", &s).unwrap(), QueryPlan::od());
+    }
+
+    #[test]
+    fn bad_plan_specs_are_named_errors() {
+        let s = shape();
+        for bad in [
+            "top:x",
+            "top:",
+            "marginal:a",
+            "marginal:",
+            "od:o=0..4",       // region missing the y axis
+            "od:o=0..4x0..b",  // malformed bound
+            "od:q=0..4x0..4",  // unknown leg
+            "od:o0..4x0..4",   // missing '='
+            "od:sx=0..4x0..4", // bad stop index
+        ] {
+            assert!(parse_plan(bad, &s).is_err(), "accepted '{bad}'");
+        }
     }
 }

@@ -9,7 +9,14 @@
 //! * [`metrics`] — mean relative error (Eq. 3) with the standard
 //!   denominator smoothing for empty queries, plus distribution summaries;
 //! * [`eval`] — the evaluation loop: true answers from a prefix-sum table
-//!   over the raw matrix, private answers from a [`SanitizedMatrix`].
+//!   over the raw matrix, private answers from a [`SanitizedMatrix`];
+//! * [`plan`] — the typed query algebra: a [`QueryPlan`] names a range
+//!   sum, OD query, axis marginal, top-k ranking, total, or batch of
+//!   those, and [`plan::execute`] answers it against a
+//!   [`SanitizedMatrix`]. The serving layer carries the same vocabulary
+//!   over both wire encodings.
+//!
+//! [`SanitizedMatrix`]: dpod_core::SanitizedMatrix
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -17,9 +24,11 @@
 pub mod eval;
 pub mod metrics;
 pub mod od;
+pub mod plan;
 pub mod workload;
 
 pub use eval::{evaluate, EvalReport};
 pub use metrics::{MreOptions, SummaryStats};
 pub use od::{OdQuery, Region};
+pub use plan::{Answer, PlanError, QueryPlan, TopCell};
 pub use workload::QueryWorkload;

@@ -7,9 +7,10 @@
 //! full extent — e.g. "trips from region A to region B, any stops".
 
 use dpod_fmatrix::{AxisBox, FmError, Shape};
+use serde::{Deserialize, Serialize};
 
 /// A rectangular spatial region in cell coordinates (half-open).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Region {
     /// Inclusive lower corner `(x, y)`.
     pub lo: (usize, usize),

@@ -1,0 +1,626 @@
+//! The typed query algebra: one analyst vocabulary, every transport.
+//!
+//! A [`QueryPlan`] names *what* an analyst wants from a sanitized
+//! release — a range sum, an OD query composed from spatial regions, an
+//! axis marginal, the top-k cells, the total, or a batch of those — and
+//! [`execute`] answers it against a
+//! [`SanitizedMatrix`](dpod_core::SanitizedMatrix). The serving layer
+//! (`dpod-serve`) carries the same two enums over newline-delimited JSON
+//! and the `DPRB` binary protocol, so an in-process caller, an NDJSON
+//! script, and a binary client all speak — and answer — the identical
+//! vocabulary, bit for bit.
+//!
+//! Everything a plan can compute is DP post-processing of the released
+//! estimate: range sums and totals read the prefix table, OD queries
+//! lower to range sums through [`crate::od::OdQuery`], marginals sum the
+//! estimate over dropped dimensions
+//! ([`DenseMatrix::marginalize`](dpod_fmatrix::DenseMatrix::marginalize)),
+//! and top-k ranks released cell estimates. No plan touches raw data.
+
+use crate::od::{OdQuery, Region};
+use dpod_core::SanitizedMatrix;
+use dpod_fmatrix::AxisBox;
+use serde::{Deserialize, Serialize};
+
+/// Most cells a [`QueryPlan::TopK`] answer will carry, however large a
+/// `k` the analyst asks for. Answers are clamped, not refused: `k`
+/// beyond the matrix size is already clamped to the cell count, and this
+/// cap keeps an adversarial `k` over a huge domain from materializing a
+/// multi-gigabyte answer.
+pub const MAX_TOP_K: usize = 1 << 20;
+
+/// Most sub-plans one [`QueryPlan::Many`] may carry (plenty for real
+/// batches; bounds allocation before execution starts).
+pub const MAX_MANY_PLANS: usize = 1 << 16;
+
+/// Most answer cells (f64 values / ranked cells) one [`execute`] call
+/// may materialize **across the whole plan tree**. The per-variant caps
+/// bound a single leaf, but a `Many` multiplies them — a few hundred
+/// thousand `Marginal`/`TopK` sub-plans would otherwise assemble an
+/// OOM-scale answer from one accepted request. The budget is charged
+/// from cheap pre-execution estimates, so an over-budget plan is
+/// refused before any work happens. 16M cells ≈ 128 MB of values —
+/// generous for an analyst, survivable for a server.
+pub const MAX_ANSWER_CELLS: usize = 1 << 24;
+
+/// A planning or execution failure: a displayable message naming the
+/// offending plan fragment. Never a panic — analyst input is untrusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One typed analyst query against a sanitized release.
+///
+/// The plan is *domain-checked at execution time* against the release it
+/// runs over; the same plan value can be serialized, shipped over either
+/// wire encoding, and executed remotely with identical results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryPlan {
+    /// Estimated count inside the half-open box `lo..hi` (Definition 3
+    /// of the paper) — the vocabulary the legacy `Query` request spoke.
+    Range {
+        /// Inclusive lower corner (one entry per dimension).
+        lo: Vec<usize>,
+        /// Exclusive upper corner.
+        hi: Vec<usize>,
+    },
+    /// An OD query composed from 2-D spatial regions, lowered through
+    /// [`OdQuery`]: trips from `origin` to `destination` passing their
+    /// indexed intermediate stops through the given regions.
+    /// Unconstrained legs span their full extent.
+    Od {
+        /// Origin region, or any origin when `None`.
+        origin: Option<Region>,
+        /// `(stop index, region)` constraints on intermediate stops
+        /// (0-based; a k-stop release has stops `0..k`).
+        stops: Vec<(usize, Region)>,
+        /// Destination region, or any destination when `None`.
+        destination: Option<Region>,
+    },
+    /// The marginal over the dimensions in `keep` (strictly increasing),
+    /// summing every other dimension out — e.g. `keep: [0, 1]` on a 4-D
+    /// OD release is the origin density.
+    Marginal {
+        /// Dimensions to keep, strictly increasing.
+        keep: Vec<usize>,
+    },
+    /// The `k` cells with the largest released estimates, descending
+    /// (ties broken by ascending cell index, so answers are
+    /// deterministic). `k` is clamped to the cell count and [`MAX_TOP_K`].
+    TopK {
+        /// How many cells to return.
+        k: usize,
+    },
+    /// The estimated total count of the release.
+    Total,
+    /// Several plans answered in order against the same release (one
+    /// name resolution, one cache access). `Many` does not nest.
+    Many {
+        /// The sub-plans, answered in order.
+        plans: Vec<QueryPlan>,
+    },
+}
+
+impl QueryPlan {
+    /// A full-extent OD plan; chain [`Self::with_origin`] /
+    /// [`Self::with_stop`] / [`Self::with_destination`] to constrain legs.
+    pub fn od() -> Self {
+        QueryPlan::Od {
+            origin: None,
+            stops: Vec::new(),
+            destination: None,
+        }
+    }
+
+    /// Constrains the origin leg of an [`QueryPlan::Od`] plan.
+    ///
+    /// # Panics
+    /// When `self` is not an `Od` plan (a programming error, not analyst
+    /// input — deserialized plans never route here).
+    #[must_use]
+    pub fn with_origin(mut self, r: Region) -> Self {
+        let QueryPlan::Od { origin, .. } = &mut self else {
+            panic!("with_origin on a non-Od plan");
+        };
+        *origin = Some(r);
+        self
+    }
+
+    /// Constrains the destination leg of an [`QueryPlan::Od`] plan.
+    ///
+    /// # Panics
+    /// As for [`Self::with_origin`].
+    #[must_use]
+    pub fn with_destination(mut self, r: Region) -> Self {
+        let QueryPlan::Od { destination, .. } = &mut self else {
+            panic!("with_destination on a non-Od plan");
+        };
+        *destination = Some(r);
+        self
+    }
+
+    /// Constrains intermediate stop `index` of an [`QueryPlan::Od`] plan.
+    ///
+    /// # Panics
+    /// As for [`Self::with_origin`].
+    #[must_use]
+    pub fn with_stop(mut self, index: usize, r: Region) -> Self {
+        let QueryPlan::Od { stops, .. } = &mut self else {
+            panic!("with_stop on a non-Od plan");
+        };
+        stops.push((index, r));
+        self
+    }
+}
+
+/// One cell of a [`Answer::TopK`] ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopCell {
+    /// Cell coordinates, one entry per dimension.
+    pub coords: Vec<usize>,
+    /// The released estimate at that cell.
+    pub value: f64,
+}
+
+/// The answer to one [`QueryPlan`], variant-matched to the plan shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// A single estimated count ([`QueryPlan::Range`], [`QueryPlan::Od`],
+    /// [`QueryPlan::Total`]).
+    Value {
+        /// The estimated count.
+        value: f64,
+    },
+    /// A marginal table ([`QueryPlan::Marginal`]): the kept dimensions'
+    /// cardinalities and the row-major flattened estimates.
+    Marginal {
+        /// Cardinality of each kept dimension, in `keep` order.
+        dims: Vec<usize>,
+        /// Row-major marginal estimates (`dims.iter().product()` values).
+        values: Vec<f64>,
+    },
+    /// The top-k ranking ([`QueryPlan::TopK`]), descending by value.
+    /// `dims` carries the release's domain so cell coordinates are
+    /// interpretable (and so the wire encoding can pack cells as flat
+    /// indices).
+    TopK {
+        /// Domain cardinalities of the queried release.
+        dims: Vec<usize>,
+        /// The ranked cells, descending by value, ties by cell index.
+        cells: Vec<TopCell>,
+    },
+    /// Answers to [`QueryPlan::Many`], in plan order.
+    Many {
+        /// One answer per sub-plan.
+        answers: Vec<Answer>,
+    },
+}
+
+impl Answer {
+    /// How many queries this answer represents (for serving-side
+    /// counters): one per leaf, summed through [`Answer::Many`].
+    pub fn units(&self) -> u64 {
+        match self {
+            Answer::Many { answers } => answers.iter().map(Answer::units).sum(),
+            _ => 1,
+        }
+    }
+}
+
+/// Answers `plan` against `matrix`. Pure post-processing; never panics
+/// on analyst input — every invalid plan is a descriptive [`PlanError`].
+///
+/// # Errors
+/// [`PlanError`] for out-of-domain ranges, OD plans on non-OD domains or
+/// with invalid stop indices, bad marginal keep-lists, nested
+/// [`QueryPlan::Many`], and plan trees whose total answer size would
+/// exceed [`MAX_ANSWER_CELLS`].
+pub fn execute(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, PlanError> {
+    match plan {
+        QueryPlan::Many { plans } => {
+            if plans.len() > MAX_MANY_PLANS {
+                return Err(PlanError(format!(
+                    "Many carries {} plans, limit {MAX_MANY_PLANS}",
+                    plans.len()
+                )));
+            }
+            // Refuse over-budget trees before any leaf runs: the
+            // estimates are O(plan size) to compute, the answers are not.
+            let mut budget = 0usize;
+            for (i, sub) in plans.iter().enumerate() {
+                if matches!(sub, QueryPlan::Many { .. }) {
+                    return Err(PlanError(format!("plan {i}: Many plans cannot nest")));
+                }
+                budget = budget.saturating_add(answer_cells_estimate(matrix, sub));
+                if budget > MAX_ANSWER_CELLS {
+                    return Err(PlanError(format!(
+                        "plan would answer with more than {MAX_ANSWER_CELLS} cells \
+                         (exceeded at sub-plan {i})"
+                    )));
+                }
+            }
+            let mut answers = Vec::with_capacity(plans.len());
+            for sub in plans {
+                answers.push(execute_leaf(matrix, sub)?);
+            }
+            Ok(Answer::Many { answers })
+        }
+        leaf => execute_leaf(matrix, leaf),
+    }
+}
+
+/// Cheap upper bound on the cells a leaf's answer will carry. A single
+/// leaf is inherently bounded (a marginal by the release's own size, a
+/// top-k by [`MAX_TOP_K`]); the estimate exists so [`execute`] can
+/// refuse a `Many` that would *multiply* those bounds. Invalid leaves
+/// estimate low — they fail with their own descriptive error anyway.
+fn answer_cells_estimate(matrix: &SanitizedMatrix, plan: &QueryPlan) -> usize {
+    match plan {
+        QueryPlan::Range { .. } | QueryPlan::Od { .. } | QueryPlan::Total => 1,
+        // A ranked cell is a coords vector plus its value — charge
+        // `ndim + 1` cells each, or a Many of max-k TopK leaves would
+        // slip a multi-gigabyte answer under a budget calibrated for
+        // bare f64 cells.
+        QueryPlan::TopK { k } => (*k)
+            .min(matrix.matrix().len())
+            .min(MAX_TOP_K)
+            .saturating_mul(matrix.matrix().ndim() + 1),
+        QueryPlan::Marginal { keep } => {
+            let shape = matrix.matrix().shape();
+            keep.iter()
+                .map(|&d| if d < shape.ndim() { shape.dim(d) } else { 1 })
+                .fold(1usize, usize::saturating_mul)
+        }
+        QueryPlan::Many { .. } => 0, // rejected before estimation
+    }
+}
+
+fn execute_leaf(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, PlanError> {
+    match plan {
+        QueryPlan::Range { lo, hi } => {
+            let q = range_box(matrix, lo, hi)?;
+            Ok(Answer::Value {
+                value: matrix.range_sum(&q),
+            })
+        }
+        QueryPlan::Od {
+            origin,
+            stops,
+            destination,
+        } => {
+            let shape = matrix.matrix().shape();
+            let mut od = OdQuery::new(shape).map_err(|_| {
+                PlanError(format!(
+                    "OD plans need an even-dimensional (≥ 4) domain, release has {:?}",
+                    shape.dims()
+                ))
+            })?;
+            let num_stops = od.num_legs() - 2;
+            if let Some(r) = origin {
+                od = od.origin(*r);
+            }
+            if let Some(r) = destination {
+                od = od.destination(*r);
+            }
+            for &(index, r) in stops {
+                if index >= num_stops {
+                    return Err(PlanError(format!(
+                        "stop index {index} out of range: release has {num_stops} stop leg(s)"
+                    )));
+                }
+                od = od.stop(index, r);
+            }
+            let q = od
+                .build()
+                .map_err(|e| PlanError(format!("bad OD plan: {e}")))?;
+            Ok(Answer::Value {
+                value: matrix.range_sum(&q),
+            })
+        }
+        QueryPlan::Marginal { keep } => {
+            let table = matrix
+                .matrix()
+                .marginalize(keep)
+                .map_err(|e| PlanError(format!("bad marginal: {e}")))?;
+            Ok(Answer::Marginal {
+                dims: table.shape().dims().to_vec(),
+                values: table.into_vec(),
+            })
+        }
+        QueryPlan::TopK { k } => {
+            let m = matrix.matrix();
+            let k = (*k).min(m.len()).min(MAX_TOP_K);
+            // Rank by value descending, index ascending on ties —
+            // `total_cmp` keeps the order total (and answers
+            // deterministic) even over negative noisy estimates. An
+            // O(n) selection bounds the sort to the k survivors.
+            let cmp = |&a: &usize, &b: &usize| {
+                m.as_slice()[b].total_cmp(&m.as_slice()[a]).then(a.cmp(&b))
+            };
+            let mut order: Vec<usize> = (0..m.len()).collect();
+            if k > 0 && k < order.len() {
+                order.select_nth_unstable_by(k - 1, cmp);
+            }
+            order.truncate(k);
+            order.sort_unstable_by(cmp);
+            let cells = order
+                .into_iter()
+                .map(|idx| TopCell {
+                    coords: m.shape().coords(idx),
+                    value: m.as_slice()[idx],
+                })
+                .collect();
+            Ok(Answer::TopK {
+                dims: m.shape().dims().to_vec(),
+                cells,
+            })
+        }
+        QueryPlan::Total => Ok(Answer::Value {
+            value: matrix.total(),
+        }),
+        QueryPlan::Many { .. } => unreachable!("handled by execute"),
+    }
+}
+
+/// Validates a `lo..hi` range against the matrix domain (the same checks
+/// the legacy serving path applies).
+fn range_box(matrix: &SanitizedMatrix, lo: &[usize], hi: &[usize]) -> Result<AxisBox, PlanError> {
+    let q =
+        AxisBox::new(lo.to_vec(), hi.to_vec()).map_err(|e| PlanError(format!("bad range: {e}")))?;
+    let shape = matrix.matrix().shape();
+    if q.ndim() != shape.ndim() || !q.fits(shape) {
+        return Err(PlanError(format!(
+            "range {:?}..{:?} does not fit domain {:?}",
+            q.lo(),
+            q.hi(),
+            shape.dims()
+        )));
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpod_fmatrix::{DenseMatrix, Shape};
+
+    /// A deterministic 4-D "sanitized" matrix: cell value = flat index.
+    fn od_matrix(side: usize) -> SanitizedMatrix {
+        let shape = Shape::cube(4, side).unwrap();
+        let values: Vec<f64> = (0..shape.size()).map(|i| i as f64).collect();
+        let m = DenseMatrix::from_vec(shape, values).unwrap();
+        SanitizedMatrix::from_entries("test", 1.0, m)
+    }
+
+    fn flat_2d(side: usize, values: Vec<f64>) -> SanitizedMatrix {
+        let m = DenseMatrix::from_vec(Shape::new(vec![side, side]).unwrap(), values).unwrap();
+        SanitizedMatrix::from_entries("test", 1.0, m)
+    }
+
+    #[test]
+    fn range_matches_range_sum() {
+        let m = od_matrix(4);
+        let plan = QueryPlan::Range {
+            lo: vec![0, 0, 0, 0],
+            hi: vec![2, 2, 2, 2],
+        };
+        let Answer::Value { value } = execute(&m, &plan).unwrap() else {
+            panic!("expected value");
+        };
+        let q = AxisBox::new(vec![0, 0, 0, 0], vec![2, 2, 2, 2]).unwrap();
+        assert_eq!(value.to_bits(), m.range_sum(&q).to_bits());
+    }
+
+    #[test]
+    fn range_rejects_bad_domains() {
+        let m = od_matrix(4);
+        for (lo, hi) in [
+            (vec![0, 0], vec![2, 2]),             // wrong arity
+            (vec![0, 0, 0, 0], vec![5, 2, 2, 2]), // out of domain
+            (vec![3, 0, 0, 0], vec![1, 2, 2, 2]), // inverted
+        ] {
+            assert!(execute(&m, &QueryPlan::Range { lo, hi }).is_err());
+        }
+    }
+
+    #[test]
+    fn od_lowers_through_builder() {
+        let m = od_matrix(4);
+        let plan = QueryPlan::od()
+            .with_origin(Region::new((0, 0), (2, 2)))
+            .with_destination(Region::new((1, 1), (3, 3)));
+        let Answer::Value { value } = execute(&m, &plan).unwrap() else {
+            panic!("expected value");
+        };
+        let q = OdQuery::new(m.matrix().shape())
+            .unwrap()
+            .origin(Region::new((0, 0), (2, 2)))
+            .destination(Region::new((1, 1), (3, 3)))
+            .build()
+            .unwrap();
+        assert_eq!(value.to_bits(), m.range_sum(&q).to_bits());
+    }
+
+    #[test]
+    fn od_rejects_bad_plans() {
+        // Odd-dimensional release: no OD structure.
+        let flat = flat_2d(2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!(execute(&flat, &QueryPlan::od()).is_err());
+        // Stop index out of range on a stopless (4-D) release.
+        let m = od_matrix(4);
+        let plan = QueryPlan::od().with_stop(0, Region::new((0, 0), (1, 1)));
+        let err = execute(&m, &plan).unwrap_err();
+        assert!(err.0.contains("stop index"), "{err}");
+        // Region beyond the grid.
+        let plan = QueryPlan::od().with_origin(Region::new((0, 0), (9, 9)));
+        assert!(execute(&m, &plan).is_err());
+    }
+
+    #[test]
+    fn marginal_matches_dense_marginalize() {
+        let m = od_matrix(3);
+        let plan = QueryPlan::Marginal { keep: vec![0, 1] };
+        let Answer::Marginal { dims, values } = execute(&m, &plan).unwrap() else {
+            panic!("expected marginal");
+        };
+        assert_eq!(dims, vec![3, 3]);
+        let expect = m.matrix().marginalize(&[0, 1]).unwrap();
+        assert_eq!(values, expect.as_slice());
+        // Bad keep lists are errors, not panics.
+        assert!(execute(&m, &QueryPlan::Marginal { keep: vec![] }).is_err());
+        assert!(execute(&m, &QueryPlan::Marginal { keep: vec![1, 0] }).is_err());
+        assert!(execute(&m, &QueryPlan::Marginal { keep: vec![7] }).is_err());
+    }
+
+    #[test]
+    fn top_k_ranks_descending_with_deterministic_ties() {
+        let m = flat_2d(2, vec![1.0, 7.0, 7.0, -2.0]);
+        let Answer::TopK { dims, cells } = execute(&m, &QueryPlan::TopK { k: 3 }).unwrap() else {
+            panic!("expected top-k");
+        };
+        assert_eq!(dims, vec![2, 2]);
+        let got: Vec<(Vec<usize>, f64)> = cells.into_iter().map(|c| (c.coords, c.value)).collect();
+        // Tie between cells 1 and 2 resolves by ascending index.
+        assert_eq!(
+            got,
+            vec![(vec![0, 1], 7.0), (vec![1, 0], 7.0), (vec![0, 0], 1.0),]
+        );
+    }
+
+    #[test]
+    fn top_k_clamps_oversized_k() {
+        let m = flat_2d(2, vec![1.0, 2.0, 3.0, 4.0]);
+        let Answer::TopK { cells, .. } = execute(&m, &QueryPlan::TopK { k: usize::MAX }).unwrap()
+        else {
+            panic!("expected top-k");
+        };
+        assert_eq!(cells.len(), 4);
+        let Answer::TopK { cells, .. } = execute(&m, &QueryPlan::TopK { k: 0 }).unwrap() else {
+            panic!("expected top-k");
+        };
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn total_and_many_compose() {
+        let m = od_matrix(2);
+        let plan = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Total,
+                QueryPlan::TopK { k: 1 },
+                QueryPlan::Marginal { keep: vec![0] },
+            ],
+        };
+        let answer = execute(&m, &plan).unwrap();
+        assert_eq!(answer.units(), 3);
+        let Answer::Many { answers } = answer else {
+            panic!("expected many");
+        };
+        assert_eq!(answers.len(), 3);
+        let Answer::Value { value } = &answers[0] else {
+            panic!("expected total value");
+        };
+        assert_eq!(value.to_bits(), m.total().to_bits());
+    }
+
+    #[test]
+    fn many_refuses_over_budget_answer_trees() {
+        // 6^4 = 1296 cells; a full-keep marginal answers with all of
+        // them, so ~13k sub-plans blow the 2^24-cell aggregate budget.
+        let shape = Shape::cube(4, 6).unwrap();
+        let m = SanitizedMatrix::from_entries(
+            "test",
+            1.0,
+            DenseMatrix::from_vec(shape.clone(), vec![0.0; shape.size()]).unwrap(),
+        );
+        let leaves = MAX_ANSWER_CELLS / shape.size() + 1;
+        assert!(leaves < MAX_MANY_PLANS);
+        let plan = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Marginal {
+                    keep: vec![0, 1, 2, 3],
+                };
+                leaves
+            ],
+        };
+        let err = execute(&m, &plan).unwrap_err();
+        assert!(err.0.contains("cells"), "{err}");
+        // TopK leaves charge their coords vectors too (k·(ndim+1)), so
+        // far fewer of them hit the same budget.
+        let topk_leaves = MAX_ANSWER_CELLS / (shape.size() * (shape.ndim() + 1)) + 1;
+        let plan = QueryPlan::Many {
+            plans: vec![QueryPlan::TopK { k: shape.size() }; topk_leaves],
+        };
+        let err = execute(&m, &plan).unwrap_err();
+        assert!(err.0.contains("cells"), "{err}");
+        // The same leaf count of scalar plans is fine.
+        let plan = QueryPlan::Many {
+            plans: vec![QueryPlan::Total; leaves],
+        };
+        assert!(execute(&m, &plan).is_ok());
+    }
+
+    #[test]
+    fn many_does_not_nest() {
+        let m = od_matrix(2);
+        let plan = QueryPlan::Many {
+            plans: vec![QueryPlan::Many { plans: vec![] }],
+        };
+        let err = execute(&m, &plan).unwrap_err();
+        assert!(err.0.contains("nest"), "{err}");
+    }
+
+    #[test]
+    fn plans_and_answers_round_trip_as_json() {
+        let plans = vec![
+            QueryPlan::Range {
+                lo: vec![0, 0],
+                hi: vec![4, 4],
+            },
+            QueryPlan::od()
+                .with_origin(Region::new((0, 0), (2, 2)))
+                .with_stop(0, Region::new((1, 1), (2, 2))),
+            QueryPlan::Marginal { keep: vec![0, 2] },
+            QueryPlan::TopK { k: 5 },
+            QueryPlan::Total,
+            QueryPlan::Many {
+                plans: vec![QueryPlan::Total, QueryPlan::TopK { k: 1 }],
+            },
+        ];
+        for plan in &plans {
+            let line = serde_json::to_string(plan).unwrap();
+            assert!(!line.contains('\n'), "{line}");
+            let back: QueryPlan = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, plan);
+        }
+        let answers = vec![
+            Answer::Value { value: -1.25 },
+            Answer::Marginal {
+                dims: vec![2],
+                values: vec![0.5, -0.5],
+            },
+            Answer::TopK {
+                dims: vec![2, 2],
+                cells: vec![TopCell {
+                    coords: vec![1, 0],
+                    value: 3.5,
+                }],
+            },
+            Answer::Many {
+                answers: vec![Answer::Value { value: 0.0 }],
+            },
+        ];
+        for answer in &answers {
+            let line = serde_json::to_string(answer).unwrap();
+            let back: Answer = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, answer);
+        }
+    }
+}

@@ -95,6 +95,21 @@ impl QueryEngine {
     /// [`ServeError`] when the artifact fails validation (tampered or
     /// corrupt release) — the entry is *not* cached in that case.
     pub fn sanitized(&self, entry: &CatalogEntry) -> Result<Arc<SanitizedMatrix>, ServeError> {
+        self.sanitized_if(entry, || true)
+    }
+
+    /// [`Self::sanitized`], but consulting `still_current` (under the
+    /// cache lock) before a freshly rebuilt entry is inserted: when it
+    /// returns `false` the rebuild is served to the caller *without*
+    /// being cached. Servers pass a catalog re-check here to close the
+    /// remove/rebuild race — a removal's [`Self::evict`] can run while a
+    /// rebuild is in flight, and caching afterwards would strand an
+    /// entry no future request can reach.
+    pub fn sanitized_if(
+        &self,
+        entry: &CatalogEntry,
+        still_current: impl Fn() -> bool,
+    ) -> Result<Arc<SanitizedMatrix>, ServeError> {
         let key = (entry.name.clone(), entry.version);
         {
             let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -127,6 +142,35 @@ impl QueryEngine {
             cached.last_used = tick;
             return Ok(Arc::clone(&cached.matrix));
         }
+        // Versions are monotonic per name. If a *newer* version is
+        // already cached, this rebuild lost a race with a republish
+        // (the entry it resolved is no longer the latest): serve it to
+        // this caller but do not cache it, and leave the fresh entry
+        // alone.
+        if state.map.keys().any(|(n, v)| *n == key.0 && *v > key.1) {
+            return Ok(matrix);
+        }
+        // Caller-supplied currency check, serialized with `evict` by the
+        // lock held here: a rebuild that raced a removal (or republish)
+        // is served but never cached.
+        if !still_current() {
+            return Ok(matrix);
+        }
+        // A republish made any older version of this name unreachable
+        // (the catalog only hands out the latest), so its cached rebuild
+        // is dead weight: drop it now instead of stranding its bytes
+        // until LRU pressure happens to find it.
+        let stale: Vec<(String, u64)> = state
+            .map
+            .keys()
+            .filter(|(name, version)| *name == key.0 && *version < key.1)
+            .cloned()
+            .collect();
+        for old in stale {
+            if let Some(dropped) = state.map.remove(&old) {
+                state.bytes -= dropped.bytes;
+            }
+        }
         state.bytes += bytes;
         state.map.insert(
             key.clone(),
@@ -155,6 +199,28 @@ impl QueryEngine {
             }
         }
         Ok(matrix)
+    }
+
+    /// Drops every cached rebuild of `name` (any version), returning
+    /// the bytes reclaimed. Used when a release is removed outright: no
+    /// future request can reach those entries, so leaving them to LRU
+    /// pressure would strand their bytes on an idle server.
+    pub fn evict(&self, name: &str) -> usize {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let victims: Vec<(String, u64)> = state
+            .map
+            .keys()
+            .filter(|(n, _)| n == name)
+            .cloned()
+            .collect();
+        let mut reclaimed = 0;
+        for key in victims {
+            if let Some(dropped) = state.map.remove(&key) {
+                state.bytes -= dropped.bytes;
+                reclaimed += dropped.bytes;
+            }
+        }
+        reclaimed
     }
 
     /// Drops every cached rebuild (counters are preserved).
@@ -281,6 +347,122 @@ mod tests {
         assert_eq!(engine.stats().misses, misses_before);
         engine.sanitized(&eb).unwrap(); // rebuilt
         assert_eq!(engine.stats().misses, misses_before + 1);
+    }
+
+    /// Charged resident size of one entry, measured with a throwaway
+    /// engine (sizes vary per release with its partition structure).
+    fn charged_bytes(entry: &crate::CatalogEntry) -> usize {
+        let probe = QueryEngine::new(usize::MAX);
+        probe.sanitized(entry).unwrap();
+        probe.stats().bytes
+    }
+
+    #[test]
+    fn eviction_returns_the_victims_bytes() {
+        let c = catalog_with(&["a", "b", "c"], 16);
+        let (ea, eb, ec) = (
+            c.get("a").unwrap(),
+            c.get("b").unwrap(),
+            c.get("c").unwrap(),
+        );
+        let (sa, sb, sc) = (charged_bytes(&ea), charged_bytes(&eb), charged_bytes(&ec));
+        assert!(sa > 0 && sb > 0 && sc > 0);
+
+        // Budget one byte short of all three: the third insert must
+        // evict exactly the LRU entry and give its bytes back.
+        let engine = QueryEngine::new(sa + sb + sc - 1);
+        engine.sanitized(&ea).unwrap();
+        engine.sanitized(&eb).unwrap();
+        assert_eq!(engine.stats().bytes, sa + sb);
+        engine.sanitized(&ec).unwrap(); // evicts a (the LRU)
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(
+            stats.bytes,
+            sb + sc,
+            "the evicted entry's bytes must come back off the ledger"
+        );
+    }
+
+    #[test]
+    fn republish_drops_the_stale_version_immediately() {
+        let c = catalog_with(&["a", "b"], 16);
+        let engine = QueryEngine::new(usize::MAX);
+        engine.sanitized(&c.get("a").unwrap()).unwrap();
+        let eb = c.get("b").unwrap();
+        engine.sanitized(&eb).unwrap();
+        let sb = charged_bytes(&eb);
+
+        // Republish 'a': resolving the new version must replace — not
+        // sit beside — the (a, v1) rebuild, under zero LRU pressure.
+        let s = Shape::new(vec![16, 16]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[3, 3], 4_242).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(55))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let ea2 = c.get("a").unwrap();
+        assert_eq!(ea2.version, 2);
+        engine.sanitized(&ea2).unwrap();
+
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 2, "stale (a, v1) must be dropped");
+        assert_eq!(
+            stats.bytes,
+            sb + charged_bytes(&ea2),
+            "the stale version's bytes must not strand in the budget"
+        );
+        // And the fresh version answers from cache.
+        let misses = stats.misses;
+        engine.sanitized(&ea2).unwrap();
+        assert_eq!(engine.stats().misses, misses);
+    }
+
+    #[test]
+    fn rebuild_racing_a_removal_is_served_but_not_cached() {
+        // Models the remove/rebuild race: by the time the rebuild is
+        // ready to cache, the caller's currency check fails (the
+        // release was removed and `evict` already ran).
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let entry = c.get("a").unwrap();
+        let served = engine.sanitized_if(&entry, || false).unwrap();
+        assert!(served.total().is_finite());
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 0, "stale rebuild must not be cached");
+        assert_eq!(stats.bytes, 0);
+        // A current rebuild caches as usual.
+        engine.sanitized_if(&entry, || true).unwrap();
+        assert_eq!(engine.stats().entries, 1);
+    }
+
+    #[test]
+    fn straggler_rebuild_of_an_old_version_cannot_evict_the_new_cache() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        // A request resolved the v1 entry… and then a republish lands
+        // before its rebuild reaches the cache.
+        let old_entry = c.get("a").unwrap();
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[6, 6], 1_234).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(91))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let new_entry = c.get("a").unwrap();
+        let fresh = engine.sanitized(&new_entry).unwrap();
+
+        // The straggler is served its v1 answer but must neither evict
+        // the fresh (a, v2) entry nor cache the unreachable (a, v1).
+        let served = engine.sanitized(&old_entry).unwrap();
+        assert!(!Arc::ptr_eq(&served, &fresh));
+        assert_eq!(engine.stats().entries, 1);
+        let hits = engine.stats().hits;
+        let again = engine.sanitized(&new_entry).unwrap();
+        assert!(Arc::ptr_eq(&again, &fresh), "v2 must still answer warm");
+        assert_eq!(engine.stats().hits, hits + 1);
     }
 
     #[test]

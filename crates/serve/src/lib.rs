@@ -18,6 +18,15 @@
 //!   and/or the length-prefixed `DPRB` binary protocol ([`wire`]),
 //!   selected per connection by a preamble sniff ([`WireMode`]).
 //!
+//! Every transport serves the same typed query algebra: a
+//! [`Request::Plan`](protocol::Request::Plan) carries any
+//! [`QueryPlan`](dpod_query::QueryPlan) (range sum, OD query, axis
+//! marginal, top-k, total, or a `Many` batch) and answers come back as
+//! the matching [`Answer`](dpod_query::Answer) variant — bit-identical
+//! whether the plan arrived in-process, as NDJSON, or as `DPRB` frames.
+//! The algebra itself lives in `dpod-query` (`dpod_query::plan`), so
+//! in-process analysts need no server at all.
+//!
 //! Everything released through this crate is DP post-processing: the
 //! catalog stores only `PublishedRelease` artifacts, never raw counts.
 

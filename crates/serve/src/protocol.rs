@@ -7,6 +7,27 @@
 //! request with exactly one response, in order, so a client can pipeline
 //! an entire batch and read answers back positionally.
 //!
+//! ## The typed query algebra ([`Request::Plan`])
+//!
+//! Beyond the legacy bare range sums ([`Request::Query`] /
+//! [`Request::Batch`]), a request can carry any
+//! [`QueryPlan`](dpod_query::QueryPlan) from `dpod-query`'s typed
+//! algebra — the one vocabulary every transport shares:
+//!
+//! | plan | answer |
+//! |------|--------|
+//! | `Range { lo, hi }` | `Value` — estimated count in the box |
+//! | `Od { origin, stops, destination }` | `Value` — OD query lowered through `dpod_query::od` |
+//! | `Marginal { keep }` | `Marginal` — kept dims + row-major estimates |
+//! | `TopK { k }` | `TopK` — k largest cells, descending, deterministic ties |
+//! | `Total` | `Value` — full-domain estimate |
+//! | `Many { plans }` | `Many` — sub-answers in order (plans do not nest) |
+//!
+//! The same plan executed in-process, over NDJSON, or over `DPRB`
+//! produces bit-identical answers (a property test pins this). In-process
+//! users who do not need a server can call
+//! [`dpod_query::plan::execute`] directly.
+//!
 //! ## Encoding 1: newline-delimited JSON (the default)
 //!
 //! One JSON document per line:
@@ -14,6 +35,8 @@
 //! ```text
 //! → {"Query":{"release":"city","lo":[0,0],"hi":[4,4]}}
 //! ← {"Value":{"value":812.4375}}
+//! → {"Plan":{"release":"city","plan":{"TopK":{"k":3}}}}
+//! ← {"Answer":{"answer":{"TopK":{"dims":[8,8],"cells":[…]}}}}
 //! → "List"
 //! ← {"Releases":{"releases":[…]}}
 //! ```
@@ -31,17 +54,25 @@
 //! Batch requests pack their ranges as raw little-endian `u64`
 //! coordinate arrays and batch answers return as raw `f64` bit-pattern
 //! vectors, which is what lifts a single connection from ~10⁵ to >10⁶
-//! queries/sec. The full field-by-field layout is documented in
-//! [`crate::wire`].
+//! queries/sec. Plans ride opcode `0x05` and answers opcode `0x85`,
+//! with packed encodings for the hot variants: a marginal answer is a
+//! raw `f64` vector, a top-k answer is packed flat-index/value pairs.
+//! The full field-by-field layout is documented in [`crate::wire`].
 //!
-//! **Migration note for NDJSON clients:** nothing changes unless you opt
-//! in. The server sniffs the first four bytes of each connection; only
-//! an exact `DPRB` preamble selects binary framing, and no JSON document
-//! can begin with those bytes. To migrate, send the preamble once after
-//! connect, then exchange frames (`dpod_serve::wire::Client` wraps
-//! this); both encodings answer from the same catalog with bit-identical
-//! values, so clients can switch per-connection at any time.
+//! **Back-compat guarantee for legacy `Query`/`Batch` clients:** nothing
+//! changes unless you opt in. The legacy JSON documents and the `DPRB`
+//! opcodes `0x01`–`0x04` / `0x81`–`0x84` / `0xEF` are byte-for-byte what
+//! they were before the plan algebra existed — `Plan`/`Answer` are *new*
+//! enum variants and *new* opcodes (`0x05`/`0x85`), so existing clients'
+//! requests and the server's responses to them are untouched. The server
+//! sniffs the first four bytes of each connection; only an exact `DPRB`
+//! preamble selects binary framing, and no JSON document can begin with
+//! those bytes. To migrate, send the preamble once after connect, then
+//! exchange frames (`dpod_serve::wire::Client` wraps this); both
+//! encodings answer from the same catalog with bit-identical values, so
+//! clients can switch per-connection at any time.
 
+use dpod_query::{Answer, QueryPlan};
 use serde::{Deserialize, Serialize};
 
 /// One analyst request.
@@ -63,6 +94,14 @@ pub enum Request {
         /// `(lo, hi)` corner pairs, half-open.
         ranges: Vec<(Vec<usize>, Vec<usize>)>,
     },
+    /// A typed [`QueryPlan`] against the named release — the full
+    /// algebra (range, OD, marginal, top-k, total, `Many` batches).
+    Plan {
+        /// Catalog name of the release.
+        release: String,
+        /// The plan to execute.
+        plan: QueryPlan,
+    },
     /// Enumerate the catalog.
     List,
     /// Server and cache counters.
@@ -81,6 +120,11 @@ pub enum Response {
     Values {
         /// The estimated counts.
         values: Vec<f64>,
+    },
+    /// Answer to [`Request::Plan`], variant-matched to the plan shape.
+    Answer {
+        /// The typed answer.
+        answer: Answer,
     },
     /// Answer to [`Request::List`].
     Releases {
@@ -132,8 +176,12 @@ pub struct ServerStats {
     /// Rebuild-cache misses.
     pub cache_misses: u64,
     /// Queries answered per release (hot-release telemetry), sorted by
-    /// name. Names persist here even after a release is removed — the
-    /// counters describe lifetime traffic, not current catalog contents.
+    /// name. A name's counter lives as long as the release is served:
+    /// removing a release through
+    /// [`Server::remove_release`](crate::Server::remove_release) prunes
+    /// its row (so long-lived servers with churning catalogs do not leak
+    /// counters), and a later republish under the same name starts a
+    /// fresh count.
     pub release_hits: Vec<ReleaseHits>,
 }
 
@@ -162,6 +210,18 @@ mod tests {
                 release: "city".into(),
                 ranges: vec![(vec![0], vec![1]), (vec![2], vec![5])],
             },
+            Request::Plan {
+                release: "city".into(),
+                plan: QueryPlan::Many {
+                    plans: vec![
+                        QueryPlan::Total,
+                        QueryPlan::TopK { k: 3 },
+                        QueryPlan::Marginal { keep: vec![0] },
+                        dpod_query::QueryPlan::od()
+                            .with_origin(dpod_query::Region::new((0, 0), (2, 2))),
+                    ],
+                },
+            },
             Request::List,
             Request::Stats,
         ];
@@ -179,6 +239,24 @@ mod tests {
             Response::Value { value: 12.5 },
             Response::Values {
                 values: vec![1.0, -2.25],
+            },
+            Response::Answer {
+                answer: Answer::Many {
+                    answers: vec![
+                        Answer::Value { value: 3.5 },
+                        Answer::Marginal {
+                            dims: vec![2],
+                            values: vec![1.5, 2.0],
+                        },
+                        Answer::TopK {
+                            dims: vec![2, 2],
+                            cells: vec![dpod_query::TopCell {
+                                coords: vec![1, 1],
+                                value: 9.0,
+                            }],
+                        },
+                    ],
+                },
             },
             Response::Releases {
                 releases: vec![ReleaseInfo {

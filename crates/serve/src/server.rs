@@ -96,6 +96,22 @@ impl Server {
         &self.catalog
     }
 
+    /// Removes `release` from the catalog, prunes its per-release hit
+    /// counter, and evicts its cached rebuild, returning whether it
+    /// existed. Operators managing a served catalog should remove
+    /// through this method rather than [`Catalog::remove`] directly —
+    /// the counter map is keyed by name and would otherwise grow
+    /// without bound as releases churn, and the engine's rebuild would
+    /// strand its bytes in the cache until LRU pressure found it.
+    pub fn remove_release(&self, release: &str) -> bool {
+        let existed = self.catalog.remove(release);
+        let mut map = self.release_hits.write().unwrap_or_else(|e| e.into_inner());
+        map.remove(release);
+        drop(map);
+        self.engine.evict(release);
+        existed
+    }
+
     /// Answers one request. Never panics on analyst input: every failure
     /// is a [`Response::Error`].
     pub fn handle(&self, request: &Request) -> Response {
@@ -131,6 +147,24 @@ impl Server {
                 }
                 self.note_hits(release, values.len() as u64);
                 Response::Values { values }
+            }
+            Request::Plan { release, plan } => {
+                let matrix = match self.resolve(release) {
+                    Ok(m) => m,
+                    Err(e) => return Response::Error { message: e.0 },
+                };
+                match dpod_query::plan::execute(&matrix, plan) {
+                    Ok(answer) => {
+                        // A plan counts one query per leaf answered; a
+                        // failed plan counts none (unlike `Batch`, plans
+                        // are answered whole-or-not).
+                        let units = answer.units();
+                        self.queries.fetch_add(units, Ordering::Relaxed);
+                        self.note_hits(release, units);
+                        Response::Answer { answer }
+                    }
+                    Err(e) => Response::Error { message: e.0 },
+                }
             }
             Request::List => Response::Releases {
                 releases: self
@@ -170,7 +204,16 @@ impl Server {
             .catalog
             .get(release)
             .ok_or_else(|| ServeError(format!("unknown release '{release}'")))?;
-        self.engine.sanitized(&entry)
+        // The currency re-check runs only on the rebuild (miss) path,
+        // keeping the cached hot path at one catalog lookup. It closes
+        // the race with [`Self::remove_release`]: a rebuild in flight
+        // when the removal's evict runs must not be cached afterwards,
+        // or its bytes strand in an entry no request can reach.
+        self.engine.sanitized_if(&entry, || {
+            self.catalog
+                .get(release)
+                .is_some_and(|current| current.version == entry.version)
+        })
     }
 
     /// Validates one range against `matrix` and answers it.
@@ -208,6 +251,17 @@ impl Server {
             }
         }
         let mut map = self.release_hits.write().unwrap_or_else(|e| e.into_inner());
+        // First touch of this name: re-check the catalog *inside* the
+        // exclusive lock. An in-flight request can race
+        // [`Self::remove_release`] (its entry was resolved before the
+        // removal); inserting here would re-create the counter that was
+        // just pruned — a permanent leak. With the check under the same
+        // lock the prune takes, either this insert happens first and the
+        // prune removes it, or the removal happened first and the
+        // catalog lookup fails.
+        if self.catalog.get(release).is_none() {
+            return;
+        }
         map.entry(release.to_string())
             .or_insert_with(|| AtomicU64::new(0))
             .fetch_add(n, Ordering::Relaxed);
@@ -616,6 +670,117 @@ mod tests {
         assert_eq!(stats.release_hits.len(), 1);
         assert_eq!(stats.release_hits[0].name, "a");
         assert_eq!(stats.release_hits[0].hits, 1);
+    }
+
+    #[test]
+    fn plan_requests_share_the_handle_path() {
+        use dpod_query::{plan, Answer, QueryPlan};
+        let server = test_server(&["city"]);
+        let matrix = server.resolve("city").unwrap();
+
+        // A Many plan answers every variant in order, bit-identically to
+        // the in-process executor.
+        let plan = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Range {
+                    lo: vec![0, 0],
+                    hi: vec![4, 4],
+                },
+                QueryPlan::Total,
+                QueryPlan::TopK { k: 3 },
+                QueryPlan::Marginal { keep: vec![1] },
+            ],
+        };
+        let Response::Answer { answer } = server.handle(&Request::Plan {
+            release: "city".into(),
+            plan: plan.clone(),
+        }) else {
+            panic!("expected answer");
+        };
+        assert_eq!(answer, plan::execute(&matrix, &plan).unwrap());
+        // Four leaves → four answered queries, on both counters.
+        assert_eq!(server.queries_answered(), 4);
+        assert_eq!(server.release_hits()[0].hits, 4);
+
+        // Failures are descriptive errors and count nothing.
+        for (release, plan) in [
+            ("nope".to_string(), QueryPlan::Total),
+            ("city".to_string(), QueryPlan::Marginal { keep: vec![9] }),
+            ("city".to_string(), QueryPlan::od()), // 2-D release: no OD legs
+            (
+                "city".to_string(),
+                QueryPlan::Many {
+                    plans: vec![QueryPlan::Many { plans: vec![] }],
+                },
+            ),
+        ] {
+            let Response::Error { message } = server.handle(&Request::Plan { release, plan })
+            else {
+                panic!("expected error");
+            };
+            assert!(!message.is_empty());
+        }
+        assert_eq!(server.queries_answered(), 4);
+
+        // A lone TopK answer carries the release's domain.
+        let Response::Answer { answer } = server.handle(&Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::TopK { k: 1 },
+        }) else {
+            panic!("expected answer");
+        };
+        let Answer::TopK { dims, cells } = answer else {
+            panic!("expected top-k");
+        };
+        assert_eq!(dims, vec![8, 8]);
+        assert_eq!(cells.len(), 1);
+    }
+
+    #[test]
+    fn remove_release_prunes_hit_counters() {
+        let server = test_server(&["hot", "cold"]);
+        for release in ["hot", "cold"] {
+            server.handle(&Request::Query {
+                release: release.into(),
+                lo: vec![0, 0],
+                hi: vec![2, 2],
+            });
+        }
+        assert_eq!(server.release_hits().len(), 2);
+
+        // Removing through the server drops the counter with the release.
+        assert_eq!(server.engine_stats().entries, 2);
+        assert!(server.remove_release("hot"));
+        assert!(!server.remove_release("hot"), "second remove is a no-op");
+        let hits = server.release_hits();
+        assert_eq!(hits.len(), 1, "removed release must not leak a counter");
+        assert_eq!(hits[0].name, "cold");
+        assert_eq!(server.catalog().len(), 1);
+        // …and its rebuilt matrix must leave the cache with it.
+        assert_eq!(
+            server.engine_stats().entries,
+            1,
+            "removed release must not strand its rebuild in the cache"
+        );
+
+        // A republish under the same name starts a fresh count.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[1, 1], 250).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(77))
+            .unwrap();
+        server
+            .catalog()
+            .publish("hot", PublishedRelease::from_sanitized(&out));
+        server.handle(&Request::Query {
+            release: "hot".into(),
+            lo: vec![0, 0],
+            hi: vec![2, 2],
+        });
+        let hits = server.release_hits();
+        let as_pairs: Vec<(&str, u64)> = hits.iter().map(|h| (h.name.as_str(), h.hits)).collect();
+        assert_eq!(as_pairs, vec![("cold", 1), ("hot", 1)]);
     }
 
     #[test]

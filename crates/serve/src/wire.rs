@@ -39,9 +39,13 @@
 //! ```
 //!
 //! Request opcodes: `0x01` Query (release, lo, hi), `0x02` Batch
-//! (release + packed coordinate array), `0x03` List, `0x04` Stats.
+//! (release + packed coordinate array), `0x03` List, `0x04` Stats,
+//! `0x05` Plan (release + typed plan tree).
 //! Response opcodes: `0x81` Value, `0x82` Values, `0x83` Releases,
-//! `0x84` Stats, `0xEF` Error.
+//! `0x84` Stats, `0x85` Answer (typed answer tree), `0xEF` Error.
+//! Opcodes `0x01`–`0x04`/`0x81`–`0x84`/`0xEF` are byte-for-byte
+//! unchanged from before the plan algebra existed; `0x05`/`0x85` are
+//! additive, so legacy clients are untouched.
 //!
 //! A homogeneous `Batch` — every range with the same dimensionality `d`
 //! — is packed as `u16 d`, `u64 count`, then `count × 2d` raw `u64`
@@ -51,12 +55,26 @@
 //! `d = 0xFFFF` and length-prefixed per-range corners. `Values`
 //! responses are a `u64` count followed by raw IEEE-754 bit patterns.
 //!
+//! ## Plan and answer trees (opcodes `0x05`/`0x85`)
+//!
+//! A `Plan` payload is the release name then a tagged plan tree:
+//! `0x01` Range (lo\[\], hi\[\]), `0x02` Od (presence-byte-prefixed
+//! origin/destination regions of 4 raw u64 corners each, then
+//! `u64 count` × (u64 stop index + region)), `0x03` Marginal (keep\[\]),
+//! `0x04` TopK (u64 k), `0x05` Total, `0x06` Many (u64 count + nested
+//! plans). An `Answer` payload mirrors it with packed encodings for the
+//! hot variants: `0x01` Value (f64), `0x02` Marginal (dims\[\] + a raw
+//! f64 vector), `0x03` TopK (dims\[\], u64 count, then `count` packed
+//! flat-index/value u64 word pairs), `0x04` Many (u64 count + nested
+//! answers).
+//!
 //! Every decode error is a descriptive [`WireError`], never a panic; the
 //! declared lengths are validated against the bytes actually present
 //! before any allocation.
 
 use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
 use dpod_fmatrix::codec::{FrameReader, FrameWriter};
+use dpod_query::{Answer, QueryPlan, Region, TopCell};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -74,11 +92,32 @@ const OP_QUERY: u8 = 0x01;
 const OP_BATCH: u8 = 0x02;
 const OP_LIST: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
+const OP_PLAN: u8 = 0x05;
 const OP_VALUE: u8 = 0x81;
 const OP_VALUES: u8 = 0x82;
 const OP_RELEASES: u8 = 0x83;
 const OP_STATS_RESP: u8 = 0x84;
+const OP_ANSWER: u8 = 0x85;
 const OP_ERROR: u8 = 0xEF;
+
+// Plan tags inside an `OP_PLAN` payload (one per `QueryPlan` variant).
+const PLAN_RANGE: u8 = 0x01;
+const PLAN_OD: u8 = 0x02;
+const PLAN_MARGINAL: u8 = 0x03;
+const PLAN_TOP_K: u8 = 0x04;
+const PLAN_TOTAL: u8 = 0x05;
+const PLAN_MANY: u8 = 0x06;
+
+// Answer tags inside an `OP_ANSWER` payload (one per `Answer` variant).
+const ANSWER_VALUE: u8 = 0x01;
+const ANSWER_MARGINAL: u8 = 0x02;
+const ANSWER_TOP_K: u8 = 0x03;
+const ANSWER_MANY: u8 = 0x04;
+
+/// Deepest `Many` nesting the decoder will follow. The executor rejects
+/// nested `Many` anyway; this cap merely keeps an adversarial frame from
+/// recursing the decoder off the stack.
+const MAX_PLAN_DEPTH: usize = 32;
 
 /// A batch's half-open ranges, as `(lo, hi)` corner pairs.
 pub type RangeList = Vec<(Vec<usize>, Vec<usize>)>;
@@ -149,8 +188,260 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.finish().to_vec()
         }
         Request::Batch { release, ranges } => encode_batch(release, ranges),
+        Request::Plan { release, plan } => {
+            let mut w = writer(release.len() + 64, OP_PLAN);
+            put_wire_str(&mut w, release);
+            encode_plan(&mut w, plan);
+            w.finish().to_vec()
+        }
         Request::List => writer(0, OP_LIST).finish().to_vec(),
         Request::Stats => writer(0, OP_STATS).finish().to_vec(),
+    }
+}
+
+/// A `Region` is four raw u64 corner coordinates.
+fn put_region(w: &mut FrameWriter, r: &Region) {
+    w.put_u64(r.lo.0 as u64);
+    w.put_u64(r.lo.1 as u64);
+    w.put_u64(r.hi.0 as u64);
+    w.put_u64(r.hi.1 as u64);
+}
+
+fn get_region(r: &mut FrameReader<'_>, what: &str) -> Result<Region, WireError> {
+    let raw = r.get_raw_u64s(4, what)?;
+    let word = |i: usize| {
+        u64::from_le_bytes(raw[i * 8..(i + 1) * 8].try_into().expect("8 bytes")) as usize
+    };
+    Ok(Region::new((word(0), word(1)), (word(2), word(3))))
+}
+
+/// An `Option<Region>` is a presence byte, then the region when present.
+fn put_opt_region(w: &mut FrameWriter, r: &Option<Region>) {
+    match r {
+        None => w.put_u8(0),
+        Some(region) => {
+            w.put_u8(1);
+            put_region(w, region);
+        }
+    }
+}
+
+fn get_opt_region(r: &mut FrameReader<'_>, what: &str) -> Result<Option<Region>, WireError> {
+    match r.get_u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_region(r, what)?)),
+        other => Err(WireError(format!(
+            "frame field {what}: presence byte must be 0 or 1, got {other}"
+        ))),
+    }
+}
+
+/// Encodes one plan recursively (tag byte, then variant payload).
+fn encode_plan(w: &mut FrameWriter, plan: &QueryPlan) {
+    match plan {
+        QueryPlan::Range { lo, hi } => {
+            w.put_u8(PLAN_RANGE);
+            w.put_usize_slice(lo);
+            w.put_usize_slice(hi);
+        }
+        QueryPlan::Od {
+            origin,
+            stops,
+            destination,
+        } => {
+            w.put_u8(PLAN_OD);
+            put_opt_region(w, origin);
+            put_opt_region(w, destination);
+            w.put_u64(stops.len() as u64);
+            for (index, region) in stops {
+                w.put_u64(*index as u64);
+                put_region(w, region);
+            }
+        }
+        QueryPlan::Marginal { keep } => {
+            w.put_u8(PLAN_MARGINAL);
+            w.put_usize_slice(keep);
+        }
+        QueryPlan::TopK { k } => {
+            w.put_u8(PLAN_TOP_K);
+            w.put_u64(*k as u64);
+        }
+        QueryPlan::Total => w.put_u8(PLAN_TOTAL),
+        QueryPlan::Many { plans } => {
+            w.put_u8(PLAN_MANY);
+            w.put_u64(plans.len() as u64);
+            for p in plans {
+                encode_plan(w, p);
+            }
+        }
+    }
+}
+
+fn decode_plan(r: &mut FrameReader<'_>, depth: usize) -> Result<QueryPlan, WireError> {
+    if depth > MAX_PLAN_DEPTH {
+        return Err(WireError(format!(
+            "plan nesting exceeds depth {MAX_PLAN_DEPTH}"
+        )));
+    }
+    match r.get_u8("plan tag")? {
+        PLAN_RANGE => Ok(QueryPlan::Range {
+            lo: r.get_usize_vec("plan lo")?,
+            hi: r.get_usize_vec("plan hi")?,
+        }),
+        PLAN_OD => {
+            let origin = get_opt_region(r, "od origin")?;
+            let destination = get_opt_region(r, "od destination")?;
+            let count = usize::try_from(r.get_u64("od stop count")?)
+                .map_err(|_| WireError("od stop count overflows".into()))?;
+            // Each stop is 40 bytes; the byte budget is validated before
+            // the vector allocates.
+            let mut stops = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                let index = usize::try_from(r.get_u64("od stop index")?)
+                    .map_err(|_| WireError("od stop index overflows".into()))?;
+                stops.push((index, get_region(r, "od stop region")?));
+            }
+            Ok(QueryPlan::Od {
+                origin,
+                stops,
+                destination,
+            })
+        }
+        PLAN_MARGINAL => Ok(QueryPlan::Marginal {
+            keep: r.get_usize_vec("marginal keep")?,
+        }),
+        PLAN_TOP_K => Ok(QueryPlan::TopK {
+            k: usize::try_from(r.get_u64("top-k k")?)
+                .map_err(|_| WireError("top-k k overflows".into()))?,
+        }),
+        PLAN_TOTAL => Ok(QueryPlan::Total),
+        PLAN_MANY => {
+            let count = usize::try_from(r.get_u64("many count")?)
+                .map_err(|_| WireError("many count overflows".into()))?;
+            // Every sub-plan consumes at least its tag byte, so a huge
+            // declared count fails on the first missing byte; only the
+            // initial capacity needs capping.
+            let mut plans = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                plans.push(decode_plan(r, depth + 1)?);
+            }
+            Ok(QueryPlan::Many { plans })
+        }
+        other => Err(WireError(format!("unknown plan tag {other:#04x}"))),
+    }
+}
+
+/// Row-major strides for a dims list (last dimension contiguous).
+/// Saturating: an overflowing (hence invalid) domain cannot panic the
+/// encoder; the decoder rejects such dims via its checked size.
+fn strides_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1].saturating_mul(dims[i + 1]);
+    }
+    strides
+}
+
+/// Encodes one answer recursively. Top-k cells pack as flat-index/value
+/// word pairs against the answer's own `dims` (the hot variant: two raw
+/// words per cell, no per-cell framing).
+fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
+    match answer {
+        Answer::Value { value } => {
+            w.put_u8(ANSWER_VALUE);
+            w.put_f64(*value);
+        }
+        Answer::Marginal { dims, values } => {
+            w.put_u8(ANSWER_MARGINAL);
+            w.put_usize_slice(dims);
+            w.put_f64_slice(values);
+        }
+        Answer::TopK { dims, cells } => {
+            w.put_u8(ANSWER_TOP_K);
+            w.put_usize_slice(dims);
+            let strides = strides_for(dims);
+            w.put_u64(cells.len() as u64);
+            for cell in cells {
+                let flat: usize = cell
+                    .coords
+                    .iter()
+                    .zip(&strides)
+                    .map(|(&c, &s)| c.saturating_mul(s))
+                    .fold(0usize, usize::saturating_add);
+                w.put_u64(flat as u64);
+                w.put_f64(cell.value);
+            }
+        }
+        Answer::Many { answers } => {
+            w.put_u8(ANSWER_MANY);
+            w.put_u64(answers.len() as u64);
+            for a in answers {
+                encode_answer(w, a);
+            }
+        }
+    }
+}
+
+fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireError> {
+    if depth > MAX_PLAN_DEPTH {
+        return Err(WireError(format!(
+            "answer nesting exceeds depth {MAX_PLAN_DEPTH}"
+        )));
+    }
+    match r.get_u8("answer tag")? {
+        ANSWER_VALUE => Ok(Answer::Value {
+            value: r.get_f64("answer value")?,
+        }),
+        ANSWER_MARGINAL => Ok(Answer::Marginal {
+            dims: r.get_usize_vec("marginal dims")?,
+            values: r.get_f64_vec("marginal values")?,
+        }),
+        ANSWER_TOP_K => {
+            let dims = r.get_usize_vec("top-k dims")?;
+            let size = dims
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .ok_or_else(|| WireError("top-k dims overflow".into()))?;
+            let strides = strides_for(&dims);
+            let count = usize::try_from(r.get_u64("top-k count")?)
+                .map_err(|_| WireError("top-k count overflows".into()))?;
+            let words = count
+                .checked_mul(2)
+                .ok_or_else(|| WireError("top-k count overflows".into()))?;
+            let raw = r.get_raw_u64s(words, "top-k cells")?;
+            let mut cells = Vec::with_capacity(count);
+            for pair in raw.chunks_exact(16) {
+                let flat = u64::from_le_bytes(pair[..8].try_into().expect("8 bytes")) as usize;
+                let value =
+                    f64::from_bits(u64::from_le_bytes(pair[8..].try_into().expect("8 bytes")));
+                if flat >= size {
+                    return Err(WireError(format!(
+                        "top-k cell index {flat} out of domain {dims:?}"
+                    )));
+                }
+                let mut rem = flat;
+                let coords = strides
+                    .iter()
+                    .map(|&s| {
+                        let c = rem / s;
+                        rem %= s;
+                        c
+                    })
+                    .collect();
+                cells.push(TopCell { coords, value });
+            }
+            Ok(Answer::TopK { dims, cells })
+        }
+        ANSWER_MANY => {
+            let count = usize::try_from(r.get_u64("answer count")?)
+                .map_err(|_| WireError("answer count overflows".into()))?;
+            let mut answers = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                answers.push(decode_answer(r, depth + 1)?);
+            }
+            Ok(Answer::Many { answers })
+        }
+        other => Err(WireError(format!("unknown answer tag {other:#04x}"))),
     }
 }
 
@@ -229,6 +520,11 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
             };
             Request::Batch { release, ranges }
         }
+        OP_PLAN => {
+            let release = get_wire_str(&mut r, "release")?;
+            let plan = decode_plan(&mut r, 0)?;
+            Request::Plan { release, plan }
+        }
         OP_LIST => Request::List,
         OP_STATS => Request::Stats,
         other => return Err(WireError(format!("unknown request opcode {other:#04x}"))),
@@ -287,6 +583,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_f64_slice(values);
             w.finish().to_vec()
         }
+        Response::Answer { answer } => {
+            let mut w = writer(64, OP_ANSWER);
+            encode_answer(&mut w, answer);
+            w.finish().to_vec()
+        }
         Response::Releases { releases } => {
             let mut w = writer(releases.len() * 64, OP_RELEASES);
             w.put_u64(releases.len() as u64);
@@ -336,6 +637,9 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         },
         OP_VALUES => Response::Values {
             values: r.get_f64_vec("values")?,
+        },
+        OP_ANSWER => Response::Answer {
+            answer: decode_answer(&mut r, 0)?,
         },
         OP_RELEASES => {
             let count = r.get_u64("release count")?;
@@ -530,6 +834,23 @@ impl Client {
             other => Err(WireError(format!("unexpected response {other:?}"))),
         }
     }
+
+    /// Executes a typed [`QueryPlan`] against `release`, unwrapping the
+    /// answer.
+    ///
+    /// # Errors
+    /// [`WireError`] on transport failure or a server-side
+    /// [`Response::Error`].
+    pub fn plan(&mut self, release: &str, plan: QueryPlan) -> Result<Answer, WireError> {
+        match self.request(&Request::Plan {
+            release: release.to_string(),
+            plan,
+        })? {
+            Response::Answer { answer } => Ok(answer),
+            Response::Error { message } => Err(WireError(message)),
+            other => Err(WireError(format!("unexpected response {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -569,12 +890,143 @@ mod tests {
                 release: "empty".into(),
                 ranges: vec![],
             },
+            Request::Plan {
+                release: "city".into(),
+                plan: QueryPlan::Many {
+                    plans: vec![
+                        QueryPlan::Range {
+                            lo: vec![0, 0],
+                            hi: vec![4, 4],
+                        },
+                        QueryPlan::od()
+                            .with_origin(Region::new((0, 0), (2, 2)))
+                            .with_stop(0, Region::new((1, 1), (3, 3)))
+                            .with_destination(Region::new((4, 4), (8, 8))),
+                        QueryPlan::Marginal { keep: vec![0, 3] },
+                        QueryPlan::TopK { k: 17 },
+                        QueryPlan::Total,
+                    ],
+                },
+            },
+            Request::Plan {
+                release: "x".into(),
+                plan: QueryPlan::od(),
+            },
             Request::List,
             Request::Stats,
         ];
         for req in &reqs {
             assert_eq!(&round_trip_request(req), req);
         }
+    }
+
+    #[test]
+    fn answers_round_trip_packed() {
+        let resps = vec![
+            Response::Answer {
+                answer: Answer::Value { value: -0.0 },
+            },
+            Response::Answer {
+                answer: Answer::Marginal {
+                    dims: vec![3, 2],
+                    values: vec![1.5, -2.0, f64::MAX, 0.0, -1e-300, 7.0],
+                },
+            },
+            Response::Answer {
+                answer: Answer::TopK {
+                    dims: vec![4, 4],
+                    cells: vec![
+                        TopCell {
+                            coords: vec![3, 1],
+                            value: 9.25,
+                        },
+                        TopCell {
+                            coords: vec![0, 0],
+                            value: -4.0,
+                        },
+                    ],
+                },
+            },
+            // An empty-domain top-k (0-d release) packs as index 0.
+            Response::Answer {
+                answer: Answer::TopK {
+                    dims: vec![],
+                    cells: vec![TopCell {
+                        coords: vec![],
+                        value: 2.5,
+                    }],
+                },
+            },
+            Response::Answer {
+                answer: Answer::Many {
+                    answers: vec![
+                        Answer::Value { value: 1.0 },
+                        Answer::Marginal {
+                            dims: vec![1],
+                            values: vec![0.5],
+                        },
+                    ],
+                },
+            },
+        ];
+        for resp in &resps {
+            assert_eq!(&round_trip_response(resp), resp);
+        }
+    }
+
+    #[test]
+    fn plan_decode_rejects_malice_without_panicking() {
+        let good = encode_request(&Request::Plan {
+            release: "r".into(),
+            plan: QueryPlan::TopK { k: 3 },
+        });
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Unknown plan tag.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 16);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"r");
+        w.put_u8(0x7F);
+        assert!(decode_request(&w.finish()).is_err());
+        // A Many declaring far more plans than the frame holds must fail
+        // on truncation, not allocate.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 16);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"r");
+        w.put_u8(PLAN_MANY);
+        w.put_u64(u64::MAX / 2);
+        assert!(decode_request(&w.finish()).is_err());
+        // Nesting past the depth cap is refused (the executor would
+        // reject the plan anyway; the decoder must not recurse forever).
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 256);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"r");
+        for _ in 0..(MAX_PLAN_DEPTH + 2) {
+            w.put_u8(PLAN_MANY);
+            w.put_u64(1);
+        }
+        w.put_u8(PLAN_TOTAL);
+        let err = decode_request(&w.finish()).expect_err("depth cap must fire");
+        assert!(err.0.contains("depth"), "{err}");
+        // A bad presence byte in an Od plan is a named error.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 16);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"r");
+        w.put_u8(PLAN_OD);
+        w.put_u8(9);
+        assert!(decode_request(&w.finish()).is_err());
+        // A top-k answer cell pointing outside its declared dims is
+        // refused on decode.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 64);
+        w.put_u8(OP_ANSWER);
+        w.put_u8(ANSWER_TOP_K);
+        w.put_usize_slice(&[2, 2]);
+        w.put_u64(1);
+        w.put_u64(99); // flat index ≥ 4
+        w.put_f64(1.0);
+        let err = decode_response(&w.finish()).expect_err("index check must fire");
+        assert!(err.0.contains("out of domain"), "{err}");
     }
 
     #[test]
