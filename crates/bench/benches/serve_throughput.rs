@@ -212,8 +212,11 @@ fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
     qps
 }
 
-/// Plans/sec for one fixed typed plan, pipelined on one connection over
-/// the chosen encoding. Aggregate plans return multi-kilobyte answers,
+/// Plans/sec for one fixed typed plan over the chosen encoding, fully
+/// pipelined on one connection: a sender thread streams the `n`
+/// pre-encoded requests while the main thread drains and decodes every
+/// response, so neither socket buffer can fill against a blocked peer
+/// however large `n` is. Aggregate plans return multi-kilobyte answers,
 /// so this measures the full serialize/transport cost, not just compute.
 fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: bool) -> f64 {
     let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
@@ -221,48 +224,79 @@ fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: 
         release: "gauss-ebp".into(),
         plan,
     };
-    let qps = if binary {
-        let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
-        let start = Instant::now();
-        for _ in 0..n {
-            client.send(&req).expect("send");
+    let check = |resp: Response| match resp {
+        Response::Answer { answer } => {
+            black_box(answer.units());
         }
-        for _ in 0..n {
-            match client.receive().expect("receive") {
-                Response::Answer { answer } => {
-                    black_box(answer.units());
-                }
-                other => panic!("plan failed: {other:?}"),
-            }
-        }
-        n as f64 / start.elapsed().as_secs_f64()
+        other => panic!("plan failed: {other:?}"),
+    };
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut request_bytes = Vec::new();
+    if binary {
+        request_bytes.extend_from_slice(dpod_serve::wire::WIRE_MAGIC);
+        request_bytes.push(dpod_serve::wire::WIRE_VERSION);
+    }
+    let one_request = if binary {
+        let mut frame = Vec::new();
+        dpod_serve::wire::write_frame(&mut frame, &dpod_serve::wire::encode_request(&req))
+            .expect("encode");
+        frame
     } else {
-        let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
-        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = serde_json::to_string(&req).expect("encode").into_bytes();
+        line.push(b'\n');
+        line
+    };
+
+    let start = Instant::now();
+    let sender = std::thread::spawn(move || {
         let mut writer = BufWriter::new(stream);
-        let line = serde_json::to_string(&req).expect("encode");
-        let start = Instant::now();
+        writer.write_all(&request_bytes).expect("preamble");
         for _ in 0..n {
-            writer.write_all(line.as_bytes()).expect("write");
-            writer.write_all(b"\n").expect("write");
+            writer.write_all(&one_request).expect("send");
         }
         writer.flush().expect("flush");
+    });
+    if binary {
+        for _ in 0..n {
+            let body = dpod_serve::wire::read_frame(&mut reader)
+                .expect("frame")
+                .expect("open stream");
+            check(dpod_serve::wire::decode_response(&body).expect("decode"));
+        }
+    } else {
         let mut answer = String::new();
         for _ in 0..n {
             answer.clear();
             reader.read_line(&mut answer).expect("read");
-            let resp: Response = serde_json::from_str(answer.trim()).expect("decode");
-            match resp {
-                Response::Answer { answer } => {
-                    black_box(answer.units());
-                }
-                other => panic!("plan failed: {other:?}"),
-            }
+            check(serde_json::from_str(answer.trim()).expect("decode"));
         }
-        n as f64 / start.elapsed().as_secs_f64()
-    };
+    }
+    let qps = n as f64 / start.elapsed().as_secs_f64();
+    sender.join().expect("sender");
     handle.stop();
     qps
+}
+
+/// Plans/sec for one fixed typed plan through the in-process
+/// `Server::handle` path (no serialization) — the ceiling the TCP rows
+/// are chasing.
+fn measure_handle_plan_qps(server: &Server, plan: QueryPlan, n: usize) -> f64 {
+    let req = Request::Plan {
+        release: "gauss-ebp".into(),
+        plan,
+    };
+    let start = Instant::now();
+    for _ in 0..n {
+        match server.handle(&req) {
+            Response::Answer { answer } => {
+                black_box(answer.units());
+            }
+            other => panic!("plan failed: {other:?}"),
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
 }
 
 fn bench_serve_throughput(c: &mut Criterion) {
@@ -287,10 +321,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
     // Trajectory measurements (fixed work, direct wall-clock). Smoke
     // mode shrinks everything: the point is then "the paths still
     // answer correctly end to end", not the numbers.
-    let (rounds, tcp_n, bin_n, bin_rounds, plan_n) = if smoke() {
-        (1, 1_000, 2_000, 3, 20)
+    let (rounds, tcp_n, bin_n, bin_rounds, plan_n, indexed_n, handle_n) = if smoke() {
+        (1, 1_000, 2_000, 3, 20, 200, 500)
     } else {
-        (10, 10_000, 50_000, 200, 400)
+        (10, 10_000, 50_000, 200, 400, 50_000, 200_000)
     };
     let single_qps = measure_qps(&server, &requests, rounds);
     let batch_qps = measure_batch_qps(&server, rounds);
@@ -299,20 +333,54 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let tcp_bin_batch_qps = measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds);
     let marginal = QueryPlan::Marginal { keep: vec![0] };
     let topk = QueryPlan::TopK { k: 10 };
+
+    // Cold rows: the pre-index behavior (every plan rescans the dense
+    // estimate). The kill-switch keeps these measurable — and the
+    // trajectory labels comparable across PRs — now that plans are
+    // served indexed by default.
+    server.set_indexed_plans(false);
     let marginal_json_qps =
         measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), plan_n, false);
-    let marginal_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), marginal, plan_n, true);
+    let marginal_bin_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), plan_n, true);
     let topk_json_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), plan_n, false);
-    let topk_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), topk, plan_n, true);
+    let topk_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), plan_n, true);
+
+    // Indexed rows: the prepare/execute path. One warming request per
+    // plan shape builds the release's memoized structures; the
+    // measurement is then the steady state an analyst dashboard sees.
+    server.set_indexed_plans(true);
+    let _ = measure_handle_plan_qps(&server, marginal.clone(), 1);
+    let _ = measure_handle_plan_qps(&server, topk.clone(), 1);
+    let marginal_json_ix_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), indexed_n, false);
+    let marginal_bin_ix_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), indexed_n, true);
+    let topk_json_ix_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), indexed_n, false);
+    let topk_bin_ix_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), indexed_n, true);
+    let marginal_handle_ix_qps = measure_handle_plan_qps(&server, marginal, handle_n);
+    let topk_handle_ix_qps = measure_handle_plan_qps(&server, topk, handle_n);
+
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
          tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s",
         single_qps, batch_qps, tcp_qps, tcp_bin_qps, tcp_bin_batch_qps
     );
     println!(
-        "serve_throughput plans: marginal json {:.0}/s binary {:.0}/s, \
+        "serve_throughput plans (cold scan): marginal json {:.0}/s binary {:.0}/s, \
          topk json {:.0}/s binary {:.0}/s",
         marginal_json_qps, marginal_bin_qps, topk_json_qps, topk_bin_qps
+    );
+    println!(
+        "serve_throughput plans (indexed): marginal json {:.0}/s binary {:.0}/s \
+         in-process {:.0}/s, topk json {:.0}/s binary {:.0}/s in-process {:.0}/s",
+        marginal_json_ix_qps,
+        marginal_bin_ix_qps,
+        marginal_handle_ix_qps,
+        topk_json_ix_qps,
+        topk_bin_ix_qps,
+        topk_handle_ix_qps
     );
     if smoke() {
         println!("smoke mode: skipping BENCH_serve.json update");
@@ -344,6 +412,36 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "tcp_plan_topk_binary".to_string(),
             SIDE as f64,
             topk_bin_qps,
+        ),
+        (
+            "tcp_plan_marginal_json_indexed".to_string(),
+            SIDE as f64,
+            marginal_json_ix_qps,
+        ),
+        (
+            "tcp_plan_marginal_binary_indexed".to_string(),
+            SIDE as f64,
+            marginal_bin_ix_qps,
+        ),
+        (
+            "tcp_plan_topk_json_indexed".to_string(),
+            SIDE as f64,
+            topk_json_ix_qps,
+        ),
+        (
+            "tcp_plan_topk_binary_indexed".to_string(),
+            SIDE as f64,
+            topk_bin_ix_qps,
+        ),
+        (
+            "handle_plan_marginal_indexed".to_string(),
+            SIDE as f64,
+            marginal_handle_ix_qps,
+        ),
+        (
+            "handle_plan_topk_indexed".to_string(),
+            SIDE as f64,
+            topk_handle_ix_qps,
         ),
     ];
     let experiment = Experiment {

@@ -1,6 +1,8 @@
 //! One module per reproduced table/figure. Each returns an
-//! [`Experiment`](crate::report::Experiment) (or a rendered string for the
-//! visual Fig. 3) that the `reproduce` binary prints and persists.
+//! [`Experiment`] (or a rendered string for the visual Fig. 3) that the
+//! `reproduce` binary prints and persists.
+//!
+//! [`Experiment`]: crate::report::Experiment
 
 pub mod ablation;
 pub mod extensions;

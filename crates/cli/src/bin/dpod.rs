@@ -16,11 +16,15 @@ USAGE:
   dpod publish  --input trips.csv --name NAME --catalog DIR [--cells M]
                 --epsilon E [--mechanism NAME] [--seed S]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
-                [--cache-mb M] [--wire auto|json|binary]
+                [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
   dpod query    --connect HOST:PORT --release NAME [--binary true]
                 --range SPEC [--range SPEC]...
+  dpod replay   FILE --release release.json [--cold true]
+                [--answers out.ndjson]
+  dpod replay   FILE --connect HOST:PORT --release NAME [--binary true]
+                [--answers out.ndjson]
 
 QUERY SPEC (--range accepts classic ranges and the typed algebra):
   '0..4,*,3..5,*'        range sum: one clause per dimension, 'lo..hi' or '*'
@@ -31,6 +35,10 @@ QUERY SPEC (--range accepts classic ranges and the typed algebra):
                          OD query from 2-D regions (legs: o/origin,
                          d/dest/destination, sN/stopN; unlisted legs
                          span their full extent)
+REPLAY: FILE is NDJSON, one QueryPlan per line (the `plan` field of a
+        Plan request, e.g. {\"TopK\":{\"k\":10}}); prints latency and
+        throughput. --answers records each response for bit-identical
+        diffing between runs; --cold executes without the release index.
 MECHANISMS: see `dpod mechanisms`
 SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
@@ -58,7 +66,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
     let Some(cmd) = args.first() else {
         return Err("no command given".into());
     };
-    let opts = Opts::parse(&args[1..])?;
+    // `replay` takes its stream file positionally (`dpod replay FILE`);
+    // every other argument everywhere is `--key value`.
+    let mut rest = &args[1..];
+    let mut positional: Option<String> = None;
+    if cmd == "replay" {
+        if let Some(first) = rest.first().filter(|a| !a.starts_with("--")) {
+            positional = Some(first.clone());
+            rest = &rest[1..];
+        }
+    }
+    let opts = Opts::parse(rest)?;
     match cmd.as_str() {
         "generate" => {
             let text = commands::generate(&GenerateArgs {
@@ -121,12 +139,27 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 &PathBuf::from(opts.require("catalog")?),
             )
         }
+        "replay" => {
+            let file = match positional {
+                Some(f) => f,
+                None => opts.require("file")?,
+            };
+            commands::replay(&commands::ReplayArgs {
+                file: PathBuf::from(file),
+                release: opts.require("release")?,
+                connect: opts.get("connect").map(str::to_string),
+                binary: opts.parse_or("binary", false)?,
+                cold: opts.parse_or("cold", false)?,
+                answers: opts.get("answers").map(PathBuf::from),
+            })
+        }
         "serve" => {
             let (handle, server) = commands::start_server(&commands::ServeArgs {
                 catalog: PathBuf::from(opts.require("catalog")?),
                 addr: opts.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
                 workers: opts.parse_or("workers", 4)?,
                 cache_mb: opts.parse_or("cache-mb", 256)?,
+                index_mb: opts.parse_or("index-mb", 64)?,
                 wire: opts.parse_or("wire", dpod_serve::WireMode::Auto)?,
             })?;
             eprintln!(
@@ -134,9 +167,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 handle.addr(),
                 server.catalog().len()
             );
-            // Serve until killed.
+            // Serve until killed, printing one operator stats line per
+            // minute (traffic, cache and index hit-rates, build time).
             loop {
-                std::thread::sleep(std::time::Duration::from_secs(3600));
+                std::thread::sleep(std::time::Duration::from_secs(60));
+                eprintln!("{}", commands::stats_line(&server));
             }
         }
         "mechanisms" => Ok(format!("{}\n", registry::mechanism_names().join("\n"))),

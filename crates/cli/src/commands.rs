@@ -7,11 +7,12 @@ use dpod_core::{PublishedRelease, ReleaseBody};
 use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
-use dpod_query::{plan, Answer, QueryPlan};
+use dpod_query::{plan, Answer, QueryPlan, ReleaseIndex};
 use dpod_serve::protocol::{Request, Response};
 use dpod_serve::{Catalog, Server, ServerHandle, WireMode};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// `dpod generate`: writes a synthetic trajectory CSV.
 pub struct GenerateArgs {
@@ -140,8 +141,13 @@ pub struct ServeArgs {
     pub addr: String,
     /// Worker threads in the connection pool.
     pub workers: usize,
-    /// Rebuild-cache budget in mebibytes.
+    /// Rebuild-cache budget in mebibytes (shared between matrix
+    /// rebuilds and plan indexes).
     pub cache_mb: usize,
+    /// Per-release cap, in mebibytes, on the marginal tables a plan
+    /// index may memoize (keep-sets past the cap are answered per
+    /// query, uncached).
+    pub index_mb: usize,
     /// Accepted encodings (`auto` sniffs per connection).
     pub wire: WireMode,
 }
@@ -160,9 +166,10 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
             args.catalog.display()
         )));
     }
-    let server = Arc::new(Server::new(
+    let server = Arc::new(Server::with_marginal_cap(
         Arc::new(catalog),
         args.cache_mb.saturating_mul(1 << 20),
+        args.index_mb.saturating_mul(1 << 20),
     ));
     let handle = dpod_serve::spawn_wire(
         Arc::clone(&server),
@@ -172,6 +179,214 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
     )
     .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
     Ok((handle, server))
+}
+
+/// One periodic operator line for `dpod serve`: traffic plus both cache
+/// hit-rates (matrix rebuilds and plan indexes) and the cumulative
+/// index build time — read from the same `Stats` response analysts see,
+/// whose hit-rates arrive precomputed.
+pub fn stats_line(server: &Server) -> String {
+    let Response::Stats { stats } = server.handle(&Request::Stats) else {
+        return "stats unavailable".into();
+    };
+    format!(
+        "served {} queries | matrix cache: {} entries, {:.1} MiB, {:.0}% hit | \
+         index: {} built, {:.0}% hit, {:.1} ms building",
+        stats.queries,
+        stats.cache_entries,
+        stats.cache_bytes as f64 / (1 << 20) as f64,
+        100.0 * stats.cache_hit_rate,
+        stats.index_entries,
+        100.0 * stats.index_hit_rate,
+        stats.index_build_nanos as f64 / 1e6,
+    )
+}
+
+/// `dpod replay` configuration.
+pub struct ReplayArgs {
+    /// NDJSON file: one [`QueryPlan`] per line.
+    pub file: std::path::PathBuf,
+    /// Release to replay against: a catalog name with `connect`, a
+    /// release JSON path otherwise.
+    pub release: String,
+    /// Replay against a running server at this address instead of a
+    /// local release file.
+    pub connect: Option<String>,
+    /// With `connect`: use the `DPRB` binary encoding.
+    pub binary: bool,
+    /// Local replays only: execute through the cold `ScanBackend`
+    /// instead of a prepared [`ReleaseIndex`] (for A/B runs; answers
+    /// are bit-identical either way).
+    pub cold: bool,
+    /// Write each plan's response (answer or error) as one JSON line,
+    /// enabling bit-identical diffing between replays.
+    pub answers: Option<std::path::PathBuf>,
+}
+
+/// How a replay turns one plan into one response (local executor or a
+/// live connection).
+type PlanResponder<'a> = Box<dyn FnMut(&QueryPlan) -> Result<Response, CliError> + 'a>;
+
+/// `dpod replay`: re-runs a recorded stream of [`QueryPlan`]s against a
+/// release and reports latency/throughput. The stream is NDJSON — one
+/// plan per line, exactly the `plan` field of a `Plan` request — so a
+/// production query log can be replayed verbatim against a new release,
+/// a new server build, or both execution backends. Because sanitized
+/// releases are static, a replay is deterministic: the same stream
+/// against the same release version produces bit-identical answers,
+/// warm or cold (a test pins this).
+///
+/// # Errors
+/// [`CliError`] for unreadable files, malformed plan lines, connection
+/// failures, or invalid release artifacts. Per-plan *execution* errors
+/// do not abort the replay; they are counted (and recorded in the
+/// answers file when requested).
+pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
+    if args.cold && args.connect.is_some() {
+        // Refuse rather than silently measure the server's (indexed)
+        // path and label it cold in an A/B comparison.
+        return Err(
+            "--cold applies to local replays only; a remote server picks its own backend".into(),
+        );
+    }
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", args.file.display())))?;
+    let mut plans: Vec<QueryPlan> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let plan: QueryPlan = serde_json::from_str(line.trim())
+            .map_err(|e| CliError(format!("line {}: bad plan: {e}", lineno + 1)))?;
+        plans.push(plan);
+    }
+    if plans.is_empty() {
+        return Err(CliError(format!(
+            "{} contains no plans",
+            args.file.display()
+        )));
+    }
+
+    let mut respond: PlanResponder = match &args.connect {
+        Some(addr) => {
+            if args.binary {
+                let mut client = dpod_serve::wire::Client::connect(addr.as_str())
+                    .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+                let release = args.release.clone();
+                Box::new(move |plan| {
+                    client
+                        .request(&Request::Plan {
+                            release: release.clone(),
+                            plan: plan.clone(),
+                        })
+                        .map_err(|e| CliError(e.0))
+                })
+            } else {
+                use std::io::{BufRead, BufReader, BufWriter, Write};
+                let stream = std::net::TcpStream::connect(addr.as_str())
+                    .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+                let mut reader = BufReader::new(
+                    stream
+                        .try_clone()
+                        .map_err(|e| CliError(format!("socket: {e}")))?,
+                );
+                let mut writer = BufWriter::new(stream);
+                let release = args.release.clone();
+                Box::new(move |plan| {
+                    let req = Request::Plan {
+                        release: release.clone(),
+                        plan: plan.clone(),
+                    };
+                    let mut line =
+                        serde_json::to_string(&req).map_err(|e| CliError(e.to_string()))?;
+                    line.push('\n');
+                    writer
+                        .write_all(line.as_bytes())
+                        .and_then(|()| writer.flush())
+                        .map_err(|e| CliError(format!("send: {e}")))?;
+                    let mut answer = String::new();
+                    reader
+                        .read_line(&mut answer)
+                        .map_err(|e| CliError(format!("receive: {e}")))?;
+                    serde_json::from_str(answer.trim())
+                        .map_err(|e| CliError(format!("bad response: {e}")))
+                })
+            }
+        }
+        None => {
+            let release = load_release(Path::new(&args.release))?;
+            let sanitized = Arc::new(
+                release
+                    .into_sanitized()
+                    .map_err(|e| CliError(format!("invalid release: {e}")))?,
+            );
+            let index = (!args.cold).then(|| ReleaseIndex::new(Arc::clone(&sanitized)));
+            Box::new(move |plan| {
+                let executed = match &index {
+                    Some(ix) => plan::execute_with(ix, plan),
+                    None => plan::execute(&sanitized, plan),
+                };
+                Ok(match executed {
+                    Ok(answer) => Response::Answer { answer },
+                    Err(e) => Response::Error { message: e.0 },
+                })
+            })
+        }
+    };
+
+    // Stream answers to disk as they arrive: a production-scale stream
+    // of aggregate plans produces multi-KB responses per line, so
+    // accumulating them in memory would grow without bound on exactly
+    // the large-workload use case this tool targets.
+    let mut answers_out = match &args.answers {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?,
+        )),
+        None => None,
+    };
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(plans.len());
+    let mut leaves = 0u64;
+    let mut errors = 0usize;
+    let started = Instant::now();
+    for plan in &plans {
+        let t0 = Instant::now();
+        let response = respond(plan)?;
+        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        match &response {
+            Response::Answer { answer } => leaves += answer.units(),
+            Response::Error { .. } => errors += 1,
+            other => return Err(CliError(format!("unexpected response {other:?}"))),
+        }
+        if let Some(out) = &mut answers_out {
+            use std::io::Write;
+            let line = serde_json::to_string(&response).map_err(|e| CliError(e.to_string()))?;
+            out.write_all(line.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .map_err(|e| CliError(format!("cannot write answers: {e}")))?;
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    if let Some(mut out) = answers_out {
+        use std::io::Write;
+        out.flush()
+            .map_err(|e| CliError(format!("cannot write answers: {e}")))?;
+    }
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| {
+        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[idx] as f64 / 1e6
+    };
+    let mean_ms = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64 / 1e6;
+    Ok(format!(
+        "replayed {} plans ({leaves} leaves, {errors} errors) in {elapsed:.3}s: {:.0} plans/s\n\
+         latency: mean {mean_ms:.3} ms, p50 {:.3} ms, p99 {:.3} ms\n",
+        plans.len(),
+        plans.len() as f64 / elapsed,
+        pct(0.50),
+        pct(0.99),
+    ))
 }
 
 /// `dpod query --connect`: answers query specs — classic ranges or the
@@ -543,6 +758,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             cache_mb: 64,
+            index_mb: 64,
             wire: WireMode::Auto,
         })
         .unwrap();
@@ -593,6 +809,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             cache_mb: 1,
+            index_mb: 1,
             wire: WireMode::Auto,
         })
         .is_err());
@@ -643,6 +860,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             cache_mb: 64,
+            index_mb: 64,
             wire: WireMode::Auto,
         })
         .unwrap();
@@ -658,6 +876,138 @@ mod tests {
         let err = remote_query(&addr, "ny", &bad, true).unwrap_err();
         assert!(err.0.contains("stop index"), "{err}");
         handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_is_bit_identical_warm_cold_and_remote() {
+        let dir = std::env::temp_dir().join(format!("dpod_cli_replay_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // One deterministic release, both as a local artifact and
+        // published into a served catalog (same CSV + args + seed →
+        // identical releases).
+        let csv_text = generate(&GenerateArgs {
+            city: "detroit".into(),
+            trips: 2_500,
+            stops: 0,
+            seed: 51,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 8,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 52,
+        };
+        let release_path = dir.join("release.json");
+        std::fs::write(&release_path, sanitize(&csv_text, &args).unwrap()).unwrap();
+        let catalog_dir = dir.join("catalog");
+        publish(&csv_text, &args, "detroit", &catalog_dir).unwrap();
+
+        // A recorded stream: every plan variant plus one failing plan.
+        let plans_path = dir.join("plans.ndjson");
+        std::fs::write(
+            &plans_path,
+            concat!(
+                "\"Total\"\n",
+                "{\"TopK\":{\"k\":5}}\n",
+                "{\"Marginal\":{\"keep\":[0,1]}}\n",
+                "\n",
+                "{\"Range\":{\"lo\":[0,0,1,1],\"hi\":[8,8,7,7]}}\n",
+                "{\"Marginal\":{\"keep\":[9]}}\n",
+                "{\"TopK\":{\"k\":5}}\n",
+            ),
+        )
+        .unwrap();
+
+        let run = |connect: Option<String>, binary: bool, cold: bool, tag: &str| {
+            let answers = dir.join(format!("answers_{tag}.ndjson"));
+            let release = match &connect {
+                Some(_) => "detroit".to_string(),
+                None => release_path.display().to_string(),
+            };
+            let summary = replay(&ReplayArgs {
+                file: plans_path.clone(),
+                release,
+                connect,
+                binary,
+                cold,
+                answers: Some(answers.clone()),
+            })
+            .unwrap();
+            assert!(
+                summary.contains("replayed 6 plans") && summary.contains("1 errors"),
+                "{summary}"
+            );
+            assert!(summary.contains("p99"), "{summary}");
+            std::fs::read_to_string(answers).unwrap()
+        };
+
+        let cold1 = run(None, false, true, "cold1");
+        let cold2 = run(None, false, true, "cold2");
+        let warm = run(None, false, false, "warm");
+        assert_eq!(cold1, cold2, "cold replays must be deterministic");
+        assert_eq!(
+            cold1, warm,
+            "indexed replay must be bit-identical to the cold scan"
+        );
+        assert_eq!(warm.lines().count(), 6);
+        // The repeated TopK plan answers identically warm (lines 2 and
+        // 7 of the stream → answers 2 and 6).
+        let lines: Vec<&str> = warm.lines().collect();
+        assert_eq!(lines[1], lines[5]);
+
+        // Remote replays (both encodings) serve the same bytes.
+        let (handle, _server) = start_server(&ServeArgs {
+            catalog: catalog_dir,
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_mb: 64,
+            index_mb: 64,
+            wire: WireMode::Auto,
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let remote_json = run(Some(addr.clone()), false, false, "remote_json");
+        let remote_bin = run(Some(addr.clone()), true, false, "remote_bin");
+        assert_eq!(cold1, remote_json, "NDJSON replay drifted");
+        assert_eq!(cold1, remote_bin, "DPRB replay drifted");
+
+        // --cold makes no sense against a remote server (it would
+        // silently measure the indexed path); it is refused up front.
+        let err = replay(&ReplayArgs {
+            file: plans_path.clone(),
+            release: "detroit".into(),
+            connect: Some(addr),
+            binary: false,
+            cold: true,
+            answers: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("local replays only"), "{err}");
+
+        // The periodic serve stats line reflects the replay traffic.
+        let line = stats_line(&_server);
+        assert!(line.contains("served"), "{line}");
+        assert!(line.contains("% hit"), "{line}");
+        assert!(line.contains("built"), "{line}");
+        handle.stop();
+
+        // Malformed streams are named by line.
+        let bad = dir.join("bad.ndjson");
+        std::fs::write(&bad, "\"Total\"\nnot json\n").unwrap();
+        let err = replay(&ReplayArgs {
+            file: bad,
+            release: release_path.display().to_string(),
+            connect: None,
+            binary: false,
+            cold: false,
+            answers: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

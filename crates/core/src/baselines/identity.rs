@@ -3,7 +3,7 @@ use dpod_dp::{laplace::LaplaceMechanism, Epsilon};
 use dpod_fmatrix::DenseMatrix;
 use rand::RngCore;
 
-/// The IDENTITY baseline ([7], Table 2): add `Lap(1/ε)` to every matrix
+/// The IDENTITY baseline (\[7\], Table 2): add `Lap(1/ε)` to every matrix
 /// entry independently.
 ///
 /// Zero uniformity error, maximal noise error — the number of released

@@ -6,7 +6,7 @@ use dpod_fmatrix::DenseMatrix;
 use dpod_partition::UniformGrid;
 use rand::RngCore;
 
-/// The MKM grid baseline ([11] — Lei's differentially-private M-estimators).
+/// The MKM grid baseline (\[11\] — Lei's differentially-private M-estimators).
 ///
 /// Identical pipeline to EUG/EBP but with the dimensionality-aware
 /// granularity rule `m = (N̂ ε²/ln N̂)^(1/(d+2))` (see DESIGN.md §3.2 for

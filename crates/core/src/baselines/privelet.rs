@@ -3,7 +3,7 @@ use dpod_dp::{laplace::sample_laplace, Epsilon};
 use dpod_fmatrix::{DenseMatrix, Shape};
 use rand::RngCore;
 
-/// Privelet — wavelet-domain noise (extension baseline; [18] in the paper).
+/// Privelet — wavelet-domain noise (extension baseline; \[18\] in the paper).
 ///
 /// Applies the multi-dimensional *unnormalized* Haar transform (standard
 /// tensor decomposition: a full 1-D pyramid along each dimension in turn),

@@ -6,7 +6,7 @@ use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum};
 use dpod_partition::{tree::TreeNode, Partitioning};
 use rand::RngCore;
 
-/// A 2^d-ary hierarchical baseline (extension; [4] in the paper).
+/// A 2^d-ary hierarchical baseline (extension; \[4\] in the paper).
 ///
 /// The data-independent tree of Cormode et al.: every node splits each
 /// dimension at its midpoint regardless of data placement, to a fixed

@@ -4,7 +4,7 @@ use dpod_fmatrix::DenseMatrix;
 use dpod_partition::Partitioning;
 use rand::RngCore;
 
-/// The UNIFORM (a.k.a. *singular*) baseline ([8], Table 2): treat the whole
+/// The UNIFORM (a.k.a. *singular*) baseline (\[8\], Table 2): treat the whole
 /// matrix as a single partition, release one noisy total, and answer every
 /// query under the global uniformity assumption.
 ///

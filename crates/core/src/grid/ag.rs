@@ -6,7 +6,7 @@ use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum};
 use dpod_partition::{Partitioning, UniformGrid};
 use rand::RngCore;
 
-/// Adaptive Grid (extension; the "AG" of Qardaji et al. [15], which the
+/// Adaptive Grid (extension; the "AG" of Qardaji et al. \[15\], which the
 /// paper's §5 groups with UG as partially data-dependent).
 ///
 /// Two levels: a deliberately coarse level-1 grid is sanitized with a

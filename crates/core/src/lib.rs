@@ -7,16 +7,16 @@
 //!
 //! | Mechanism | Paper | Type |
 //! |-----------|-------|------|
-//! | [`Identity`](baselines::Identity) | [7], Table 2 | baseline |
-//! | [`Uniform`](baselines::Uniform) | [8], Table 2 | baseline |
-//! | [`Mkm`](baselines::Mkm) | [11], §5 | partially data-dependent |
+//! | [`Identity`](baselines::Identity) | \[7\], Table 2 | baseline |
+//! | [`Uniform`](baselines::Uniform) | \[8\], Table 2 | baseline |
+//! | [`Mkm`](baselines::Mkm) | \[11\], §5 | partially data-dependent |
 //! | [`Eug`](grid::Eug) | §3.1, Alg. 1 | partially data-dependent |
 //! | [`Ebp`](grid::Ebp) | §3.2 | partially data-dependent |
 //! | [`DafEntropy`](daf::DafEntropy) | §4.2, Alg. 2 | data-dependent |
 //! | [`DafHomogeneity`](daf::DafHomogeneity) | §4.3, Alg. 3 | data-dependent |
-//! | [`Privelet`](baselines::Privelet) | [18], §5 | extension baseline |
-//! | [`QuadTree`](baselines::QuadTree) | [4], §5 | extension baseline |
-//! | [`AdaptiveGrid`](grid::AdaptiveGrid) | [15], §5 | extension baseline |
+//! | [`Privelet`](baselines::Privelet) | \[18\], §5 | extension baseline |
+//! | [`QuadTree`](baselines::QuadTree) | \[4\], §5 | extension baseline |
+//! | [`AdaptiveGrid`](grid::AdaptiveGrid) | \[15\], §5 | extension baseline |
 //!
 //! Every mechanism consumes a raw count matrix and a total privacy budget
 //! and produces a [`SanitizedMatrix`]: a dense per-entry estimate (with the

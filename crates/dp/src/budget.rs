@@ -8,7 +8,7 @@ use std::sync::Arc;
 /// Mechanisms compute per-level budgets with closed-form expressions whose
 /// rounding error accumulates over a handful of additions; a spend within
 /// this relative tolerance of the remaining budget is accepted and clamped.
-const BUDGET_SLACK: f64 = 1e-9;
+pub const BUDGET_SLACK: f64 = 1e-9;
 
 /// One recorded budget expenditure.
 #[derive(Debug, Clone, PartialEq, Serialize)]

@@ -38,6 +38,7 @@ mod sparse;
 pub use axisbox::AxisBox;
 pub use dense::{DenseMatrix, Element};
 pub use error::FmError;
+pub use marginal::marginal_shape;
 pub use prefix::PrefixSum;
 pub use shape::{CoordIter, Shape};
 pub use sparse::SparseMatrix;

@@ -9,6 +9,42 @@
 
 use crate::{DenseMatrix, Element, FmError, Result, Shape};
 
+/// Validates a marginal keep-list against a source shape and returns the
+/// marginal's shape (the kept dimensions' cardinalities, in `keep`
+/// order).
+///
+/// This is the one keep-list contract shared by every marginal consumer:
+/// [`DenseMatrix::marginalize`] lowers through it, and memoizing layers
+/// (e.g. a per-release index) use it to size and key their tables
+/// without recomputing the projection.
+///
+/// ```
+/// use dpod_fmatrix::{marginal_shape, Shape};
+/// let s = Shape::new(vec![4, 5, 6]).unwrap();
+/// assert_eq!(marginal_shape(&s, &[0, 2]).unwrap().dims(), &[4, 6]);
+/// assert!(marginal_shape(&s, &[2, 0]).is_err());
+/// ```
+///
+/// # Errors
+/// [`FmError::InvalidShape`] for an empty, non-strictly-increasing, or
+/// out-of-range `keep`.
+pub fn marginal_shape(shape: &Shape, keep: &[usize]) -> Result<Shape> {
+    if keep.is_empty() {
+        return Err(FmError::InvalidShape {
+            reason: "marginal must keep at least one dimension".into(),
+        });
+    }
+    if keep.windows(2).any(|w| w[0] >= w[1]) || *keep.last().unwrap() >= shape.ndim() {
+        return Err(FmError::InvalidShape {
+            reason: format!(
+                "keep list {keep:?} must be strictly increasing and < {}",
+                shape.ndim()
+            ),
+        });
+    }
+    Shape::new(keep.iter().map(|&d| shape.dim(d)).collect())
+}
+
 impl<T: Element + std::ops::Add<Output = T>> DenseMatrix<T> {
     /// Sums out every dimension not listed in `keep`, returning the
     /// marginal matrix whose dimension order follows `keep`.
@@ -29,21 +65,7 @@ impl<T: Element + std::ops::Add<Output = T>> DenseMatrix<T> {
     /// # Errors
     /// [`FmError::InvalidShape`] for an empty/unsorted/out-of-range `keep`.
     pub fn marginalize(&self, keep: &[usize]) -> Result<DenseMatrix<T>> {
-        if keep.is_empty() {
-            return Err(FmError::InvalidShape {
-                reason: "marginal must keep at least one dimension".into(),
-            });
-        }
-        if keep.windows(2).any(|w| w[0] >= w[1]) || *keep.last().unwrap() >= self.ndim() {
-            return Err(FmError::InvalidShape {
-                reason: format!(
-                    "keep list {keep:?} must be strictly increasing and < {}",
-                    self.ndim()
-                ),
-            });
-        }
-        let out_dims: Vec<usize> = keep.iter().map(|&d| self.shape().dim(d)).collect();
-        let out_shape = Shape::new(out_dims)?;
+        let out_shape = marginal_shape(self.shape(), keep)?;
         let mut out = DenseMatrix::<T>::zeros(out_shape);
         // Single pass over the source; the kept coordinates of each cell
         // are accumulated via precomputed stride contributions.
@@ -132,5 +154,18 @@ mod tests {
         assert!(m.marginalize(&[1, 0]).is_err());
         assert!(m.marginalize(&[0, 0]).is_err());
         assert!(m.marginalize(&[2]).is_err());
+    }
+
+    #[test]
+    fn marginal_shape_matches_marginalize() {
+        let m = DenseMatrix::from_vec(shape(&[2, 3, 4]), (0..24u64).collect::<Vec<_>>()).unwrap();
+        for keep in [vec![0], vec![2], vec![0, 2], vec![0, 1, 2]] {
+            let expect = m.marginalize(&keep).unwrap();
+            let s = marginal_shape(m.shape(), &keep).unwrap();
+            assert_eq!(&s, expect.shape(), "keep {keep:?}");
+        }
+        for keep in [vec![], vec![1, 1], vec![2, 1], vec![3]] {
+            assert!(marginal_shape(m.shape(), &keep).is_err(), "keep {keep:?}");
+        }
     }
 }

@@ -15,18 +15,26 @@
 //!   those, and [`plan::execute`] answers it against a
 //!   [`SanitizedMatrix`]. The serving layer carries the same vocabulary
 //!   over both wire encodings.
+//! * [`backend`] — the execution backends behind the algebra: the cold
+//!   [`ScanBackend`] rescans the dense estimate per aggregate, the
+//!   prepared [`ReleaseIndex`] memoizes marginal tables (each with its
+//!   own prefix sums), the descending cell order, and the total, so
+//!   warm aggregate plans skip the rescan entirely —
+//!   [`plan::execute_with`] answers bit-identically over either.
 //!
 //! [`SanitizedMatrix`]: dpod_core::SanitizedMatrix
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 pub mod eval;
 pub mod metrics;
 pub mod od;
 pub mod plan;
 pub mod workload;
 
+pub use backend::{MarginalTable, PlanBackend, ReleaseIndex, ScanBackend};
 pub use eval::{evaluate, EvalReport};
 pub use metrics::{MreOptions, SummaryStats};
 pub use od::{OdQuery, Region};

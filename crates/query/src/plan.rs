@@ -4,11 +4,20 @@
 //! release — a range sum, an OD query composed from spatial regions, an
 //! axis marginal, the top-k cells, the total, or a batch of those — and
 //! [`execute`] answers it against a
-//! [`SanitizedMatrix`](dpod_core::SanitizedMatrix). The serving layer
+//! [`SanitizedMatrix`]. The serving layer
 //! (`dpod-serve`) carries the same two enums over newline-delimited JSON
 //! and the `DPRB` binary protocol, so an in-process caller, an NDJSON
 //! script, and a binary client all speak — and answer — the identical
 //! vocabulary, bit for bit.
+//!
+//! Execution is two-phase: the executor here owns validation, clamping,
+//! answer-size budgeting and answer assembly, while the *numbers* come
+//! from a [`PlanBackend`](crate::backend) — either the cold
+//! [`ScanBackend`] that rescans the dense
+//! estimate per aggregate ([`execute`]), or a prepared
+//! [`ReleaseIndex`](crate::backend::ReleaseIndex) whose memoized
+//! structures answer warm aggregates in `O(k)`/table-lookup time
+//! ([`execute_with`]). Both produce bit-identical answers.
 //!
 //! Everything a plan can compute is DP post-processing of the released
 //! estimate: range sums and totals read the prefix table, OD queries
@@ -17,6 +26,7 @@
 //! ([`DenseMatrix::marginalize`](dpod_fmatrix::DenseMatrix::marginalize)),
 //! and top-k ranks released cell estimates. No plan touches raw data.
 
+use crate::backend::{PlanBackend, ScanBackend};
 use crate::od::{OdQuery, Region};
 use dpod_core::SanitizedMatrix;
 use dpod_fmatrix::AxisBox;
@@ -214,8 +224,10 @@ impl Answer {
     }
 }
 
-/// Answers `plan` against `matrix`. Pure post-processing; never panics
-/// on analyst input — every invalid plan is a descriptive [`PlanError`].
+/// Answers `plan` against `matrix` through the cold
+/// [`ScanBackend`] (no preparation, every aggregate rescans the dense
+/// estimate). Pure post-processing; never panics on analyst input —
+/// every invalid plan is a descriptive [`PlanError`].
 ///
 /// # Errors
 /// [`PlanError`] for out-of-domain ranges, OD plans on non-OD domains or
@@ -223,6 +235,18 @@ impl Answer {
 /// [`QueryPlan::Many`], and plan trees whose total answer size would
 /// exceed [`MAX_ANSWER_CELLS`].
 pub fn execute(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, PlanError> {
+    execute_with(&ScanBackend::new(matrix), plan)
+}
+
+/// Answers `plan` through any [`PlanBackend`] — the second phase of
+/// prepare/execute. Pass a
+/// [`ReleaseIndex`](crate::backend::ReleaseIndex) prepared for the
+/// release to answer warm aggregates without rescans; answers are
+/// bit-identical to [`execute`] whichever backend is used.
+///
+/// # Errors
+/// As for [`execute`].
+pub fn execute_with<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer, PlanError> {
     match plan {
         QueryPlan::Many { plans } => {
             if plans.len() > MAX_MANY_PLANS {
@@ -233,6 +257,7 @@ pub fn execute(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, Pla
             }
             // Refuse over-budget trees before any leaf runs: the
             // estimates are O(plan size) to compute, the answers are not.
+            let matrix = backend.matrix();
             let mut budget = 0usize;
             for (i, sub) in plans.iter().enumerate() {
                 if matches!(sub, QueryPlan::Many { .. }) {
@@ -248,11 +273,11 @@ pub fn execute(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, Pla
             }
             let mut answers = Vec::with_capacity(plans.len());
             for sub in plans {
-                answers.push(execute_leaf(matrix, sub)?);
+                answers.push(execute_leaf(backend, sub)?);
             }
             Ok(Answer::Many { answers })
         }
-        leaf => execute_leaf(matrix, leaf),
+        leaf => execute_leaf(backend, leaf),
     }
 }
 
@@ -282,7 +307,8 @@ fn answer_cells_estimate(matrix: &SanitizedMatrix, plan: &QueryPlan) -> usize {
     }
 }
 
-fn execute_leaf(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, PlanError> {
+fn execute_leaf<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer, PlanError> {
+    let matrix = backend.matrix();
     match plan {
         QueryPlan::Range { lo, hi } => {
             let q = range_box(matrix, lo, hi)?;
@@ -325,47 +351,21 @@ fn execute_leaf(matrix: &SanitizedMatrix, plan: &QueryPlan) -> Result<Answer, Pl
             })
         }
         QueryPlan::Marginal { keep } => {
-            let table = matrix
-                .matrix()
-                .marginalize(keep)
-                .map_err(|e| PlanError(format!("bad marginal: {e}")))?;
-            Ok(Answer::Marginal {
-                dims: table.shape().dims().to_vec(),
-                values: table.into_vec(),
-            })
+            let (dims, values) = backend.marginal(keep)?;
+            Ok(Answer::Marginal { dims, values })
         }
         QueryPlan::TopK { k } => {
             let m = matrix.matrix();
             let k = (*k).min(m.len()).min(MAX_TOP_K);
-            // Rank by value descending, index ascending on ties —
-            // `total_cmp` keeps the order total (and answers
-            // deterministic) even over negative noisy estimates. An
-            // O(n) selection bounds the sort to the k survivors.
-            let cmp = |&a: &usize, &b: &usize| {
-                m.as_slice()[b].total_cmp(&m.as_slice()[a]).then(a.cmp(&b))
-            };
-            let mut order: Vec<usize> = (0..m.len()).collect();
-            if k > 0 && k < order.len() {
-                order.select_nth_unstable_by(k - 1, cmp);
-            }
-            order.truncate(k);
-            order.sort_unstable_by(cmp);
-            let cells = order
-                .into_iter()
-                .map(|idx| TopCell {
-                    coords: m.shape().coords(idx),
-                    value: m.as_slice()[idx],
-                })
-                .collect();
             Ok(Answer::TopK {
                 dims: m.shape().dims().to_vec(),
-                cells,
+                cells: backend.top_k(k),
             })
         }
         QueryPlan::Total => Ok(Answer::Value {
-            value: matrix.total(),
+            value: backend.total(),
         }),
-        QueryPlan::Many { .. } => unreachable!("handled by execute"),
+        QueryPlan::Many { .. } => unreachable!("handled by execute_with"),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The query engine: memoized analyst-side rebuilds.
+//! The query engine: memoized analyst-side rebuilds and plan indexes.
 //!
 //! A `PublishedRelease` is cheap to store but must be rebuilt into a
 //! [`SanitizedMatrix`] — dense estimate plus prefix-sum table — before it
@@ -7,20 +7,40 @@
 //! `(name, version)` under an LRU byte budget: hot releases answer from
 //! cache, cold ones pay one rebuild, and a republish (new version) never
 //! serves stale answers because the version is part of the key.
+//!
+//! Beside each rebuilt matrix the engine keeps a second, lazily-filled
+//! slot: the release's [`ReleaseIndex`] — memoized marginal tables,
+//! descending cell order and cached total — which turns aggregate plans
+//! (marginal, top-k, total) from full rescans into table lookups. Both
+//! slots share one byte budget and one LRU clock, and both are
+//! invalidated together: a republish or removal that drops the matrix
+//! drops its index with it, so a stale `(name, old_version)` index can
+//! never answer. Index bytes grow as aggregates are first touched, so
+//! the ledger is recomputed from the live entries whenever the budget is
+//! enforced rather than trusted from insert time.
 
 use crate::{CatalogEntry, ServeError};
 use dpod_core::SanitizedMatrix;
+use dpod_query::ReleaseIndex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A memoizing rebuild cache with an LRU byte budget.
+/// A memoizing rebuild + index cache with a shared LRU byte budget.
 #[derive(Debug)]
 pub struct QueryEngine {
     byte_budget: usize,
+    /// Per-release cap on memoized marginal-table bytes, passed to each
+    /// [`ReleaseIndex`] it builds.
+    index_marginal_cap: usize,
     state: Mutex<LruState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+    /// Build time of indexes that have since been evicted; live
+    /// indexes' [`ReleaseIndex::build_nanos`] are summed on demand.
+    retired_index_nanos: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -33,8 +53,23 @@ struct LruState {
 #[derive(Debug)]
 struct Cached {
     matrix: Arc<SanitizedMatrix>,
-    bytes: usize,
+    matrix_bytes: usize,
+    /// The release's prepared plan index, attached on first aggregate
+    /// query. Lives and dies with the matrix entry.
+    index: Option<Arc<ReleaseIndex>>,
+    /// What this entry currently contributes to `LruState::bytes`. Kept
+    /// beside the live size so a warm touch can apply an O(1) delta
+    /// (index bytes only grow) instead of rescanning every entry.
+    charged: usize,
     last_used: u64,
+}
+
+impl Cached {
+    /// Current resident bytes: the rebuild plus whatever the index has
+    /// memoized so far (it grows after insertion).
+    fn bytes(&self) -> usize {
+        self.matrix_bytes + self.index.as_ref().map_or(0, |ix| ix.resident_bytes())
+    }
 }
 
 /// Point-in-time cache counters.
@@ -42,12 +77,23 @@ struct Cached {
 pub struct EngineStats {
     /// Cached rebuilds currently resident.
     pub entries: usize,
-    /// Estimated resident bytes.
+    /// Estimated resident bytes (rebuilds plus index structures).
     pub bytes: usize,
-    /// Lifetime cache hits.
+    /// Lifetime matrix-cache hits.
     pub hits: u64,
-    /// Lifetime cache misses (— rebuilds performed).
+    /// Lifetime matrix-cache misses (— rebuilds performed).
     pub misses: u64,
+    /// Resident releases whose plan index is built.
+    pub index_entries: usize,
+    /// Lifetime index-cache hits (aggregate plans answered by a
+    /// resident [`ReleaseIndex`]).
+    pub index_hits: u64,
+    /// Lifetime index-cache misses (— indexes constructed).
+    pub index_misses: u64,
+    /// Cumulative wall-clock nanoseconds spent building index
+    /// structures (marginal tables, cell orders), evicted indexes
+    /// included.
+    pub index_build_nanos: u64,
 }
 
 /// Estimated resident size of one rebuilt release: the dense estimate and
@@ -76,17 +122,73 @@ impl QueryEngine {
     /// alternative — rebuilding on every query — is strictly worse); the
     /// budget then holds exactly that one entry.
     pub fn new(byte_budget: usize) -> Self {
+        Self::with_marginal_cap(byte_budget, dpod_query::backend::DEFAULT_MARGINAL_BUDGET)
+    }
+
+    /// [`Self::new`], but capping each release's memoized marginal
+    /// tables at `index_marginal_cap` bytes (keep-sets past the cap are
+    /// answered per query without caching).
+    pub fn with_marginal_cap(byte_budget: usize, index_marginal_cap: usize) -> Self {
         QueryEngine {
             byte_budget,
+            index_marginal_cap,
             state: Mutex::new(LruState::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            index_misses: AtomicU64::new(0),
+            retired_index_nanos: AtomicU64::new(0),
         }
     }
 
     /// The configured byte budget.
     pub fn byte_budget(&self) -> usize {
         self.byte_budget
+    }
+
+    /// Sums an evicted entry's accrued index-build time into the
+    /// lifetime counter before the index is dropped.
+    fn retire(&self, cached: &Cached) {
+        if let Some(ix) = &cached.index {
+            self.retired_index_nanos
+                .fetch_add(ix.build_nanos(), Ordering::Relaxed);
+        }
+    }
+
+    /// Recomputes the byte ledger from the live entries (re-charging
+    /// each). Index bytes grow after insertion (memoization is lazy),
+    /// so the ledger is refreshed at every insert/evict point; warm
+    /// touches use an O(1) per-entry delta instead.
+    fn refresh_bytes(state: &mut LruState) {
+        let mut total = 0usize;
+        for cached in state.map.values_mut() {
+            cached.charged = cached.bytes();
+            total += cached.charged;
+        }
+        state.bytes = total;
+    }
+
+    /// Evicts least-recently-used entries (never `keep`) until the
+    /// budget holds, reclaiming exactly what each victim had been
+    /// charged to the ledger.
+    fn enforce_budget(&self, state: &mut LruState, keep: &(String, u64)) {
+        while state.bytes > self.byte_budget && state.map.len() > 1 {
+            let victim = state
+                .map
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by_key(|(_, c)| c.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(v) => {
+                    if let Some(evicted) = state.map.remove(&v) {
+                        self.retire(&evicted);
+                        state.bytes = state.bytes.saturating_sub(evicted.charged);
+                    }
+                }
+                None => break,
+            }
+        }
     }
 
     /// Returns the queryable rebuild of `entry`, from cache when warm.
@@ -158,8 +260,9 @@ impl QueryEngine {
         }
         // A republish made any older version of this name unreachable
         // (the catalog only hands out the latest), so its cached rebuild
-        // is dead weight: drop it now instead of stranding its bytes
-        // until LRU pressure happens to find it.
+        // — and the plan index riding on it — is dead weight: drop it
+        // now instead of stranding its bytes until LRU pressure happens
+        // to find it.
         let stale: Vec<(String, u64)> = state
             .map
             .keys()
@@ -168,43 +271,108 @@ impl QueryEngine {
             .collect();
         for old in stale {
             if let Some(dropped) = state.map.remove(&old) {
-                state.bytes -= dropped.bytes;
+                self.retire(&dropped);
             }
         }
-        state.bytes += bytes;
         state.map.insert(
             key.clone(),
             Cached {
                 matrix: Arc::clone(&matrix),
-                bytes,
+                matrix_bytes: bytes,
+                index: None,
+                charged: 0, // set by the refresh below
                 last_used: tick,
             },
         );
         // Evict least-recently-used entries (never the one just added)
         // until the budget holds.
-        while state.bytes > self.byte_budget && state.map.len() > 1 {
-            let victim = state
-                .map
-                .iter()
-                .filter(|(k, _)| **k != key)
-                .min_by_key(|(_, c)| c.last_used)
-                .map(|(k, _)| k.clone());
-            match victim {
-                Some(v) => {
-                    if let Some(evicted) = state.map.remove(&v) {
-                        state.bytes -= evicted.bytes;
-                    }
-                }
-                None => break,
-            }
-        }
+        Self::refresh_bytes(&mut state);
+        self.enforce_budget(&mut state, &key);
         Ok(matrix)
     }
 
-    /// Drops every cached rebuild of `name` (any version), returning
-    /// the bytes reclaimed. Used when a release is removed outright: no
-    /// future request can reach those entries, so leaving them to LRU
-    /// pressure would strand their bytes on an idle server.
+    /// Returns the release's prepared [`ReleaseIndex`], from cache when
+    /// warm; a cold call builds (or reuses) the matrix rebuild through
+    /// [`Self::sanitized_if`] — inheriting its republish-staleness and
+    /// currency handling — then attaches a fresh index beside it.
+    ///
+    /// # Errors
+    /// As for [`Self::sanitized`].
+    pub fn index(&self, entry: &CatalogEntry) -> Result<Arc<ReleaseIndex>, ServeError> {
+        self.index_if(entry, || true)
+    }
+
+    /// [`Self::index`], with the same `still_current` contract as
+    /// [`Self::sanitized_if`]: when the check fails, the freshly built
+    /// index is served to the caller but never cached.
+    ///
+    /// # Errors
+    /// As for [`Self::sanitized`].
+    pub fn index_if(
+        &self,
+        entry: &CatalogEntry,
+        still_current: impl Fn() -> bool,
+    ) -> Result<Arc<ReleaseIndex>, ServeError> {
+        let key = (entry.name.clone(), entry.version);
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(cached) = state.map.get_mut(&key) {
+                cached.last_used = tick;
+                if let Some(ix) = &cached.index {
+                    self.index_hits.fetch_add(1, Ordering::Relaxed);
+                    let ix = Arc::clone(ix);
+                    // Index bytes grow between accesses (memoization is
+                    // lazy), so the warm path re-charges *this* entry —
+                    // an O(1) delta, not a rescan of every resident
+                    // entry — and re-enforces the budget when the
+                    // growth pushed the ledger over it.
+                    let now = cached.bytes();
+                    let delta = now.saturating_sub(cached.charged);
+                    cached.charged = now;
+                    state.bytes += delta;
+                    if delta > 0 && state.bytes > self.byte_budget {
+                        self.enforce_budget(&mut state, &key);
+                    }
+                    return Ok(ix);
+                }
+            }
+        }
+        self.index_misses.fetch_add(1, Ordering::Relaxed);
+        // Resolve the matrix through the normal rebuild path (hit or
+        // miss), which owns all the staleness rules; then wrap it.
+        let matrix = self.sanitized_if(entry, &still_current)?;
+        let index = Arc::new(ReleaseIndex::with_marginal_budget(
+            matrix,
+            self.index_marginal_cap,
+        ));
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(cached) = state.map.get_mut(&key) {
+            // Attach only when the resident entry is exactly the matrix
+            // this index wraps (the entry may have raced a removal or
+            // republish while we built).
+            if Arc::ptr_eq(&cached.matrix, index.matrix()) {
+                cached.last_used = tick;
+                if let Some(existing) = &cached.index {
+                    return Ok(Arc::clone(existing)); // a racing builder won
+                }
+                cached.index = Some(Arc::clone(&index));
+                Self::refresh_bytes(&mut state);
+                self.enforce_budget(&mut state, &key);
+            }
+        }
+        Ok(index)
+    }
+
+    /// Drops every cached rebuild of `name` (any version) — plan
+    /// indexes included — returning the bytes reclaimed. Used when a
+    /// release is removed outright: no future request can reach those
+    /// entries, so leaving them to LRU pressure would strand their
+    /// bytes on an idle server.
     pub fn evict(&self, name: &str) -> usize {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let victims: Vec<(String, u64)> = state
@@ -216,28 +384,42 @@ impl QueryEngine {
         let mut reclaimed = 0;
         for key in victims {
             if let Some(dropped) = state.map.remove(&key) {
-                state.bytes -= dropped.bytes;
-                reclaimed += dropped.bytes;
+                self.retire(&dropped);
+                reclaimed += dropped.bytes();
             }
         }
+        Self::refresh_bytes(&mut state);
         reclaimed
     }
 
-    /// Drops every cached rebuild (counters are preserved).
+    /// Drops every cached rebuild and index (counters are preserved).
     pub fn clear(&self) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
-        state.map.clear();
+        for (_, cached) in state.map.drain() {
+            self.retire(&cached);
+        }
         state.bytes = 0;
     }
 
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
-        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        Self::refresh_bytes(&mut state);
+        let live_nanos: u64 = state
+            .map
+            .values()
+            .filter_map(|c| c.index.as_ref())
+            .map(|ix| ix.build_nanos())
+            .sum();
         EngineStats {
             entries: state.map.len(),
             bytes: state.bytes,
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            index_entries: state.map.values().filter(|c| c.index.is_some()).count(),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
+            index_build_nanos: self.retired_index_nanos.load(Ordering::Relaxed) + live_nanos,
         }
     }
 }
@@ -249,6 +431,7 @@ mod tests {
     use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
     use dpod_dp::Epsilon;
     use dpod_fmatrix::{AxisBox, DenseMatrix, Shape};
+    use dpod_query::PlanBackend;
 
     fn catalog_with(names: &[&str], side: usize) -> Catalog {
         let c = Catalog::new();
@@ -504,5 +687,161 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.bytes, 0);
+    }
+
+    /// Warms every lazily-built structure the engine charges for: one
+    /// marginal table, the sorted cell order, the total.
+    fn warm_index(ix: &ReleaseIndex) {
+        use dpod_query::{plan, QueryPlan};
+        let plan = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Marginal { keep: vec![0] },
+                QueryPlan::TopK { k: 3 },
+                QueryPlan::Total,
+            ],
+        };
+        plan::execute_with(ix, &plan).unwrap();
+    }
+
+    #[test]
+    fn second_index_access_hits_cache() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let e = c.get("a").unwrap();
+        let i1 = engine.index(&e).unwrap();
+        let i2 = engine.index(&e).unwrap();
+        assert!(Arc::ptr_eq(&i1, &i2));
+        let stats = engine.stats();
+        assert_eq!((stats.index_hits, stats.index_misses), (1, 1));
+        assert_eq!(stats.index_entries, 1);
+        // The index ride-alongs on the matrix entry: one entry, and the
+        // matrix path was exercised exactly once (by the index build).
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn index_bytes_are_accounted_and_reclaimed_under_a_tiny_budget() {
+        let c = catalog_with(&["a", "b", "c"], 16);
+        let (ea, eb, ec) = (
+            c.get("a").unwrap(),
+            c.get("b").unwrap(),
+            c.get("c").unwrap(),
+        );
+        // Probe each entry's fully-warmed footprint (matrix + index)
+        // and the unwarmed index base, with throwaway engines.
+        let warmed = |e: &crate::CatalogEntry| {
+            let probe = QueryEngine::new(usize::MAX);
+            warm_index(&probe.index(e).unwrap());
+            probe.stats().bytes
+        };
+        let (wa, wb) = (warmed(&ea), warmed(&eb));
+        let base_c = {
+            let probe = QueryEngine::new(usize::MAX);
+            probe.index(&ec).unwrap();
+            probe.stats().bytes
+        };
+
+        // Budget holds two warmed entries plus a bare third — minus one
+        // byte, so attaching the third index must evict the LRU entry
+        // and give back its *full* (matrix + grown index) bytes.
+        let engine = QueryEngine::new(wa + wb + base_c - 1);
+        warm_index(&engine.index(&ea).unwrap());
+        warm_index(&engine.index(&eb).unwrap());
+        assert_eq!(
+            engine.stats().bytes,
+            wa + wb,
+            "ledger must track lazily-grown index bytes"
+        );
+        let ixc = engine.index(&ec).unwrap(); // evicts a (the LRU)
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.index_entries, 2);
+        assert_eq!(
+            stats.bytes,
+            wb + base_c,
+            "the victim's matrix and index bytes must both come back"
+        );
+        // Growing the surviving index keeps the ledger exact.
+        warm_index(&ixc);
+        let wc = warmed(&ec);
+        assert_eq!(engine.stats().bytes, wb + wc);
+        // And the evicted release rebuilds (and re-indexes) on demand.
+        let before = engine.stats().index_misses;
+        engine.index(&ea).unwrap();
+        assert_eq!(engine.stats().index_misses, before + 1);
+    }
+
+    #[test]
+    fn republish_invalidates_the_stale_index() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let old_entry = c.get("a").unwrap();
+        let old_ix = engine.index(&old_entry).unwrap();
+        warm_index(&old_ix);
+        let old_top = old_ix.top_k(1);
+
+        // Republish different data under the same name.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[7, 0], 9_999).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(61))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let new_entry = c.get("a").unwrap();
+        let new_ix = engine.index(&new_entry).unwrap();
+        assert!(!Arc::ptr_eq(&old_ix, &new_ix));
+        // Exactly one resident entry: (a, v2). The stale (a, v1) index
+        // left with its matrix.
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.index_entries, 1);
+        // The new index answers over the new data, not the stale order.
+        let new_top = new_ix.top_k(1);
+        assert_ne!(old_top[0].value.to_bits(), new_top[0].value.to_bits());
+        assert_eq!(
+            new_top[0].value.to_bits(),
+            out.range_sum(&AxisBox::cell(&new_top[0].coords)).to_bits()
+        );
+        // A straggler resolving the old entry is served, never cached.
+        let straggler = engine.index(&old_entry).unwrap();
+        assert!(!Arc::ptr_eq(&straggler, &new_ix));
+        assert_eq!(engine.stats().entries, 1);
+        let hits = engine.stats().index_hits;
+        assert!(Arc::ptr_eq(&engine.index(&new_entry).unwrap(), &new_ix));
+        assert_eq!(engine.stats().index_hits, hits + 1);
+    }
+
+    #[test]
+    fn index_racing_a_removal_is_served_but_not_cached() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let entry = c.get("a").unwrap();
+        let served = engine.index_if(&entry, || false).unwrap();
+        assert!(served.total().is_finite());
+        let stats = engine.stats();
+        assert_eq!(stats.entries, 0, "stale index must not be cached");
+        assert_eq!(stats.index_entries, 0);
+        // A current build caches as usual.
+        engine.index_if(&entry, || true).unwrap();
+        assert_eq!(engine.stats().index_entries, 1);
+    }
+
+    #[test]
+    fn evict_drops_the_index_with_the_matrix() {
+        let c = catalog_with(&["a"], 16);
+        let engine = QueryEngine::new(usize::MAX);
+        let ix = engine.index(&c.get("a").unwrap()).unwrap();
+        warm_index(&ix);
+        let charged = engine.stats().bytes;
+        assert!(engine.stats().index_build_nanos > 0);
+        let reclaimed = engine.evict("a");
+        assert_eq!(reclaimed, charged, "evict must reclaim index bytes too");
+        let stats = engine.stats();
+        assert_eq!((stats.entries, stats.index_entries, stats.bytes), (0, 0, 0));
+        // Build time of the evicted index survives in the lifetime
+        // counter.
+        assert!(stats.index_build_nanos > 0);
     }
 }

@@ -11,7 +11,12 @@
 //! * [`QueryEngine`] — rebuilds a release into its queryable
 //!   [`SanitizedMatrix`](dpod_core::SanitizedMatrix) (prefix-sum table
 //!   included) on first access and memoizes it under an LRU byte budget,
-//!   so steady-state range queries are `O(2^d)` lookups;
+//!   so steady-state range queries are `O(2^d)` lookups; beside each
+//!   rebuild it caches the release's prepared
+//!   [`ReleaseIndex`](dpod_query::ReleaseIndex) (memoized marginal
+//!   tables with their own prefix sums, descending cell order, cached
+//!   total) under the same budget, so warm aggregate plans skip the
+//!   rescan entirely;
 //! * [`Server`] — the request front end: an in-process [`Server::handle`]
 //!   API driven directly by the CLI, tests and benches, plus a std-only
 //!   thread-pool TCP loop ([`spawn`]) speaking newline-delimited JSON
@@ -41,7 +46,10 @@ pub mod wire;
 
 pub use catalog::{Catalog, CatalogEntry, SaveReport};
 pub use engine::{EngineStats, QueryEngine};
-pub use server::{spawn, spawn_wire, Server, ServerHandle, WireMode, DEFAULT_CACHE_BYTES};
+pub use server::{
+    spawn, spawn_wire, Server, ServerHandle, WireMode, DEFAULT_CACHE_BYTES, IDLE_TIMEOUT,
+    MAX_LINE_BYTES,
+};
 
 /// Serving-layer error: a displayable message naming the failing operation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -10,9 +10,9 @@
 //! ## The typed query algebra ([`Request::Plan`])
 //!
 //! Beyond the legacy bare range sums ([`Request::Query`] /
-//! [`Request::Batch`]), a request can carry any
-//! [`QueryPlan`](dpod_query::QueryPlan) from `dpod-query`'s typed
-//! algebra — the one vocabulary every transport shares:
+//! [`Request::Batch`]), a request can carry any [`QueryPlan`] from
+//! `dpod-query`'s typed algebra — the one vocabulary every transport
+//! shares:
 //!
 //! | plan | answer |
 //! |------|--------|
@@ -169,12 +169,30 @@ pub struct ServerStats {
     pub queries: u64,
     /// Rebuild-cache residents.
     pub cache_entries: usize,
-    /// Rebuild-cache resident bytes (estimate).
+    /// Rebuild-cache resident bytes (estimate, plan indexes included —
+    /// the two caches share one budget).
     pub cache_bytes: usize,
     /// Rebuild-cache hits.
     pub cache_hits: u64,
     /// Rebuild-cache misses.
     pub cache_misses: u64,
+    /// Resident releases whose plan index ([`dpod_query::ReleaseIndex`])
+    /// is built.
+    pub index_entries: usize,
+    /// Plan-index cache hits (aggregate plans answered warm).
+    pub index_hits: u64,
+    /// Plan-index cache misses (indexes constructed).
+    pub index_misses: u64,
+    /// Cumulative wall-clock nanoseconds spent building index
+    /// structures (marginal tables, cell orders), evicted indexes
+    /// included.
+    pub index_build_nanos: u64,
+    /// Matrix-cache hit rate in `[0, 1]` (`0.0` before any lookup) —
+    /// precomputed so dashboards and the `dpod serve` stats line need
+    /// no divide-by-zero care.
+    pub cache_hit_rate: f64,
+    /// Plan-index cache hit rate in `[0, 1]` (`0.0` before any lookup).
+    pub index_hit_rate: f64,
     /// Queries answered per release (hot-release telemetry), sorted by
     /// name. A name's counter lives as long as the release is served:
     /// removing a release through
@@ -276,6 +294,12 @@ mod tests {
                     cache_bytes: 2048,
                     cache_hits: 41,
                     cache_misses: 1,
+                    index_entries: 1,
+                    index_hits: 7,
+                    index_misses: 1,
+                    index_build_nanos: 12_345,
+                    cache_hit_rate: 41.0 / 42.0,
+                    index_hit_rate: 7.0 / 8.0,
                     release_hits: vec![ReleaseHits {
                         name: "city".into(),
                         hits: 42,

@@ -64,6 +64,16 @@ impl std::str::FromStr for WireMode {
 /// worker can serve the next queued connection.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// `hits / (hits + misses)`, `0.0` before any lookup.
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
 /// Longest accepted request line; a client exceeding it (e.g. streaming
 /// bytes with no newline to exhaust memory) is disconnected.
 pub const MAX_LINE_BYTES: u64 = 8 << 20;
@@ -74,6 +84,12 @@ pub struct Server {
     catalog: Arc<Catalog>,
     engine: QueryEngine,
     queries: AtomicU64,
+    /// Whether `Plan` requests run through the prepared
+    /// [`dpod_query::ReleaseIndex`] backend (the default) or fall back
+    /// to cold per-query scans. The switch exists as an operational
+    /// kill-switch and so benches can measure both paths on one server;
+    /// answers are bit-identical either way.
+    indexed_plans: AtomicBool,
     /// Lifetime answered-query count per release name. Reads (the hot
     /// path) only take the `RwLock` shared; the exclusive lock is held
     /// once per name, on first touch.
@@ -81,14 +97,43 @@ pub struct Server {
 }
 
 impl Server {
-    /// A server over `catalog` with `cache_bytes` of rebuild cache.
+    /// A server over `catalog` with `cache_bytes` of rebuild cache
+    /// (shared between matrix rebuilds and plan indexes) and the
+    /// default per-release marginal-memoization cap.
     pub fn new(catalog: Arc<Catalog>, cache_bytes: usize) -> Self {
+        Self::with_marginal_cap(
+            catalog,
+            cache_bytes,
+            dpod_query::backend::DEFAULT_MARGINAL_BUDGET,
+        )
+    }
+
+    /// [`Self::new`], but capping each release index's memoized
+    /// marginal tables at `index_marginal_bytes` (`dpod serve
+    /// --index-mb` plumbs here).
+    pub fn with_marginal_cap(
+        catalog: Arc<Catalog>,
+        cache_bytes: usize,
+        index_marginal_bytes: usize,
+    ) -> Self {
         Server {
             catalog,
-            engine: QueryEngine::new(cache_bytes),
+            engine: QueryEngine::with_marginal_cap(cache_bytes, index_marginal_bytes),
             queries: AtomicU64::new(0),
+            indexed_plans: AtomicBool::new(true),
             release_hits: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// Enables or disables the indexed plan backend (see
+    /// [`Server::indexed_plans`]); answers are bit-identical either way.
+    pub fn set_indexed_plans(&self, enabled: bool) {
+        self.indexed_plans.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether `Plan` requests currently run through the prepared index.
+    pub fn indexed_plans(&self) -> bool {
+        self.indexed_plans.load(Ordering::Relaxed)
     }
 
     /// The underlying catalog (shared with publishers).
@@ -149,11 +194,22 @@ impl Server {
                 Response::Values { values }
             }
             Request::Plan { release, plan } => {
-                let matrix = match self.resolve(release) {
-                    Ok(m) => m,
-                    Err(e) => return Response::Error { message: e.0 },
+                // Two-phase execution: resolve the release's prepared
+                // index (built once per (name, version), memoized
+                // structures answering warm aggregates), then execute
+                // against it. The cold fallback scans the rebuild
+                // directly — bit-identical answers, no preparation.
+                let answer = if self.indexed_plans() {
+                    self.resolve_index(release).and_then(|ix| {
+                        dpod_query::plan::execute_with(ix.as_ref(), plan)
+                            .map_err(|e| ServeError(e.0))
+                    })
+                } else {
+                    self.resolve(release).and_then(|m| {
+                        dpod_query::plan::execute(&m, plan).map_err(|e| ServeError(e.0))
+                    })
                 };
-                match dpod_query::plan::execute(&matrix, plan) {
+                match answer {
                     Ok(answer) => {
                         // A plan counts one query per leaf answered; a
                         // failed plan counts none (unlike `Batch`, plans
@@ -166,6 +222,7 @@ impl Server {
                     Err(e) => Response::Error { message: e.0 },
                 }
             }
+
             Request::List => Response::Releases {
                 releases: self
                     .catalog
@@ -191,6 +248,12 @@ impl Server {
                         cache_bytes: engine.bytes,
                         cache_hits: engine.hits,
                         cache_misses: engine.misses,
+                        index_entries: engine.index_entries,
+                        index_hits: engine.index_hits,
+                        index_misses: engine.index_misses,
+                        index_build_nanos: engine.index_build_nanos,
+                        cache_hit_rate: hit_rate(engine.hits, engine.misses),
+                        index_hit_rate: hit_rate(engine.index_hits, engine.index_misses),
                         release_hits: self.release_hits(),
                     },
                 }
@@ -210,6 +273,21 @@ impl Server {
         // when the removal's evict runs must not be cached afterwards,
         // or its bytes strand in an entry no request can reach.
         self.engine.sanitized_if(&entry, || {
+            self.catalog
+                .get(release)
+                .is_some_and(|current| current.version == entry.version)
+        })
+    }
+
+    /// Resolves a release name to its prepared plan index, with the
+    /// same currency re-check as [`Self::resolve`] (an index built
+    /// while a removal or republish lands is served but never cached).
+    fn resolve_index(&self, release: &str) -> Result<Arc<dpod_query::ReleaseIndex>, ServeError> {
+        let entry = self
+            .catalog
+            .get(release)
+            .ok_or_else(|| ServeError(format!("unknown release '{release}'")))?;
+        self.engine.index_if(&entry, || {
             self.catalog
                 .get(release)
                 .is_some_and(|current| current.version == entry.version)
@@ -737,6 +815,73 @@ mod tests {
     }
 
     #[test]
+    fn plan_requests_build_and_reuse_the_release_index() {
+        use dpod_query::QueryPlan;
+        let server = test_server(&["city"]);
+        let req = Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Marginal { keep: vec![0] },
+        };
+        assert!(matches!(server.handle(&req), Response::Answer { .. }));
+        let stats = server.engine_stats();
+        assert_eq!(stats.index_entries, 1);
+        assert_eq!((stats.index_hits, stats.index_misses), (0, 1));
+        assert!(matches!(server.handle(&req), Response::Answer { .. }));
+        let stats = server.engine_stats();
+        assert_eq!((stats.index_hits, stats.index_misses), (1, 1));
+        assert!(stats.index_build_nanos > 0, "marginal build must be timed");
+
+        // The Stats response surfaces the index counters and both
+        // hit-rates.
+        let Response::Stats { stats } = server.handle(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.index_entries, 1);
+        assert_eq!((stats.index_hits, stats.index_misses), (1, 1));
+        assert!(stats.index_build_nanos > 0);
+        assert!((stats.index_hit_rate - 0.5).abs() < 1e-12);
+        assert!(stats.cache_hit_rate >= 0.0 && stats.cache_hit_rate <= 1.0);
+
+        // Legacy Query/Batch traffic never touches the index slot.
+        server.handle(&Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![4, 4],
+        });
+        assert_eq!(server.engine_stats().index_misses, 1);
+    }
+
+    #[test]
+    fn cold_and_indexed_plan_paths_answer_identically() {
+        use dpod_query::QueryPlan;
+        let server = test_server(&["city"]);
+        let plan = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Total,
+                QueryPlan::TopK { k: 5 },
+                QueryPlan::Marginal { keep: vec![0, 1] },
+                QueryPlan::Range {
+                    lo: vec![1, 1],
+                    hi: vec![7, 7],
+                },
+            ],
+        };
+        let req = Request::Plan {
+            release: "city".into(),
+            plan,
+        };
+        let indexed = serde_json::to_string(&server.handle(&req)).unwrap();
+        assert!(server.indexed_plans());
+        server.set_indexed_plans(false);
+        let cold = serde_json::to_string(&server.handle(&req)).unwrap();
+        assert!(!server.indexed_plans());
+        server.set_indexed_plans(true);
+        let warm = serde_json::to_string(&server.handle(&req)).unwrap();
+        assert_eq!(indexed, cold, "kill-switch must not change answers");
+        assert_eq!(indexed, warm);
+    }
+
+    #[test]
     fn remove_release_prunes_hit_counters() {
         let server = test_server(&["hot", "cold"]);
         for release in ["hot", "cold"] {
@@ -745,11 +890,17 @@ mod tests {
                 lo: vec![0, 0],
                 hi: vec![2, 2],
             });
+            // Aggregate traffic builds each release's plan index too.
+            server.handle(&Request::Plan {
+                release: release.into(),
+                plan: dpod_query::QueryPlan::TopK { k: 1 },
+            });
         }
         assert_eq!(server.release_hits().len(), 2);
 
         // Removing through the server drops the counter with the release.
         assert_eq!(server.engine_stats().entries, 2);
+        assert_eq!(server.engine_stats().index_entries, 2);
         assert!(server.remove_release("hot"));
         assert!(!server.remove_release("hot"), "second remove is a no-op");
         let hits = server.release_hits();
@@ -761,6 +912,11 @@ mod tests {
             server.engine_stats().entries,
             1,
             "removed release must not strand its rebuild in the cache"
+        );
+        assert_eq!(
+            server.engine_stats().index_entries,
+            1,
+            "removed release must not strand its plan index either"
         );
 
         // A republish under the same name starts a fresh count.
@@ -780,7 +936,7 @@ mod tests {
         });
         let hits = server.release_hits();
         let as_pairs: Vec<(&str, u64)> = hits.iter().map(|h| (h.name.as_str(), h.hits)).collect();
-        assert_eq!(as_pairs, vec![("cold", 1), ("hot", 1)]);
+        assert_eq!(as_pairs, vec![("cold", 2), ("hot", 1)]);
     }
 
     #[test]

@@ -602,7 +602,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.finish().to_vec()
         }
         Response::Stats { stats } => {
-            let mut w = writer(48 + stats.release_hits.len() * 32, OP_STATS_RESP);
+            let mut w = writer(96 + stats.release_hits.len() * 32, OP_STATS_RESP);
             w.put_u64(stats.releases as u64);
             w.put_u64(stats.queries);
             w.put_u64(stats.cache_entries as u64);
@@ -614,6 +614,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_wire_str(&mut w, &rh.name);
                 w.put_u64(rh.hits);
             }
+            // The plan-index counters extend the frame at the *end*:
+            // the `Stats`/`Releases` introspection frames track the
+            // server version (unlike the pinned `Query`/`Batch`
+            // opcodes), and appending keeps a mixed-version desync
+            // failing with a named trailing-bytes/truncation error
+            // instead of misreading rate bits as element counts.
+            w.put_u64(stats.index_entries as u64);
+            w.put_u64(stats.index_hits);
+            w.put_u64(stats.index_misses);
+            w.put_u64(stats.index_build_nanos);
+            w.put_f64(stats.cache_hit_rate);
+            w.put_f64(stats.index_hit_rate);
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -671,6 +683,12 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     hits: r.get_u64("hit count")?,
                 });
             }
+            let index_entries = r.get_u64("index_entries")? as usize;
+            let index_hits = r.get_u64("index_hits")?;
+            let index_misses = r.get_u64("index_misses")?;
+            let index_build_nanos = r.get_u64("index_build_nanos")?;
+            let cache_hit_rate = r.get_f64("cache_hit_rate")?;
+            let index_hit_rate = r.get_f64("index_hit_rate")?;
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -679,6 +697,12 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     cache_bytes,
                     cache_hits,
                     cache_misses,
+                    index_entries,
+                    index_hits,
+                    index_misses,
+                    index_build_nanos,
+                    cache_hit_rate,
+                    index_hit_rate,
                     release_hits,
                 },
             }
@@ -1054,6 +1078,12 @@ mod tests {
                     cache_bytes: 4096,
                     cache_hits: 98,
                     cache_misses: 1,
+                    index_entries: 1,
+                    index_hits: 10,
+                    index_misses: 2,
+                    index_build_nanos: 123_456_789,
+                    cache_hit_rate: 98.0 / 99.0,
+                    index_hit_rate: 10.0 / 12.0,
                     release_hits: vec![ReleaseHits {
                         name: "city".into(),
                         hits: 99,

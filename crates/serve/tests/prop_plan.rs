@@ -107,8 +107,53 @@ fn arb_plan() -> impl Strategy<Value = QueryPlan> {
         })
 }
 
+/// The cold reference executor: rebuilds the named release's matrix and
+/// answers through the un-prepared [`ScanBackend`] path — exactly what
+/// the server did before the `ReleaseIndex` existed.
+fn cold_answer(release: &str, plan: &dpod_query::QueryPlan) -> Option<Response> {
+    let entry = server().catalog().get(release)?;
+    let matrix = entry.release.as_ref().clone().into_sanitized().unwrap();
+    Some(match dpod_query::plan::execute(&matrix, plan) {
+        Ok(answer) => Response::Answer { answer },
+        Err(e) => Response::Error { message: e.0 },
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The prepare/execute tentpole: ANY plan answered by the server's
+    /// warm `ReleaseIndex` backend is **bit-identical** (the serialized
+    /// shortest-round-trip floats compare equal, i.e. the same f64 bit
+    /// patterns) to a cold `ScanBackend` execution over a fresh rebuild
+    /// of the same release — and stays identical through both wire
+    /// codecs, so all three transports serve the cold answers.
+    #[test]
+    fn indexed_serving_matches_cold_scan(release in arb_name(), plan in arb_plan()) {
+        let req = Request::Plan { release: release.clone(), plan: plan.clone() };
+        let served = server().handle(&req); // in-process, indexed backend
+        if let Some(cold) = cold_answer(&release, &plan) {
+            let cold = serde_json::to_string(&cold)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let warm = serde_json::to_string(&served)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&cold, &warm, "indexed backend drifted from cold scan");
+            // The cold answer also survives the binary response codec —
+            // what a DPRB client receives — and the JSON line codec.
+            let via_wire = wire::decode_response(&wire::encode_response(&served))
+                .map_err(|e| TestCaseError::fail(e.0))?;
+            let via_wire = serde_json::to_string(&via_wire)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&cold, &via_wire);
+            let via_json: Response = serde_json::from_str(&warm)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let via_json = serde_json::to_string(&via_json)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&cold, &via_json);
+        } else {
+            prop_assert!(matches!(served, Response::Error { .. }));
+        }
+    }
 
     /// A `Plan` request survives both codecs unchanged.
     #[test]
@@ -210,6 +255,7 @@ fn live_transports_agree_on_every_variant() {
             plans.push(QueryPlan::Marginal { keep: vec![2, 3] });
         }
         for plan in plans {
+            let cold = cold_answer(release, &plan).map(|r| serde_json::to_string(&r).unwrap());
             let req = Request::Plan {
                 release: release.to_string(),
                 plan,
@@ -220,6 +266,13 @@ fn live_transports_agree_on_every_variant() {
             let via_binary = serde_json::to_string(&binary.request(&req).unwrap()).unwrap();
             assert_eq!(in_process, via_ndjson, "NDJSON drifted on {req:?}");
             assert_eq!(in_process, via_binary, "DPRB drifted on {req:?}");
+            // Live sockets serve the indexed backend; every transport
+            // must still produce the cold ScanBackend bytes.
+            assert_eq!(
+                cold.expect("test releases exist"),
+                in_process,
+                "indexed serving drifted from cold scan on {req:?}"
+            );
         }
     }
     handle.stop();

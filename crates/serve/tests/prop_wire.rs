@@ -113,6 +113,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     cache_bytes: counter as usize,
                     cache_hits: counter / 2,
                     cache_misses: counter / 3,
+                    index_entries: (counter % 5) as usize,
+                    index_hits: counter / 4,
+                    index_misses: counter / 5,
+                    index_build_nanos: counter.wrapping_mul(17),
+                    cache_hit_rate: (counter % 100) as f64 / 100.0,
+                    index_hit_rate: (counter % 7) as f64 / 7.0,
                     release_hits: vec![ReleaseHits {
                         name,
                         hits: counter,

@@ -54,19 +54,28 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
 // ---------------------------------------------------------------------------
 
 fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: usize) -> Result<()> {
+    use std::fmt::Write;
     match c {
         Content::Null => out.push_str("null"),
         Content::Bool(true) => out.push_str("true"),
         Content::Bool(false) => out.push_str("false"),
-        Content::U64(v) => out.push_str(&v.to_string()),
-        Content::I64(v) => out.push_str(&v.to_string()),
+        // `write!` formats straight into the output; `to_string` per
+        // number would allocate once per element, which dominates the
+        // serialization of large numeric arrays (marginal tables, batch
+        // answers) on the serving hot path.
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
         Content::F64(v) => {
             if !v.is_finite() {
                 return Err(Error(format!("cannot serialize non-finite float {v}")));
             }
             // `{:?}` is Rust's shortest round-trip float form; it always
             // contains '.' or 'e', so it re-parses as a float.
-            out.push_str(&format!("{v:?}"));
+            let _ = write!(out, "{v:?}");
         }
         Content::Str(s) => write_string(s, out),
         Content::Seq(items) => {
@@ -114,7 +123,15 @@ fn write_sep(out: &mut String, indent: Option<usize>, level: usize) {
 }
 
 fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write;
     out.push('"');
+    // Fast path: strings with nothing to escape (the overwhelmingly
+    // common case for enum tags and field names) copy in one shot.
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -123,7 +140,7 @@ fn write_string(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
@@ -286,6 +303,24 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
+        // Fast path: scan to the closing quote; an escape-free string
+        // (keys, enum tags, most values) converts in one UTF-8 check
+        // instead of byte-at-a-time pushes.
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = start;
         let mut out = String::new();
         loop {
             let b = *self
