@@ -18,7 +18,12 @@
 //!   aggregate plans (`QueryPlan::Marginal` / `QueryPlan::TopK`) over
 //!   both TCP encodings, measuring plans/sec (each plan scans the full
 //!   release, so these are orders of magnitude below range-sum rates by
-//!   design).
+//!   design);
+//! * `tcp/eventloop-cN` — request/response `DPRB` traffic from N
+//!   concurrent connections (1, 64, 512) against the epoll front end on
+//!   a fixed 8-worker pool, plus a `tcp/pool-c64` row from the legacy
+//!   thread-per-connection front end at the same worker count — the
+//!   many-analysts shape the event loop exists for.
 //!
 //! Besides the criterion-style console lines, it writes the measured
 //! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
@@ -35,7 +40,7 @@ use dpod_dp::Epsilon;
 use dpod_query::workload::QueryWorkload;
 use dpod_query::QueryPlan;
 use dpod_serve::protocol::{Request, Response};
-use dpod_serve::{Catalog, Server};
+use dpod_serve::{Catalog, FrontEnd, Server, SpawnOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::sync::Arc;
 use std::time::Instant;
@@ -126,8 +131,26 @@ fn measure_batch_qps(server: &Server, rounds: usize) -> f64 {
     (BATCH * rounds) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// The serving handle the *legacy* trajectory rows were recorded on:
+/// the thread-pool front end at 4 workers. Pinned explicitly now that
+/// [`dpod_serve::spawn`] defaults to the event loop, so the historical
+/// labels in `BENCH_serve.json` keep comparing like with like (the
+/// event core has its own `*_eventloop` / `replay_plans_*` rows).
+fn spawn_legacy_pool(server: Arc<Server>) -> dpod_serve::ServerHandle {
+    dpod_serve::spawn_with(
+        server,
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers: 4,
+            front_end: Some(FrontEnd::Pool),
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("bind")
+}
+
 fn measure_tcp_qps(server: Arc<Server>, n: usize) -> f64 {
-    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let handle = spawn_legacy_pool(server);
     let requests = query_requests(n);
     let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
@@ -162,7 +185,7 @@ fn measure_tcp_qps(server: Arc<Server>, n: usize) -> f64 {
 
 /// Single-query `DPRB` frames, pipelined on one connection.
 fn measure_tcp_binary_qps(server: Arc<Server>, n: usize) -> f64 {
-    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let handle = spawn_legacy_pool(server);
     let requests = query_requests(n);
     let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
     let start = Instant::now();
@@ -185,7 +208,7 @@ fn measure_tcp_binary_qps(server: Arc<Server>, n: usize) -> f64 {
 /// 1000-range `DPRB` batch frames on one connection: the protocol's
 /// intended high-volume shape (packed coordinates out, raw f64s back).
 fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
-    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let handle = spawn_legacy_pool(server);
     let shape = dpod_fmatrix::Shape::new(vec![SIDE, SIDE]).expect("shape");
     let mut rng = dpod_dp::seeded_rng(9);
     let ranges: Vec<(Vec<usize>, Vec<usize>)> = QueryWorkload::Random
@@ -219,7 +242,7 @@ fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
 /// however large `n` is. Aggregate plans return multi-kilobyte answers,
 /// so this measures the full serialize/transport cost, not just compute.
 fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: bool) -> f64 {
-    let handle = dpod_serve::spawn(server, "127.0.0.1:0", 4).expect("bind");
+    let handle = spawn_legacy_pool(server);
     let req = Request::Plan {
         release: "gauss-ebp".into(),
         plan,
@@ -275,6 +298,123 @@ fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: 
     }
     let qps = n as f64 / start.elapsed().as_secs_f64();
     sender.join().expect("sender");
+    handle.stop();
+    qps
+}
+
+/// Aggregate plans/sec from the `dpod replay --connections N` load
+/// generator (one readiness-driven client thread multiplexing all `N`
+/// request/response connections) against the chosen front end on a
+/// fixed 8-worker pool — the acceptance workload for the event-loop
+/// serving core.
+fn measure_replay_plansps(server: Arc<Server>, front_end: FrontEnd, connections: usize) -> f64 {
+    let handle = dpod_serve::spawn_with(
+        server,
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers: 8,
+            front_end: Some(front_end),
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("bind");
+    let plans = if smoke() { 2_000 } else { 64_000 };
+    let mut stream = String::with_capacity(plans * 32);
+    for i in 0..plans {
+        stream.push_str(
+            match i % 4 {
+                0 => "\"Total\"\n".into(),
+                1 => "{\"TopK\":{\"k\":5}}\n".into(),
+                2 => "{\"Marginal\":{\"keep\":[0]}}\n".into(),
+                _ => format!(
+                    "{{\"Range\":{{\"lo\":[0,0],\"hi\":[{},{SIDE}]}}}}\n",
+                    1 + i % SIDE
+                ),
+            }
+            .as_str(),
+        );
+    }
+    let path = std::env::temp_dir().join(format!(
+        "dpod_bench_replay_{}_{:?}_{}.ndjson",
+        std::process::id(),
+        front_end,
+        connections
+    ));
+    std::fs::write(&path, stream).expect("write plans");
+    let summary = dpod_cli::commands::replay(&dpod_cli::commands::ReplayArgs {
+        file: path.clone(),
+        release: "gauss-ebp".into(),
+        connect: Some(handle.addr().to_string()),
+        binary: true,
+        cold: false,
+        answers: None,
+        connections,
+    })
+    .expect("replay");
+    std::fs::remove_file(&path).ok();
+    handle.stop();
+    // First line ends "…: NNN plans/s aggregate"; take the rate.
+    summary
+        .lines()
+        .next()
+        .and_then(|line| line.rsplit(": ").next())
+        .and_then(|tail| tail.split_whitespace().next())
+        .and_then(|rate| rate.parse().ok())
+        .expect("replay summary carries plans/s")
+}
+
+/// Aggregate queries/sec from `conns` concurrent request/response
+/// clients (each its own `DPRB` connection sending one query and
+/// waiting for the answer — the live-dashboard shape, no pipelining)
+/// against the chosen front end on a fixed 8-worker pool. This is the
+/// workload where connections ≫ workers separates the serving cores:
+/// the pool serializes into worker-sized waves, the event loop keeps
+/// every connection's request in flight.
+fn measure_concurrent_qps(
+    server: Arc<Server>,
+    front_end: FrontEnd,
+    conns: usize,
+    per_conn: usize,
+) -> f64 {
+    let handle = dpod_serve::spawn_with(
+        server,
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers: 8,
+            front_end: Some(front_end),
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    let start = Instant::now();
+    let total: u64 = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(conns);
+        for t in 0..conns {
+            joins.push(scope.spawn(move || {
+                let mut client = dpod_serve::wire::Client::connect(addr).expect("connect");
+                let names = ["gauss-ebp", "gauss-eug", "gauss-identity"];
+                let mut answered = 0u64;
+                for i in 0..per_conn {
+                    let req = Request::Query {
+                        release: names[(t + i) % names.len()].to_string(),
+                        lo: vec![0, 0],
+                        hi: vec![1 + ((t + i) % SIDE), SIDE],
+                    };
+                    match client.request(&req).expect("query") {
+                        Response::Value { value } => {
+                            black_box(value);
+                            answered += 1;
+                        }
+                        other => panic!("concurrent query failed: {other:?}"),
+                    }
+                }
+                answered
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("client")).sum()
+    });
+    let qps = total as f64 / start.elapsed().as_secs_f64();
     handle.stop();
     qps
 }
@@ -362,6 +502,24 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let marginal_handle_ix_qps = measure_handle_plan_qps(&server, marginal, handle_n);
     let topk_handle_ix_qps = measure_handle_plan_qps(&server, topk, handle_n);
 
+    // Concurrent-connection rows, fixed 8-worker pool: the event loop
+    // at 1 / 64 / 512 connections, and the legacy pool at 64 (where its
+    // thread-per-connection model serializes into waves of 8).
+    let (ev_n1, ev_n64, ev_n512, pool_n64) = if smoke() {
+        (200, 6, 2, 6)
+    } else {
+        (20_000, 300, 40, 300)
+    };
+    let ev_c1_qps = measure_concurrent_qps(Arc::clone(&server), FrontEnd::Event, 1, ev_n1);
+    let ev_c64_qps = measure_concurrent_qps(Arc::clone(&server), FrontEnd::Event, 64, ev_n64);
+    let ev_c512_qps = measure_concurrent_qps(Arc::clone(&server), FrontEnd::Event, 512, ev_n512);
+    let pool_c64_qps = measure_concurrent_qps(Arc::clone(&server), FrontEnd::Pool, 64, pool_n64);
+
+    // The acceptance comparison: the replay load generator (plans, not
+    // bare ranges) at 64 connections against both serving cores.
+    let replay_ev_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 64);
+    let replay_pool_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Pool, 64);
+
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
          tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s",
@@ -381,6 +539,16 @@ fn bench_serve_throughput(c: &mut Criterion) {
         topk_json_ix_qps,
         topk_bin_ix_qps,
         topk_handle_ix_qps
+    );
+    println!(
+        "serve_throughput concurrent (8 workers, request/response): eventloop c1 {:.0} q/s, \
+         c64 {:.0} q/s, c512 {:.0} q/s; pool c64 {:.0} q/s",
+        ev_c1_qps, ev_c64_qps, ev_c512_qps, pool_c64_qps
+    );
+    println!(
+        "serve_throughput replay --connections 64 (8 workers): eventloop {:.0} plans/s, \
+         pool {:.0} plans/s",
+        replay_ev_c64, replay_pool_c64
     );
     if smoke() {
         println!("smoke mode: skipping BENCH_serve.json update");
@@ -442,6 +610,32 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "handle_plan_topk_indexed".to_string(),
             SIDE as f64,
             topk_handle_ix_qps,
+        ),
+        (
+            "tcp_binary_eventloop_c1".to_string(),
+            SIDE as f64,
+            ev_c1_qps,
+        ),
+        (
+            "tcp_binary_eventloop_c64".to_string(),
+            SIDE as f64,
+            ev_c64_qps,
+        ),
+        (
+            "tcp_binary_eventloop_c512".to_string(),
+            SIDE as f64,
+            ev_c512_qps,
+        ),
+        ("tcp_binary_pool_c64".to_string(), SIDE as f64, pool_c64_qps),
+        (
+            "replay_plans_c64_eventloop".to_string(),
+            SIDE as f64,
+            replay_ev_c64,
+        ),
+        (
+            "replay_plans_c64_pool".to_string(),
+            SIDE as f64,
+            replay_pool_c64,
         ),
     ];
     let experiment = Experiment {

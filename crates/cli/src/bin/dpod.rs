@@ -17,6 +17,7 @@ USAGE:
                 --epsilon E [--mechanism NAME] [--seed S]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
                 [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
+                [--front-end event|pool]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
   dpod query    --connect HOST:PORT --release NAME [--binary true]
@@ -24,7 +25,7 @@ USAGE:
   dpod replay   FILE --release release.json [--cold true]
                 [--answers out.ndjson]
   dpod replay   FILE --connect HOST:PORT --release NAME [--binary true]
-                [--answers out.ndjson]
+                [--answers out.ndjson] [--connections N]
 
 QUERY SPEC (--range accepts classic ranges and the typed algebra):
   '0..4,*,3..5,*'        range sum: one clause per dimension, 'lo..hi' or '*'
@@ -38,7 +39,9 @@ QUERY SPEC (--range accepts classic ranges and the typed algebra):
 REPLAY: FILE is NDJSON, one QueryPlan per line (the `plan` field of a
         Plan request, e.g. {\"TopK\":{\"k\":10}}); prints latency and
         throughput. --answers records each response for bit-identical
-        diffing between runs; --cold executes without the release index.
+        diffing between runs; --cold executes without the release index;
+        --connections N fans the stream out over N concurrent client
+        connections (remote replays; the load-generator mode).
 MECHANISMS: see `dpod mechanisms`
 SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
@@ -46,6 +49,11 @@ SERVE WIRE: newline-delimited JSON by default; e.g.
             speaks the length-prefixed binary protocol instead (fastest;
             used by `dpod query --binary true`). --wire restricts an
             endpoint to one encoding.
+SERVE CORE: --front-end event (default) serves many idle connections on
+            a few workers via an epoll readiness loop; --front-end pool
+            is the legacy thread-per-connection kill-switch. SIGINT
+            drains in flight responses, prints a final stats line, and
+            exits 0.
 ";
 
 fn main() -> ExitCode {
@@ -151,9 +159,14 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 binary: opts.parse_or("binary", false)?,
                 cold: opts.parse_or("cold", false)?,
                 answers: opts.get("answers").map(PathBuf::from),
+                connections: opts.parse_or("connections", 1)?,
             })
         }
         "serve" => {
+            let front_end = match opts.get("front-end") {
+                Some(v) => Some(v.parse::<dpod_serve::FrontEnd>().map_err(CliError)?),
+                None => None,
+            };
             let (handle, server) = commands::start_server(&commands::ServeArgs {
                 catalog: PathBuf::from(opts.require("catalog")?),
                 addr: opts.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
@@ -161,17 +174,32 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 cache_mb: opts.parse_or("cache-mb", 256)?,
                 index_mb: opts.parse_or("index-mb", 64)?,
                 wire: opts.parse_or("wire", dpod_serve::WireMode::Auto)?,
+                front_end,
             })?;
             eprintln!(
-                "dpod-serve listening on {} ({} releases)",
+                "dpod-serve listening on {} ({} releases, {:?} front end)",
                 handle.addr(),
-                server.catalog().len()
+                server.catalog().len(),
+                handle.front_end(),
             );
-            // Serve until killed, printing one operator stats line per
-            // minute (traffic, cache and index hit-rates, build time).
+            // Serve until SIGINT, printing one operator stats line per
+            // minute (traffic, connections, cache and index hit-rates).
+            // On SIGINT: stop accepting, drain in-flight responses,
+            // print a final stats line, and exit 0.
+            let sigint_armed = polling::signal::install_sigint().is_ok();
+            let started = std::time::Instant::now();
+            let mut next_stats = std::time::Duration::from_secs(60);
             loop {
-                std::thread::sleep(std::time::Duration::from_secs(60));
-                eprintln!("{}", commands::stats_line(&server));
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                if sigint_armed && polling::signal::sigint_received() {
+                    eprintln!("SIGINT: draining in-flight responses…");
+                    handle.drain(std::time::Duration::from_secs(5));
+                    return Ok(format!("shutdown | {}\n", commands::stats_line(&server)));
+                }
+                if started.elapsed() >= next_stats {
+                    eprintln!("{}", commands::stats_line(&server));
+                    next_stats += std::time::Duration::from_secs(60);
+                }
             }
         }
         "mechanisms" => Ok(format!("{}\n", registry::mechanism_names().join("\n"))),

@@ -9,7 +9,7 @@ use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
 use dpod_query::{plan, Answer, QueryPlan, ReleaseIndex};
 use dpod_serve::protocol::{Request, Response};
-use dpod_serve::{Catalog, Server, ServerHandle, WireMode};
+use dpod_serve::{Catalog, FrontEnd, Server, ServerHandle, SpawnOptions, WireMode};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -150,6 +150,9 @@ pub struct ServeArgs {
     pub index_mb: usize,
     /// Accepted encodings (`auto` sniffs per connection).
     pub wire: WireMode,
+    /// Serving core (`--front-end event|pool`); `None` resolves to the
+    /// `DPOD_FRONT_END` environment variable, then the event loop.
+    pub front_end: Option<FrontEnd>,
 }
 
 /// Starts the serving stack for `dpod serve`, returning the running
@@ -171,11 +174,15 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
         args.cache_mb.saturating_mul(1 << 20),
         args.index_mb.saturating_mul(1 << 20),
     ));
-    let handle = dpod_serve::spawn_wire(
+    let handle = dpod_serve::spawn_with(
         Arc::clone(&server),
         args.addr.as_str(),
-        args.workers,
-        args.wire,
+        SpawnOptions {
+            workers: args.workers,
+            wire: args.wire,
+            front_end: args.front_end,
+            ..SpawnOptions::default()
+        },
     )
     .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
     Ok((handle, server))
@@ -190,9 +197,11 @@ pub fn stats_line(server: &Server) -> String {
         return "stats unavailable".into();
     };
     format!(
-        "served {} queries | matrix cache: {} entries, {:.1} MiB, {:.0}% hit | \
-         index: {} built, {:.0}% hit, {:.1} ms building",
+        "served {} queries | conns: {} open / {} accepted | matrix cache: {} entries, \
+         {:.1} MiB, {:.0}% hit | index: {} built, {:.0}% hit, {:.1} ms building",
         stats.queries,
+        stats.open_connections,
+        stats.accepted_connections,
         stats.cache_entries,
         stats.cache_bytes as f64 / (1 << 20) as f64,
         100.0 * stats.cache_hit_rate,
@@ -221,11 +230,67 @@ pub struct ReplayArgs {
     /// Write each plan's response (answer or error) as one JSON line,
     /// enabling bit-identical diffing between replays.
     pub answers: Option<std::path::PathBuf>,
+    /// Remote replays: fan the stream out over this many concurrent
+    /// client connections (round-robin), turning the replay into a load
+    /// generator. `1` preserves the classic single-connection replay.
+    pub connections: usize,
 }
 
 /// How a replay turns one plan into one response (local executor or a
-/// live connection).
-type PlanResponder<'a> = Box<dyn FnMut(&QueryPlan) -> Result<Response, CliError> + 'a>;
+/// live connection). `Send` so `--connections` can run one per thread.
+type PlanResponder<'a> = Box<dyn FnMut(&QueryPlan) -> Result<Response, CliError> + Send + 'a>;
+
+/// One replay connection over the chosen encoding: a `DPRB`
+/// [`wire::Client`](dpod_serve::wire::Client) or a hand-rolled NDJSON
+/// request/response loop, both yielding one [`Response`] per plan.
+fn remote_responder(
+    addr: &str,
+    release: &str,
+    binary: bool,
+) -> Result<PlanResponder<'static>, CliError> {
+    if binary {
+        let mut client = dpod_serve::wire::Client::connect(addr)
+            .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+        let release = release.to_string();
+        Ok(Box::new(move |plan| {
+            client
+                .request(&Request::Plan {
+                    release: release.clone(),
+                    plan: plan.clone(),
+                })
+                .map_err(|e| CliError(e.0))
+        }))
+    } else {
+        use std::io::{BufRead, BufReader, BufWriter, Write};
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let mut reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| CliError(format!("socket: {e}")))?,
+        );
+        let mut writer = BufWriter::new(stream);
+        let release = release.to_string();
+        Ok(Box::new(move |plan| {
+            let req = Request::Plan {
+                release: release.clone(),
+                plan: plan.clone(),
+            };
+            let mut line = serde_json::to_string(&req).map_err(|e| CliError(e.to_string()))?;
+            line.push('\n');
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.flush())
+                .map_err(|e| CliError(format!("send: {e}")))?;
+            let mut answer = String::new();
+            reader
+                .read_line(&mut answer)
+                .map_err(|e| CliError(format!("receive: {e}")))?;
+            serde_json::from_str(answer.trim()).map_err(|e| CliError(format!("bad response: {e}")))
+        }))
+    }
+}
 
 /// `dpod replay`: re-runs a recorded stream of [`QueryPlan`]s against a
 /// release and reports latency/throughput. The stream is NDJSON — one
@@ -249,6 +314,17 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
             "--cold applies to local replays only; a remote server picks its own backend".into(),
         );
     }
+    if args.connections == 0 {
+        return Err("--connections must be at least 1".into());
+    }
+    if args.connections > 1 && args.connect.is_none() {
+        return Err("--connections applies to remote replays; add --connect HOST:PORT".into());
+    }
+    if args.connections > 1 && args.answers.is_some() {
+        // Interleaved responses from concurrent connections have no
+        // stable order to bit-diff against.
+        return Err("--answers requires --connections 1 (answers are order-sensitive)".into());
+    }
     let text = std::fs::read_to_string(&args.file)
         .map_err(|e| CliError(format!("cannot read {}: {e}", args.file.display())))?;
     let mut plans: Vec<QueryPlan> = Vec::new();
@@ -266,53 +342,13 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
             args.file.display()
         )));
     }
+    if args.connections > 1 {
+        let addr = args.connect.as_deref().expect("validated above");
+        return replay_fan_out(addr, &args.release, args.binary, args.connections, &plans);
+    }
 
     let mut respond: PlanResponder = match &args.connect {
-        Some(addr) => {
-            if args.binary {
-                let mut client = dpod_serve::wire::Client::connect(addr.as_str())
-                    .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
-                let release = args.release.clone();
-                Box::new(move |plan| {
-                    client
-                        .request(&Request::Plan {
-                            release: release.clone(),
-                            plan: plan.clone(),
-                        })
-                        .map_err(|e| CliError(e.0))
-                })
-            } else {
-                use std::io::{BufRead, BufReader, BufWriter, Write};
-                let stream = std::net::TcpStream::connect(addr.as_str())
-                    .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
-                let mut reader = BufReader::new(
-                    stream
-                        .try_clone()
-                        .map_err(|e| CliError(format!("socket: {e}")))?,
-                );
-                let mut writer = BufWriter::new(stream);
-                let release = args.release.clone();
-                Box::new(move |plan| {
-                    let req = Request::Plan {
-                        release: release.clone(),
-                        plan: plan.clone(),
-                    };
-                    let mut line =
-                        serde_json::to_string(&req).map_err(|e| CliError(e.to_string()))?;
-                    line.push('\n');
-                    writer
-                        .write_all(line.as_bytes())
-                        .and_then(|()| writer.flush())
-                        .map_err(|e| CliError(format!("send: {e}")))?;
-                    let mut answer = String::new();
-                    reader
-                        .read_line(&mut answer)
-                        .map_err(|e| CliError(format!("receive: {e}")))?;
-                    serde_json::from_str(answer.trim())
-                        .map_err(|e| CliError(format!("bad response: {e}")))
-                })
-            }
-        }
+        Some(addr) => remote_responder(addr, &args.release, args.binary)?,
         None => {
             let release = load_release(Path::new(&args.release))?;
             let sanitized = Arc::new(
@@ -387,6 +423,368 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
         pct(0.50),
         pct(0.99),
     ))
+}
+
+/// Per-connection measurements from one fan-out replay.
+struct ConnReport {
+    latencies_ns: Vec<u64>,
+    leaves: u64,
+    errors: usize,
+}
+
+/// `dpod replay --connections N`: the load-generator path. The recorded
+/// stream is split round-robin over `n` concurrent connections (each a
+/// request/response client, like a live dashboard), proving a serving
+/// core scales past its worker count: aggregate plans/s and the spread
+/// of per-connection p99 latencies are reported together.
+///
+/// The generator itself is readiness-driven: **one** thread multiplexes
+/// all `n` nonblocking sockets through the `polling` shim (as `wrk`
+/// does), so driving 512 connections costs one client thread, not 512 —
+/// at high fan-out a thread-per-connection generator measures its own
+/// scheduler churn more than the server. Where epoll is unavailable it
+/// falls back to a thread per connection.
+fn replay_fan_out(
+    addr: &str,
+    release: &str,
+    binary: bool,
+    n: usize,
+    plans: &[QueryPlan],
+) -> Result<String, CliError> {
+    let started = Instant::now();
+    let reports: Vec<ConnReport> = match polling::Poller::new() {
+        Ok(poller) => fan_out_multiplexed(poller, addr, release, binary, n, plans)?,
+        Err(_) => fan_out_threaded(addr, release, binary, n, plans)?,
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let pct_of = |sorted: &[u64], q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64 / 1e6
+    };
+    let mut all_ns: Vec<u64> = Vec::with_capacity(plans.len());
+    let mut per_conn_p99 = Vec::with_capacity(n);
+    let (mut leaves, mut errors) = (0u64, 0usize);
+    for mut report in reports {
+        leaves += report.leaves;
+        errors += report.errors;
+        if !report.latencies_ns.is_empty() {
+            report.latencies_ns.sort_unstable();
+            per_conn_p99.push(pct_of(&report.latencies_ns, 0.99));
+            all_ns.extend_from_slice(&report.latencies_ns);
+        }
+    }
+    all_ns.sort_unstable();
+    let mean_ms = all_ns.iter().sum::<u64>() as f64 / all_ns.len() as f64 / 1e6;
+    let (p99_min, p99_max) = per_conn_p99
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    Ok(format!(
+        "replayed {} plans over {n} connections ({leaves} leaves, {errors} errors) in \
+         {elapsed:.3}s: {:.0} plans/s aggregate\n\
+         latency: mean {mean_ms:.3} ms, p50 {:.3} ms, p99 {:.3} ms; \
+         per-connection p99 {p99_min:.3}..{p99_max:.3} ms\n",
+        plans.len(),
+        plans.len() as f64 / elapsed,
+        pct_of(&all_ns, 0.50),
+        pct_of(&all_ns, 0.99),
+    ))
+}
+
+/// One multiplexed load-generator connection: a nonblocking socket plus
+/// the buffers to assemble its responses incrementally. Connection `t`
+/// replays plan indexes `t, t+n, t+2n, …` strictly request/response.
+struct FanConn {
+    stream: std::net::TcpStream,
+    inbuf: Vec<u8>,
+    inpos: usize,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// When the in-flight request was issued (`None` between requests).
+    sent_at: Option<Instant>,
+    /// Global index of the next plan this connection will send.
+    next: usize,
+    write_armed: bool,
+    done: bool,
+    report: ConnReport,
+}
+
+impl FanConn {
+    fn outstanding(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+}
+
+/// The readiness-driven fan-out: one thread, `n` nonblocking sockets,
+/// one poller. Each connection keeps exactly one request in flight.
+fn fan_out_multiplexed(
+    poller: polling::Poller,
+    addr: &str,
+    release: &str,
+    binary: bool,
+    n: usize,
+    plans: &[QueryPlan],
+) -> Result<Vec<ConnReport>, CliError> {
+    use std::io::Read;
+    use std::os::fd::AsRawFd;
+
+    let encode = |plan: &QueryPlan, out: &mut Vec<u8>| -> Result<(), CliError> {
+        let request = Request::Plan {
+            release: release.to_string(),
+            plan: plan.clone(),
+        };
+        if binary {
+            let body = dpod_serve::wire::encode_request(&request);
+            dpod_serve::wire::write_frame(out, &body).map_err(|e| CliError(e.0))
+        } else {
+            let line = serde_json::to_string(&request).map_err(|e| CliError(e.to_string()))?;
+            out.extend_from_slice(line.as_bytes());
+            out.push(b'\n');
+            Ok(())
+        }
+    };
+
+    // Nonblocking write of whatever is queued; `Ok(false)` when the
+    // connection died under us.
+    fn flush(conn: &mut FanConn) -> Result<bool, CliError> {
+        use std::io::Write;
+        while conn.outstanding() > 0 {
+            match (&conn.stream).write(&conn.outbuf[conn.outpos..]) {
+                Ok(0) => return Ok(false),
+                Ok(written) => conn.outpos += written,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(CliError(format!("send: {e}"))),
+            }
+        }
+        if conn.outstanding() == 0 {
+            conn.outbuf.clear();
+            conn.outpos = 0;
+        }
+        Ok(true)
+    }
+
+    let mut conns: Vec<FanConn> = Vec::with_capacity(n);
+    for t in 0..n {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        let conn = FanConn {
+            stream,
+            inbuf: Vec::new(),
+            inpos: 0,
+            outbuf: Vec::new(),
+            outpos: 0,
+            sent_at: None,
+            next: t,
+            write_armed: false,
+            done: t >= plans.len(),
+            report: ConnReport {
+                latencies_ns: Vec::new(),
+                leaves: 0,
+                errors: 0,
+            },
+        };
+        conns.push(conn);
+    }
+    // Issue the opening requests only after every socket is connected:
+    // interleaving connects with live traffic makes each blocking
+    // `connect` contend with the server answering the earlier
+    // connections, stretching setup from milliseconds to seconds at
+    // high fan-out.
+    for (t, conn) in conns.iter_mut().enumerate() {
+        if conn.done {
+            continue;
+        }
+        if binary {
+            conn.outbuf.extend_from_slice(dpod_serve::wire::WIRE_MAGIC);
+            conn.outbuf.push(dpod_serve::wire::WIRE_VERSION);
+        }
+        conn.sent_at = Some(Instant::now());
+        encode(&plans[t], &mut conn.outbuf)?;
+        conn.stream
+            .set_nonblocking(true)
+            .map_err(|e| CliError(format!("socket: {e}")))?;
+        if !flush(conn)? {
+            return Err("server closed a replay connection mid-stream".into());
+        }
+        let interest = if conn.outstanding() > 0 {
+            conn.write_armed = true;
+            polling::Interest::BOTH
+        } else {
+            polling::Interest::READABLE
+        };
+        poller
+            .add(conn.stream.as_raw_fd(), t as u64, interest)
+            .map_err(|e| CliError(format!("poller: {e}")))?;
+    }
+
+    let mut remaining = conns.iter().filter(|c| !c.done).count();
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    while remaining > 0 {
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_millis(500)))
+            .map_err(|e| CliError(format!("poller: {e}")))?;
+        for ev in events.iter().copied() {
+            let t = ev.token as usize;
+            let conn = &mut conns[t];
+            if conn.done {
+                continue;
+            }
+            if ev.writable && !flush(conn)? {
+                return Err("server closed a replay connection mid-stream".into());
+            }
+            if ev.readable {
+                loop {
+                    match (&conn.stream).read(&mut scratch) {
+                        Ok(0) => return Err("server closed a replay connection mid-stream".into()),
+                        Ok(got) => {
+                            conn.inbuf.extend_from_slice(&scratch[..got]);
+                            if got < scratch.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(CliError(format!("receive: {e}"))),
+                    }
+                }
+                // Assemble every complete response available (at most
+                // one in flight, but stay defensive about framing).
+                loop {
+                    let avail = &conn.inbuf[conn.inpos..];
+                    let response = if binary {
+                        if avail.len() < 4 {
+                            break;
+                        }
+                        let len =
+                            u32::from_le_bytes(avail[..4].try_into().expect("4 bytes")) as usize;
+                        if avail.len() < 4 + len {
+                            break;
+                        }
+                        let body = &avail[4..4 + len];
+                        let response = dpod_serve::wire::decode_response(body)
+                            .map_err(|e| CliError(format!("bad response: {e}")))?;
+                        conn.inpos += 4 + len;
+                        response
+                    } else {
+                        let Some(i) = avail.iter().position(|&b| b == b'\n') else {
+                            break;
+                        };
+                        let line = std::str::from_utf8(&avail[..i])
+                            .map_err(|e| CliError(format!("bad response: {e}")))?;
+                        let response: Response = serde_json::from_str(line.trim())
+                            .map_err(|e| CliError(format!("bad response: {e}")))?;
+                        conn.inpos += i + 1;
+                        response
+                    };
+                    let t0 = conn
+                        .sent_at
+                        .take()
+                        .ok_or_else(|| CliError("unsolicited response".into()))?;
+                    conn.report
+                        .latencies_ns
+                        .push(t0.elapsed().as_nanos() as u64);
+                    match response {
+                        Response::Answer { answer } => conn.report.leaves += answer.units(),
+                        Response::Error { .. } => conn.report.errors += 1,
+                        other => return Err(CliError(format!("unexpected response {other:?}"))),
+                    }
+                    conn.next += n;
+                    if conn.next < plans.len() {
+                        conn.sent_at = Some(Instant::now());
+                        encode(&plans[conn.next], &mut conn.outbuf)?;
+                        if !flush(conn)? {
+                            return Err("server closed a replay connection mid-stream".into());
+                        }
+                    } else {
+                        conn.done = true;
+                        remaining -= 1;
+                        let _ = poller.delete(conn.stream.as_raw_fd());
+                        // Close the socket eagerly (the threaded
+                        // generator's drop did this implicitly): a
+                        // thread-pool server releases its worker on
+                        // EOF, so queued connections get served next
+                        // instead of waiting out the idle timeout.
+                        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                        break;
+                    }
+                }
+                if conn.inpos == conn.inbuf.len() {
+                    conn.inbuf.clear();
+                    conn.inpos = 0;
+                }
+            }
+            // Write interest only while bytes are queued, or EPOLLOUT
+            // (level-triggered, almost always ready) would spin the
+            // generator.
+            if !conn.done {
+                let want_write = conn.outstanding() > 0;
+                if want_write != conn.write_armed {
+                    conn.write_armed = want_write;
+                    let interest = if want_write {
+                        polling::Interest::BOTH
+                    } else {
+                        polling::Interest::READABLE
+                    };
+                    poller
+                        .modify(conn.stream.as_raw_fd(), t as u64, interest)
+                        .map_err(|e| CliError(format!("poller: {e}")))?;
+                }
+            }
+        }
+    }
+    Ok(conns.into_iter().map(|c| c.report).collect())
+}
+
+/// Thread-per-connection fallback for targets without epoll: same
+/// round-robin split, one blocking request/response client per thread.
+fn fan_out_threaded(
+    addr: &str,
+    release: &str,
+    binary: bool,
+    n: usize,
+    plans: &[QueryPlan],
+) -> Result<Vec<ConnReport>, CliError> {
+    let reports: Vec<Result<ConnReport, CliError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|t| {
+                scope.spawn(move || -> Result<ConnReport, CliError> {
+                    let mut respond = remote_responder(addr, release, binary)?;
+                    let mine = plans.iter().skip(t).step_by(n);
+                    let mut report = ConnReport {
+                        latencies_ns: Vec::new(),
+                        leaves: 0,
+                        errors: 0,
+                    };
+                    for plan in mine {
+                        let t0 = Instant::now();
+                        let response = respond(plan)?;
+                        report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        match response {
+                            Response::Answer { answer } => report.leaves += answer.units(),
+                            Response::Error { .. } => report.errors += 1,
+                            other => {
+                                return Err(CliError(format!("unexpected response {other:?}")))
+                            }
+                        }
+                    }
+                    Ok(report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("replay thread panicked".into()))
+            })
+            .collect()
+    });
+    reports.into_iter().collect()
 }
 
 /// `dpod query --connect`: answers query specs — classic ranges or the
@@ -760,6 +1158,7 @@ mod tests {
             cache_mb: 64,
             index_mb: 64,
             wire: WireMode::Auto,
+            front_end: None,
         })
         .unwrap();
         assert_eq!(server.catalog().len(), 2);
@@ -811,6 +1210,7 @@ mod tests {
             cache_mb: 1,
             index_mb: 1,
             wire: WireMode::Auto,
+            front_end: None,
         })
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -862,6 +1262,7 @@ mod tests {
             cache_mb: 64,
             index_mb: 64,
             wire: WireMode::Auto,
+            front_end: None,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -935,6 +1336,7 @@ mod tests {
                 binary,
                 cold,
                 answers: Some(answers.clone()),
+                connections: 1,
             })
             .unwrap();
             assert!(
@@ -967,6 +1369,7 @@ mod tests {
             cache_mb: 64,
             index_mb: 64,
             wire: WireMode::Auto,
+            front_end: None,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -984,6 +1387,7 @@ mod tests {
             binary: false,
             cold: true,
             answers: None,
+            connections: 1,
         })
         .unwrap_err();
         assert!(err.0.contains("local replays only"), "{err}");
@@ -1005,9 +1409,114 @@ mod tests {
             binary: false,
             cold: false,
             answers: None,
+            connections: 1,
         })
         .unwrap_err();
         assert!(err.0.contains("line 2"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_fans_out_over_concurrent_connections() {
+        let dir = std::env::temp_dir().join(format!("dpod_cli_fanout_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_text = generate(&GenerateArgs {
+            city: "denver".into(),
+            trips: 2_000,
+            stops: 0,
+            seed: 61,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 8,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 62,
+        };
+        let catalog_dir = dir.join("catalog");
+        publish(&csv_text, &args, "denver", &catalog_dir).unwrap();
+
+        // 40 plans over 4 connections: every connection gets work and
+        // the aggregate line reports the fan-out.
+        let plans_path = dir.join("plans.ndjson");
+        let mut stream = String::new();
+        for i in 0..40 {
+            stream.push_str(if i % 2 == 0 {
+                "\"Total\"\n"
+            } else {
+                "{\"TopK\":{\"k\":3}}\n"
+            });
+        }
+        std::fs::write(&plans_path, stream).unwrap();
+
+        let (handle, server) = start_server(&ServeArgs {
+            catalog: catalog_dir,
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_mb: 64,
+            index_mb: 64,
+            wire: WireMode::Auto,
+            front_end: Some(FrontEnd::Event),
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        for binary in [false, true] {
+            let summary = replay(&ReplayArgs {
+                file: plans_path.clone(),
+                release: "denver".into(),
+                connect: Some(addr.clone()),
+                binary,
+                cold: false,
+                answers: None,
+                connections: 4,
+            })
+            .unwrap();
+            assert!(
+                summary.contains("replayed 40 plans over 4 connections"),
+                "{summary}"
+            );
+            assert!(summary.contains("plans/s aggregate"), "{summary}");
+            assert!(summary.contains("per-connection p99"), "{summary}");
+            assert!(summary.contains("0 errors"), "{summary}");
+        }
+        // All four sockets were really concurrent on the server.
+        assert!(server.accepted_connections() >= 8);
+
+        // Misconfigurations are refused up front.
+        let base = ReplayArgs {
+            file: plans_path.clone(),
+            release: "denver".into(),
+            connect: Some(addr.clone()),
+            binary: false,
+            cold: false,
+            answers: None,
+            connections: 0,
+        };
+        assert!(replay(&base).unwrap_err().0.contains("at least 1"));
+        let err = replay(&ReplayArgs {
+            connect: None,
+            connections: 3,
+            release: dir.join("missing.json").display().to_string(),
+            file: plans_path.clone(),
+            binary: false,
+            cold: false,
+            answers: None,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("--connect"), "{err}");
+        let err = replay(&ReplayArgs {
+            connections: 3,
+            answers: Some(dir.join("a.ndjson")),
+            file: plans_path.clone(),
+            release: "denver".into(),
+            connect: Some(addr),
+            binary: false,
+            cold: false,
+        })
+        .unwrap_err();
+        assert!(err.0.contains("--connections 1"), "{err}");
+        handle.stop();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,555 @@
+//! Per-connection protocol state machines for the event-driven front
+//! end: incremental assembly of NDJSON lines and `DPRB` frames from
+//! partial, nonblocking reads.
+//!
+//! The [`Assembler`] is deliberately socket-free — it consumes byte
+//! chunks in whatever sizes the kernel delivers them and emits
+//! [`WorkItem`]s, so a slow-loris client feeding one byte per read
+//! produces exactly the same items as a pipelined client delivering a
+//! megabyte at once (the unit tests below pin this byte-at-a-time).
+//! All protocol semantics mirror the blocking thread-pool front end:
+//!
+//! * the encoding sniff matches the available prefix against the `DPRB`
+//!   magic and never consumes bytes from a JSON client;
+//! * JSON lines are bounded by [`MAX_LINE_BYTES`](crate::MAX_LINE_BYTES)
+//!   (an unbounded line earns one error response, then disconnect);
+//! * a `DPRB` frame declaring more than
+//!   [`wire::MAX_FRAME_BYTES`] — or truncated by EOF mid-frame — cannot
+//!   be resynced: the stream is poisoned with one final error item.
+//!
+//! Decoding (JSON parse, frame-body decode) and execution stay on the
+//! worker pool; the event loop only runs this framing layer.
+
+use crate::server::{WireMode, MAX_LINE_BYTES};
+use crate::wire;
+
+/// One unit of work extracted from a connection's byte stream, in
+/// arrival order. The worker that owns the connection's queue turns
+/// each item into response bytes (possibly none, for blank lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WorkItem {
+    /// One newline-delimited JSON request line (without the trailing
+    /// `\n`; may be blank). Decoded and answered on a worker.
+    JsonLine(Vec<u8>),
+    /// One length-prefixed `DPRB` frame body (length already validated
+    /// against [`wire::MAX_FRAME_BYTES`]). Decoded and answered on a
+    /// worker.
+    Frame(Vec<u8>),
+    /// An unrecoverable transport violation or an encoding refusal: the
+    /// worker emits `message` as one final `Response::Error` (a `DPRB`
+    /// frame when `as_binary`, a JSON line otherwise) and the
+    /// connection closes once it flushes. Always the queue's last item.
+    Desync {
+        /// Encode the farewell as a binary frame (`true`) or JSON line.
+        as_binary: bool,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// EOF arrived before the stream committed to an encoding (e.g. a
+    /// 5-byte preamble cut short): nothing to answer, close silently.
+    SilentClose,
+}
+
+impl WorkItem {
+    /// Payload bytes this item pins in memory while queued (used by the
+    /// event loop's byte-based inbound backpressure).
+    pub(crate) fn payload_len(&self) -> usize {
+        match self {
+            WorkItem::JsonLine(bytes) | WorkItem::Frame(bytes) => bytes.len(),
+            WorkItem::Desync { message, .. } => message.len(),
+            WorkItem::SilentClose => 0,
+        }
+    }
+}
+
+/// Which protocol the connection's bytes have committed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Encoding {
+    /// Awaiting enough initial bytes to tell `DPRB` from JSON.
+    Sniffing,
+    /// Newline-delimited JSON for the connection's lifetime.
+    Json,
+    /// `DPRB` length-prefixed frames (preamble consumed and validated).
+    Binary,
+}
+
+/// Incremental protocol assembler: bytes in, [`WorkItem`]s out.
+#[derive(Debug)]
+pub(crate) struct Assembler {
+    mode: WireMode,
+    enc: Encoding,
+    buf: Vec<u8>,
+    pos: usize,
+    /// High-water mark of the newline scan: bytes in `buf[..scanned]`
+    /// are known to hold no `\n` beyond consumed lines, so each push
+    /// only scans its newly appended bytes (a slow-loris client feeding
+    /// a near-cap line one byte at a time would otherwise make every
+    /// push rescan the whole prefix — O(len²) on the loop thread).
+    scanned: usize,
+    items: Vec<WorkItem>,
+    /// Set when a `Desync`/`SilentClose` was emitted: all further input
+    /// is ignored (the stream cannot be trusted past the violation).
+    poisoned: bool,
+    /// Set once EOF was observed; finalizes partial lines/frames.
+    eof: bool,
+}
+
+impl Assembler {
+    pub(crate) fn new(mode: WireMode) -> Self {
+        Assembler {
+            mode,
+            enc: Encoding::Sniffing,
+            buf: Vec::new(),
+            pos: 0,
+            scanned: 0,
+            items: Vec::new(),
+            poisoned: false,
+            eof: false,
+        }
+    }
+
+    /// Whether the stream hit an unrecoverable state: once the pending
+    /// items are answered the connection must close.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Feeds one chunk of inbound bytes and re-runs the state machine.
+    pub(crate) fn push(&mut self, chunk: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        self.buf.extend_from_slice(chunk);
+        self.advance();
+        self.compact();
+    }
+
+    /// Marks end-of-stream: a trailing unterminated JSON line is served
+    /// (exactly as the blocking front end's `read_line` would), while a
+    /// partial `DPRB` frame or preamble is a truncation.
+    pub(crate) fn push_eof(&mut self) {
+        if self.poisoned || self.eof {
+            return;
+        }
+        self.eof = true;
+        self.advance();
+        self.compact();
+    }
+
+    /// Takes every item assembled so far (arrival order).
+    pub(crate) fn take_items(&mut self) -> Vec<WorkItem> {
+        std::mem::take(&mut self.items)
+    }
+
+    fn poison(&mut self, item: WorkItem) {
+        self.items.push(item);
+        self.poisoned = true;
+    }
+
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            self.scanned = 0;
+        } else if self.pos > 64 << 10 {
+            self.buf.drain(..self.pos);
+            self.scanned = self.scanned.saturating_sub(self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn advance(&mut self) {
+        loop {
+            if self.poisoned {
+                return;
+            }
+            let made_progress = match self.enc {
+                Encoding::Sniffing => self.sniff(),
+                Encoding::Json => self.take_json_line(),
+                Encoding::Binary => self.take_frame(),
+            };
+            if !made_progress {
+                return;
+            }
+        }
+    }
+
+    /// The encoding sniff, byte-for-byte the blocking front end's: the
+    /// available prefix is matched against the `DPRB` magic, committing
+    /// to binary (and consuming the 5-byte preamble) only on a full
+    /// match — so no byte of a JSON stream is ever consumed, and a
+    /// preamble arriving one byte at a time still selects binary.
+    fn sniff(&mut self) -> bool {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            if self.eof {
+                self.poison(WorkItem::SilentClose);
+            }
+            return false;
+        }
+        let n = avail.len().min(wire::WIRE_MAGIC.len());
+        if avail[..n] != wire::WIRE_MAGIC[..n] {
+            // Not a binary preamble; the bytes are a JSON stream.
+            if self.mode == WireMode::Binary {
+                self.poison(WorkItem::Desync {
+                    as_binary: true,
+                    message: "this endpoint serves DPRB only (--wire binary)".into(),
+                });
+                return false;
+            }
+            self.enc = Encoding::Json;
+            return true;
+        }
+        if avail.len() < 5 {
+            // Prefix of the magic so far: wait for more (a JSON client
+            // cannot produce these bytes, `{`/`"`-initial as JSON is).
+            if self.eof {
+                self.poison(WorkItem::SilentClose);
+            }
+            return false;
+        }
+        // Full magic + version byte present: consume the preamble.
+        let version = avail[4];
+        self.pos += 5;
+        if self.mode == WireMode::Json {
+            self.poison(WorkItem::Desync {
+                as_binary: true,
+                message: "this endpoint serves JSON only (--wire json)".into(),
+            });
+            return false;
+        }
+        if version != wire::WIRE_VERSION {
+            self.poison(WorkItem::Desync {
+                as_binary: true,
+                message: format!(
+                    "unsupported DPRB version {version}, expected {}",
+                    wire::WIRE_VERSION
+                ),
+            });
+            return false;
+        }
+        self.enc = Encoding::Binary;
+        true
+    }
+
+    fn take_json_line(&mut self) -> bool {
+        let avail = &self.buf[self.pos..];
+        let start = self.scanned.max(self.pos) - self.pos;
+        match avail[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|rel| start + rel)
+        {
+            Some(i) => {
+                // The bound applies even when the newline shows up in
+                // the same chunk that crossed it: the blocking front
+                // end's `Read::take(MAX_LINE_BYTES)` refuses any line
+                // whose content reaches the cap, newline or not.
+                if i as u64 >= MAX_LINE_BYTES {
+                    self.poison(WorkItem::Desync {
+                        as_binary: false,
+                        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    });
+                    return false;
+                }
+                self.items.push(WorkItem::JsonLine(avail[..i].to_vec()));
+                self.pos += i + 1;
+                self.scanned = self.pos;
+                true
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if avail.len() as u64 >= MAX_LINE_BYTES {
+                    self.poison(WorkItem::Desync {
+                        as_binary: false,
+                        message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    });
+                } else if self.eof && !avail.is_empty() {
+                    // A final unterminated line is still a request, as
+                    // it is under the blocking `read_line` loop.
+                    let line = avail.to_vec();
+                    self.pos = self.buf.len();
+                    self.items.push(WorkItem::JsonLine(line));
+                }
+                false
+            }
+        }
+    }
+
+    fn take_frame(&mut self) -> bool {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            if self.eof && !avail.is_empty() {
+                self.poison(WorkItem::Desync {
+                    as_binary: true,
+                    message: format!(
+                        "protocol error: frame truncated: connection closed after {} of 4 \
+                         length bytes",
+                        avail.len()
+                    ),
+                });
+            }
+            return false;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+        if len > wire::MAX_FRAME_BYTES {
+            self.poison(WorkItem::Desync {
+                as_binary: true,
+                message: format!(
+                    "protocol error: declared frame length {len} exceeds max {}",
+                    wire::MAX_FRAME_BYTES
+                ),
+            });
+            return false;
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            if self.eof {
+                self.poison(WorkItem::Desync {
+                    as_binary: true,
+                    message: format!(
+                        "protocol error: frame truncated: connection closed with {} of {} \
+                         body bytes",
+                        avail.len() - 4,
+                        len
+                    ),
+                });
+            }
+            return false;
+        }
+        self.items.push(WorkItem::Frame(avail[4..total].to_vec()));
+        self.pos += total;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    /// Feeds `bytes` one at a time and returns everything assembled.
+    fn drip(mode: WireMode, bytes: &[u8], eof: bool) -> (Vec<WorkItem>, bool) {
+        let mut a = Assembler::new(mode);
+        for &b in bytes {
+            a.push(&[b]);
+        }
+        if eof {
+            a.push_eof();
+        }
+        (a.take_items(), a.poisoned())
+    }
+
+    #[test]
+    fn json_lines_assemble_byte_at_a_time() {
+        let stream = b"{\"x\":1}\n\n  \n\"List\"\n";
+        let (items, poisoned) = drip(WireMode::Auto, stream, false);
+        assert!(!poisoned);
+        assert_eq!(
+            items,
+            vec![
+                WorkItem::JsonLine(b"{\"x\":1}".to_vec()),
+                WorkItem::JsonLine(b"".to_vec()),
+                WorkItem::JsonLine(b"  ".to_vec()),
+                WorkItem::JsonLine(b"\"List\"".to_vec()),
+            ]
+        );
+        // Identical to the all-at-once delivery.
+        let mut bulk = Assembler::new(WireMode::Auto);
+        bulk.push(stream);
+        assert_eq!(bulk.take_items(), items);
+    }
+
+    #[test]
+    fn binary_preamble_and_frames_assemble_byte_at_a_time() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        let body = wire::encode_request(&Request::List);
+        wire::write_frame(&mut stream, &body).unwrap();
+        wire::write_frame(&mut stream, &body).unwrap();
+        let (items, poisoned) = drip(WireMode::Auto, &stream, false);
+        assert!(!poisoned);
+        assert_eq!(
+            items,
+            vec![WorkItem::Frame(body.clone()), WorkItem::Frame(body)]
+        );
+    }
+
+    #[test]
+    fn sniff_never_consumes_json_bytes_and_short_lines_pass() {
+        // A sub-4-byte line that mismatches the magic routes to JSON
+        // immediately (no stall waiting for 4 bytes).
+        let (items, _) = drip(WireMode::Auto, b"{}\n", false);
+        assert_eq!(items, vec![WorkItem::JsonLine(b"{}".to_vec())]);
+
+        // A 'D'-initial prefix is held until it mismatches…
+        let mut a = Assembler::new(WireMode::Auto);
+        a.push(b"DP");
+        assert!(a.take_items().is_empty());
+        a.push(b"X rest\n");
+        assert_eq!(
+            a.take_items(),
+            vec![WorkItem::JsonLine(b"DPX rest".to_vec())]
+        );
+    }
+
+    #[test]
+    fn eof_semantics_differ_by_encoding() {
+        // JSON: a trailing unterminated line is served (the event loop
+        // closes on its `peer_closed` flag, not via poisoning).
+        let (items, poisoned) = drip(WireMode::Auto, b"\"List\"", true);
+        assert_eq!(items, vec![WorkItem::JsonLine(b"\"List\"".to_vec())]);
+        assert!(!poisoned);
+
+        // Binary: EOF inside the length prefix is a named truncation.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        stream.extend_from_slice(&[7, 0]); // 2 of 4 length bytes
+        let (items, _) = drip(WireMode::Auto, &stream, true);
+        match items.last() {
+            Some(WorkItem::Desync { as_binary, message }) => {
+                assert!(*as_binary);
+                assert!(message.contains("2 of 4"), "{message}");
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+
+        // Binary: EOF mid-body is a named truncation too.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        stream.extend_from_slice(&100u32.to_le_bytes());
+        stream.extend_from_slice(&[0u8; 10]);
+        let (items, _) = drip(WireMode::Auto, &stream, true);
+        match items.last() {
+            Some(WorkItem::Desync { message, .. }) => {
+                assert!(message.contains("frame truncated"), "{message}");
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+
+        // EOF before the preamble resolves closes silently.
+        let (items, _) = drip(WireMode::Auto, b"DPRB", true);
+        assert_eq!(items, vec![WorkItem::SilentClose]);
+        let (items, _) = drip(WireMode::Auto, b"", true);
+        assert_eq!(items, vec![WorkItem::SilentClose]);
+    }
+
+    #[test]
+    fn oversized_declarations_poison_the_stream() {
+        // Oversized frame length.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        stream.extend_from_slice(b"ignored tail");
+        let (items, poisoned) = drip(WireMode::Auto, &stream, false);
+        assert!(poisoned);
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            WorkItem::Desync { as_binary, message } => {
+                assert!(*as_binary);
+                assert!(message.contains("exceeds max"), "{message}");
+            }
+            other => panic!("expected desync, got {other:?}"),
+        }
+
+        // A JSON line that never ends.
+        let mut a = Assembler::new(WireMode::Auto);
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..9 {
+            a.push(&chunk);
+        }
+        assert!(a.poisoned());
+        match a.take_items().last() {
+            Some(WorkItem::Desync { as_binary, message }) => {
+                assert!(!*as_binary);
+                assert!(message.contains("request line exceeds"), "{message}");
+            }
+            other => panic!("expected line-length desync, got {other:?}"),
+        }
+        // Poisoned streams ignore further input.
+        a.push(b"\"List\"\n");
+        assert!(a.take_items().is_empty());
+
+        // The cap binds even when the newline arrives in the chunk
+        // that crosses it (parity with the blocking `Read::take` path):
+        // content of exactly MAX_LINE_BYTES is refused…
+        let mut a = Assembler::new(WireMode::Auto);
+        a.push(&vec![b'x'; MAX_LINE_BYTES as usize]);
+        a.push(b"\n");
+        assert!(a.poisoned());
+        match a.take_items().last() {
+            Some(WorkItem::Desync { message, .. }) => {
+                assert!(message.contains("request line exceeds"), "{message}");
+            }
+            other => panic!("expected line-length desync, got {other:?}"),
+        }
+        // …while one byte under the cap is served.
+        let mut a = Assembler::new(WireMode::Auto);
+        a.push(&vec![b'y'; MAX_LINE_BYTES as usize - 1]);
+        a.push(b"\n");
+        assert!(!a.poisoned());
+        assert_eq!(a.take_items().len(), 1);
+    }
+
+    #[test]
+    fn wire_mode_restrictions_refuse_in_protocol() {
+        // Binary preamble on a JSON-only endpoint.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        let (items, _) = drip(WireMode::Json, &stream, false);
+        match &items[0] {
+            WorkItem::Desync { as_binary, message } => {
+                assert!(*as_binary);
+                assert!(message.contains("JSON only"), "{message}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+
+        // JSON bytes on a binary-only endpoint.
+        let (items, _) = drip(WireMode::Binary, b"\"List\"\n", false);
+        match &items[0] {
+            WorkItem::Desync { as_binary, message } => {
+                assert!(*as_binary);
+                assert!(message.contains("DPRB only"), "{message}");
+            }
+            other => panic!("expected refusal, got {other:?}"),
+        }
+
+        // Bad version byte.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION + 7);
+        let (items, _) = drip(WireMode::Auto, &stream, false);
+        match &items[0] {
+            WorkItem::Desync { message, .. } => {
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_frames_stay_in_sync() {
+        // A length-correct garbage frame is one item; the valid frame
+        // behind it is another — the boundary holds.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION);
+        let noise = [0xABu8; 16];
+        stream.extend_from_slice(&(noise.len() as u32).to_le_bytes());
+        stream.extend_from_slice(&noise);
+        let good = wire::encode_request(&Request::List);
+        wire::write_frame(&mut stream, &good).unwrap();
+        let (items, poisoned) = drip(WireMode::Auto, &stream, false);
+        assert!(!poisoned);
+        assert_eq!(
+            items,
+            vec![WorkItem::Frame(noise.to_vec()), WorkItem::Frame(good)]
+        );
+    }
+}

@@ -1,0 +1,926 @@
+//! The event-driven TCP front end: one epoll loop owns every socket,
+//! `N` pool workers serve `M ≫ N` connections.
+//!
+//! The thread-pool front end ([`crate::spawn_with`] with
+//! [`FrontEnd::Pool`](crate::FrontEnd::Pool)) dedicates a worker to each
+//! open connection, so an idle analyst pins a thread and concurrency is
+//! capped at the pool size. Here, open connections are plain state — a
+//! [`conn::Assembler`](crate::conn) plus byte buffers — registered with
+//! a [`polling::Poller`]; the loop reads whatever the kernel has,
+//! assembles complete requests, and dispatches them to the same worker
+//! pool the legacy front end uses. Division of labor:
+//!
+//! * **loop thread** — accept, nonblocking reads, protocol framing
+//!   (newline scan / length prefix), slow-path writes, timeouts;
+//! * **workers** — request decode, [`Server::handle`], response encode
+//!   (all the CPU-bound work), and the **direct-write fast path**: when
+//!   the connection had no backlogged outbound bytes at dispatch, the
+//!   worker writes the encoded response straight to the nonblocking
+//!   socket itself, so the reply path is worker → client with no loop
+//!   hop and no `eventfd` syscall. Whatever does not fit (a stalled
+//!   peer) is handed back over the done channel and the loop finishes
+//!   it under write readiness.
+//!
+//! Responses stay in request order because each connection has at most
+//! one job in flight: its parsed items queue up while a worker owns it,
+//! and the next batch dispatches when the previous one lands. The
+//! direct write is safe for the same reason — the single in-flight
+//! worker is the only writer while the loop's buffer is empty, and the
+//! loop only writes when no job is in flight or bytes were handed back.
+//!
+//! ## Backpressure and timeouts
+//!
+//! A pipelining client that stops draining responses fills the
+//! connection's outbound buffer; past
+//! [`WRITE_BACKPRESSURE_BYTES`] the loop stops reading (and stops
+//! dispatching) for that connection, and once no byte moves in either
+//! direction for the configured idle timeout the connection is dropped —
+//! no worker ever blocks on a slow socket. Purely idle connections are
+//! closed after the same timeout, matching the pool front end.
+//!
+//! ## Graceful shutdown
+//!
+//! Setting the shutdown flag (and waking the loop) stops the acceptor,
+//! pauses all reads, finishes every parsed-or-running request, flushes
+//! the outbound buffers, then exits — bounded by the configured drain
+//! deadline, after which stragglers are dropped.
+
+use crate::conn::{Assembler, WorkItem};
+use crate::protocol::{Request, Response};
+use crate::server::{Server, WireMode};
+use crate::wire;
+use polling::{Interest, Poller, Waker};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outbound bytes buffered for one connection above which the loop
+/// stops reading (and dispatching) more of its requests until the
+/// buffer drains — the write-side backpressure threshold.
+pub const WRITE_BACKPRESSURE_BYTES: usize = 4 << 20;
+
+/// Parsed-but-undispatched requests one connection may queue before its
+/// reads pause (bounds memory against a client that pipelines faster
+/// than workers answer).
+const MAX_PENDING_ITEMS: usize = 4096;
+
+/// Byte twin of [`MAX_PENDING_ITEMS`]: parsed request *payload* bytes
+/// one connection may queue before its reads pause. The item count
+/// alone would let a client pipeline thousands of near-cap (8 MiB)
+/// lines and pin tens of GiB.
+const MAX_PENDING_BYTES: usize = 16 << 20;
+
+/// Most work items handed to a worker in one job unit, so one
+/// connection's deep pipeline cannot monopolize a worker unboundedly.
+const MAX_JOB_ITEMS: usize = 512;
+
+/// Most connection units packed into one dispatch batch: bounds the
+/// latency a unit can sit behind its batch-mates while still amortizing
+/// the channel round across a large readiness batch.
+const MAX_UNITS_PER_JOB: usize = 32;
+
+/// Most bytes read from one connection per readiness event (fairness
+/// across connections; level-triggered epoll re-reports the remainder).
+const READ_BUDGET: usize = 256 << 10;
+
+/// Loop tick: the upper bound on epoll_wait blocking, so timeout sweeps
+/// and the shutdown flag are observed promptly.
+const TICK: Duration = Duration::from_millis(100);
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Tunables handed down from [`crate::SpawnOptions`].
+#[derive(Debug, Clone)]
+pub(crate) struct EventConfig {
+    pub workers: usize,
+    pub mode: WireMode,
+    pub idle_timeout: Duration,
+}
+
+/// Completion signalling from workers to the loop. The `eventfd` wake
+/// is a syscall per call, so workers elide it twice over: while the
+/// loop is awake (`loop_sleeping == false` — the loop publishes its
+/// intent to sleep and *then* drains the done channel and re-scans for
+/// dispatchable work, so nothing can fall between the final checks and
+/// the blocking `epoll_wait`), and for fully-direct-written
+/// completions nothing waits on (`urgent == false`): those only clear
+/// the connection's `busy` flag, and the loop's pre-sleep scan picks
+/// up any parsed requests that were queued behind the job. The
+/// worker-side `has_pending` check and the loop-side pre-sleep `busy`
+/// check form a Dekker-style pair of SeqCst store→load sequences: at
+/// least one side always observes the other, so a request can never be
+/// stranded with neither a dispatch nor a wake.
+#[derive(Debug)]
+struct WorkerSignal {
+    waker: Arc<Waker>,
+    loop_sleeping: Arc<AtomicBool>,
+}
+
+impl WorkerSignal {
+    fn notify(&self, urgent: bool) {
+        if urgent && self.loop_sleeping.load(Ordering::SeqCst) {
+            self.waker.wake();
+        }
+    }
+}
+
+/// The slice of one connection visible to its in-flight worker: the
+/// socket plus the two flags of the completion handshake, in one `Arc`
+/// so dispatch clones a single refcount.
+#[derive(Debug)]
+struct ConnShared {
+    stream: TcpStream,
+    /// A worker owns an in-flight job for this connection. Set by the
+    /// loop at dispatch; cleared by the worker on a fully-direct-
+    /// written completion, by the loop in `collect_done` otherwise.
+    busy: AtomicBool,
+    /// Mirror of "the loop has parsed requests queued behind this job"
+    /// (maintained by the loop). Checked by the worker *after* clearing
+    /// `busy`: seeing it set makes the completion urgent, closing the
+    /// race against the loop's pre-sleep dispatch scan.
+    has_pending: AtomicBool,
+    /// Milliseconds since the loop's epoch at the connection's last job
+    /// completion, stored by the worker. Fast-path completions send
+    /// nothing over the done channel, so without this stamp a response
+    /// delivered after a slow query would not count as activity and the
+    /// idle sweep could close a connection it just answered.
+    last_done_ms: AtomicU64,
+}
+
+/// One connection's work, owned by a worker until it completes: either
+/// entirely on the worker (response fully written directly → the worker
+/// clears `busy` itself and nothing crosses the done channel), or by
+/// handing leftovers back as a [`DoneUnit`].
+struct JobUnit {
+    slot: usize,
+    gen: u32,
+    items: Vec<WorkItem>,
+    shared: Arc<ConnShared>,
+    /// The loop's outbound buffer was empty at dispatch: the worker may
+    /// write the response bytes straight to the socket (it is the
+    /// connection's only writer until it completes).
+    direct: bool,
+}
+
+/// A dispatch batch: ready work from **several connections** travels in
+/// one channel send (responses across connections have no ordering
+/// contract, only responses *within* one). Batching is what amortizes
+/// the channel round and the worker wake-up across the whole epoll
+/// readiness batch instead of paying them per connection.
+struct Job {
+    units: Vec<JobUnit>,
+}
+
+/// One connection's completion: whatever response bytes the worker did
+/// not manage to write directly (all of them when the fast path was not
+/// available).
+struct DoneUnit {
+    slot: usize,
+    gen: u32,
+    bytes: Vec<u8>,
+    close: bool,
+    /// The direct write hit a hard IO error: drop the connection.
+    io_failed: bool,
+}
+
+/// A finished batch, mirroring [`Job`].
+struct Done {
+    units: Vec<DoneUnit>,
+}
+
+/// Per-connection state owned by the loop. The [`ConnShared`] half is
+/// visible to at most one in-flight job at a time (`Arc` keeps the
+/// descriptor alive — and un-recycled — if the loop closes the
+/// connection while that job still runs).
+struct EvConn {
+    shared: Arc<ConnShared>,
+    asm: Assembler,
+    out: Vec<u8>,
+    outpos: usize,
+    pending: VecDeque<WorkItem>,
+    /// Payload bytes held in `pending` (see [`MAX_PENDING_BYTES`]).
+    pending_bytes: usize,
+    close_after_flush: bool,
+    peer_closed: bool,
+    last_activity: Instant,
+    registered: Interest,
+}
+
+impl EvConn {
+    fn outstanding(&self) -> usize {
+        self.out.len() - self.outpos
+    }
+
+    fn busy(&self) -> bool {
+        self.shared.busy.load(Ordering::SeqCst)
+    }
+
+    /// Anything left that graceful shutdown should wait for?
+    fn quiesced(&self) -> bool {
+        !self.busy() && self.pending.is_empty() && self.outstanding() == 0
+    }
+}
+
+/// The worker half of the direct-write fast path: pushes `bytes` into
+/// the nonblocking socket until done or `WouldBlock`, draining written
+/// prefixes in place (on return, `bytes` holds only the unwritten
+/// tail).
+///
+/// # Errors
+/// Hard IO failures (reset, broken pipe); the caller drops the
+/// connection through the loop.
+fn write_direct(stream: &TcpStream, bytes: &mut Vec<u8>) -> std::io::Result<()> {
+    let mut pos = 0usize;
+    let result = loop {
+        if pos == bytes.len() {
+            break Ok(());
+        }
+        match (&*stream).write(&bytes[pos..]) {
+            Ok(0) => break Ok(()), // treat as a stall; the loop retries
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => break Err(e),
+        }
+    };
+    bytes.drain(..pos);
+    result
+}
+
+/// Turns one connection's ordered work items into response bytes.
+/// Returns `(bytes, close_after)`; shared by every worker.
+fn run_job(server: &Server, items: Vec<WorkItem>) -> (Vec<u8>, bool) {
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            WorkItem::JsonLine(bytes) => {
+                // Invalid UTF-8 closes the connection, as the blocking
+                // front end's `read_line` error does.
+                let Ok(line) = std::str::from_utf8(&bytes) else {
+                    return (out, true);
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = match serde_json::from_str::<Request>(line.trim_end()) {
+                    Ok(request) => server.handle(&request),
+                    Err(e) => Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                let body = serde_json::to_string(&response).unwrap_or_else(|e| {
+                    format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
+                });
+                out.extend_from_slice(body.as_bytes());
+                out.push(b'\n');
+            }
+            WorkItem::Frame(body) => {
+                let response = match wire::decode_request(&body) {
+                    Ok(request) => server.handle(&request),
+                    Err(e) => Response::Error {
+                        message: format!("bad request: {e}"),
+                    },
+                };
+                if wire::write_frame(&mut out, &wire::encode_response(&response)).is_err() {
+                    return (out, true);
+                }
+            }
+            WorkItem::Desync { as_binary, message } => {
+                let farewell = Response::Error { message };
+                if as_binary {
+                    let _ = wire::write_frame(&mut out, &wire::encode_response(&farewell));
+                } else {
+                    if let Ok(body) = serde_json::to_string(&farewell) {
+                        out.extend_from_slice(body.as_bytes());
+                    }
+                    out.push(b'\n');
+                }
+                return (out, true);
+            }
+            WorkItem::SilentClose => return (out, true),
+        }
+    }
+    (out, false)
+}
+
+/// Spawns the event front end over an already-bound listener: the loop
+/// thread, `cfg.workers` pool workers, and the waker/shutdown plumbing
+/// the [`crate::ServerHandle`] drives.
+///
+/// # Errors
+/// Creating the poller or waker (notably `Unsupported` off Linux, which
+/// [`crate::spawn_with`] turns into a thread-pool fallback).
+pub(crate) fn spawn(
+    server: Arc<Server>,
+    listener: TcpListener,
+    cfg: EventConfig,
+    shutdown: Arc<AtomicBool>,
+    drain_ms: Arc<AtomicU64>,
+) -> std::io::Result<(std::thread::JoinHandle<()>, Arc<Waker>)> {
+    let poller = Poller::new()?;
+    let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER)?);
+    listener.set_nonblocking(true)?;
+    poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+
+    // Shared clock origin for the workers' completion stamps.
+    let epoch = Instant::now();
+    let loop_sleeping = Arc::new(AtomicBool::new(false));
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (done_tx, done_rx) = mpsc::channel::<Done>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    for _ in 0..cfg.workers.max(1) {
+        let job_rx = Arc::clone(&job_rx);
+        let done_tx = done_tx.clone();
+        let server = Arc::clone(&server);
+        let signal = WorkerSignal {
+            waker: Arc::clone(&waker),
+            loop_sleeping: Arc::clone(&loop_sleeping),
+        };
+        std::thread::spawn(move || {
+            // Batch scheduling class: a waking worker no longer preempts
+            // running clients mid-burst, so readiness accumulates and
+            // both the loop's and the workers' batches grow (a real
+            // effect only when cores are scarce; harmless otherwise).
+            let _ = polling::sched::set_current_thread_batch();
+            loop {
+                let job = {
+                    let guard = job_rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                };
+                match job {
+                    Ok(job) => {
+                        let mut units = Vec::new();
+                        let mut urgent = false;
+                        for unit in job.units {
+                            let (mut bytes, close) = run_job(&server, unit.items);
+                            unit.shared
+                                .last_done_ms
+                                .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+                            let mut io_failed = false;
+                            if unit.direct && write_direct(&unit.shared.stream, &mut bytes).is_err()
+                            {
+                                io_failed = true;
+                            }
+                            if bytes.is_empty() && !close && !io_failed {
+                                // The hot path: response fully on the wire.
+                                // Clearing `busy` here (after the write, so
+                                // the next job's bytes cannot overtake)
+                                // completes the unit with nothing sent back
+                                // to the loop at all — unless requests are
+                                // already parsed behind this job, in which
+                                // case only a wake lets the loop dispatch
+                                // them (Dekker pair with the pre-sleep
+                                // scan; see `WorkerSignal`).
+                                unit.shared.busy.store(false, Ordering::SeqCst);
+                                urgent |= unit.shared.has_pending.load(Ordering::SeqCst);
+                                continue;
+                            }
+                            units.push(DoneUnit {
+                                slot: unit.slot,
+                                gen: unit.gen,
+                                bytes,
+                                close,
+                                io_failed,
+                            });
+                        }
+                        // Leftovers, closes, and failures need the loop
+                        // promptly; fast-path completions at most need a
+                        // wake when requests are queued behind them.
+                        urgent |= !units.is_empty();
+                        if !units.is_empty() && done_tx.send(Done { units }).is_err() {
+                            return; // loop gone: server stopped
+                        }
+                        signal.notify(urgent);
+                    }
+                    Err(_) => return, // job channel closed: server stopped
+                }
+            }
+        });
+    }
+    drop(done_tx);
+
+    let loop_waker = Arc::clone(&waker);
+    let thread = std::thread::spawn(move || {
+        // Same batch class as the workers: on core-starved hosts the
+        // loop then wakes with fuller readiness batches instead of
+        // preempting clients after every single request.
+        let _ = polling::sched::set_current_thread_batch();
+        EventLoop {
+            server,
+            poller,
+            listener: Some(listener),
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            job_tx,
+            done_rx,
+            waker: loop_waker,
+            sleeping: loop_sleeping,
+            epoch,
+            cfg,
+            shutdown,
+            drain_ms,
+            scratch: vec![0u8; 64 << 10],
+            staged: Vec::new(),
+        }
+        .run();
+    });
+    Ok((thread, waker))
+}
+
+struct EventLoop {
+    server: Arc<Server>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<EvConn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: mpsc::Receiver<Done>,
+    waker: Arc<Waker>,
+    sleeping: Arc<AtomicBool>,
+    epoch: Instant,
+    cfg: EventConfig,
+    shutdown: Arc<AtomicBool>,
+    drain_ms: Arc<AtomicU64>,
+    scratch: Vec<u8>,
+    /// Units staged by [`EventLoop::maybe_dispatch`] within the current
+    /// iteration, shipped in batches by [`EventLoop::flush_staged`].
+    staged: Vec<JobUnit>,
+}
+
+impl EventLoop {
+    fn token(&self, slot: usize) -> u64 {
+        (slot as u64) | (u64::from(self.gens[slot]) << 32)
+    }
+
+    fn slot_of(&self, token: u64) -> Option<usize> {
+        let slot = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        (slot < self.gens.len() && self.gens[slot] == gen && self.conns[slot].is_some())
+            .then_some(slot)
+    }
+
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            let draining = self.shutdown.load(Ordering::SeqCst);
+            if draining && self.listener.is_some() {
+                // Stop accepting: deregister and close the listen socket
+                // (pending backlog entries are reset by the kernel), and
+                // pause reads everywhere — already-parsed requests still
+                // get answered and flushed.
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.poller.delete(listener.as_raw_fd());
+                }
+                let deadline = Duration::from_millis(self.drain_ms.load(Ordering::SeqCst));
+                drain_deadline = Some(Instant::now() + deadline);
+                for slot in 0..self.conns.len() {
+                    if self.conns[slot].is_some() {
+                        self.update_interest(slot);
+                    }
+                }
+            }
+            if let Some(deadline) = drain_deadline {
+                // Close connections as they quiesce; leave when all are
+                // gone or the deadline passes (stragglers dropped).
+                for slot in 0..self.conns.len() {
+                    let done = matches!(&self.conns[slot], Some(c) if c.quiesced());
+                    if done {
+                        self.close(slot);
+                    }
+                }
+                let open = self.conns.iter().filter(|c| c.is_some()).count();
+                if open == 0 || Instant::now() >= deadline {
+                    for slot in 0..self.conns.len() {
+                        if self.conns[slot].is_some() {
+                            self.close(slot);
+                        }
+                    }
+                    return; // dropping job_tx stops the workers
+                }
+            }
+
+            // Publish the intent to sleep, then take the final looks: a
+            // worker that saw `sleeping == false` (and skipped its wake
+            // syscall) must have completed before these checks, so the
+            // done drain — or, for fast-path completions, the dispatch
+            // scan over now-idle connections with parsed requests —
+            // observes its effects; anything later sees `true` and
+            // wakes.
+            // Give every runnable client/worker a turn before
+            // blocking: on core-starved hosts this coalesces their
+            // writes so the next wait returns one large batch instead
+            // of many single-event wakes (a no-op when idle).
+            std::thread::yield_now();
+            self.sleeping.store(true, Ordering::SeqCst);
+            for slot in 0..self.conns.len() {
+                let (dispatchable, reap) = match &self.conns[slot] {
+                    Some(c) => (
+                        !c.pending.is_empty() && !c.busy(),
+                        c.peer_closed || c.close_after_flush,
+                    ),
+                    None => (false, false),
+                };
+                if dispatchable {
+                    self.maybe_dispatch(slot);
+                    // Draining `pending` may lift the read pause (a
+                    // deep pipeline past MAX_PENDING_ITEMS is resumed
+                    // here once fast-path completions shrink the
+                    // queue); without the re-arm the connection would
+                    // starve against a client that already sent
+                    // everything.
+                    self.update_interest(slot);
+                }
+                if reap {
+                    // A gone peer whose last job completed on the
+                    // worker fast path reaches quiescence without any
+                    // further event; reap it here rather than waiting
+                    // out the idle sweep.
+                    self.maybe_close(slot);
+                }
+            }
+            self.flush_staged();
+            self.collect_done();
+            let waited = self.poller.wait(&mut events, Some(TICK));
+            self.sleeping.store(false, Ordering::SeqCst);
+            if waited.is_err() {
+                // An unrecoverable poller failure: nothing can make
+                // progress, so stop serving rather than spin.
+                return;
+            }
+            for ev in events.iter().copied() {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        if let Some(slot) = self.slot_of(token) {
+                            if ev.writable {
+                                self.write_ready(slot);
+                            }
+                            if ev.readable && self.conns[slot].is_some() {
+                                self.read_ready(slot);
+                            }
+                        }
+                    }
+                }
+            }
+            self.flush_staged();
+            self.collect_done();
+            self.sweep_timeouts();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    self.server.connection_opened();
+                    let conn = EvConn {
+                        shared: Arc::new(ConnShared {
+                            stream,
+                            busy: AtomicBool::new(false),
+                            has_pending: AtomicBool::new(false),
+                            last_done_ms: AtomicU64::new(self.epoch.elapsed().as_millis() as u64),
+                        }),
+                        asm: Assembler::new(self.cfg.mode),
+                        out: Vec::new(),
+                        outpos: 0,
+                        pending: VecDeque::new(),
+                        pending_bytes: 0,
+                        close_after_flush: false,
+                        peer_closed: false,
+                        last_activity: Instant::now(),
+                        registered: Interest::READABLE,
+                    };
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.conns[slot] = Some(conn);
+                            slot
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
+                    let token = self.token(slot);
+                    let fd = self.conns[slot]
+                        .as_ref()
+                        .expect("just placed")
+                        .shared
+                        .stream
+                        .as_raw_fd();
+                    if self.poller.add(fd, token, Interest::READABLE).is_err() {
+                        self.close(slot);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry on next event
+            }
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if !conn.registered.readable {
+                return; // readiness raced a pause; the re-arm will re-report
+            }
+            let mut budget = READ_BUDGET;
+            loop {
+                match (&conn.shared.stream).read(&mut self.scratch) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        conn.asm.push_eof();
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.last_activity = Instant::now();
+                        conn.asm.push(&self.scratch[..n]);
+                        budget = budget.saturating_sub(n);
+                        if budget == 0 {
+                            break;
+                        }
+                        // A short read means the socket buffer is
+                        // (momentarily) empty: skip the guaranteed
+                        // EAGAIN syscall. Level-triggered epoll
+                        // re-reports anything that arrives meanwhile.
+                        if n < self.scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // Reset or similar: the connection is gone.
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                let items = conn.asm.take_items();
+                conn.pending_bytes += items.iter().map(WorkItem::payload_len).sum::<usize>();
+                conn.pending.extend(items);
+                if !conn.pending.is_empty() {
+                    // Published before the `busy` check in
+                    // maybe_dispatch below: the Dekker ordering that
+                    // guarantees either this thread sees `busy ==
+                    // false` or the finishing worker sees the flag.
+                    conn.shared.has_pending.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+        self.maybe_dispatch(slot);
+        self.update_interest(slot);
+        self.maybe_close(slot);
+    }
+
+    fn write_ready(&mut self, slot: usize) {
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            loop {
+                if conn.outpos == conn.out.len() {
+                    conn.out.clear();
+                    conn.outpos = 0;
+                    break;
+                }
+                match (&conn.shared.stream).write(&conn.out[conn.outpos..]) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        conn.outpos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && conn.outpos > (1 << 20) {
+                conn.out.drain(..conn.outpos);
+                conn.outpos = 0;
+            }
+        }
+        if dead {
+            self.close(slot);
+            return;
+        }
+        self.maybe_dispatch(slot);
+        self.update_interest(slot);
+        self.maybe_close(slot);
+    }
+
+    /// Stages the connection's parsed queue (up to [`MAX_JOB_ITEMS`])
+    /// for dispatch, unless a worker already owns it or backpressure
+    /// gates it. Staged units ship when the iteration's events have all
+    /// been handled ([`EventLoop::flush_staged`]), so one readiness
+    /// batch becomes a handful of channel sends, not one per socket.
+    fn maybe_dispatch(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        if conn.busy()
+            || conn.close_after_flush
+            || conn.pending.is_empty()
+            || conn.outstanding() > WRITE_BACKPRESSURE_BYTES
+        {
+            return;
+        }
+        let n = conn.pending.len().min(MAX_JOB_ITEMS);
+        let items: Vec<WorkItem> = conn.pending.drain(..n).collect();
+        conn.pending_bytes = conn
+            .pending_bytes
+            .saturating_sub(items.iter().map(WorkItem::payload_len).sum());
+        // Relaxed is enough off the Dekker path: a worker reading a
+        // stale `true` only issues a spurious wake, and `busy = true`
+        // is read back by this thread alone (the job itself reaches the
+        // worker through the channel, which synchronizes).
+        conn.shared
+            .has_pending
+            .store(!conn.pending.is_empty(), Ordering::Relaxed);
+        conn.shared.busy.store(true, Ordering::Relaxed);
+        // The fast path: with nothing backlogged, the worker is the
+        // connection's only writer until its done lands, so it may push
+        // the response into the socket itself.
+        let direct = conn.outstanding() == 0;
+        self.staged.push(JobUnit {
+            slot,
+            gen: self.gens[slot],
+            items,
+            shared: Arc::clone(&conn.shared),
+            direct,
+        });
+    }
+
+    /// Ships the staged units, spread over the pool: enough jobs that
+    /// every worker can pull one, each capped at [`MAX_UNITS_PER_JOB`].
+    fn flush_staged(&mut self) {
+        while !self.staged.is_empty() {
+            let take = self.staged.len().min(MAX_UNITS_PER_JOB);
+            let units: Vec<JobUnit> = self.staged.drain(..take).collect();
+            // A send failure means every worker died (only possible
+            // during teardown); drop the connections rather than wedge
+            // them.
+            if self.job_tx.send(Job { units }).is_err() {
+                for slot in 0..self.conns.len() {
+                    if matches!(&self.conns[slot], Some(c) if c.busy()) {
+                        self.close(slot);
+                    }
+                }
+                self.staged.clear();
+                return;
+            }
+        }
+    }
+
+    fn collect_done(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            for unit in done.units {
+                let slot = unit.slot;
+                let current = slot < self.gens.len()
+                    && self.gens[slot] == unit.gen
+                    && self.conns[slot].is_some();
+                if !current {
+                    continue; // the connection closed while the job ran
+                }
+                if unit.io_failed {
+                    // The worker's direct write hit a hard error; clear
+                    // the in-flight flag and drop the connection.
+                    let conn = self.conns[slot].as_mut().expect("open");
+                    conn.shared.busy.store(false, Ordering::SeqCst);
+                    self.close(slot);
+                    continue;
+                }
+                {
+                    let conn = self.conns[slot].as_mut().expect("open");
+                    conn.shared.busy.store(false, Ordering::SeqCst);
+                    conn.last_activity = Instant::now();
+                    if conn.out.is_empty() {
+                        conn.out = unit.bytes;
+                        conn.outpos = 0;
+                    } else {
+                        conn.out.extend_from_slice(&unit.bytes);
+                    }
+                    if unit.close {
+                        conn.close_after_flush = true;
+                        conn.pending.clear();
+                        conn.pending_bytes = 0;
+                    }
+                }
+                self.write_ready(slot); // flush without another epoll round
+                if self.conns[slot].is_some() {
+                    self.maybe_dispatch(slot);
+                    self.update_interest(slot);
+                    self.maybe_close(slot);
+                }
+            }
+        }
+        self.flush_staged();
+    }
+
+    /// Closes connections with no byte movement in either direction for
+    /// the idle timeout: quiet analysts are reclaimed silently (as on
+    /// the pool front end) and stalled writers — a pipelining peer that
+    /// stopped draining — are dropped instead of wedging resources.
+    /// Connections with a job in flight are exempt; the job's completion
+    /// refreshes their activity stamp.
+    fn sweep_timeouts(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let expired = match &self.conns[slot] {
+                Some(conn) => {
+                    // A fast-path completion crosses no channel, so the
+                    // worker's stamp is the only record of the response
+                    // it just delivered; idle means *both* the loop-side
+                    // and worker-side clocks are stale.
+                    let last_done = self.epoch
+                        + Duration::from_millis(conn.shared.last_done_ms.load(Ordering::Relaxed));
+                    let last = conn.last_activity.max(last_done);
+                    !conn.busy() && now.duration_since(last) > self.cfg.idle_timeout
+                }
+                None => false,
+            };
+            if expired {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn update_interest(&mut self, slot: usize) {
+        let draining = self.shutdown.load(Ordering::SeqCst);
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let read_paused = conn.close_after_flush
+            || conn.peer_closed
+            || conn.asm.poisoned()
+            || draining
+            || conn.pending.len() >= MAX_PENDING_ITEMS
+            || conn.pending_bytes >= MAX_PENDING_BYTES
+            || conn.outstanding() > WRITE_BACKPRESSURE_BYTES;
+        let desired = Interest {
+            readable: !read_paused,
+            writable: conn.outstanding() > 0,
+        };
+        if desired != conn.registered {
+            conn.registered = desired;
+            let fd = conn.shared.stream.as_raw_fd();
+            let token = (slot as u64) | (u64::from(self.gens[slot]) << 32);
+            if self.poller.modify(fd, token, desired).is_err() {
+                self.close(slot);
+            }
+        }
+    }
+
+    /// Closes the connection if its stream is finished: everything
+    /// flushed after a fatal item, or the peer is gone and no work
+    /// remains.
+    fn maybe_close(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_ref() else {
+            return;
+        };
+        let flushed = conn.outstanding() == 0;
+        let fatal = conn.close_after_flush && !conn.busy() && flushed;
+        let finished = conn.peer_closed && conn.quiesced();
+        if fatal || finished {
+            self.close(slot);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.delete(conn.shared.stream.as_raw_fd());
+            self.server.connection_closed();
+            self.gens[slot] = self.gens[slot].wrapping_add(1);
+            self.free.push(slot);
+        }
+    }
+}

@@ -18,10 +18,14 @@
 //!   total) under the same budget, so warm aggregate plans skip the
 //!   rescan entirely;
 //! * [`Server`] — the request front end: an in-process [`Server::handle`]
-//!   API driven directly by the CLI, tests and benches, plus a std-only
-//!   thread-pool TCP loop ([`spawn`]) speaking newline-delimited JSON
-//!   and/or the length-prefixed `DPRB` binary protocol ([`wire`]),
-//!   selected per connection by a preamble sniff ([`WireMode`]).
+//!   API driven directly by the CLI, tests and benches, plus two
+//!   std-only TCP serving cores ([`spawn_with`], selected by
+//!   [`FrontEnd`]): an epoll-driven event loop where open connections
+//!   are cheap state served by a small worker pool (the default), and
+//!   the legacy thread-per-connection pool kept as a kill-switch. Both
+//!   speak newline-delimited JSON and/or the length-prefixed `DPRB`
+//!   binary protocol ([`wire`]), selected per connection by a preamble
+//!   sniff ([`WireMode`]).
 //!
 //! Every transport serves the same typed query algebra: a
 //! [`Request::Plan`](protocol::Request::Plan) carries any
@@ -39,16 +43,22 @@
 #![warn(clippy::all)]
 
 mod catalog;
+#[cfg(unix)]
+mod conn;
 mod engine;
+#[cfg(unix)]
+mod event;
 pub mod protocol;
 mod server;
 pub mod wire;
 
 pub use catalog::{Catalog, CatalogEntry, SaveReport};
 pub use engine::{EngineStats, QueryEngine};
+#[cfg(unix)]
+pub use event::WRITE_BACKPRESSURE_BYTES;
 pub use server::{
-    spawn, spawn_wire, Server, ServerHandle, WireMode, DEFAULT_CACHE_BYTES, IDLE_TIMEOUT,
-    MAX_LINE_BYTES,
+    spawn, spawn_wire, spawn_with, FrontEnd, Server, ServerHandle, SpawnOptions, WireMode,
+    DEFAULT_CACHE_BYTES, IDLE_TIMEOUT, MAX_LINE_BYTES,
 };
 
 /// Serving-layer error: a displayable message naming the failing operation.

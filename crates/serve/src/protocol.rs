@@ -193,6 +193,13 @@ pub struct ServerStats {
     pub cache_hit_rate: f64,
     /// Plan-index cache hit rate in `[0, 1]` (`0.0` before any lookup).
     pub index_hit_rate: f64,
+    /// Connections the TCP front end currently holds open (`0` for
+    /// purely in-process use). With the event-loop front end this
+    /// counts every registered socket, idle analysts included; with the
+    /// thread-pool front end it counts connections being served.
+    pub open_connections: u64,
+    /// Connections accepted into service since server start.
+    pub accepted_connections: u64,
     /// Queries answered per release (hot-release telemetry), sorted by
     /// name. A name's counter lives as long as the release is served:
     /// removing a release through
@@ -300,6 +307,8 @@ mod tests {
                     index_build_nanos: 12_345,
                     cache_hit_rate: 41.0 / 42.0,
                     index_hit_rate: 7.0 / 8.0,
+                    open_connections: 3,
+                    accepted_connections: 17,
                     release_hits: vec![ReleaseHits {
                         name: "city".into(),
                         hits: 42,

@@ -1,19 +1,30 @@
-//! The request front end: in-process dispatch plus a std-only TCP loop.
+//! The request front end: in-process dispatch plus two TCP serving
+//! cores.
 //!
 //! [`Server::handle`] is the whole request surface — the CLI, tests and
-//! benches call it directly with zero serialization. [`spawn`] wraps the
-//! same dispatch in a fixed thread pool over a `TcpListener`: one
-//! acceptor thread hands sockets to workers over an `mpsc` channel, each
-//! worker answers its connection's requests in order. No async runtime.
-//! Each worker serves one connection at a time, so a connection that
-//! stays open holds its worker; the [`IDLE_TIMEOUT`] reclaims workers
-//! from clients that go quiet, which bounds how long a queued connection
-//! can wait.
+//! benches call it directly with zero serialization. [`spawn_with`]
+//! wraps the same dispatch behind a `TcpListener` using one of two
+//! front ends (selected by [`FrontEnd`], no async runtime either way):
 //!
-//! Each connection speaks one of two encodings, selected by its first
-//! bytes (see [`WireMode`]): the `DPRB` binary preamble switches to
-//! length-prefixed frames ([`crate::wire`]), anything else is served as
-//! newline-delimited JSON exactly as before the binary protocol existed.
+//! * **`event`** (the default) — a readiness-driven core
+//!   ([`crate::event`]): one epoll loop owns every socket as cheap
+//!   nonblocking state, assembles requests incrementally
+//!   ([`crate::conn`]), and dispatches them to the worker pool — `N`
+//!   workers serve `M ≫ N` connections, so an idle analyst costs a few
+//!   kilobytes, not a thread.
+//! * **`pool`** — the legacy thread-per-connection core kept as an
+//!   operational kill-switch (`dpod serve --front-end pool`): one
+//!   acceptor hands sockets to workers over an `mpsc` channel, each
+//!   worker answers one connection's requests in order, and the
+//!   [`IDLE_TIMEOUT`] reclaims workers from clients that go quiet.
+//!
+//! Both front ends serve bit-identical bytes (pinned by test) and both
+//! maintain the open/accepted-connection gauges surfaced in
+//! [`ServerStats`]. Each connection speaks one of two encodings,
+//! selected by its first bytes (see [`WireMode`]): the `DPRB` binary
+//! preamble switches to length-prefixed frames ([`crate::wire`]),
+//! anything else is served as newline-delimited JSON exactly as before
+//! the binary protocol existed.
 
 use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
 use crate::{wire, Catalog, QueryEngine, ServeError};
@@ -23,7 +34,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default rebuild-cache budget: 256 MiB.
 pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
@@ -56,6 +67,32 @@ impl std::str::FromStr for WireMode {
             other => Err(format!(
                 "unknown wire mode '{other}' (expected auto|json|binary)"
             )),
+        }
+    }
+}
+
+/// Which TCP serving core accepts and answers connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// The readiness-driven core (the default): one epoll loop owns all
+    /// sockets, workers serve ready requests, open connections are
+    /// cheap state rather than threads.
+    #[default]
+    Event,
+    /// The legacy thread-per-connection pool, kept as a kill-switch:
+    /// concurrency is capped at the worker count, but no epoll is
+    /// required. Also the automatic fallback on targets without epoll.
+    Pool,
+}
+
+impl std::str::FromStr for FrontEnd {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(FrontEnd::Event),
+            "pool" => Ok(FrontEnd::Pool),
+            other => Err(format!("unknown front end '{other}' (expected event|pool)")),
         }
     }
 }
@@ -94,6 +131,10 @@ pub struct Server {
     /// path) only take the `RwLock` shared; the exclusive lock is held
     /// once per name, on first touch.
     release_hits: RwLock<HashMap<String, AtomicU64>>,
+    /// Connections a TCP front end has started serving since start.
+    conn_accepted: AtomicU64,
+    /// Connections a TCP front end currently holds open.
+    conn_open: AtomicU64,
 }
 
 impl Server {
@@ -122,7 +163,32 @@ impl Server {
             queries: AtomicU64::new(0),
             indexed_plans: AtomicBool::new(true),
             release_hits: RwLock::new(HashMap::new()),
+            conn_accepted: AtomicU64::new(0),
+            conn_open: AtomicU64::new(0),
         }
+    }
+
+    /// Records a connection entering service (both front ends call this
+    /// once per connection). Bumps the accepted counter and open gauge.
+    pub(crate) fn connection_opened(&self) {
+        self.conn_accepted.fetch_add(1, Ordering::Relaxed);
+        self.conn_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection leaving service (close, timeout, or drop).
+    pub(crate) fn connection_closed(&self) {
+        self.conn_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections a TCP front end currently holds open (`0` for purely
+    /// in-process use).
+    pub fn open_connections(&self) -> u64 {
+        self.conn_open.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted into service since start.
+    pub fn accepted_connections(&self) -> u64 {
+        self.conn_accepted.load(Ordering::Relaxed)
     }
 
     /// Enables or disables the indexed plan backend (see
@@ -254,6 +320,8 @@ impl Server {
                         index_build_nanos: engine.index_build_nanos,
                         cache_hit_rate: hit_rate(engine.hits, engine.misses),
                         index_hit_rate: hit_rate(engine.index_hits, engine.index_misses),
+                        open_connections: self.open_connections(),
+                        accepted_connections: self.accepted_connections(),
                         release_hits: self.release_hits(),
                     },
                 }
@@ -370,13 +438,94 @@ impl Server {
     }
 }
 
+/// Configuration for [`spawn_with`]: worker count, accepted encodings,
+/// serving core, and timeouts. Construct with struct-update syntax over
+/// [`SpawnOptions::default`].
+#[derive(Debug, Clone)]
+pub struct SpawnOptions {
+    /// Worker threads answering requests (both front ends). Minimum 1.
+    pub workers: usize,
+    /// Accepted encodings (`Auto` sniffs per connection).
+    pub wire: WireMode,
+    /// Serving core; `None` (the default) resolves to the
+    /// `DPOD_FRONT_END` environment variable (`pool`/`event`) and then
+    /// to [`FrontEnd::Event`].
+    pub front_end: Option<FrontEnd>,
+    /// Close a connection once no byte moves in either direction for
+    /// this long (quiet analysts and stalled pipeliners alike).
+    pub idle_timeout: Duration,
+    /// Graceful-shutdown bound: how long [`ServerHandle::stop`] (event
+    /// front end) waits for in-flight responses to flush before
+    /// dropping stragglers.
+    pub drain_deadline: Duration,
+}
+
+impl Default for SpawnOptions {
+    fn default() -> Self {
+        SpawnOptions {
+            workers: 4,
+            wire: WireMode::Auto,
+            front_end: None,
+            idle_timeout: IDLE_TIMEOUT,
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The front end [`SpawnOptions::front_end`]`= None` resolves to:
+/// `DPOD_FRONT_END=pool|event` when set (any other value is ignored),
+/// otherwise the event loop.
+fn default_front_end() -> FrontEnd {
+    match std::env::var("DPOD_FRONT_END").as_deref() {
+        Ok("pool") => FrontEnd::Pool,
+        _ => FrontEnd::Event,
+    }
+}
+
+/// Pool-mode bookkeeping shared with the [`ServerHandle`] so graceful
+/// shutdown can reach into workers' blocking reads: each served
+/// connection registers a second handle to its socket, and
+/// [`ServerHandle::drain`] shuts the read sides down — the worker
+/// finishes its in-flight request, flushes, observes EOF, and exits.
+#[derive(Debug, Default)]
+struct PoolState {
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_id: AtomicU64,
+    /// Connections the acceptor handed into the worker channel that no
+    /// worker has registered yet. [`ServerHandle::drain`] must treat
+    /// these as live, or a momentarily-empty registry would let drain
+    /// return while a queued connection is about to be served.
+    handed: AtomicU64,
+}
+
+impl PoolState {
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        map.insert(id, clone);
+        Some(id)
+    }
+
+    fn unregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            let mut map = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            map.remove(&id);
+        }
+    }
+}
+
 /// Handle to a running TCP front end; dropping it does **not** stop the
-/// server — call [`ServerHandle::stop`].
+/// server — call [`ServerHandle::stop`] or [`ServerHandle::drain`].
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
+    front_end: FrontEnd,
+    join: Option<std::thread::JoinHandle<()>>,
+    waker: Option<Arc<polling::Waker>>,
+    drain_ms: Arc<AtomicU64>,
+    pool: Option<Arc<PoolState>>,
 }
 
 impl ServerHandle {
@@ -385,51 +534,218 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting new connections and joins the acceptor thread.
-    /// Connections already handed to workers keep being served until the
-    /// peer closes or goes idle past [`IDLE_TIMEOUT`].
+    /// Which serving core this handle drives (after fallback, so it may
+    /// differ from the requested [`SpawnOptions::front_end`] on targets
+    /// without epoll).
+    pub fn front_end(&self) -> FrontEnd {
+        self.front_end
+    }
+
+    /// Stops the server. On the event front end this is a graceful
+    /// drain bounded by [`SpawnOptions::drain_deadline`]: accepting
+    /// stops, every request already received is answered and flushed,
+    /// then the loop exits. On the pool front end it keeps the legacy
+    /// semantics — accepting stops and joins, but connections already
+    /// handed to workers are served until the peer closes or idles out.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        if let Some(handle) = self.join.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown on both front ends: stops accepting, drains
+    /// in-flight responses, and returns once everything quiesced or
+    /// `deadline` passed (stragglers are dropped). `dpod serve` calls
+    /// this on SIGINT.
+    pub fn drain(mut self, deadline: Duration) {
+        self.drain_ms
+            .store(deadline.as_millis() as u64, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+        if let Some(handle) = self.join.take() {
+            // Event mode: the loop performs the full drain before this
+            // join returns. Pool mode: this is just the acceptor.
+            let _ = handle.join();
+        }
+        let Some(pool) = &self.pool else { return };
+        let by = Instant::now() + deadline;
+        loop {
+            {
+                let map = pool.conns.lock().unwrap_or_else(|e| e.into_inner());
+                // A connection can sit in the accept channel (counted in
+                // `handed`) before any worker registers it; only when
+                // both are empty is nothing in flight.
+                if map.is_empty() && pool.handed.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // Repeatedly: connections queued in the accept channel
+                // surface in the registry only when a worker picks them
+                // up, and shutting a read side twice is harmless.
+                for stream in map.values() {
+                    let _ = stream.shutdown(std::net::Shutdown::Read);
+                }
+                if Instant::now() >= by {
+                    for stream in map.values() {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    return;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }
 
 /// Binds `addr` and serves `server` on `workers` pool threads with the
-/// default [`WireMode::Auto`] encoding sniff.
+/// default [`WireMode::Auto`] encoding sniff and default front end.
 ///
 /// # Errors
-/// IO errors from binding the listener.
+/// IO errors from binding the listener or creating the event loop.
 pub fn spawn(
     server: Arc<Server>,
     addr: impl ToSocketAddrs,
     workers: usize,
 ) -> std::io::Result<ServerHandle> {
-    spawn_wire(server, addr, workers, WireMode::Auto)
+    spawn_with(
+        server,
+        addr,
+        SpawnOptions {
+            workers,
+            ..SpawnOptions::default()
+        },
+    )
 }
 
 /// Binds `addr` and serves `server` on `workers` pool threads, accepting
-/// the encodings `mode` allows.
+/// the encodings `mode` allows, on the default front end.
 ///
 /// # Errors
-/// IO errors from binding the listener.
+/// IO errors from binding the listener or creating the event loop.
 pub fn spawn_wire(
     server: Arc<Server>,
     addr: impl ToSocketAddrs,
     workers: usize,
     mode: WireMode,
 ) -> std::io::Result<ServerHandle> {
+    spawn_with(
+        server,
+        addr,
+        SpawnOptions {
+            workers,
+            wire: mode,
+            ..SpawnOptions::default()
+        },
+    )
+}
+
+/// Binds `addr` and serves `server` with full control over front end,
+/// encodings, and timeouts. Requesting [`FrontEnd::Event`] on a target
+/// without epoll support falls back to the thread pool (check
+/// [`ServerHandle::front_end`] for the outcome).
+///
+/// # Errors
+/// IO errors from binding the listener or wiring the event loop.
+pub fn spawn_with(
+    server: Arc<Server>,
+    addr: impl ToSocketAddrs,
+    opts: SpawnOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    // `TcpListener::bind` hardcodes an accept backlog of 128, which a
+    // fleet of analysts reconnecting at once (or a load generator
+    // starting up) overflows into multi-second SYN-retransmit stalls;
+    // re-apply listen(2) with a production-sized queue (the kernel
+    // clamps to net.core.somaxconn). Best-effort: off Linux the shim
+    // reports Unsupported and 128 stands.
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        let _ = polling::net::set_listen_backlog(listener.as_raw_fd(), 1024);
+    }
     let local = listener.local_addr()?;
+    let requested = opts.front_end.unwrap_or_else(default_front_end);
+    // Probe epoll support up front so the fallback can reuse the bound
+    // listener (off Linux the polling shim reports `Unsupported`).
+    let front_end = match requested {
+        FrontEnd::Event if polling::Poller::new().is_ok() => FrontEnd::Event,
+        _ => FrontEnd::Pool,
+    };
+    match front_end {
+        FrontEnd::Event => spawn_event_front_end(server, listener, &opts, local),
+        FrontEnd::Pool => Ok(spawn_pool_front_end(server, listener, &opts, local)),
+    }
+}
+
+#[cfg(unix)]
+fn spawn_event_front_end(
+    server: Arc<Server>,
+    listener: TcpListener,
+    opts: &SpawnOptions,
+    local: SocketAddr,
+) -> std::io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
-    let workers = workers.max(1);
+    let drain_ms = Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64));
+    let cfg = crate::event::EventConfig {
+        workers: opts.workers.max(1),
+        mode: opts.wire,
+        idle_timeout: opts.idle_timeout,
+    };
+    let (thread, waker) = crate::event::spawn(
+        server,
+        listener,
+        cfg,
+        Arc::clone(&shutdown),
+        Arc::clone(&drain_ms),
+    )?;
+    Ok(ServerHandle {
+        addr: local,
+        shutdown,
+        front_end: FrontEnd::Event,
+        join: Some(thread),
+        waker: Some(waker),
+        drain_ms,
+        pool: None,
+    })
+}
+
+#[cfg(not(unix))]
+fn spawn_event_front_end(
+    _server: Arc<Server>,
+    _listener: TcpListener,
+    _opts: &SpawnOptions,
+    _local: SocketAddr,
+) -> std::io::Result<ServerHandle> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the event front end requires epoll",
+    ))
+}
+
+/// The legacy thread-per-connection front end (see the module docs).
+fn spawn_pool_front_end(
+    server: Arc<Server>,
+    listener: TcpListener,
+    opts: &SpawnOptions,
+    local: SocketAddr,
+) -> ServerHandle {
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers = opts.workers.max(1);
+    let mode = opts.wire;
+    let idle_timeout = opts.idle_timeout;
+    let pool_state = Arc::new(PoolState::default());
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     for _ in 0..workers {
         let rx = Arc::clone(&rx);
         let server = Arc::clone(&server);
+        let pool_state = Arc::clone(&pool_state);
         std::thread::spawn(move || loop {
             let stream = {
                 let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
@@ -437,9 +753,16 @@ pub fn spawn_wire(
             };
             match stream {
                 Ok(s) => {
+                    server.connection_opened();
+                    let id = pool_state.register(&s);
+                    // Registered (or at least counted): the channel's
+                    // hand-off is no longer in flight.
+                    pool_state.handed.fetch_sub(1, Ordering::SeqCst);
                     // Per-connection failures are that connection's
                     // problem; the worker lives on.
-                    let _ = handle_connection(&server, s, mode);
+                    let _ = handle_connection(&server, s, mode, idle_timeout);
+                    pool_state.unregister(id);
+                    server.connection_closed();
                 }
                 Err(_) => return, // channel closed: server stopped
             }
@@ -447,6 +770,7 @@ pub fn spawn_wire(
     }
 
     let accept_shutdown = Arc::clone(&shutdown);
+    let accept_pool_state = Arc::clone(&pool_state);
     let acceptor = std::thread::spawn(move || {
         listener
             .set_nonblocking(true)
@@ -462,7 +786,10 @@ pub fn spawn_wire(
                     // interacting with delayed ACKs can stall a large
                     // pipelined frame for tens of milliseconds.
                     stream.set_nodelay(true).ok();
+                    accept_pool_state.handed.fetch_add(1, Ordering::SeqCst);
                     if tx.send(stream).is_err() {
+                        // No worker will ever pick this one up.
+                        accept_pool_state.handed.fetch_sub(1, Ordering::SeqCst);
                         return;
                     }
                 }
@@ -474,16 +801,20 @@ pub fn spawn_wire(
         }
     });
 
-    Ok(ServerHandle {
+    ServerHandle {
         addr: local,
         shutdown,
-        acceptor: Some(acceptor),
-    })
+        front_end: FrontEnd::Pool,
+        join: Some(acceptor),
+        waker: None,
+        drain_ms: Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64)),
+        pool: Some(pool_state),
+    }
 }
 
 /// Serves one connection in whichever encoding its first bytes select
 /// (subject to `mode`), until the peer closes or stays silent past
-/// [`IDLE_TIMEOUT`].
+/// `idle_timeout` (default [`IDLE_TIMEOUT`]).
 ///
 /// The encoding sniff never consumes bytes from a JSON client: it peeks
 /// at the reader's buffered data and only commits (reads the 5-byte
@@ -491,9 +822,14 @@ pub fn spawn_wire(
 /// no JSON document can produce, `{`/`"`-initial as they are. The JSON
 /// byte stream is therefore exactly what it was before the binary
 /// protocol existed.
-fn handle_connection(server: &Server, stream: TcpStream, mode: WireMode) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IDLE_TIMEOUT))?;
-    stream.set_write_timeout(Some(IDLE_TIMEOUT))?;
+fn handle_connection(
+    server: &Server,
+    stream: TcpStream,
+    mode: WireMode,
+    idle_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(idle_timeout))?;
+    stream.set_write_timeout(Some(idle_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
 

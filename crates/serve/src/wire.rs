@@ -626,6 +626,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u64(stats.index_build_nanos);
             w.put_f64(stats.cache_hit_rate);
             w.put_f64(stats.index_hit_rate);
+            w.put_u64(stats.open_connections);
+            w.put_u64(stats.accepted_connections);
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -689,6 +691,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             let index_build_nanos = r.get_u64("index_build_nanos")?;
             let cache_hit_rate = r.get_f64("cache_hit_rate")?;
             let index_hit_rate = r.get_f64("index_hit_rate")?;
+            let open_connections = r.get_u64("open_connections")?;
+            let accepted_connections = r.get_u64("accepted_connections")?;
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -703,6 +707,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     index_build_nanos,
                     cache_hit_rate,
                     index_hit_rate,
+                    open_connections,
+                    accepted_connections,
                     release_hits,
                 },
             }
@@ -1084,6 +1090,8 @@ mod tests {
                     index_build_nanos: 123_456_789,
                     cache_hit_rate: 98.0 / 99.0,
                     index_hit_rate: 10.0 / 12.0,
+                    open_connections: 12,
+                    accepted_connections: 345,
                     release_hits: vec![ReleaseHits {
                         name: "city".into(),
                         hits: 99,

@@ -119,6 +119,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     index_build_nanos: counter.wrapping_mul(17),
                     cache_hit_rate: (counter % 100) as f64 / 100.0,
                     index_hit_rate: (counter % 7) as f64 / 7.0,
+                    open_connections: counter % 513,
+                    accepted_connections: counter.wrapping_mul(3),
                     release_hits: vec![ReleaseHits {
                         name,
                         hits: counter,
