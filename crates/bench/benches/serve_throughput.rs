@@ -349,6 +349,7 @@ fn measure_replay_plansps(server: Arc<Server>, front_end: FrontEnd, connections:
         cold: false,
         answers: None,
         connections,
+        slo_report: None,
     })
     .expect("replay");
     std::fs::remove_file(&path).ok();

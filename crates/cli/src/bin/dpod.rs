@@ -17,15 +17,16 @@ USAGE:
                 --epsilon E [--mechanism NAME] [--seed S]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
                 [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
-                [--front-end event|pool]
+                [--front-end event|pool] [--metrics-addr HOST:PORT]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
   dpod query    --connect HOST:PORT --release NAME [--binary true]
                 --range SPEC [--range SPEC]...
   dpod replay   FILE --release release.json [--cold true]
-                [--answers out.ndjson]
+                [--answers out.ndjson] [--slo-report FILE]
   dpod replay   FILE --connect HOST:PORT --release NAME [--binary true]
                 [--answers out.ndjson] [--connections N]
+                [--slo-report FILE]
 
 QUERY SPEC (--range accepts classic ranges and the typed algebra):
   '0..4,*,3..5,*'        range sum: one clause per dimension, 'lo..hi' or '*'
@@ -41,7 +42,9 @@ REPLAY: FILE is NDJSON, one QueryPlan per line (the `plan` field of a
         throughput. --answers records each response for bit-identical
         diffing between runs; --cold executes without the release index;
         --connections N fans the stream out over N concurrent client
-        connections (remote replays; the load-generator mode).
+        connections (remote replays; the load-generator mode);
+        --slo-report writes a machine-readable JSON latency report
+        (aggregate and per-connection quantiles).
 MECHANISMS: see `dpod mechanisms`
 SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
@@ -53,7 +56,8 @@ SERVE CORE: --front-end event (default) serves many idle connections on
             a few workers via an epoll readiness loop; --front-end pool
             is the legacy thread-per-connection kill-switch. SIGINT
             drains in flight responses, prints a final stats line, and
-            exits 0.
+            exits 0. --metrics-addr additionally serves a Prometheus
+            text-format exposition at GET /metrics on its own listener.
 ";
 
 fn main() -> ExitCode {
@@ -160,6 +164,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 cold: opts.parse_or("cold", false)?,
                 answers: opts.get("answers").map(PathBuf::from),
                 connections: opts.parse_or("connections", 1)?,
+                slo_report: opts.get("slo-report").map(PathBuf::from),
             })
         }
         "serve" => {
@@ -167,7 +172,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 Some(v) => Some(v.parse::<dpod_serve::FrontEnd>().map_err(CliError)?),
                 None => None,
             };
-            let (handle, server) = commands::start_server(&commands::ServeArgs {
+            let (handle, server, metrics) = commands::start_server(&commands::ServeArgs {
                 catalog: PathBuf::from(opts.require("catalog")?),
                 addr: opts.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
                 workers: opts.parse_or("workers", 4)?,
@@ -175,6 +180,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 index_mb: opts.parse_or("index-mb", 64)?,
                 wire: opts.parse_or("wire", dpod_serve::WireMode::Auto)?,
                 front_end,
+                metrics_addr: opts.get("metrics-addr").map(str::to_string),
             })?;
             eprintln!(
                 "dpod-serve listening on {} ({} releases, {:?} front end)",
@@ -182,6 +188,9 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 server.catalog().len(),
                 handle.front_end(),
             );
+            if let Some(exporter) = &metrics {
+                eprintln!("metrics exposition on http://{}/metrics", exporter.addr());
+            }
             // Serve until SIGINT, printing one operator stats line per
             // minute (traffic, connections, cache and index hit-rates).
             // On SIGINT: stop accepting, drain in-flight responses,
@@ -189,15 +198,17 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let sigint_armed = polling::signal::install_sigint().is_ok();
             let started = std::time::Instant::now();
             let mut next_stats = std::time::Duration::from_secs(60);
+            let mut tracker = commands::StatsTracker::new();
             loop {
                 std::thread::sleep(std::time::Duration::from_millis(200));
                 if sigint_armed && polling::signal::sigint_received() {
                     eprintln!("SIGINT: draining in-flight responses…");
                     handle.drain(std::time::Duration::from_secs(5));
-                    return Ok(format!("shutdown | {}\n", commands::stats_line(&server)));
+                    drop(metrics);
+                    return Ok(format!("shutdown | {}\n", tracker.line(&server)));
                 }
                 if started.elapsed() >= next_stats {
-                    eprintln!("{}", commands::stats_line(&server));
+                    eprintln!("{}", tracker.line(&server));
                     next_stats += std::time::Duration::from_secs(60);
                 }
             }

@@ -7,9 +7,13 @@ use dpod_core::{PublishedRelease, ReleaseBody};
 use dpod_data::{City, OdMatrixBuilder, TrajectoryConfig};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::Shape;
+use dpod_obs::HistogramSnapshot;
 use dpod_query::{plan, Answer, QueryPlan, ReleaseIndex};
 use dpod_serve::protocol::{Request, Response};
-use dpod_serve::{Catalog, FrontEnd, Server, ServerHandle, SpawnOptions, WireMode};
+use dpod_serve::{
+    Catalog, FrontEnd, MetricsExporter, Server, ServerHandle, SpawnOptions, WireMode,
+};
+use serde::Serialize;
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -153,15 +157,22 @@ pub struct ServeArgs {
     /// Serving core (`--front-end event|pool`); `None` resolves to the
     /// `DPOD_FRONT_END` environment variable, then the event loop.
     pub front_end: Option<FrontEnd>,
+    /// Bind address for the Prometheus-text `/metrics` exposition
+    /// (`--metrics-addr`); `None` disables the exporter.
+    pub metrics_addr: Option<String>,
 }
 
 /// Starts the serving stack for `dpod serve`, returning the running
-/// handle plus the shared server (the binary parks; tests drive it).
+/// handle, the shared server, and — when `metrics_addr` is set — the
+/// `/metrics` exporter (the binary parks; tests drive it). The exporter
+/// handle must be kept alive for the scrape endpoint to stay up.
 ///
 /// # Errors
-/// [`CliError`] when the catalog cannot be loaded or the address cannot
-/// be bound.
-pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), CliError> {
+/// [`CliError`] when the catalog cannot be loaded or either address
+/// cannot be bound.
+pub fn start_server(
+    args: &ServeArgs,
+) -> Result<(ServerHandle, Arc<Server>, Option<MetricsExporter>), CliError> {
     let catalog = Catalog::load_dir(&args.catalog).map_err(|e| CliError(e.0))?;
     if catalog.is_empty() {
         return Err(CliError(format!(
@@ -185,7 +196,14 @@ pub fn start_server(args: &ServeArgs) -> Result<(ServerHandle, Arc<Server>), Cli
         },
     )
     .map_err(|e| CliError(format!("cannot bind {}: {e}", args.addr)))?;
-    Ok((handle, server))
+    let exporter = match &args.metrics_addr {
+        Some(addr) => Some(
+            dpod_serve::spawn_metrics_exporter(Arc::clone(&server), addr.as_str())
+                .map_err(|e| CliError(format!("cannot bind metrics endpoint {addr}: {e}")))?,
+        ),
+        None => None,
+    };
+    Ok((handle, server, exporter))
 }
 
 /// One periodic operator line for `dpod serve`: traffic plus both cache
@@ -211,6 +229,51 @@ pub fn stats_line(server: &Server) -> String {
     )
 }
 
+/// Interval-aware operator stats for the `dpod serve` loop: each
+/// [`line`](Self::line) call appends per-interval rates (queries/s and
+/// requests/s since the previous call) to the cumulative
+/// [`stats_line`], so a minute of quiet reads `0.0 q/s` instead of a
+/// slowly-decaying lifetime average.
+pub struct StatsTracker {
+    last_at: Instant,
+    last_queries: u64,
+    last_requests: u64,
+}
+
+impl Default for StatsTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatsTracker {
+    /// Starts an interval at "now" with zero traffic seen.
+    pub fn new() -> Self {
+        StatsTracker {
+            last_at: Instant::now(),
+            last_queries: 0,
+            last_requests: 0,
+        }
+    }
+
+    /// One operator line: the cumulative [`stats_line`] plus this
+    /// interval's query and request rates. Resets the interval.
+    pub fn line(&mut self, server: &Server) -> String {
+        let queries = server.queries_answered();
+        let requests = server.metrics().requests_counted();
+        let secs = self.last_at.elapsed().as_secs_f64().max(1e-9);
+        let q_rate = queries.saturating_sub(self.last_queries) as f64 / secs;
+        let r_rate = requests.saturating_sub(self.last_requests) as f64 / secs;
+        self.last_at = Instant::now();
+        self.last_queries = queries;
+        self.last_requests = requests;
+        format!(
+            "{} | interval: {q_rate:.1} queries/s, {r_rate:.1} requests/s",
+            stats_line(server)
+        )
+    }
+}
+
 /// `dpod replay` configuration.
 pub struct ReplayArgs {
     /// NDJSON file: one [`QueryPlan`] per line.
@@ -234,6 +297,10 @@ pub struct ReplayArgs {
     /// client connections (round-robin), turning the replay into a load
     /// generator. `1` preserves the classic single-connection replay.
     pub connections: usize,
+    /// Write a machine-readable JSON [`SloReport`] (throughput plus
+    /// histogram-backed latency quantiles, per connection and merged)
+    /// here after the replay.
+    pub slo_report: Option<std::path::PathBuf>,
 }
 
 /// How a replay turns one plan into one response (local executor or a
@@ -344,7 +411,14 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
     }
     if args.connections > 1 {
         let addr = args.connect.as_deref().expect("validated above");
-        return replay_fan_out(addr, &args.release, args.binary, args.connections, &plans);
+        return replay_fan_out(
+            addr,
+            &args.release,
+            args.binary,
+            args.connections,
+            &plans,
+            args.slo_report.as_deref(),
+        );
     }
 
     let mut respond: PlanResponder = match &args.connect {
@@ -381,17 +455,17 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
         )),
         None => None,
     };
-    let mut latencies_ns: Vec<u64> = Vec::with_capacity(plans.len());
-    let mut leaves = 0u64;
-    let mut errors = 0usize;
+    let mut report = ConnReport::new();
     let started = Instant::now();
     for plan in &plans {
         let t0 = Instant::now();
         let response = respond(plan)?;
-        latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        report
+            .latency
+            .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         match &response {
-            Response::Answer { answer } => leaves += answer.units(),
-            Response::Error { .. } => errors += 1,
+            Response::Answer { answer } => report.leaves += answer.units(),
+            Response::Error { .. } => report.errors += 1,
             other => return Err(CliError(format!("unexpected response {other:?}"))),
         }
         if let Some(out) = &mut answers_out {
@@ -409,27 +483,140 @@ pub fn replay(args: &ReplayArgs) -> Result<String, CliError> {
         out.flush()
             .map_err(|e| CliError(format!("cannot write answers: {e}")))?;
     }
-    latencies_ns.sort_unstable();
-    let pct = |q: f64| {
-        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
-        latencies_ns[idx] as f64 / 1e6
-    };
-    let mean_ms = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64 / 1e6;
+    let slo = build_slo_report(std::slice::from_ref(&report), plans.len(), elapsed);
+    if let Some(path) = &args.slo_report {
+        write_slo_report(path, &slo)?;
+    }
     Ok(format!(
-        "replayed {} plans ({leaves} leaves, {errors} errors) in {elapsed:.3}s: {:.0} plans/s\n\
-         latency: mean {mean_ms:.3} ms, p50 {:.3} ms, p99 {:.3} ms\n",
-        plans.len(),
-        plans.len() as f64 / elapsed,
-        pct(0.50),
-        pct(0.99),
+        "replayed {} plans ({} leaves, {} errors) in {elapsed:.3}s: {:.0} plans/s\n\
+         latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms\n",
+        slo.plans,
+        slo.leaves,
+        slo.errors,
+        slo.plans_per_second,
+        slo.latency.mean_ms,
+        slo.latency.p50_ms,
+        slo.latency.p99_ms,
     ))
 }
 
-/// Per-connection measurements from one fan-out replay.
+/// Latency quantiles of one replay population, in milliseconds, from a
+/// log-bucketed [`HistogramSnapshot`]: each quantile is an upper bound
+/// on the true sample, within 1/16 of it (see `dpod_obs`). Quantiles
+/// are a pure function of the bucket counts, so a replay report is
+/// deterministic for a given set of samples regardless of arrival
+/// order or connection interleaving.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloLatency {
+    /// Samples in this population.
+    pub count: u64,
+    /// Exact mean (from the histogram's running sum, not the buckets).
+    pub mean_ms: f64,
+    /// Median upper bound.
+    pub p50_ms: f64,
+    /// 90th-percentile upper bound.
+    pub p90_ms: f64,
+    /// 99th-percentile upper bound.
+    pub p99_ms: f64,
+    /// 99.9th-percentile upper bound.
+    pub p999_ms: f64,
+    /// Upper bound of the slowest sample.
+    pub max_ms: f64,
+}
+
+impl SloLatency {
+    fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        SloLatency {
+            count: snap.count(),
+            mean_ms: snap.mean() / 1e6,
+            p50_ms: ms(snap.quantile(0.50)),
+            p90_ms: ms(snap.quantile(0.90)),
+            p99_ms: ms(snap.quantile(0.99)),
+            p999_ms: ms(snap.quantile(0.999)),
+            max_ms: ms(snap.max()),
+        }
+    }
+}
+
+/// The machine-readable replay artifact `dpod replay --slo-report`
+/// writes: one JSON document with throughput, merged latency quantiles,
+/// and the per-connection breakdown (one entry per connection; a
+/// single-connection replay has exactly one).
+#[derive(Debug, Serialize)]
+pub struct SloReport {
+    /// Plans replayed.
+    pub plans: usize,
+    /// Leaf aggregates the answers covered.
+    pub leaves: u64,
+    /// Plans answered with an error.
+    pub errors: usize,
+    /// Wall-clock seconds for the whole replay.
+    pub wall_seconds: f64,
+    /// `plans / wall_seconds`.
+    pub plans_per_second: f64,
+    /// Concurrent client connections used.
+    pub connections: usize,
+    /// Quantiles over every connection's samples merged.
+    pub latency: SloLatency,
+    /// Per-connection quantiles, in connection order.
+    pub per_connection: Vec<SloLatency>,
+}
+
+fn write_slo_report(path: &Path, report: &SloReport) -> Result<(), CliError> {
+    let json = serde_json::to_string_pretty(report).map_err(|e| CliError(e.to_string()))?;
+    std::fs::write(path, json)
+        .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))
+}
+
+/// Per-connection measurements from one replay connection: a latency
+/// histogram instead of raw samples, so a million-plan replay costs a
+/// fixed few KiB per connection and the merged quantiles are
+/// deterministic.
 struct ConnReport {
-    latencies_ns: Vec<u64>,
+    latency: HistogramSnapshot,
     leaves: u64,
     errors: usize,
+}
+
+impl ConnReport {
+    fn new() -> Self {
+        ConnReport {
+            latency: HistogramSnapshot::empty(),
+            leaves: 0,
+            errors: 0,
+        }
+    }
+}
+
+/// Merges per-connection reports into the aggregate totals and the
+/// whole-replay latency snapshot.
+fn merge_reports(reports: &[ConnReport]) -> (HistogramSnapshot, u64, usize) {
+    let mut merged = HistogramSnapshot::empty();
+    let (mut leaves, mut errors) = (0u64, 0usize);
+    for report in reports {
+        merged.merge(&report.latency);
+        leaves += report.leaves;
+        errors += report.errors;
+    }
+    (merged, leaves, errors)
+}
+
+fn build_slo_report(reports: &[ConnReport], plans: usize, elapsed: f64) -> SloReport {
+    let (merged, leaves, errors) = merge_reports(reports);
+    SloReport {
+        plans,
+        leaves,
+        errors,
+        wall_seconds: elapsed,
+        plans_per_second: plans as f64 / elapsed,
+        connections: reports.len(),
+        latency: SloLatency::from_snapshot(&merged),
+        per_connection: reports
+            .iter()
+            .map(|r| SloLatency::from_snapshot(&r.latency))
+            .collect(),
+    }
 }
 
 /// `dpod replay --connections N`: the load-generator path. The recorded
@@ -450,6 +637,7 @@ fn replay_fan_out(
     binary: bool,
     n: usize,
     plans: &[QueryPlan],
+    slo_path: Option<&Path>,
 ) -> Result<String, CliError> {
     let started = Instant::now();
     let reports: Vec<ConnReport> = match polling::Poller::new() {
@@ -457,40 +645,41 @@ fn replay_fan_out(
         Err(_) => fan_out_threaded(addr, release, binary, n, plans)?,
     };
     let elapsed = started.elapsed().as_secs_f64();
-
-    let pct_of = |sorted: &[u64], q: f64| {
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx] as f64 / 1e6
-    };
-    let mut all_ns: Vec<u64> = Vec::with_capacity(plans.len());
-    let mut per_conn_p99 = Vec::with_capacity(n);
-    let (mut leaves, mut errors) = (0u64, 0usize);
-    for mut report in reports {
-        leaves += report.leaves;
-        errors += report.errors;
-        if !report.latencies_ns.is_empty() {
-            report.latencies_ns.sort_unstable();
-            per_conn_p99.push(pct_of(&report.latencies_ns, 0.99));
-            all_ns.extend_from_slice(&report.latencies_ns);
-        }
+    let slo = build_slo_report(&reports, plans.len(), elapsed);
+    if let Some(path) = slo_path {
+        write_slo_report(path, &slo)?;
     }
-    all_ns.sort_unstable();
-    let mean_ms = all_ns.iter().sum::<u64>() as f64 / all_ns.len() as f64 / 1e6;
-    let (p99_min, p99_max) = per_conn_p99
+    Ok(fan_out_summary(&slo))
+}
+
+/// Renders the fan-out operator summary from the [`SloReport`]. The
+/// per-connection p99 spread comes from the same histogram snapshots the
+/// report carries, so it is a deterministic function of the recorded
+/// samples — bucketized quantiles do not wobble with merge or arrival
+/// order the way raw-sample index math did.
+fn fan_out_summary(slo: &SloReport) -> String {
+    let (p99_min, p99_max) = slo
+        .per_connection
         .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &v| {
-            (lo.min(v), hi.max(v))
+        .filter(|l| l.count > 0)
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), l| {
+            (lo.min(l.p99_ms), hi.max(l.p99_ms))
         });
-    Ok(format!(
-        "replayed {} plans over {n} connections ({leaves} leaves, {errors} errors) in \
-         {elapsed:.3}s: {:.0} plans/s aggregate\n\
-         latency: mean {mean_ms:.3} ms, p50 {:.3} ms, p99 {:.3} ms; \
+    format!(
+        "replayed {} plans over {} connections ({} leaves, {} errors) in \
+         {:.3}s: {:.0} plans/s aggregate\n\
+         latency: mean {:.3} ms, p50 {:.3} ms, p99 {:.3} ms; \
          per-connection p99 {p99_min:.3}..{p99_max:.3} ms\n",
-        plans.len(),
-        plans.len() as f64 / elapsed,
-        pct_of(&all_ns, 0.50),
-        pct_of(&all_ns, 0.99),
-    ))
+        slo.plans,
+        slo.connections,
+        slo.leaves,
+        slo.errors,
+        slo.wall_seconds,
+        slo.plans_per_second,
+        slo.latency.mean_ms,
+        slo.latency.p50_ms,
+        slo.latency.p99_ms,
+    )
 }
 
 /// One multiplexed load-generator connection: a nonblocking socket plus
@@ -581,11 +770,7 @@ fn fan_out_multiplexed(
             next: t,
             write_armed: false,
             done: t >= plans.len(),
-            report: ConnReport {
-                latencies_ns: Vec::new(),
-                leaves: 0,
-                errors: 0,
-            },
+            report: ConnReport::new(),
         };
         conns.push(conn);
     }
@@ -686,8 +871,8 @@ fn fan_out_multiplexed(
                         .take()
                         .ok_or_else(|| CliError("unsolicited response".into()))?;
                     conn.report
-                        .latencies_ns
-                        .push(t0.elapsed().as_nanos() as u64);
+                        .latency
+                        .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                     match response {
                         Response::Answer { answer } => conn.report.leaves += answer.units(),
                         Response::Error { .. } => conn.report.errors += 1,
@@ -755,15 +940,13 @@ fn fan_out_threaded(
                 scope.spawn(move || -> Result<ConnReport, CliError> {
                     let mut respond = remote_responder(addr, release, binary)?;
                     let mine = plans.iter().skip(t).step_by(n);
-                    let mut report = ConnReport {
-                        latencies_ns: Vec::new(),
-                        leaves: 0,
-                        errors: 0,
-                    };
+                    let mut report = ConnReport::new();
                     for plan in mine {
                         let t0 = Instant::now();
                         let response = respond(plan)?;
-                        report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                        report
+                            .latency
+                            .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                         match response {
                             Response::Answer { answer } => report.leaves += answer.units(),
                             Response::Error { .. } => report.errors += 1,
@@ -1151,7 +1334,7 @@ mod tests {
         .unwrap();
 
         // Analyst: serve the catalog and query it over TCP.
-        let (handle, server) = start_server(&ServeArgs {
+        let (handle, server, _exporter) = start_server(&ServeArgs {
             catalog: dir.clone(),
             addr: "127.0.0.1:0".into(),
             workers: 2,
@@ -1159,6 +1342,7 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            metrics_addr: None,
         })
         .unwrap();
         assert_eq!(server.catalog().len(), 2);
@@ -1211,6 +1395,7 @@ mod tests {
             index_mb: 1,
             wire: WireMode::Auto,
             front_end: None,
+            metrics_addr: None,
         })
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -1255,7 +1440,7 @@ mod tests {
 
         // Remote path: identical output over both encodings, which also
         // pins JSON/DPRB agreement through the full CLI stack.
-        let (handle, _server) = start_server(&ServeArgs {
+        let (handle, _server, _exporter) = start_server(&ServeArgs {
             catalog: dir.clone(),
             addr: "127.0.0.1:0".into(),
             workers: 2,
@@ -1263,6 +1448,7 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            metrics_addr: None,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -1337,6 +1523,7 @@ mod tests {
                 cold,
                 answers: Some(answers.clone()),
                 connections: 1,
+                slo_report: None,
             })
             .unwrap();
             assert!(
@@ -1362,7 +1549,7 @@ mod tests {
         assert_eq!(lines[1], lines[5]);
 
         // Remote replays (both encodings) serve the same bytes.
-        let (handle, _server) = start_server(&ServeArgs {
+        let (handle, _server, _exporter) = start_server(&ServeArgs {
             catalog: catalog_dir,
             addr: "127.0.0.1:0".into(),
             workers: 2,
@@ -1370,6 +1557,7 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            metrics_addr: None,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -1388,6 +1576,7 @@ mod tests {
             cold: true,
             answers: None,
             connections: 1,
+            slo_report: None,
         })
         .unwrap_err();
         assert!(err.0.contains("local replays only"), "{err}");
@@ -1410,6 +1599,7 @@ mod tests {
             cold: false,
             answers: None,
             connections: 1,
+            slo_report: None,
         })
         .unwrap_err();
         assert!(err.0.contains("line 2"), "{err}");
@@ -1450,7 +1640,7 @@ mod tests {
         }
         std::fs::write(&plans_path, stream).unwrap();
 
-        let (handle, server) = start_server(&ServeArgs {
+        let (handle, server, _exporter) = start_server(&ServeArgs {
             catalog: catalog_dir,
             addr: "127.0.0.1:0".into(),
             workers: 2,
@@ -1458,6 +1648,7 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: Some(FrontEnd::Event),
+            metrics_addr: None,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -1470,6 +1661,7 @@ mod tests {
                 cold: false,
                 answers: None,
                 connections: 4,
+                slo_report: None,
             })
             .unwrap();
             assert!(
@@ -1492,11 +1684,13 @@ mod tests {
             cold: false,
             answers: None,
             connections: 0,
+            slo_report: None,
         };
         assert!(replay(&base).unwrap_err().0.contains("at least 1"));
         let err = replay(&ReplayArgs {
             connect: None,
             connections: 3,
+            slo_report: None,
             release: dir.join("missing.json").display().to_string(),
             file: plans_path.clone(),
             binary: false,
@@ -1507,6 +1701,7 @@ mod tests {
         assert!(err.0.contains("--connect"), "{err}");
         let err = replay(&ReplayArgs {
             connections: 3,
+            slo_report: None,
             answers: Some(dir.join("a.ndjson")),
             file: plans_path.clone(),
             release: "denver".into(),
@@ -1517,6 +1712,131 @@ mod tests {
         .unwrap_err();
         assert!(err.0.contains("--connections 1"), "{err}");
         handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Pins the fan-out summary to exact output: quantiles are bucket
+    /// upper bounds, a pure function of the recorded samples, so the
+    /// same samples must render the same report — regardless of the
+    /// order connections are merged in.
+    #[test]
+    fn slo_report_quantiles_are_deterministic() {
+        let build = |reversed: bool| {
+            let mut a = ConnReport::new();
+            for _ in 0..50 {
+                a.latency.record(1_000_000);
+            }
+            for _ in 0..10 {
+                a.latency.record(3_000_000);
+            }
+            a.leaves = 5;
+            let mut b = ConnReport::new();
+            for _ in 0..40 {
+                b.latency.record(2_000_000);
+            }
+            b.leaves = 7;
+            b.errors = 1;
+            let reports = if reversed { vec![b, a] } else { vec![a, b] };
+            fan_out_summary(&build_slo_report(&reports, 100, 2.0))
+        };
+        let summary = build(false);
+        assert_eq!(
+            summary,
+            "replayed 100 plans over 2 connections (12 leaves, 1 errors) in \
+             2.000s: 50 plans/s aggregate\n\
+             latency: mean 1.600 ms, p50 1.016 ms, p99 3.015 ms; \
+             per-connection p99 2.032..3.015 ms\n"
+        );
+        assert_eq!(summary, build(true), "merge order changed the report");
+    }
+
+    #[test]
+    fn replay_writes_machine_readable_slo_report() {
+        let dir = std::env::temp_dir().join(format!("dpod_cli_slo_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_text = generate(&GenerateArgs {
+            city: "detroit".into(),
+            trips: 500,
+            stops: 0,
+            seed: 71,
+        })
+        .unwrap();
+        let release_path = dir.join("release.json");
+        std::fs::write(
+            &release_path,
+            sanitize(
+                &csv_text,
+                &SanitizeArgs {
+                    cells: 8,
+                    epsilon: 1.0,
+                    mechanism: "ebp".into(),
+                    seed: 72,
+                },
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let plans_path = dir.join("plans.ndjson");
+        std::fs::write(&plans_path, "\"Total\"\n{\"TopK\":{\"k\":2}}\n\"Total\"\n").unwrap();
+
+        let slo_path = dir.join("slo.json");
+        replay(&ReplayArgs {
+            file: plans_path,
+            release: release_path.display().to_string(),
+            connect: None,
+            binary: false,
+            cold: false,
+            answers: None,
+            connections: 1,
+            slo_report: Some(slo_path.clone()),
+        })
+        .unwrap();
+
+        // Round-trip through mirror structs: the artifact must parse as
+        // JSON with exactly the documented fields.
+        #[derive(serde::Deserialize)]
+        struct LatencyDoc {
+            count: u64,
+            mean_ms: f64,
+            p50_ms: f64,
+            p90_ms: f64,
+            p99_ms: f64,
+            p999_ms: f64,
+            max_ms: f64,
+        }
+        #[derive(serde::Deserialize)]
+        struct ReportDoc {
+            plans: usize,
+            leaves: u64,
+            errors: usize,
+            wall_seconds: f64,
+            plans_per_second: f64,
+            connections: usize,
+            latency: LatencyDoc,
+            per_connection: Vec<LatencyDoc>,
+        }
+        let doc: ReportDoc =
+            serde_json::from_str(&std::fs::read_to_string(&slo_path).unwrap()).unwrap();
+        assert_eq!(doc.plans, 3);
+        assert_eq!(doc.errors, 0);
+        assert_eq!(doc.connections, 1);
+        assert_eq!(doc.latency.count, 3);
+        assert_eq!(doc.per_connection.len(), 1);
+        assert!(doc.leaves > 0);
+        assert!(doc.wall_seconds > 0.0 && doc.plans_per_second > 0.0);
+        let l = &doc.latency;
+        assert!(
+            l.p50_ms <= l.p90_ms
+                && l.p90_ms <= l.p99_ms
+                && l.p99_ms <= l.p999_ms
+                && l.p999_ms <= l.max_ms,
+            "quantiles out of order: p50 {}, p99 {}, max {}",
+            l.p50_ms,
+            l.p99_ms,
+            l.max_ms
+        );
+        assert!(l.mean_ms > 0.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -123,6 +123,36 @@ impl BudgetAccountant {
     }
 }
 
+/// A point-in-time view of a budget ledger, shaped for metrics export.
+///
+/// This is what the serving layer's ε-budget gauges are built from: a
+/// monitoring scrape needs the three totals (not the entry-by-entry
+/// history) as one consistent reading, which a pile of separate
+/// `total()` / `spent()` calls on a [`SharedAccountant`] cannot give.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BudgetSnapshot {
+    /// Total budget the accountant started with.
+    pub total: f64,
+    /// Budget spent so far.
+    pub spent: f64,
+    /// Budget still available (never negative).
+    pub remaining: f64,
+    /// Number of recorded expenditures.
+    pub entries: usize,
+}
+
+impl BudgetAccountant {
+    /// A consistent snapshot of the budget state for metrics export.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            total: self.total,
+            spent: self.spent,
+            remaining: self.remaining(),
+            entries: self.ledger.len(),
+        }
+    }
+}
+
 /// A thread-safe accountant for instrumenting concurrent experiments.
 ///
 /// The mechanisms themselves are single-threaded per sanitization run (the
@@ -163,6 +193,12 @@ impl SharedAccountant {
     /// Snapshot of the ledger.
     pub fn ledger(&self) -> Vec<LedgerEntry> {
         self.inner.lock().ledger().to_vec()
+    }
+
+    /// See [`BudgetAccountant::snapshot`] — one lock acquisition, so the
+    /// three totals are mutually consistent even under concurrent spends.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        self.inner.lock().snapshot()
     }
 }
 
@@ -224,6 +260,23 @@ mod tests {
         assert!(acc.spend(0.0, "zero").is_err());
         assert!(acc.spend(-0.1, "negative").is_err());
         assert!(acc.spend(f64::NAN, "nan").is_err());
+    }
+
+    #[test]
+    fn snapshot_reports_consistent_totals() {
+        let mut acc = BudgetAccountant::new(eps(1.0));
+        acc.spend(0.3, "a").unwrap();
+        acc.spend(0.2, "b").unwrap();
+        let snap = acc.snapshot();
+        assert_eq!(snap.total, 1.0);
+        assert!((snap.spent - 0.5).abs() < 1e-12);
+        assert!((snap.remaining - 0.5).abs() < 1e-12);
+        assert_eq!(snap.entries, 2);
+        let shared = SharedAccountant::new(eps(0.7));
+        shared.spend(0.7, "all").unwrap();
+        let snap = shared.snapshot();
+        assert_eq!(snap.remaining, 0.0);
+        assert_eq!(snap.entries, 1);
     }
 
     #[test]

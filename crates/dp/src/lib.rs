@@ -22,7 +22,7 @@ mod error;
 pub mod geometric;
 pub mod laplace;
 
-pub use budget::{BudgetAccountant, LedgerEntry, SharedAccountant, BUDGET_SLACK};
+pub use budget::{BudgetAccountant, BudgetSnapshot, LedgerEntry, SharedAccountant, BUDGET_SLACK};
 pub use epsilon::Epsilon;
 pub use error::DpError;
 

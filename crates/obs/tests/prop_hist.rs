@@ -1,0 +1,108 @@
+//! Property tests for the histogram: concurrent recording is equivalent
+//! to single-threaded recording, snapshot merge is associative /
+//! commutative / idempotent in the algebraic sense (merging the same
+//! decomposition twice yields the same quantiles), and every reported
+//! quantile upper-bounds the true sample within the documented 1/16
+//! relative error.
+
+use dpod_obs::{Histogram, HistogramSnapshot, SUB_BUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Records `samples` split across `threads` OS threads, returning the
+/// merged snapshot.
+fn record_concurrently(samples: &[u64], threads: usize) -> HistogramSnapshot {
+    let h = Arc::new(Histogram::new());
+    let chunk = samples.len().div_ceil(threads.max(1));
+    let handles: Vec<_> = samples
+        .chunks(chunk.max(1))
+        .map(|c| {
+            let h = Arc::clone(&h);
+            let c = c.to_vec();
+            std::thread::spawn(move || {
+                for v in c {
+                    h.record(v);
+                }
+            })
+        })
+        .collect();
+    for j in handles {
+        j.join().unwrap();
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn concurrent_record_matches_single_thread(
+        samples in prop::collection::vec(0u64..1_000_000_000, 0..400),
+        threads in 1usize..6,
+    ) {
+        let single = Histogram::new();
+        for &v in &samples {
+            single.record(v);
+        }
+        prop_assert_eq!(record_concurrently(&samples, threads), single.snapshot());
+    }
+
+    #[test]
+    fn merge_of_any_split_equals_whole(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        cut in 0usize..300,
+    ) {
+        let cut = cut % samples.len();
+        let whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        let (left, right) = (Histogram::new(), Histogram::new());
+        for &v in &samples[..cut] {
+            left.record(v);
+        }
+        for &v in &samples[cut..] {
+            right.record(v);
+        }
+        let (l, r) = (left.snapshot(), right.snapshot());
+        let mut lr = l.clone();
+        lr.merge(&r);
+        let mut rl = r.clone();
+        rl.merge(&l);
+        // Commutative, and equal to recording everything in one place.
+        prop_assert_eq!(&lr, &rl);
+        prop_assert_eq!(&lr, &whole.snapshot());
+        // Re-deriving from the same decomposition is stable (quantiles
+        // are a pure function of the merged counts).
+        let mut again = l.clone();
+        again.merge(&r);
+        prop_assert_eq!(again.quantile(0.99), lr.quantile(0.99));
+        // Merging the empty snapshot changes nothing.
+        let mut with_empty = lr.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(with_empty, lr);
+    }
+
+    #[test]
+    fn quantiles_upper_bound_true_samples(
+        mut samples in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize)
+            .clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let got = snap.quantile(q);
+        prop_assert!(got >= exact, "q{} reported {} below exact {}", q, got, exact);
+        let bound = exact as f64 * (1.0 + 1.0 / SUB_BUCKETS as f64) + 1.0;
+        prop_assert!(
+            (got as f64) <= bound,
+            "q{} reported {} above error bound {} (exact {})", q, got, bound, exact
+        );
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert!(snap.max() >= *samples.last().unwrap());
+    }
+}

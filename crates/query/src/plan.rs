@@ -119,6 +119,21 @@ pub enum QueryPlan {
 }
 
 impl QueryPlan {
+    /// A stable lowercase label for the plan's shape (`"range"`, `"od"`,
+    /// `"marginal"`, `"top_k"`, `"total"`, `"many"`), used as the
+    /// `kind` tag on serving-side metrics — low-cardinality by
+    /// construction (one label per variant, never per plan value).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryPlan::Range { .. } => "range",
+            QueryPlan::Od { .. } => "od",
+            QueryPlan::Marginal { .. } => "marginal",
+            QueryPlan::TopK { .. } => "top_k",
+            QueryPlan::Total => "total",
+            QueryPlan::Many { .. } => "many",
+        }
+    }
+
     /// A full-extent OD plan; chain [`Self::with_origin`] /
     /// [`Self::with_stop`] / [`Self::with_destination`] to constrain legs.
     pub fn od() -> Self {

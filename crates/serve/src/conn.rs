@@ -141,6 +141,14 @@ impl Assembler {
         std::mem::take(&mut self.items)
     }
 
+    /// Whether unconsumed bytes are buffered — a request (or preamble)
+    /// caught mid-assembly. The event loop uses this to time the
+    /// `parse` stage: a partial's start is stamped when this first
+    /// turns true, and the next completed item records the spread.
+    pub(crate) fn has_partial(&self) -> bool {
+        self.buf.len() > self.pos
+    }
+
     fn poison(&mut self, item: WorkItem) {
         self.items.push(item);
         self.poisoned = true;

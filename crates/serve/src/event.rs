@@ -46,9 +46,11 @@
 //! deadline, after which stragglers are dropped.
 
 use crate::conn::{Assembler, WorkItem};
+use crate::metrics::{Stage, Transport, KIND_UNDECODABLE};
 use crate::protocol::{Request, Response};
 use crate::server::{Server, WireMode};
 use crate::wire;
+use dpod_obs::Span;
 use polling::{Interest, Poller, Waker};
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -159,7 +161,10 @@ struct ConnShared {
 struct JobUnit {
     slot: usize,
     gen: u32,
-    items: Vec<WorkItem>,
+    /// The parsed items with their queue-entry stamps (nanoseconds on
+    /// the server's metrics clock), so the worker can account each
+    /// item's queue wait at dequeue.
+    items: Vec<(WorkItem, u64)>,
     shared: Arc<ConnShared>,
     /// The loop's outbound buffer was empty at dispatch: the worker may
     /// write the response bytes straight to the socket (it is the
@@ -202,13 +207,22 @@ struct EvConn {
     asm: Assembler,
     out: Vec<u8>,
     outpos: usize,
-    pending: VecDeque<WorkItem>,
+    /// Parsed items queued for dispatch, each with its queue-entry
+    /// stamp on the server's metrics clock.
+    pending: VecDeque<(WorkItem, u64)>,
     /// Payload bytes held in `pending` (see [`MAX_PENDING_BYTES`]).
     pending_bytes: usize,
     close_after_flush: bool,
     peer_closed: bool,
     last_activity: Instant,
     registered: Interest,
+    /// Metrics-clock stamp of when the assembler first went partial
+    /// (bytes buffered, no complete item) — the `parse` stage measures
+    /// from here to the next completed item.
+    partial_since: Option<u64>,
+    /// The transport the connection settled on, learned from its first
+    /// parsed item (labels loop-side `write` stage samples).
+    transport: Option<Transport>,
 }
 
 impl EvConn {
@@ -252,13 +266,41 @@ fn write_direct(stream: &TcpStream, bytes: &mut Vec<u8>) -> std::io::Result<()> 
     result
 }
 
+/// The transport a batch of work items travels on, from the first
+/// item's framing (a connection never mixes framings mid-stream).
+fn transport_of(items: &[(WorkItem, u64)]) -> Transport {
+    match items.first().map(|(item, _)| item) {
+        Some(WorkItem::JsonLine(_)) => Transport::Json,
+        Some(WorkItem::Desync { as_binary, .. }) => {
+            if *as_binary {
+                Transport::Binary
+            } else {
+                Transport::Json
+            }
+        }
+        _ => Transport::Binary,
+    }
+}
+
 /// Turns one connection's ordered work items into response bytes.
 /// Returns `(bytes, close_after)`; shared by every worker.
-fn run_job(server: &Server, items: Vec<WorkItem>) -> (Vec<u8>, bool) {
+///
+/// Each item carries its queue-entry stamp so the worker can record the
+/// queue wait at dequeue; the execute and encode stages are timed here
+/// too, where the work actually runs.
+fn run_job(server: &Server, items: Vec<(WorkItem, u64)>) -> (Vec<u8>, bool) {
+    let metrics = server.metrics();
+    let dequeued = metrics.now_nanos();
     let mut out = Vec::new();
-    for item in items {
+    for (item, queued_at) in items {
         match item {
             WorkItem::JsonLine(bytes) => {
+                metrics.record_stage(
+                    Transport::Json,
+                    Stage::Queue,
+                    dequeued.saturating_sub(queued_at),
+                );
+                let mut span = Span::start();
                 // Invalid UTF-8 closes the connection, as the blocking
                 // front end's `read_line` error does.
                 let Ok(line) = std::str::from_utf8(&bytes) else {
@@ -268,29 +310,57 @@ fn run_job(server: &Server, items: Vec<WorkItem>) -> (Vec<u8>, bool) {
                     continue;
                 }
                 let response = match serde_json::from_str::<Request>(line.trim_end()) {
-                    Ok(request) => server.handle(&request),
-                    Err(e) => Response::Error {
-                        message: format!("bad request: {e}"),
-                    },
+                    Ok(request) => {
+                        metrics.count_request(Transport::Json, &request);
+                        server.handle(&request)
+                    }
+                    Err(e) => {
+                        metrics.count_request_index(Transport::Json, KIND_UNDECODABLE);
+                        Response::Error {
+                            message: format!("bad request: {e}"),
+                        }
+                    }
                 };
+                span.lap(metrics.stage(Transport::Json, Stage::Execute));
                 let body = serde_json::to_string(&response).unwrap_or_else(|e| {
                     format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
                 });
                 out.extend_from_slice(body.as_bytes());
                 out.push(b'\n');
+                span.finish(metrics.stage(Transport::Json, Stage::Encode));
             }
             WorkItem::Frame(body) => {
+                metrics.record_stage(
+                    Transport::Binary,
+                    Stage::Queue,
+                    dequeued.saturating_sub(queued_at),
+                );
+                let mut span = Span::start();
                 let response = match wire::decode_request(&body) {
-                    Ok(request) => server.handle(&request),
-                    Err(e) => Response::Error {
-                        message: format!("bad request: {e}"),
-                    },
+                    Ok(request) => {
+                        metrics.count_request(Transport::Binary, &request);
+                        server.handle(&request)
+                    }
+                    Err(e) => {
+                        metrics.count_request_index(Transport::Binary, KIND_UNDECODABLE);
+                        Response::Error {
+                            message: format!("bad request: {e}"),
+                        }
+                    }
                 };
+                span.lap(metrics.stage(Transport::Binary, Stage::Execute));
                 if wire::write_frame(&mut out, &wire::encode_response(&response)).is_err() {
                     return (out, true);
                 }
+                span.finish(metrics.stage(Transport::Binary, Stage::Encode));
             }
             WorkItem::Desync { as_binary, message } => {
+                let transport = if as_binary {
+                    Transport::Binary
+                } else {
+                    Transport::Json
+                };
+                metrics.count_request_index(transport, KIND_UNDECODABLE);
                 let farewell = Response::Error { message };
                 if as_binary {
                     let _ = wire::write_frame(&mut out, &wire::encode_response(&farewell));
@@ -357,14 +427,18 @@ pub(crate) fn spawn(
                         let mut units = Vec::new();
                         let mut urgent = false;
                         for unit in job.units {
+                            let transport = transport_of(&unit.items);
                             let (mut bytes, close) = run_job(&server, unit.items);
                             unit.shared
                                 .last_done_ms
                                 .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
                             let mut io_failed = false;
-                            if unit.direct && write_direct(&unit.shared.stream, &mut bytes).is_err()
-                            {
-                                io_failed = true;
+                            if unit.direct && !bytes.is_empty() {
+                                let span = Span::start();
+                                if write_direct(&unit.shared.stream, &mut bytes).is_err() {
+                                    io_failed = true;
+                                }
+                                span.finish(server.metrics().stage(transport, Stage::Write));
                             }
                             if bytes.is_empty() && !close && !io_failed {
                                 // The hot path: response fully on the wire.
@@ -520,12 +594,16 @@ impl EventLoop {
             // of many single-event wakes (a no-op when idle).
             std::thread::yield_now();
             self.sleeping.store(true, Ordering::SeqCst);
+            let mut pending_total = 0u64;
             for slot in 0..self.conns.len() {
                 let (dispatchable, reap) = match &self.conns[slot] {
-                    Some(c) => (
-                        !c.pending.is_empty() && !c.busy(),
-                        c.peer_closed || c.close_after_flush,
-                    ),
+                    Some(c) => {
+                        pending_total += c.pending.len() as u64;
+                        (
+                            !c.pending.is_empty() && !c.busy(),
+                            c.peer_closed || c.close_after_flush,
+                        )
+                    }
                     None => (false, false),
                 };
                 if dispatchable {
@@ -548,7 +626,19 @@ impl EventLoop {
             }
             self.flush_staged();
             self.collect_done();
+            // The depth gauge snapshots this iteration's scan (dispatch
+            // may have drained some queues since, making it a slight
+            // over-estimate — fine for a health gauge).
+            self.server.metrics().pending_depth.set(pending_total);
+            let wait_start = Instant::now();
             let waited = self.poller.wait(&mut events, Some(TICK));
+            {
+                let metrics = self.server.metrics();
+                metrics
+                    .epoll_wait_nanos
+                    .add(u64::try_from(wait_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                metrics.epoll_wakes.inc();
+            }
             self.sleeping.store(false, Ordering::SeqCst);
             if waited.is_err() {
                 // An unrecoverable poller failure: nothing can make
@@ -605,6 +695,8 @@ impl EventLoop {
                         peer_closed: false,
                         last_activity: Instant::now(),
                         registered: Interest::READABLE,
+                        partial_since: None,
+                        transport: None,
                     };
                     let slot = match self.free.pop() {
                         Some(slot) => {
@@ -678,8 +770,42 @@ impl EventLoop {
             }
             if !dead {
                 let items = conn.asm.take_items();
-                conn.pending_bytes += items.iter().map(WorkItem::payload_len).sum::<usize>();
-                conn.pending.extend(items);
+                let metrics = self.server.metrics();
+                let now = metrics.now_nanos();
+                if conn.transport.is_none() {
+                    if let Some(first) = items.first() {
+                        conn.transport = Some(match first {
+                            WorkItem::JsonLine(_) => Transport::Json,
+                            _ => Transport::Binary,
+                        });
+                    }
+                }
+                let transport = conn.transport.unwrap_or(Transport::Binary);
+                // Parse-stage samples: the first completed item closes
+                // out any partial the assembler was holding (its latency
+                // is partial-start → now); items completed within this
+                // same read cost ~0 wall time.
+                for (idx, item) in items.iter().enumerate() {
+                    conn.pending_bytes += item.payload_len();
+                    let nanos = if idx == 0 {
+                        conn.partial_since.map_or(0, |t| now.saturating_sub(t))
+                    } else {
+                        0
+                    };
+                    metrics.record_stage(transport, Stage::Parse, nanos);
+                }
+                conn.partial_since = if conn.asm.has_partial() {
+                    // Keep the original stamp when no item completed:
+                    // the partial is still the same in-flight request.
+                    if items.is_empty() {
+                        conn.partial_since.or(Some(now))
+                    } else {
+                        Some(now)
+                    }
+                } else {
+                    None
+                };
+                conn.pending.extend(items.into_iter().map(|i| (i, now)));
                 if !conn.pending.is_empty() {
                     // Published before the `busy` check in
                     // maybe_dispatch below: the Dekker ordering that
@@ -704,6 +830,7 @@ impl EventLoop {
             let Some(conn) = self.conns[slot].as_mut() else {
                 return;
             };
+            let flush_span = (conn.outstanding() > 0).then(Span::start);
             loop {
                 if conn.outpos == conn.out.len() {
                     conn.out.clear();
@@ -727,6 +854,10 @@ impl EventLoop {
             if !dead && conn.outpos > (1 << 20) {
                 conn.out.drain(..conn.outpos);
                 conn.outpos = 0;
+            }
+            if let Some(span) = flush_span {
+                let transport = conn.transport.unwrap_or(Transport::Binary);
+                span.finish(self.server.metrics().stage(transport, Stage::Write));
             }
         }
         if dead {
@@ -755,10 +886,14 @@ impl EventLoop {
             return;
         }
         let n = conn.pending.len().min(MAX_JOB_ITEMS);
-        let items: Vec<WorkItem> = conn.pending.drain(..n).collect();
+        let items: Vec<(WorkItem, u64)> = conn.pending.drain(..n).collect();
         conn.pending_bytes = conn
             .pending_bytes
-            .saturating_sub(items.iter().map(WorkItem::payload_len).sum());
+            .saturating_sub(items.iter().map(|(item, _)| item.payload_len()).sum());
+        self.server
+            .metrics()
+            .dispatch_batch
+            .record(items.len() as u64);
         // Relaxed is enough off the Dekker path: a worker reading a
         // stale `true` only issues a spurious wake, and `busy = true`
         // is read back by this thread alone (the job itself reaches the
@@ -869,6 +1004,7 @@ impl EventLoop {
                 None => false,
             };
             if expired {
+                self.server.metrics().sweep_evictions.inc();
                 self.close(slot);
             }
         }
@@ -879,17 +1015,23 @@ impl EventLoop {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
+        let backpressured = conn.pending.len() >= MAX_PENDING_ITEMS
+            || conn.pending_bytes >= MAX_PENDING_BYTES
+            || conn.outstanding() > WRITE_BACKPRESSURE_BYTES;
         let read_paused = conn.close_after_flush
             || conn.peer_closed
             || conn.asm.poisoned()
             || draining
-            || conn.pending.len() >= MAX_PENDING_ITEMS
-            || conn.pending_bytes >= MAX_PENDING_BYTES
-            || conn.outstanding() > WRITE_BACKPRESSURE_BYTES;
+            || backpressured;
         let desired = Interest {
             readable: !read_paused,
             writable: conn.outstanding() > 0,
         };
+        if conn.registered.readable && !desired.readable && backpressured {
+            // Count only pauses *caused* by backpressure, not closes or
+            // drains that happen to coincide.
+            self.server.metrics().backpressure_pauses.inc();
+        }
         if desired != conn.registered {
             conn.registered = desired;
             let fd = conn.shared.stream.as_raw_fd();

@@ -48,6 +48,7 @@ mod conn;
 mod engine;
 #[cfg(unix)]
 mod event;
+pub mod metrics;
 pub mod protocol;
 mod server;
 pub mod wire;
@@ -56,9 +57,10 @@ pub use catalog::{Catalog, CatalogEntry, SaveReport};
 pub use engine::{EngineStats, QueryEngine};
 #[cfg(unix)]
 pub use event::WRITE_BACKPRESSURE_BYTES;
+pub use metrics::{spawn_metrics_exporter, MetricsExporter, ServeMetrics, Stage, Transport};
 pub use server::{
     spawn, spawn_wire, spawn_with, FrontEnd, Server, ServerHandle, SpawnOptions, WireMode,
-    DEFAULT_CACHE_BYTES, IDLE_TIMEOUT, MAX_LINE_BYTES,
+    DEFAULT_CACHE_BYTES, IDLE_TIMEOUT, MAX_LINE_BYTES, MAX_RELEASE_HIT_ENTRIES,
 };
 
 /// Serving-layer error: a displayable message naming the failing operation.

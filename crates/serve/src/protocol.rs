@@ -206,8 +206,44 @@ pub struct ServerStats {
     /// [`Server::remove_release`](crate::Server::remove_release) prunes
     /// its row (so long-lived servers with churning catalogs do not leak
     /// counters), and a later republish under the same name starts a
-    /// fresh count.
+    /// fresh count. The map is additionally capped at
+    /// [`MAX_RELEASE_HIT_ENTRIES`](crate::MAX_RELEASE_HIT_ENTRIES) —
+    /// catalogs churned around [`Catalog::remove`](crate::Catalog::remove)
+    /// directly shed their stalest rows instead of leaking
+    /// (see [`ServerStats::evicted_stat_entries`]).
     pub release_hits: Vec<ReleaseHits>,
+    /// Per-release hit-counter rows evicted to keep `release_hits`
+    /// bounded (`0` on servers whose catalogs are removed through
+    /// [`Server::remove_release`](crate::Server::remove_release)).
+    pub evicted_stat_entries: u64,
+    /// Per-stage request latency summaries (one row per non-empty
+    /// `(transport, stage)` histogram; empty until TCP traffic flows).
+    /// Sourced from the same histograms `/metrics` exposes, so the two
+    /// surfaces agree.
+    pub stage_latencies: Vec<StageLatency>,
+}
+
+/// Latency quantiles for one `(transport, stage)` pair, in nanoseconds.
+///
+/// Quantiles are upper bounds from log-bucketed histograms
+/// (`dpod_obs`): within 1/16 above the true sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageLatency {
+    /// Request lifecycle stage (`parse`, `queue`, `execute`, `encode`,
+    /// `write`).
+    pub stage: String,
+    /// Transport the requests arrived on (`json`, `binary`).
+    pub transport: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency, nanoseconds.
+    pub p50_nanos: u64,
+    /// 90th-percentile latency, nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th-percentile latency, nanoseconds.
+    pub p99_nanos: u64,
+    /// 99.9th-percentile latency, nanoseconds.
+    pub p999_nanos: u64,
 }
 
 /// Lifetime query count against one release name.
@@ -312,6 +348,16 @@ mod tests {
                     release_hits: vec![ReleaseHits {
                         name: "city".into(),
                         hits: 42,
+                    }],
+                    evicted_stat_entries: 2,
+                    stage_latencies: vec![StageLatency {
+                        stage: "execute".into(),
+                        transport: "binary".into(),
+                        count: 42,
+                        p50_nanos: 1_000,
+                        p90_nanos: 2_000,
+                        p99_nanos: 4_000,
+                        p999_nanos: 8_000,
                     }],
                 },
             },

@@ -26,9 +26,11 @@
 //! anything else is served as newline-delimited JSON exactly as before
 //! the binary protocol existed.
 
+use crate::metrics::{ServeMetrics, Stage, Transport};
 use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
 use crate::{wire, Catalog, QueryEngine, ServeError};
 use dpod_fmatrix::AxisBox;
+use dpod_obs::Span;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -115,6 +117,14 @@ fn hit_rate(hits: u64, misses: u64) -> f64 {
 /// bytes with no newline to exhaust memory) is disconnected.
 pub const MAX_LINE_BYTES: u64 = 8 << 20;
 
+/// Most per-release hit-counter rows the stats map holds. Removing
+/// releases through [`Server::remove_release`] prunes rows eagerly; this
+/// cap is the backstop for catalogs churned around it (operators calling
+/// [`Catalog::remove`] directly), trading the stalest rows for a bound
+/// instead of leaking. Evictions are counted in
+/// `ServerStats::evicted_stat_entries`.
+pub const MAX_RELEASE_HIT_ENTRIES: usize = 1024;
+
 /// The serving core: catalog + engine + counters.
 #[derive(Debug)]
 pub struct Server {
@@ -135,6 +145,9 @@ pub struct Server {
     conn_accepted: AtomicU64,
     /// Connections a TCP front end currently holds open.
     conn_open: AtomicU64,
+    /// Hot-path metric handles shared by every front end (stage latency
+    /// histograms, event-loop health, request-mix counters).
+    metrics: ServeMetrics,
 }
 
 impl Server {
@@ -165,7 +178,22 @@ impl Server {
             release_hits: RwLock::new(HashMap::new()),
             conn_accepted: AtomicU64::new(0),
             conn_open: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
         }
+    }
+
+    /// The server's metric hub (stage histograms, event-loop gauges,
+    /// request counters) — what `/metrics` and the extended stats frame
+    /// read from.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Renders the full Prometheus text exposition for this server:
+    /// hot-path series plus scrape-time engine/catalog/ε-budget gauges.
+    /// This is the body `dpod serve --metrics-addr` serves.
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render_metrics(self)
     }
 
     /// Records a connection entering service (both front ends call this
@@ -323,6 +351,8 @@ impl Server {
                         open_connections: self.open_connections(),
                         accepted_connections: self.accepted_connections(),
                         release_hits: self.release_hits(),
+                        evicted_stat_entries: self.metrics.evicted_stat_entries.get(),
+                        stage_latencies: self.metrics.stage_latencies(),
                     },
                 }
             }
@@ -407,6 +437,33 @@ impl Server {
         // catalog lookup fails.
         if self.catalog.get(release).is_none() {
             return;
+        }
+        // Bound the map before growing it. The eager prune in
+        // [`Self::remove_release`] keeps well-behaved servers far below
+        // the cap; this path only fires when releases were removed
+        // behind the server's back ([`Catalog::remove`] directly), so
+        // first retire rows whose names left the catalog — the same
+        // retire-on-remove outcome, just deferred — and only then, if
+        // the catalog itself outgrew the cap, drop the coldest row.
+        if map.len() >= MAX_RELEASE_HIT_ENTRIES && !map.contains_key(release) {
+            let stale: Vec<String> = map
+                .keys()
+                .filter(|name| self.catalog.get(name).is_none())
+                .cloned()
+                .collect();
+            for name in stale {
+                map.remove(&name);
+                self.metrics.evicted_stat_entries.inc();
+            }
+            while map.len() >= MAX_RELEASE_HIT_ENTRIES {
+                let coldest = map
+                    .iter()
+                    .min_by_key(|(name, hits)| (hits.load(Ordering::Relaxed), (*name).clone()))
+                    .map(|(name, _)| name.clone());
+                let Some(name) = coldest else { break };
+                map.remove(&name);
+                self.metrics.evicted_stat_entries.inc();
+            }
         }
         map.entry(release.to_string())
             .or_insert_with(|| AtomicU64::new(0))
@@ -689,6 +746,7 @@ fn spawn_event_front_end(
     opts: &SpawnOptions,
     local: SocketAddr,
 ) -> std::io::Result<ServerHandle> {
+    server.metrics().note_front_end("event");
     let shutdown = Arc::new(AtomicBool::new(false));
     let drain_ms = Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64));
     let cfg = crate::event::EventConfig {
@@ -734,6 +792,7 @@ fn spawn_pool_front_end(
     opts: &SpawnOptions,
     local: SocketAddr,
 ) -> ServerHandle {
+    server.metrics().note_front_end("pool");
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers = opts.workers.max(1);
     let mode = opts.wire;
@@ -904,14 +963,30 @@ fn serve_binary(
         match wire::read_frame(&mut reader) {
             Ok(None) => return Ok(()), // clean EOF
             Ok(Some(body)) => {
+                // Stage timing on the pool path covers execute and
+                // encode (parse/queue/write have no separable moments
+                // in a blocking read-answer-write loop).
+                let metrics = server.metrics();
+                let mut span = Span::start();
                 let response = match wire::decode_request(&body) {
-                    Ok(request) => server.handle(&request),
-                    Err(e) => Response::Error {
-                        message: format!("bad request: {e}"),
-                    },
+                    Ok(request) => {
+                        metrics.count_request(Transport::Binary, &request);
+                        server.handle(&request)
+                    }
+                    Err(e) => {
+                        metrics.count_request_index(
+                            Transport::Binary,
+                            crate::metrics::KIND_UNDECODABLE,
+                        );
+                        Response::Error {
+                            message: format!("bad request: {e}"),
+                        }
+                    }
                 };
-                wire::write_frame(&mut writer, &wire::encode_response(&response))
-                    .map_err(std::io::Error::other)?;
+                span.lap(metrics.stage(Transport::Binary, Stage::Execute));
+                let encoded = wire::encode_response(&response);
+                span.finish(metrics.stage(Transport::Binary, Stage::Encode));
+                wire::write_frame(&mut writer, &encoded).map_err(std::io::Error::other)?;
                 // As on the JSON path: flush only once no further
                 // request is already buffered, so pipelined batches are
                 // answered in large writes.
@@ -961,15 +1036,25 @@ fn serve_ndjson(
         if line.trim().is_empty() {
             continue;
         }
+        let metrics = server.metrics();
+        let mut span = Span::start();
         let response = match serde_json::from_str::<Request>(line.trim_end()) {
-            Ok(request) => server.handle(&request),
-            Err(e) => Response::Error {
-                message: format!("bad request: {e}"),
-            },
+            Ok(request) => {
+                metrics.count_request(Transport::Json, &request);
+                server.handle(&request)
+            }
+            Err(e) => {
+                metrics.count_request_index(Transport::Json, crate::metrics::KIND_UNDECODABLE);
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                }
+            }
         };
+        span.lap(metrics.stage(Transport::Json, Stage::Execute));
         let body = serde_json::to_string(&response).unwrap_or_else(|e| {
             format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
         });
+        span.finish(metrics.stage(Transport::Json, Stage::Encode));
         writer.write_all(body.as_bytes())?;
         writer.write_all(b"\n")?;
         if reader.buffer().is_empty() {
@@ -1303,6 +1388,104 @@ mod tests {
         let hits = server.release_hits();
         let as_pairs: Vec<(&str, u64)> = hits.iter().map(|h| (h.name.as_str(), h.hits)).collect();
         assert_eq!(as_pairs, vec![("cold", 2), ("hot", 5)]);
+    }
+
+    /// Publishes one sanitized release under `names` on the server's
+    /// catalog (cloning the release is much cheaper than re-sanitizing
+    /// per name, and the hit-counter map only cares about names).
+    fn publish_clones(server: &Server, names: impl Iterator<Item = String>) {
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[3, 3], 300).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(9))
+            .unwrap();
+        let release = PublishedRelease::from_sanitized(&out);
+        for name in names {
+            server.catalog().publish(&name, release.clone());
+        }
+    }
+
+    fn query_for(name: &str) -> Request {
+        Request::Query {
+            release: name.into(),
+            lo: vec![0, 0],
+            hi: vec![2, 2],
+        }
+    }
+
+    #[test]
+    fn release_hit_map_stays_bounded_under_catalog_churn() {
+        let server = test_server(&[]);
+        let n = MAX_RELEASE_HIT_ENTRIES + 8;
+        publish_clones(&server, (0..n).map(|i| format!("r{i:05}")));
+        // One hot release that must survive every coldest-row eviction.
+        for _ in 0..10 {
+            server.handle(&query_for("r00000"));
+        }
+        for i in 1..n {
+            server.handle(&query_for(&format!("r{i:05}")));
+        }
+        let hits = server.release_hits();
+        assert!(
+            hits.len() <= MAX_RELEASE_HIT_ENTRIES,
+            "map grew past the cap: {}",
+            hits.len()
+        );
+        assert!(
+            hits.iter().any(|h| h.name == "r00000" && h.hits == 10),
+            "the hottest row must not be the one evicted"
+        );
+        let evicted = server.metrics().evicted_stat_entries.get();
+        assert!(evicted >= 8, "expected ≥8 evictions, saw {evicted}");
+        // The stats frame carries the same counter.
+        let Response::Stats { stats } = server.handle(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(
+            stats.evicted_stat_entries,
+            server.metrics().evicted_stat_entries.get()
+        );
+        assert!(stats.release_hits.len() <= MAX_RELEASE_HIT_ENTRIES);
+    }
+
+    #[test]
+    fn stale_hit_rows_are_retired_before_live_ones_are_evicted() {
+        let server = test_server(&[]);
+        publish_clones(
+            &server,
+            (0..MAX_RELEASE_HIT_ENTRIES).map(|i| format!("r{i:05}")),
+        );
+        for i in 0..MAX_RELEASE_HIT_ENTRIES {
+            server.handle(&query_for(&format!("r{i:05}")));
+        }
+        assert_eq!(server.release_hits().len(), MAX_RELEASE_HIT_ENTRIES);
+
+        // Remove releases *behind the server's back* (straight through
+        // the catalog, bypassing `remove_release`'s eager prune), so
+        // their rows go stale.
+        for i in 0..4 {
+            assert!(server.catalog().remove(&format!("r{i:05}")));
+        }
+        assert_eq!(server.release_hits().len(), MAX_RELEASE_HIT_ENTRIES);
+
+        // The next first-touch insert retires the stale rows instead of
+        // evicting live ones.
+        publish_clones(&server, std::iter::once("fresh".to_string()));
+        server.handle(&query_for("fresh"));
+        let hits = server.release_hits();
+        assert!(hits.iter().any(|h| h.name == "fresh"));
+        assert!(
+            !hits
+                .iter()
+                .any(|h| h.name.as_str() < "r00004" && h.name != "fresh"),
+            "stale rows must be the ones retired"
+        );
+        assert!(
+            hits.iter().any(|h| h.name == "r00004"),
+            "live rows survive when stale ones cover the deficit"
+        );
+        assert_eq!(server.metrics().evicted_stat_entries.get(), 4);
     }
 
     #[test]

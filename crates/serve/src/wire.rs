@@ -72,7 +72,7 @@
 //! declared lengths are validated against the bytes actually present
 //! before any allocation.
 
-use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
+use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats, StageLatency};
 use dpod_fmatrix::codec::{FrameReader, FrameWriter};
 use dpod_query::{Answer, QueryPlan, Region, TopCell};
 use std::io::{ErrorKind, Read, Write};
@@ -628,6 +628,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_f64(stats.index_hit_rate);
             w.put_u64(stats.open_connections);
             w.put_u64(stats.accepted_connections);
+            // Observability tail, appended under the same convention —
+            // and, from this revision on, *optional on decode*: a frame
+            // ending right above is accepted with empty defaults, so a
+            // new client reading an old server's stats frame keeps
+            // working (the reverse — an old strict client reading this
+            // tail — still fails with its named trailing-bytes error,
+            // which the README's versioning note documents).
+            w.put_u64(stats.evicted_stat_entries);
+            w.put_u64(stats.stage_latencies.len() as u64);
+            for sl in &stats.stage_latencies {
+                put_wire_str(&mut w, &sl.stage);
+                put_wire_str(&mut w, &sl.transport);
+                w.put_u64(sl.count);
+                w.put_u64(sl.p50_nanos);
+                w.put_u64(sl.p90_nanos);
+                w.put_u64(sl.p99_nanos);
+                w.put_u64(sl.p999_nanos);
+            }
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -693,6 +711,28 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             let index_hit_rate = r.get_f64("index_hit_rate")?;
             let open_connections = r.get_u64("open_connections")?;
             let accepted_connections = r.get_u64("accepted_connections")?;
+            // Optional observability tail: absent on frames from
+            // pre-observability servers, which decode with empty
+            // defaults rather than erroring.
+            let (evicted_stat_entries, stage_latencies) = if r.remaining() > 0 {
+                let evicted = r.get_u64("evicted_stat_entries")?;
+                let n = r.get_u64("stage_latencies count")?;
+                let mut rows = Vec::with_capacity(usize::try_from(n).unwrap_or(0).min(1 << 8));
+                for _ in 0..n {
+                    rows.push(StageLatency {
+                        stage: get_wire_str(&mut r, "stage")?,
+                        transport: get_wire_str(&mut r, "stage transport")?,
+                        count: r.get_u64("stage count")?,
+                        p50_nanos: r.get_u64("stage p50")?,
+                        p90_nanos: r.get_u64("stage p90")?,
+                        p99_nanos: r.get_u64("stage p99")?,
+                        p999_nanos: r.get_u64("stage p999")?,
+                    });
+                }
+                (evicted, rows)
+            } else {
+                (0, Vec::new())
+            };
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -710,6 +750,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     open_connections,
                     accepted_connections,
                     release_hits,
+                    evicted_stat_entries,
+                    stage_latencies,
                 },
             }
         }
@@ -1096,6 +1138,16 @@ mod tests {
                         name: "city".into(),
                         hits: 99,
                     }],
+                    evicted_stat_entries: 3,
+                    stage_latencies: vec![StageLatency {
+                        stage: "execute".into(),
+                        transport: "binary".into(),
+                        count: 99,
+                        p50_nanos: 900,
+                        p90_nanos: 1_800,
+                        p99_nanos: 3_600,
+                        p999_nanos: 7_200,
+                    }],
                 },
             },
             Response::Error {
@@ -1104,6 +1156,110 @@ mod tests {
         ];
         for resp in &resps {
             assert_eq!(&round_trip_response(resp), resp);
+        }
+    }
+
+    /// A stats frame from a pre-observability server — every field up to
+    /// `accepted_connections`, nothing after — must still decode, with
+    /// the observability tail defaulting to empty. This pins the
+    /// forward-compatibility half of the stats-frame versioning story
+    /// (new client, old server); the reverse direction is covered by the
+    /// tail being strictly appended, never reordering existing fields.
+    #[test]
+    fn stats_frame_without_observability_tail_still_decodes() {
+        let stats = ServerStats {
+            releases: 2,
+            queries: 40,
+            cache_entries: 1,
+            cache_bytes: 1024,
+            cache_hits: 39,
+            cache_misses: 1,
+            index_entries: 1,
+            index_hits: 5,
+            index_misses: 1,
+            index_build_nanos: 777,
+            cache_hit_rate: 0.975,
+            index_hit_rate: 5.0 / 6.0,
+            open_connections: 2,
+            accepted_connections: 9,
+            release_hits: vec![ReleaseHits {
+                name: "city".into(),
+                hits: 40,
+            }],
+            evicted_stat_entries: 0,
+            stage_latencies: Vec::new(),
+        };
+        // Re-encode the frame the way the previous wire revision did:
+        // everything except the appended observability tail.
+        let mut w = writer(256, OP_STATS_RESP);
+        w.put_u64(stats.releases as u64);
+        w.put_u64(stats.queries);
+        w.put_u64(stats.cache_entries as u64);
+        w.put_u64(stats.cache_bytes as u64);
+        w.put_u64(stats.cache_hits);
+        w.put_u64(stats.cache_misses);
+        w.put_u64(stats.release_hits.len() as u64);
+        for rh in &stats.release_hits {
+            put_wire_str(&mut w, &rh.name);
+            w.put_u64(rh.hits);
+        }
+        w.put_u64(stats.index_entries as u64);
+        w.put_u64(stats.index_hits);
+        w.put_u64(stats.index_misses);
+        w.put_u64(stats.index_build_nanos);
+        w.put_f64(stats.cache_hit_rate);
+        w.put_f64(stats.index_hit_rate);
+        w.put_u64(stats.open_connections);
+        w.put_u64(stats.accepted_connections);
+        let legacy_frame = w.finish().to_vec();
+        // Sanity: the current encoder's output is a strict extension.
+        let current = encode_response(&Response::Stats {
+            stats: stats.clone(),
+        });
+        assert_eq!(
+            &current[..legacy_frame.len()],
+            &legacy_frame[..],
+            "observability fields must extend the frame, not reshape it"
+        );
+        let decoded = decode_response(&legacy_frame).expect("legacy frame decodes");
+        assert_eq!(decoded, Response::Stats { stats });
+    }
+
+    /// The tail is all-or-nothing: a frame truncated *inside* the tail
+    /// is a named error, not a silent partial decode.
+    #[test]
+    fn stats_frame_with_torn_tail_is_rejected() {
+        let full = encode_response(&Response::Stats {
+            stats: ServerStats {
+                releases: 1,
+                queries: 1,
+                cache_entries: 0,
+                cache_bytes: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                index_entries: 0,
+                index_hits: 0,
+                index_misses: 0,
+                index_build_nanos: 0,
+                cache_hit_rate: 0.0,
+                index_hit_rate: 0.0,
+                open_connections: 0,
+                accepted_connections: 0,
+                release_hits: Vec::new(),
+                evicted_stat_entries: 7,
+                stage_latencies: vec![StageLatency {
+                    stage: "queue".into(),
+                    transport: "json".into(),
+                    count: 1,
+                    p50_nanos: 10,
+                    p90_nanos: 10,
+                    p99_nanos: 10,
+                    p999_nanos: 10,
+                }],
+            },
+        });
+        for cut in [full.len() - 1, full.len() - 9, full.len() - 40] {
+            assert!(decode_response(&full[..cut]).is_err(), "cut {cut}");
         }
     }
 

@@ -1,0 +1,203 @@
+//! End-to-end observability tests: traffic through a live front end
+//! shows up in the `/metrics` exposition, the extended stats frame, and
+//! agrees across the two surfaces.
+
+use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
+use dpod_dp::Epsilon;
+use dpod_fmatrix::{DenseMatrix, Shape};
+use dpod_serve::protocol::{Request, Response};
+use dpod_serve::{
+    spawn_metrics_exporter, spawn_with, wire, Catalog, FrontEnd, Server, SpawnOptions,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn test_server() -> Arc<Server> {
+    let catalog = Arc::new(Catalog::new());
+    let shape = Shape::new(vec![8, 8]).unwrap();
+    let mut m = DenseMatrix::<u64>::zeros(shape);
+    m.add_at(&[2, 2], 500).unwrap();
+    let out = Ebp::default()
+        .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(7))
+        .unwrap();
+    catalog.publish("city", PublishedRelease::from_sanitized(&out));
+    Arc::new(Server::new(catalog, 1 << 22))
+}
+
+/// One plain-HTTP scrape of the exporter.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "bad status: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "bad content type: {head}"
+    );
+    body.to_string()
+}
+
+fn drive_traffic(addr: std::net::SocketAddr) {
+    // A few NDJSON requests…
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        let mut line = serde_json::to_string(&Request::Query {
+            release: "city".into(),
+            lo: vec![0, 0],
+            hi: vec![4, 4],
+        })
+        .unwrap();
+        line.push('\n');
+        (&stream).write_all(line.as_bytes()).unwrap();
+        let mut answer = String::new();
+        reader.read_line(&mut answer).unwrap();
+        assert!(matches!(
+            serde_json::from_str::<Response>(answer.trim()).unwrap(),
+            Response::Value { .. }
+        ));
+    }
+    drop(reader);
+    // …and a few DPRB frames.
+    let mut client = wire::Client::connect(addr).unwrap();
+    for _ in 0..3 {
+        client
+            .send(&Request::Batch {
+                release: "city".into(),
+                ranges: vec![(vec![0, 0], vec![4, 4]), (vec![0, 0], vec![8, 8])],
+            })
+            .unwrap();
+        assert!(matches!(client.receive().unwrap(), Response::Values { .. }));
+    }
+}
+
+fn assert_key_series(body: &str, front_end: FrontEnd) {
+    // Per-stage latency histograms, with samples recorded.
+    assert!(
+        body.contains(
+            "dpod_request_stage_nanoseconds_count{transport=\"binary\",stage=\"execute\"}"
+        ),
+        "missing binary execute-stage series"
+    );
+    assert!(
+        body.contains("dpod_request_stage_nanoseconds_count{transport=\"json\",stage=\"execute\"}"),
+        "missing json execute-stage series"
+    );
+    assert!(body.contains("quantile=\"0.99\""), "missing p99 quantiles");
+    // Request mix.
+    assert!(body.contains("dpod_requests_total{transport=\"json\",kind=\"query\"} 3"));
+    assert!(body.contains("dpod_requests_total{transport=\"binary\",kind=\"batch\"} 3"));
+    // Event-loop health gauges exist either way; on the event front end
+    // the loop must actually have woken.
+    assert!(body.contains("dpod_eventloop_epoll_wakes_total"));
+    if front_end == FrontEnd::Event {
+        let wakes: u64 = body
+            .lines()
+            .find_map(|l| l.strip_prefix("dpod_eventloop_epoll_wakes_total "))
+            .expect("epoll wakes series")
+            .parse()
+            .unwrap();
+        assert!(wakes > 0, "event loop should have woken at least once");
+    }
+    assert!(body.contains("dpod_eventloop_pending_items"));
+    // ε-budget accounting.
+    assert!(body.contains("dpod_release_epsilon{release=\"city\"} 0.5"));
+    assert!(body.contains("dpod_epsilon_spent_total 0.5"));
+    assert!(body.contains("dpod_epsilon_ledger_entries 1"));
+    // Engine + catalog scrape-time gauges.
+    assert!(body.contains("dpod_catalog_releases 1"));
+    assert!(body.contains("dpod_release_hits_total{release=\"city\"}"));
+    // Front-end info gauge.
+    let label = match front_end {
+        FrontEnd::Event => "event",
+        FrontEnd::Pool => "pool",
+    };
+    assert!(
+        body.contains(&format!(
+            "dpod_serve_front_end_info{{front_end=\"{label}\"}} 1"
+        )),
+        "missing front-end info gauge for {label}"
+    );
+}
+
+fn exposition_covers_served_traffic(front_end: FrontEnd) {
+    let server = test_server();
+    let handle = spawn_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers: 2,
+            front_end: Some(front_end),
+            ..SpawnOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(handle.front_end(), front_end);
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    drive_traffic(handle.addr());
+    let body = scrape(exporter.addr());
+    assert_key_series(&body, front_end);
+
+    // The stats frame reports the same stage histograms.
+    let mut client = wire::Client::connect(handle.addr()).unwrap();
+    client.send(&Request::Stats).unwrap();
+    let Response::Stats { stats } = client.receive().unwrap() else {
+        panic!("expected stats");
+    };
+    let execute_rows: Vec<_> = stats
+        .stage_latencies
+        .iter()
+        .filter(|row| row.stage == "execute")
+        .collect();
+    assert!(
+        execute_rows
+            .iter()
+            .any(|r| r.transport == "json" && r.count >= 3),
+        "stats frame missing json execute-stage quantiles: {:?}",
+        stats.stage_latencies
+    );
+    assert!(
+        execute_rows
+            .iter()
+            .any(|r| r.transport == "binary" && r.count >= 3),
+        "stats frame missing binary execute-stage quantiles: {:?}",
+        stats.stage_latencies
+    );
+    for row in &stats.stage_latencies {
+        assert!(row.p50_nanos <= row.p90_nanos);
+        assert!(row.p90_nanos <= row.p99_nanos);
+        assert!(row.p99_nanos <= row.p999_nanos);
+    }
+
+    exporter.stop();
+    handle.stop();
+}
+
+#[test]
+fn metrics_exposition_event_front_end() {
+    exposition_covers_served_traffic(FrontEnd::Event);
+}
+
+#[test]
+fn metrics_exposition_pool_front_end() {
+    exposition_covers_served_traffic(FrontEnd::Pool);
+}
+
+/// A second scrape on a fresh connection must work (the exporter serves
+/// one request per connection, `Connection: close`).
+#[test]
+fn exporter_serves_repeated_scrapes() {
+    let server = test_server();
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let a = scrape(exporter.addr());
+    let b = scrape(exporter.addr());
+    assert!(a.contains("dpod_catalog_releases 1"));
+    assert!(b.contains("dpod_catalog_releases 1"));
+    exporter.stop();
+}

@@ -7,7 +7,9 @@
 use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
 use dpod_dp::Epsilon;
 use dpod_fmatrix::{DenseMatrix, Shape};
-use dpod_serve::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
+use dpod_serve::protocol::{
+    ReleaseHits, ReleaseInfo, Request, Response, ServerStats, StageLatency,
+};
 use dpod_serve::{wire, Catalog, Server};
 use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
@@ -122,9 +124,23 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     open_connections: counter % 513,
                     accepted_connections: counter.wrapping_mul(3),
                     release_hits: vec![ReleaseHits {
-                        name,
+                        name: name.clone(),
                         hits: counter,
                     }],
+                    evicted_stat_entries: counter % 3,
+                    // 0–2 rows so the empty and populated tails both
+                    // travel through the codec.
+                    stage_latencies: (0..(counter % 3) as usize)
+                        .map(|i| StageLatency {
+                            stage: ["execute", "queue"][i % 2].to_string(),
+                            transport: ["binary", "json"][i % 2].to_string(),
+                            count: counter.wrapping_add(i as u64),
+                            p50_nanos: counter,
+                            p90_nanos: counter.wrapping_mul(2),
+                            p99_nanos: counter.wrapping_mul(4),
+                            p999_nanos: counter.wrapping_mul(8),
+                        })
+                        .collect(),
                 },
             },
             _ => Response::Error { message: name },
