@@ -20,10 +20,14 @@
 //!   release, so these are orders of magnitude below range-sum rates by
 //!   design);
 //! * `tcp/eventloop-cN` — request/response `DPRB` traffic from N
-//!   concurrent connections (1, 64, 512) against the epoll front end on
-//!   a fixed 8-worker pool, plus a `tcp/pool-c64` row from the legacy
-//!   thread-per-connection front end at the same worker count — the
-//!   many-analysts shape the event loop exists for.
+//!   concurrent connections (1, 64, 512) against the epoll front end
+//!   (one loop shard, pinned) on a fixed 8-worker pool, plus a
+//!   `tcp/pool-c64` row from the legacy thread-per-connection front end
+//!   at the same worker count — the many-analysts shape the event loop
+//!   exists for;
+//! * `replay_plans_c1024_eventloop_shards4` — the replay load generator
+//!   at 1024 connections over **four** `SO_REUSEPORT` loop shards, the
+//!   fan-in where a single loop thread became the ceiling.
 //!
 //! Besides the criterion-style console lines, it writes the measured
 //! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
@@ -306,14 +310,21 @@ fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: 
 /// generator (one readiness-driven client thread multiplexing all `N`
 /// request/response connections) against the chosen front end on a
 /// fixed 8-worker pool — the acceptance workload for the event-loop
-/// serving core.
-fn measure_replay_plansps(server: Arc<Server>, front_end: FrontEnd, connections: usize) -> f64 {
+/// serving core. `event_loops` pins the shard count so the trajectory
+/// rows stay comparable across host core counts.
+fn measure_replay_plansps(
+    server: Arc<Server>,
+    front_end: FrontEnd,
+    connections: usize,
+    event_loops: usize,
+) -> f64 {
     let handle = dpod_serve::spawn_with(
         server,
         "127.0.0.1:0",
         SpawnOptions {
             workers: 8,
             front_end: Some(front_end),
+            event_loops,
             ..SpawnOptions::default()
         },
     )
@@ -383,6 +394,9 @@ fn measure_concurrent_qps(
         SpawnOptions {
             workers: 8,
             front_end: Some(front_end),
+            // One loop shard, pinned: these are the single-loop
+            // trajectory rows, comparable across host core counts.
+            event_loops: 1,
             ..SpawnOptions::default()
         },
     )
@@ -517,9 +531,12 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let pool_c64_qps = measure_concurrent_qps(Arc::clone(&server), FrontEnd::Pool, 64, pool_n64);
 
     // The acceptance comparison: the replay load generator (plans, not
-    // bare ranges) at 64 connections against both serving cores.
-    let replay_ev_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 64);
-    let replay_pool_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Pool, 64);
+    // bare ranges) at 64 connections against both serving cores, plus
+    // the sharded headline — 1024 connections over four SO_REUSEPORT
+    // loop shards, the fan-in a single loop thread serialized on.
+    let replay_ev_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 64, 1);
+    let replay_pool_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Pool, 64, 1);
+    let replay_ev_c1024_s4 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 1024, 4);
 
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
@@ -548,8 +565,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
     );
     println!(
         "serve_throughput replay --connections 64 (8 workers): eventloop {:.0} plans/s, \
-         pool {:.0} plans/s",
-        replay_ev_c64, replay_pool_c64
+         pool {:.0} plans/s; --connections 1024 on 4 loop shards: {:.0} plans/s",
+        replay_ev_c64, replay_pool_c64, replay_ev_c1024_s4
     );
     if smoke() {
         println!("smoke mode: skipping BENCH_serve.json update");
@@ -637,6 +654,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "replay_plans_c64_pool".to_string(),
             SIDE as f64,
             replay_pool_c64,
+        ),
+        (
+            "replay_plans_c1024_eventloop_shards4".to_string(),
+            SIDE as f64,
+            replay_ev_c1024_s4,
         ),
     ];
     let experiment = Experiment {

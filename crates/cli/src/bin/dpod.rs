@@ -17,7 +17,8 @@ USAGE:
                 --epsilon E [--mechanism NAME] [--seed S]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
                 [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
-                [--front-end event|pool] [--metrics-addr HOST:PORT]
+                [--front-end event|pool] [--event-loops N]
+                [--listen-backlog N] [--metrics-addr HOST:PORT]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
   dpod query    --connect HOST:PORT --release NAME [--binary true]
@@ -53,11 +54,16 @@ SERVE WIRE: newline-delimited JSON by default; e.g.
             used by `dpod query --binary true`). --wire restricts an
             endpoint to one encoding.
 SERVE CORE: --front-end event (default) serves many idle connections on
-            a few workers via an epoll readiness loop; --front-end pool
-            is the legacy thread-per-connection kill-switch. SIGINT
-            drains in flight responses, prints a final stats line, and
-            exits 0. --metrics-addr additionally serves a Prometheus
-            text-format exposition at GET /metrics on its own listener.
+            a few workers via epoll readiness loops; --front-end pool
+            is the legacy thread-per-connection kill-switch. The event
+            core runs --event-loops N shards, each with its own epoll fd
+            and SO_REUSEPORT listener (default: DPOD_EVENT_LOOPS, then
+            min(4, cores/2)). --listen-backlog N sizes every listener's
+            accept queue (default 1024; kernel clamps to somaxconn).
+            SIGINT drains in flight responses across all shards, prints
+            a final stats line, and exits 0. --metrics-addr additionally
+            serves a Prometheus text-format exposition at GET /metrics
+            on its own listener (per-shard series carry a shard label).
 ";
 
 fn main() -> ExitCode {
@@ -180,6 +186,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 index_mb: opts.parse_or("index-mb", 64)?,
                 wire: opts.parse_or("wire", dpod_serve::WireMode::Auto)?,
                 front_end,
+                event_loops: opts.parse_or("event-loops", 0)?,
+                listen_backlog: opts.parse_or("listen-backlog", 1024)?,
                 metrics_addr: opts.get("metrics-addr").map(str::to_string),
             })?;
             eprintln!(

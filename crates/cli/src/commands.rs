@@ -157,6 +157,12 @@ pub struct ServeArgs {
     /// Serving core (`--front-end event|pool`); `None` resolves to the
     /// `DPOD_FRONT_END` environment variable, then the event loop.
     pub front_end: Option<FrontEnd>,
+    /// Event-loop shards (`--event-loops`); `0` resolves to the
+    /// `DPOD_EVENT_LOOPS` environment variable, then `min(4, cores/2)`.
+    pub event_loops: usize,
+    /// Accept-queue depth requested for every listener
+    /// (`--listen-backlog`; the kernel clamps to `somaxconn`).
+    pub listen_backlog: i32,
     /// Bind address for the Prometheus-text `/metrics` exposition
     /// (`--metrics-addr`); `None` disables the exporter.
     pub metrics_addr: Option<String>,
@@ -192,6 +198,8 @@ pub fn start_server(
             workers: args.workers,
             wire: args.wire,
             front_end: args.front_end,
+            event_loops: args.event_loops,
+            listen_backlog: args.listen_backlog,
             ..SpawnOptions::default()
         },
     )
@@ -1342,6 +1350,8 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            event_loops: 0,
+            listen_backlog: 1024,
             metrics_addr: None,
         })
         .unwrap();
@@ -1395,6 +1405,8 @@ mod tests {
             index_mb: 1,
             wire: WireMode::Auto,
             front_end: None,
+            event_loops: 0,
+            listen_backlog: 1024,
             metrics_addr: None,
         })
         .is_err());
@@ -1448,6 +1460,8 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            event_loops: 0,
+            listen_backlog: 1024,
             metrics_addr: None,
         })
         .unwrap();
@@ -1557,6 +1571,8 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: None,
+            event_loops: 0,
+            listen_backlog: 1024,
             metrics_addr: None,
         })
         .unwrap();
@@ -1648,6 +1664,8 @@ mod tests {
             index_mb: 64,
             wire: WireMode::Auto,
             front_end: Some(FrontEnd::Event),
+            event_loops: 0,
+            listen_backlog: 1024,
             metrics_addr: None,
         })
         .unwrap();

@@ -50,18 +50,6 @@ pub(crate) enum WorkItem {
     SilentClose,
 }
 
-impl WorkItem {
-    /// Payload bytes this item pins in memory while queued (used by the
-    /// event loop's byte-based inbound backpressure).
-    pub(crate) fn payload_len(&self) -> usize {
-        match self {
-            WorkItem::JsonLine(bytes) | WorkItem::Frame(bytes) => bytes.len(),
-            WorkItem::Desync { message, .. } => message.len(),
-            WorkItem::SilentClose => 0,
-        }
-    }
-}
-
 /// Which protocol the connection's bytes have committed to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Encoding {
@@ -109,7 +97,10 @@ impl Assembler {
     }
 
     /// Whether the stream hit an unrecoverable state: once the pending
-    /// items are answered the connection must close.
+    /// items are answered the connection must close. (Production code
+    /// learns this from the `Desync`/`SilentClose` item itself — the
+    /// accessor is for tests.)
+    #[cfg(test)]
     pub(crate) fn poisoned(&self) -> bool {
         self.poisoned
     }

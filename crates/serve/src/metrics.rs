@@ -12,10 +12,16 @@
 //! `fetch_add` (see `dpod_obs`), cheap enough for the ~10⁵ req/s hot
 //! path.
 //!
-//! **Event-loop health** (`dpod_eventloop_*`): cumulative epoll wait
-//! nanoseconds and wake count, the dispatch batch-size distribution,
-//! read-side backpressure pauses, idle-sweep evictions, and the
-//! pending-item queue depth.
+//! **Event-loop health** (`dpod_eventloop_*`, labelled `shard`): per
+//! loop shard, cumulative epoll wait nanoseconds and wake count, the
+//! dispatched-unit byte-size distribution, read-side backpressure
+//! pauses, idle-sweep evictions, and the pending request-byte depth.
+//! *Versioning note:* since the loop was sharded these series carry a
+//! `shard="<i>"` label (previously unlabelled singletons), and the
+//! `dpod_eventloop_pending_items` gauge was superseded by
+//! `dpod_eventloop_pending_bytes` / `dpod_eventloop_dispatch_unit_bytes`
+//! because framing moved off the loop into the workers — the loop now
+//! counts raw bytes, not assembled items.
 //!
 //! **Request mix** (`dpod_requests_total`, labelled `transport` ×
 //! `kind`): one increment per decoded request, plan requests split by
@@ -150,21 +156,30 @@ pub struct ServeMetrics {
     stages: [[Arc<Histogram>; 5]; 2],
     /// `[transport][kind]` request counters.
     requests: [[Arc<Counter>; 11]; 2],
-    /// Cumulative nanoseconds the event loop spent inside `epoll_wait`.
-    pub(crate) epoll_wait_nanos: Arc<Counter>,
-    /// Times the event loop returned from `epoll_wait`.
-    pub(crate) epoll_wakes: Arc<Counter>,
-    /// Items per job handed to the worker pool.
-    pub(crate) dispatch_batch: Arc<Histogram>,
-    /// Times a connection's read side was paused for backpressure.
-    pub(crate) backpressure_pauses: Arc<Counter>,
-    /// Connections closed by the idle sweep.
-    pub(crate) sweep_evictions: Arc<Counter>,
-    /// Assembled-but-undispatched items across all connections.
-    pub(crate) pending_depth: Arc<Gauge>,
     /// Per-release hit-counter rows evicted to keep the stats map
     /// bounded (see `ServerStats::evicted_stat_entries`).
     pub(crate) evicted_stat_entries: Arc<Counter>,
+}
+
+/// One event-loop shard's health handles, labelled `shard="<i>"` on
+/// every series so imbalance across the `N` loops is visible on a
+/// single `/metrics` scrape. Obtained from [`ServeMetrics::shard`] at
+/// shard spawn (registration is the cold path; recording is lock-free).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardMetrics {
+    /// Cumulative nanoseconds this shard spent inside `epoll_wait`.
+    pub(crate) epoll_wait_nanos: Arc<Counter>,
+    /// Times this shard returned from `epoll_wait`.
+    pub(crate) epoll_wakes: Arc<Counter>,
+    /// Raw request bytes per unit this shard dispatched to the pool.
+    pub(crate) dispatch_bytes: Arc<Histogram>,
+    /// Times a connection's read side was paused for backpressure.
+    pub(crate) backpressure_pauses: Arc<Counter>,
+    /// Connections closed by this shard's idle sweep.
+    pub(crate) sweep_evictions: Arc<Counter>,
+    /// Read-but-undispatched request bytes across the shard's
+    /// connections.
+    pub(crate) pending_bytes: Arc<Gauge>,
 }
 
 impl Default for ServeMetrics {
@@ -195,39 +210,9 @@ impl ServeMetrics {
                 )
             })
         });
-        ServeMetrics {
+        let hub = ServeMetrics {
             stages,
             requests,
-            epoll_wait_nanos: registry.counter(
-                "dpod_eventloop_epoll_wait_nanoseconds_total",
-                "Cumulative nanoseconds the event loop spent blocked in epoll_wait",
-                &[],
-            ),
-            epoll_wakes: registry.counter(
-                "dpod_eventloop_epoll_wakes_total",
-                "Times the event loop returned from epoll_wait",
-                &[],
-            ),
-            dispatch_batch: registry.histogram(
-                "dpod_eventloop_dispatch_batch_items",
-                "Work items per job dispatched to the worker pool",
-                &[],
-            ),
-            backpressure_pauses: registry.counter(
-                "dpod_eventloop_backpressure_pauses_total",
-                "Times a connection's read side was paused for backpressure",
-                &[],
-            ),
-            sweep_evictions: registry.counter(
-                "dpod_eventloop_sweep_evictions_total",
-                "Connections closed by the idle-timeout sweep",
-                &[],
-            ),
-            pending_depth: registry.gauge(
-                "dpod_eventloop_pending_items",
-                "Assembled work items waiting for dispatch, across all connections",
-                &[],
-            ),
             evicted_stat_entries: registry.counter(
                 "dpod_server_evicted_stat_entries_total",
                 "Per-release hit-counter rows evicted to bound the stats map",
@@ -235,6 +220,52 @@ impl ServeMetrics {
             ),
             clock: Clock::new(),
             registry,
+        };
+        // Shard 0 always exists under the event front end; registering
+        // it eagerly keeps the scrape catalog complete (zeros included)
+        // even before the first loop iteration — and on the pool front
+        // end, where no shard ever records.
+        let _ = hub.shard(0);
+        hub
+    }
+
+    /// Registers (or re-fetches — the registry dedupes by name+labels)
+    /// the `shard="<i>"` event-loop series and returns their handles.
+    /// Called once per shard at spawn; never on the hot path.
+    pub(crate) fn shard(&self, shard: usize) -> ShardMetrics {
+        let idx = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+        ShardMetrics {
+            epoll_wait_nanos: self.registry.counter(
+                "dpod_eventloop_epoll_wait_nanoseconds_total",
+                "Cumulative nanoseconds the loop shard spent blocked in epoll_wait",
+                labels,
+            ),
+            epoll_wakes: self.registry.counter(
+                "dpod_eventloop_epoll_wakes_total",
+                "Times the loop shard returned from epoll_wait",
+                labels,
+            ),
+            dispatch_bytes: self.registry.histogram(
+                "dpod_eventloop_dispatch_unit_bytes",
+                "Raw request bytes per unit dispatched to the worker pool",
+                labels,
+            ),
+            backpressure_pauses: self.registry.counter(
+                "dpod_eventloop_backpressure_pauses_total",
+                "Times a connection's read side was paused for backpressure",
+                labels,
+            ),
+            sweep_evictions: self.registry.counter(
+                "dpod_eventloop_sweep_evictions_total",
+                "Connections closed by the idle-timeout sweep",
+                labels,
+            ),
+            pending_bytes: self.registry.gauge(
+                "dpod_eventloop_pending_bytes",
+                "Read-but-undispatched request bytes across the shard's connections",
+                labels,
+            ),
         }
     }
 
@@ -496,10 +527,23 @@ impl Drop for MetricsExporter {
     }
 }
 
-/// Binds `addr` and serves the Prometheus text exposition for `server`
-/// on a dedicated thread: any `GET` gets a `200 text/plain; version=0.0.4`
-/// body rendered fresh per scrape (`dpod serve --metrics-addr` plumbs
-/// here).
+/// Hard ceiling on scrape request bytes: a well-formed `GET /metrics`
+/// header block is a few hundred bytes, so 8 KiB is generous and keeps
+/// an attacker from streaming an unbounded "request".
+const SCRAPE_REQUEST_CAP: usize = 8 * 1024;
+
+/// Wall-clock budget for reading one scrape request. Without a total
+/// deadline, a slow-loris peer trickling one byte per read-timeout
+/// window could hold a handler for minutes.
+const SCRAPE_READ_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Binds `addr` and serves the Prometheus text exposition for `server`:
+/// `GET /metrics` gets a `200 text/plain; version=0.0.4` body rendered
+/// fresh per scrape (`dpod serve --metrics-addr` plumbs here). Other
+/// paths get `404`, other methods (or oversized/timed-out requests)
+/// `400`. Each connection is answered on its own short-lived thread
+/// under a hard read deadline, so a slow-loris peer can stall only its
+/// own handler — never the accept loop or other scrapers.
 ///
 /// # Errors
 /// IO errors from binding the listener.
@@ -518,8 +562,12 @@ pub fn spawn_metrics_exporter(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                // Scrapes are rare and tiny; serve inline on this thread.
-                let _ = serve_scrape(stream, &server);
+                // One detached thread per scrape: rare, tiny, and a
+                // misbehaving peer must not wedge the accept loop.
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let _ = serve_scrape(stream, &server);
+                });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -534,27 +582,82 @@ pub fn spawn_metrics_exporter(
     })
 }
 
-/// Answers one HTTP scrape: reads until the header terminator (or a
-/// small cap), writes the exposition body, closes.
-fn serve_scrape(mut stream: std::net::TcpStream, server: &Server) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+/// Outcome of reading and validating one scrape request.
+enum ScrapeRequest {
+    /// `GET /metrics` — serve the exposition.
+    Metrics,
+    /// Well-formed `GET` for some other path.
+    NotFound,
+    /// Anything else: non-GET, unparseable, oversized, or timed out.
+    Bad,
+}
+
+/// Reads one HTTP request under [`SCRAPE_READ_DEADLINE`] /
+/// [`SCRAPE_REQUEST_CAP`] and classifies it.
+fn read_scrape_request(stream: &mut std::net::TcpStream) -> std::io::Result<ScrapeRequest> {
+    let start = std::time::Instant::now();
     let mut buf = [0u8; 4096];
     let mut seen = Vec::new();
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
+    let complete = loop {
+        let Some(remaining) = SCRAPE_READ_DEADLINE.checked_sub(start.elapsed()) else {
+            break false; // deadline exhausted mid-request
+        };
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break false, // EOF before the header terminator
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break false
+            }
+            Err(e) => return Err(e),
+        };
         seen.extend_from_slice(&buf[..n]);
-        if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 64 * 1024 {
-            break;
+        if seen.len() > SCRAPE_REQUEST_CAP {
+            break false;
         }
+        if seen.windows(4).any(|w| w == b"\r\n\r\n") {
+            break true;
+        }
+    };
+    if !complete {
+        return Ok(ScrapeRequest::Bad);
     }
-    let body = render_metrics(server);
+    let Some(line_end) = seen.windows(2).position(|w| w == b"\r\n") else {
+        return Ok(ScrapeRequest::Bad);
+    };
+    let Ok(line) = std::str::from_utf8(&seen[..line_end]) else {
+        return Ok(ScrapeRequest::Bad);
+    };
+    let mut parts = line.split_ascii_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => {
+            // Tolerate a query string ("/metrics?x=1") like most exporters.
+            if path == "/metrics" || path.starts_with("/metrics?") {
+                Ok(ScrapeRequest::Metrics)
+            } else {
+                Ok(ScrapeRequest::NotFound)
+            }
+        }
+        _ => Ok(ScrapeRequest::Bad),
+    }
+}
+
+/// Answers one HTTP scrape: reads the request under a hard deadline and
+/// byte cap, then writes the exposition body (or an error status),
+/// closes.
+fn serve_scrape(mut stream: std::net::TcpStream, server: &Server) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let (status, body) = match read_scrape_request(&mut stream)? {
+        ScrapeRequest::Metrics => ("200 OK", render_metrics(server)),
+        ScrapeRequest::NotFound => ("404 Not Found", "not found; try /metrics\n".to_string()),
+        ScrapeRequest::Bad => ("400 Bad Request", "bad request\n".to_string()),
+    };
     let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;

@@ -515,6 +515,15 @@ pub struct SpawnOptions {
     /// front end) waits for in-flight responses to flush before
     /// dropping stragglers.
     pub drain_deadline: Duration,
+    /// Event-loop shards (event front end only). `0` (the default)
+    /// resolves to the `DPOD_EVENT_LOOPS` environment variable when
+    /// set, then to `min(4, cores/2)` with a floor of 1.
+    pub event_loops: usize,
+    /// `listen(2)` backlog applied to every listener — the primary on
+    /// both front ends, and each shard's `SO_REUSEPORT` sibling (each
+    /// gets its own full queue). The kernel clamps to
+    /// `net.core.somaxconn`.
+    pub listen_backlog: i32,
 }
 
 impl Default for SpawnOptions {
@@ -525,8 +534,31 @@ impl Default for SpawnOptions {
             front_end: None,
             idle_timeout: IDLE_TIMEOUT,
             drain_deadline: Duration::from_secs(5),
+            event_loops: 0,
+            listen_backlog: 1024,
         }
     }
+}
+
+/// Resolves [`SpawnOptions::event_loops`]: an explicit count wins, then
+/// the `DPOD_EVENT_LOOPS` environment variable, then `min(4, cores/2)`
+/// with a floor of 1 — shards beyond ~4 buy little while requests stay
+/// CPU-bound on the workers.
+fn resolve_event_loops(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("DPOD_EVENT_LOOPS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    (cores / 2).clamp(1, 4)
 }
 
 /// The front end [`SpawnOptions::front_end`]`= None` resolves to:
@@ -579,8 +611,12 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     front_end: FrontEnd,
-    join: Option<std::thread::JoinHandle<()>>,
-    waker: Option<Arc<polling::Waker>>,
+    /// Event mode: one join handle per loop shard. Pool mode: the
+    /// acceptor.
+    joins: Vec<std::thread::JoinHandle<()>>,
+    /// Event mode: one waker per loop shard (shutdown must reach every
+    /// shard's `epoll_wait`). Pool mode: empty.
+    wakers: Vec<Arc<polling::Waker>>,
     drain_ms: Arc<AtomicU64>,
     pool: Option<Arc<PoolState>>,
 }
@@ -606,10 +642,10 @@ impl ServerHandle {
     /// handed to workers are served until the peer closes or idles out.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(waker) = &self.waker {
+        for waker in &self.wakers {
             waker.wake();
         }
-        if let Some(handle) = self.join.take() {
+        for handle in self.joins.drain(..) {
             let _ = handle.join();
         }
     }
@@ -622,12 +658,14 @@ impl ServerHandle {
         self.drain_ms
             .store(deadline.as_millis() as u64, Ordering::SeqCst);
         self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(waker) = &self.waker {
+        for waker in &self.wakers {
             waker.wake();
         }
-        if let Some(handle) = self.join.take() {
-            // Event mode: the loop performs the full drain before this
-            // join returns. Pool mode: this is just the acceptor.
+        for handle in self.joins.drain(..) {
+            // Event mode: every shard drains toward the same global
+            // deadline (the first to observe shutdown anchors it), so
+            // joining them in sequence still returns by ~deadline, not
+            // shards × deadline. Pool mode: this is just the acceptor.
             let _ = handle.join();
         }
         let Some(pool) = &self.pool else { return };
@@ -713,19 +751,6 @@ pub fn spawn_with(
     addr: impl ToSocketAddrs,
     opts: SpawnOptions,
 ) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    // `TcpListener::bind` hardcodes an accept backlog of 128, which a
-    // fleet of analysts reconnecting at once (or a load generator
-    // starting up) overflows into multi-second SYN-retransmit stalls;
-    // re-apply listen(2) with a production-sized queue (the kernel
-    // clamps to net.core.somaxconn). Best-effort: off Linux the shim
-    // reports Unsupported and 128 stands.
-    #[cfg(unix)]
-    {
-        use std::os::unix::io::AsRawFd;
-        let _ = polling::net::set_listen_backlog(listener.as_raw_fd(), 1024);
-    }
-    let local = listener.local_addr()?;
     let requested = opts.front_end.unwrap_or_else(default_front_end);
     // Probe epoll support up front so the fallback can reuse the bound
     // listener (off Linux the polling shim reports `Unsupported`).
@@ -733,10 +758,66 @@ pub fn spawn_with(
         FrontEnd::Event if polling::Poller::new().is_ok() => FrontEnd::Event,
         _ => FrontEnd::Pool,
     };
+    let loops = match front_end {
+        FrontEnd::Event => resolve_event_loops(opts.event_loops),
+        FrontEnd::Pool => 1,
+    };
+    let backlog = opts.listen_backlog.max(1);
+    // With several shards the primary listener itself must carry
+    // SO_REUSEPORT (set before bind) or the sibling shard listeners
+    // cannot share its address; when that bind fails — no SO_REUSEPORT
+    // on this platform — the event front end stripes accepts from the
+    // one plain listener instead.
+    let listener = if loops > 1 {
+        match first_addr(&addr).and_then(|a| polling::net::bind_reuseport(a, backlog)) {
+            Ok(l) => l,
+            Err(_) => bind_with_backlog(&addr, backlog)?,
+        }
+    } else {
+        bind_with_backlog(&addr, backlog)?
+    };
+    let local = listener.local_addr()?;
     match front_end {
-        FrontEnd::Event => spawn_event_front_end(server, listener, &opts, local),
+        FrontEnd::Event => spawn_event_front_end(server, listener, &opts, local, loops, backlog),
         FrontEnd::Pool => Ok(spawn_pool_front_end(server, listener, &opts, local)),
     }
+}
+
+/// Resolves `addr` to its first candidate, the one
+/// [`polling::net::bind_reuseport`] (a raw `socket`/`bind` sequence,
+/// not an iterator over candidates) binds.
+fn first_addr(addr: &impl ToSocketAddrs) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "address resolved to no candidates",
+        )
+    })
+}
+
+/// Plain `std` bind plus a production-sized `listen(2)` queue.
+/// `TcpListener::bind` hardcodes an accept backlog of 128, which a
+/// fleet of analysts reconnecting at once (or a load generator starting
+/// up) overflows into multi-second SYN-retransmit stalls; re-apply
+/// `listen(2)` with the configured queue (the kernel clamps to
+/// `net.core.somaxconn`). A failed resize is surfaced as a startup
+/// warning — except `Unsupported`, the shim's documented answer off
+/// Linux, where 128 simply stands.
+fn bind_with_backlog(addr: &impl ToSocketAddrs, backlog: i32) -> std::io::Result<TcpListener> {
+    let listener = TcpListener::bind(addr)?;
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        if let Err(e) = polling::net::set_listen_backlog(listener.as_raw_fd(), backlog) {
+            if e.kind() != std::io::ErrorKind::Unsupported {
+                eprintln!(
+                    "dpod-serve: warning: failed to resize listen backlog to {backlog}: {e} \
+                     (the kernel default stands)"
+                );
+            }
+        }
+    }
+    Ok(listener)
 }
 
 #[cfg(unix)]
@@ -745,18 +826,40 @@ fn spawn_event_front_end(
     listener: TcpListener,
     opts: &SpawnOptions,
     local: SocketAddr,
+    loops: usize,
+    backlog: i32,
 ) -> std::io::Result<ServerHandle> {
     server.metrics().note_front_end("event");
     let shutdown = Arc::new(AtomicBool::new(false));
     let drain_ms = Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64));
+    // One listener per shard when the kernel can spread accepts
+    // (SO_REUSEPORT); otherwise the single listener is striped by
+    // shard 0. All-or-nothing: with only a partial sibling set the
+    // kernel would spread accepts over fewer queues than shards and
+    // leave the rest idle.
+    let mut listeners = vec![listener];
+    if loops > 1 {
+        let mut siblings = Vec::with_capacity(loops - 1);
+        for _ in 1..loops {
+            match polling::net::bind_reuseport(local, backlog) {
+                Ok(l) => siblings.push(l),
+                Err(_) => {
+                    siblings.clear();
+                    break;
+                }
+            }
+        }
+        listeners.extend(siblings);
+    }
     let cfg = crate::event::EventConfig {
         workers: opts.workers.max(1),
+        loops,
         mode: opts.wire,
         idle_timeout: opts.idle_timeout,
     };
-    let (thread, waker) = crate::event::spawn(
+    let (joins, wakers) = crate::event::spawn(
         server,
-        listener,
+        listeners,
         cfg,
         Arc::clone(&shutdown),
         Arc::clone(&drain_ms),
@@ -765,8 +868,8 @@ fn spawn_event_front_end(
         addr: local,
         shutdown,
         front_end: FrontEnd::Event,
-        join: Some(thread),
-        waker: Some(waker),
+        joins,
+        wakers,
         drain_ms,
         pool: None,
     })
@@ -778,6 +881,8 @@ fn spawn_event_front_end(
     _listener: TcpListener,
     _opts: &SpawnOptions,
     _local: SocketAddr,
+    _loops: usize,
+    _backlog: i32,
 ) -> std::io::Result<ServerHandle> {
     Err(std::io::Error::new(
         std::io::ErrorKind::Unsupported,
@@ -864,8 +969,8 @@ fn spawn_pool_front_end(
         addr: local,
         shutdown,
         front_end: FrontEnd::Pool,
-        join: Some(acceptor),
-        waker: None,
+        joins: vec![acceptor],
+        wakers: Vec::new(),
         drain_ms: Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64)),
         pool: Some(pool_state),
     }

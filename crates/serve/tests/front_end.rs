@@ -10,9 +10,14 @@
 //! * many idle connections (far more than workers) are all served: open
 //!   sockets are state, not threads;
 //! * 512 concurrent connections on an 8-worker pool answer
-//!   bit-identically to the thread-pool front end (the acceptance pin);
+//!   bit-identically to the thread-pool front end (the acceptance pin),
+//!   and 1024 connections over four `SO_REUSEPORT` loop shards do too;
 //! * graceful drain answers everything already received, flushes, and
-//!   closes — on both front ends.
+//!   closes — on both front ends, and across all shards within one
+//!   global deadline;
+//! * the per-shard Dekker wake handshake loses no dispatches even with
+//!   a single worker serving four shards, and each shard's idle sweep
+//!   reaps its own connections.
 
 use dpod_core::{grid::Ebp, Mechanism, PublishedRelease};
 use dpod_dp::Epsilon;
@@ -60,6 +65,24 @@ fn spawn_front_end(server: &Arc<Server>, front_end: FrontEnd, workers: usize) ->
     )
     .expect("bind");
     assert_eq!(handle.front_end(), front_end, "no fallback expected here");
+    handle
+}
+
+/// Event front end with an explicit shard count (this suite runs on
+/// machines where the core-count default may resolve to one loop).
+fn spawn_sharded(server: &Arc<Server>, event_loops: usize, workers: usize) -> ServerHandle {
+    let handle = spawn_with(
+        Arc::clone(server),
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers,
+            front_end: Some(FrontEnd::Event),
+            event_loops,
+            ..SpawnOptions::default()
+        },
+    )
+    .expect("bind");
+    assert_eq!(handle.front_end(), FrontEnd::Event);
     handle
 }
 
@@ -294,14 +317,12 @@ fn many_idle_connections_are_all_served_by_two_workers() {
     handle.stop();
 }
 
-/// The acceptance pin: 512 concurrent connections on an 8-worker pool,
-/// answered bit-identically to the thread-pool front end, across both
-/// encodings.
-#[test]
-fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
-    const CONNS: usize = 512;
+/// The acceptance pin, parameterized over the shard count: `conns`
+/// concurrent connections on an 8-worker pool, answered bit-identically
+/// to the thread-pool front end, across both encodings.
+fn bit_identical_to_pool_mode(conns: usize, event_loops: usize) {
     let server = test_server(&["city", "transit"]);
-    let event = spawn_front_end(&server, FrontEnd::Event, 8);
+    let event = spawn_sharded(&server, event_loops, 8);
 
     // Reference bytes from the legacy front end (one pipelined
     // connection per encoding is enough — the pool cannot hold 512).
@@ -322,7 +343,7 @@ fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
         let stream = TcpStream::connect(pool.addr()).unwrap();
         stream.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
-        for i in 0..CONNS {
+        for i in 0..conns {
             let mut line = serde_json::to_string(&request_for(i)).unwrap();
             line.push('\n');
             (&stream).write_all(line.as_bytes()).unwrap();
@@ -334,30 +355,30 @@ fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
     let mut expected_frames: Vec<Vec<u8>> = Vec::new();
     {
         let mut client = wire::Client::connect(pool.addr()).unwrap();
-        for i in 0..CONNS {
+        for i in 0..conns {
             client.send(&request_for(i)).unwrap();
         }
-        for _ in 0..CONNS {
+        for _ in 0..conns {
             let resp = client.receive().unwrap();
             expected_frames.push(wire::encode_response(&resp));
         }
     }
     pool.stop();
 
-    // Open all 512 sockets first — every one of them concurrently open
+    // Open all sockets first — every one of them concurrently open
     // and idle — then speak on each: JSON on even connections, DPRB on
     // odd ones. Waves keep the accept backlog comfortable.
-    let mut conns: Vec<TcpStream> = Vec::with_capacity(CONNS);
-    for _wave in 0..(CONNS / 64) {
+    let mut socks: Vec<TcpStream> = Vec::with_capacity(conns);
+    for _wave in 0..(conns / 64) {
         for _ in 0..64 {
             let s = TcpStream::connect(event.addr()).unwrap();
             s.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
             s.set_nodelay(true).unwrap();
-            conns.push(s);
+            socks.push(s);
         }
         std::thread::sleep(Duration::from_millis(10));
     }
-    for (i, stream) in conns.iter().enumerate() {
+    for (i, stream) in socks.iter().enumerate() {
         let mut w = stream;
         if i % 2 == 0 {
             let mut line = serde_json::to_string(&request_for(i)).unwrap();
@@ -369,7 +390,7 @@ fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
             wire::write_frame(&mut w, &wire::encode_request(&request_for(i))).unwrap();
         }
     }
-    for (i, stream) in conns.iter().enumerate() {
+    for (i, stream) in socks.iter().enumerate() {
         if i % 2 == 0 {
             let mut reader = BufReader::new(stream.try_clone().unwrap());
             let mut answer = String::new();
@@ -386,9 +407,23 @@ fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
             );
         }
     }
-    assert!(server.accepted_connections() >= CONNS as u64);
-    drop(conns);
+    assert!(server.accepted_connections() >= conns as u64);
+    drop(socks);
     event.stop();
+}
+
+/// The original acceptance pin: 512 connections on a single loop shard.
+#[test]
+fn event_loop_serves_512_connections_bit_identically_to_pool_mode() {
+    bit_identical_to_pool_mode(512, 1);
+}
+
+/// The sharded acceptance pin: 1024 connections spread over four
+/// `SO_REUSEPORT` shards, still bit-identical to pool mode on both
+/// encodings — sharding must not change a single answered byte.
+#[test]
+fn four_shards_serve_1024_connections_bit_identically_to_pool_mode() {
+    bit_identical_to_pool_mode(1024, 4);
 }
 
 #[test]
@@ -547,6 +582,200 @@ fn connection_gauges_cross_the_wire() {
         }
         assert!(Instant::now() < deadline, "closed connections not observed");
         std::thread::sleep(Duration::from_millis(5));
+    }
+    handle.stop();
+}
+
+/// Cross-shard isolation: slow-loris connections trickling partial
+/// requests on every shard must not delay healthy clients — each shard
+/// parks the stalled sockets as state while workers stay free.
+#[test]
+fn loris_connections_do_not_stall_healthy_clients_across_shards() {
+    let server = test_server(&["city"]);
+    let handle = spawn_sharded(&server, 4, 2);
+
+    // Eight stalled connections — enough that (kernel REUSEPORT
+    // hashing) every shard almost surely holds at least one — each with
+    // a partial JSON request that never completes.
+    let lorises: Vec<TcpStream> = (0..8)
+        .map(|_| {
+            let mut s = TcpStream::connect(handle.addr()).unwrap();
+            s.write_all(b"{\"Query\":{\"release\":\"ci").unwrap();
+            s
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Sixteen healthy round trips must all answer promptly.
+    let req = Request::Query {
+        release: "city".into(),
+        lo: vec![0, 0],
+        hi: vec![16, 16],
+    };
+    let t0 = Instant::now();
+    for _ in 0..16 {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let resp = json_round_trip(&stream, &mut reader, &req);
+        assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "healthy clients stalled behind lorises: {:?}",
+        t0.elapsed()
+    );
+    drop(lorises);
+    handle.stop();
+}
+
+/// Multi-shard graceful drain: responses already computed on *every*
+/// shard are flushed before close, and the shards converge on one
+/// global drain deadline — `drain` returns in about one deadline, not
+/// `shards × deadline` (the loops anchor a shared instant and the
+/// sequential joins each find their shard already done).
+#[test]
+fn multi_shard_drain_flushes_every_shard_within_one_deadline() {
+    const CONNS: usize = 12;
+    const PER_CONN: usize = 20;
+    let server = test_server(&["city"]);
+    let handle = spawn_sharded(&server, 4, 2);
+
+    let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = Vec::new();
+    for _ in 0..CONNS {
+        let s = TcpStream::connect(handle.addr()).unwrap();
+        s.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
+        let r = BufReader::new(s.try_clone().unwrap());
+        conns.push((s, r));
+    }
+    for (i, (stream, _)) in conns.iter().enumerate() {
+        let mut pipelined = String::new();
+        for j in 0..PER_CONN {
+            let req = Request::Query {
+                release: "city".into(),
+                lo: vec![0, 0],
+                hi: vec![1 + ((i + j) % 16), 16],
+            };
+            pipelined.push_str(&serde_json::to_string(&req).unwrap());
+            pipelined.push('\n');
+        }
+        (&*stream).write_all(pipelined.as_bytes()).unwrap();
+    }
+
+    // Wait until every shard has answered its share…
+    let deadline = Instant::now() + REPLY_TIMEOUT;
+    while server.queries_answered() < (CONNS * PER_CONN) as u64 {
+        assert!(Instant::now() < deadline, "requests not processed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // …then drain with a 3 s window. Four shards × 3 s would be 12 s;
+    // the global deadline keeps the whole barrier to ~one window.
+    let t0 = Instant::now();
+    handle.drain(Duration::from_secs(3));
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "drain did not converge on one global deadline: {:?}",
+        t0.elapsed()
+    );
+    // No response was lost on any shard: every connection reads all of
+    // its answers, then EOF.
+    for (i, (_, reader)) in conns.iter_mut().enumerate() {
+        let mut answers = 0;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).unwrap();
+            if n == 0 {
+                break;
+            }
+            let resp: Response = serde_json::from_str(line.trim()).unwrap();
+            assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+            answers += 1;
+        }
+        assert_eq!(answers, PER_CONN, "connection {i} lost drained responses");
+    }
+}
+
+/// The Dekker-handshake pin under maximum contention: a *single* worker
+/// serves four shards, so every dispatch/completion crosses the
+/// sleeping/busy handshake with three other loops in flight. A lost
+/// wake strands a round trip and trips the read timeout.
+#[test]
+fn single_worker_across_four_shards_loses_no_wakeups() {
+    let server = test_server(&["city"]);
+    let handle = spawn_sharded(&server, 4, 1);
+    let addr = handle.addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                stream.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for j in 0..50usize {
+                    let req = Request::Query {
+                        release: "city".into(),
+                        lo: vec![0, 0],
+                        hi: vec![1 + ((t + j) % 16), 16],
+                    };
+                    let mut line = serde_json::to_string(&req).unwrap();
+                    line.push('\n');
+                    (&stream).write_all(line.as_bytes()).unwrap();
+                    let mut answer = String::new();
+                    reader.read_line(&mut answer).unwrap();
+                    let resp: Response = serde_json::from_str(answer.trim()).unwrap();
+                    assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("round trip stranded: lost wakeup");
+    }
+    assert_eq!(server.queries_answered(), 400);
+    handle.stop();
+}
+
+/// The idle sweep is shard-local: every shard times out its own idle
+/// connections — none are missed because "their" shard never looked.
+#[test]
+fn idle_sweep_reaps_connections_on_every_shard() {
+    let server = test_server(&["city"]);
+    let handle = spawn_with(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        SpawnOptions {
+            workers: 2,
+            front_end: Some(FrontEnd::Event),
+            event_loops: 4,
+            idle_timeout: Duration::from_millis(300),
+            ..SpawnOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Twelve idle connections spread over the shards; all must be
+    // swept, each by whichever shard owns it.
+    let conns: Vec<TcpStream> = (0..12)
+        .map(|_| {
+            let s = TcpStream::connect(handle.addr()).unwrap();
+            s.set_read_timeout(Some(REPLY_TIMEOUT)).unwrap();
+            s
+        })
+        .collect();
+    for mut s in conns {
+        let mut sink = [0u8; 64];
+        loop {
+            match s.read(&mut sink) {
+                Ok(0) | Err(_) => break, // EOF or reset: swept
+                Ok(_) => {}
+            }
+        }
+    }
+    let deadline = Instant::now() + REPLY_TIMEOUT;
+    while server.open_connections() > 0 {
+        assert!(Instant::now() < deadline, "idle sweep missed a shard");
+        std::thread::sleep(Duration::from_millis(10));
     }
     handle.stop();
 }

@@ -92,19 +92,23 @@ fn assert_key_series(body: &str, front_end: FrontEnd) {
     // Request mix.
     assert!(body.contains("dpod_requests_total{transport=\"json\",kind=\"query\"} 3"));
     assert!(body.contains("dpod_requests_total{transport=\"binary\",kind=\"batch\"} 3"));
-    // Event-loop health gauges exist either way; on the event front end
-    // the loop must actually have woken.
-    assert!(body.contains("dpod_eventloop_epoll_wakes_total"));
+    // Event-loop health gauges exist either way (shard 0's series are
+    // pre-registered); on the event front end the shards must actually
+    // have woken. Since the loop was sharded the series carry a
+    // `shard` label — sum across them.
+    assert!(body.contains("dpod_eventloop_epoll_wakes_total{shard=\"0\"}"));
     if front_end == FrontEnd::Event {
         let wakes: u64 = body
             .lines()
-            .find_map(|l| l.strip_prefix("dpod_eventloop_epoll_wakes_total "))
-            .expect("epoll wakes series")
-            .parse()
-            .unwrap();
-        assert!(wakes > 0, "event loop should have woken at least once");
+            .filter_map(|l| l.strip_prefix("dpod_eventloop_epoll_wakes_total{shard=\""))
+            .filter_map(|rest| {
+                rest.split_once("\"} ")
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+            })
+            .sum();
+        assert!(wakes > 0, "event-loop shards should have woken");
     }
-    assert!(body.contains("dpod_eventloop_pending_items"));
+    assert!(body.contains("dpod_eventloop_pending_bytes{shard=\"0\"}"));
     // ε-budget accounting.
     assert!(body.contains("dpod_release_epsilon{release=\"city\"} 0.5"));
     assert!(body.contains("dpod_epsilon_spent_total 0.5"));
@@ -199,5 +203,98 @@ fn exporter_serves_repeated_scrapes() {
     let b = scrape(exporter.addr());
     assert!(a.contains("dpod_catalog_releases 1"));
     assert!(b.contains("dpod_catalog_releases 1"));
+    exporter.stop();
+}
+
+/// Reads as much of the HTTP response as the peer delivers and returns
+/// its status line. Tolerates a mid-stream reset: a handler that
+/// answers and closes while our unread request bytes are still in
+/// flight makes the kernel RST the tail, after the status line already
+/// arrived.
+fn status_of(mut stream: TcpStream) -> String {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+        }
+    }
+    String::from_utf8_lossy(&raw)
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Regression: the exporter used to block forever on a peer that
+/// connects and sends nothing (or trickles bytes) — one slow-loris
+/// connection wedged `/metrics` for every scraper. Now each connection
+/// gets its own handler under a hard read deadline, so a healthy scrape
+/// succeeds *while* the loris holds its connection open, and the loris
+/// itself is answered 400 once the deadline lapses.
+#[test]
+fn slow_loris_does_not_wedge_the_exporter() {
+    let server = test_server();
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    // Open and stall: no bytes at all, and a second that trickles an
+    // incomplete header and stops.
+    let silent = TcpStream::connect(exporter.addr()).unwrap();
+    let mut trickler = TcpStream::connect(exporter.addr()).unwrap();
+    trickler.write_all(b"GET /metr").unwrap();
+
+    // A healthy scrape right behind them must not wait on either.
+    let start = std::time::Instant::now();
+    let body = scrape(exporter.addr());
+    assert!(body.contains("dpod_catalog_releases 1"));
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "scrape stalled behind a slow-loris connection: {:?}",
+        start.elapsed()
+    );
+
+    // The stalled connections are answered 400 (not held forever).
+    assert!(status_of(silent).contains("400"), "silent peer gets 400");
+    assert!(status_of(trickler.try_clone().unwrap()).contains("400"));
+    exporter.stop();
+}
+
+/// Non-`GET /metrics` requests get proper error statuses instead of the
+/// exposition body (or a hang): unknown path → 404, non-GET → 400,
+/// oversized request → 400.
+#[test]
+fn exporter_rejects_non_scrape_requests() {
+    let server = test_server();
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+
+    let mut wrong_path = TcpStream::connect(exporter.addr()).unwrap();
+    wrong_path
+        .write_all(b"GET /debug/pprof HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert!(status_of(wrong_path).contains("404 Not Found"));
+
+    let mut post = TcpStream::connect(exporter.addr()).unwrap();
+    post.write_all(b"POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    assert!(status_of(post).contains("400 Bad Request"));
+
+    // An unbounded "request" is cut off at the byte cap, not buffered
+    // forever.
+    let mut oversized = TcpStream::connect(exporter.addr()).unwrap();
+    let filler = vec![b'a'; 64 * 1024];
+    let _ = oversized.write_all(b"GET /metrics HTTP/1.1\r\n");
+    let _ = oversized.write_all(&filler); // no terminator, way past the cap
+    assert!(status_of(oversized).contains("400 Bad Request"));
+
+    // A query string still counts as /metrics.
+    let mut with_query = TcpStream::connect(exporter.addr()).unwrap();
+    with_query
+        .write_all(b"GET /metrics?debug=1 HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    assert!(status_of(with_query).contains("200 OK"));
     exporter.stop();
 }

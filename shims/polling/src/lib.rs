@@ -251,9 +251,43 @@ mod sys {
 
     pub mod net {
         use std::io;
+        use std::net::{SocketAddr, TcpListener};
+        use std::os::unix::io::FromRawFd;
+
+        const AF_INET: i32 = 2;
+        const AF_INET6: i32 = 10;
+        const SOCK_STREAM: i32 = 1;
+        const SOCK_CLOEXEC: i32 = 0o2000000;
+        const SOL_SOCKET: i32 = 1;
+        const SO_REUSEADDR: i32 = 2;
+        const SO_REUSEPORT: i32 = 15;
+
+        // `sockaddr_in` / `sockaddr_in6`, as bind(2) expects them. Port
+        // and the v4 address travel big-endian.
+        #[repr(C)]
+        struct SockaddrIn {
+            family: u16,
+            port_be: u16,
+            addr_be: u32,
+            zero: [u8; 8],
+        }
+
+        #[repr(C)]
+        struct SockaddrIn6 {
+            family: u16,
+            port_be: u16,
+            flowinfo: u32,
+            addr: [u8; 16],
+            scope_id: u32,
+        }
 
         extern "C" {
+            fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+            fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32)
+                -> i32;
+            fn bind(fd: i32, addr: *const u8, addrlen: u32) -> i32;
             fn listen(fd: i32, backlog: i32) -> i32;
+            fn close(fd: i32) -> i32;
         }
 
         pub fn set_listen_backlog(fd: i32, backlog: i32) -> io::Result<()> {
@@ -263,6 +297,71 @@ mod sys {
                 return Err(io::Error::last_os_error());
             }
             Ok(())
+        }
+
+        fn cvt(ret: i32) -> io::Result<i32> {
+            if ret < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(ret)
+            }
+        }
+
+        fn set_opt(fd: i32, opt: i32) -> io::Result<()> {
+            let one: i32 = 1;
+            cvt(unsafe { setsockopt(fd, SOL_SOCKET, opt, (&one as *const i32).cast(), 4) })
+                .map(|_| ())
+        }
+
+        pub fn bind_reuseport(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+            let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+            let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+            let guard_close = |e: io::Error| {
+                unsafe { close(fd) };
+                e
+            };
+            // SO_REUSEADDR matches std's TcpListener::bind (TIME_WAIT
+            // rebinds); SO_REUSEPORT is what lets every shard bind the
+            // same address and have the kernel spray accepts across the
+            // listen sockets by 4-tuple hash.
+            set_opt(fd, SO_REUSEADDR).map_err(guard_close)?;
+            set_opt(fd, SO_REUSEPORT).map_err(guard_close)?;
+            let ret = match addr {
+                SocketAddr::V4(v4) => {
+                    let sa = SockaddrIn {
+                        family: AF_INET as u16,
+                        port_be: v4.port().to_be(),
+                        addr_be: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                        zero: [0; 8],
+                    };
+                    unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockaddrIn).cast(),
+                            std::mem::size_of::<SockaddrIn>() as u32,
+                        )
+                    }
+                }
+                SocketAddr::V6(v6) => {
+                    let sa = SockaddrIn6 {
+                        family: AF_INET6 as u16,
+                        port_be: v6.port().to_be(),
+                        flowinfo: v6.flowinfo(),
+                        addr: v6.ip().octets(),
+                        scope_id: v6.scope_id(),
+                    };
+                    unsafe {
+                        bind(
+                            fd,
+                            (&sa as *const SockaddrIn6).cast(),
+                            std::mem::size_of::<SockaddrIn6>() as u32,
+                        )
+                    }
+                }
+            };
+            cvt(ret).map_err(guard_close)?;
+            cvt(unsafe { listen(fd, backlog) }).map_err(guard_close)?;
+            Ok(unsafe { TcpListener::from_raw_fd(fd) })
         }
     }
 
@@ -389,8 +488,13 @@ mod sys {
 
     pub mod net {
         use std::io;
+        use std::net::{SocketAddr, TcpListener};
 
         pub fn set_listen_backlog(_fd: i32, _backlog: i32) -> io::Result<()> {
+            Err(super::unsupported())
+        }
+
+        pub fn bind_reuseport(_addr: SocketAddr, _backlog: i32) -> io::Result<TcpListener> {
             Err(super::unsupported())
         }
     }
@@ -522,9 +626,18 @@ impl Waker {
 /// [`net::set_listen_backlog`] resizes the backlog of an
 /// already-listening socket (Linux re-applies `listen(2)`; the kernel
 /// clamps to `net.core.somaxconn`).
+///
+/// [`net::bind_reuseport`] creates a listening socket with
+/// `SO_REUSEPORT` set before `bind(2)`, so several listeners — one per
+/// event-loop shard — can share one address and the kernel distributes
+/// incoming connections across them by 4-tuple hash. Every socket on
+/// the address must carry the option, including the first; a server
+/// that may ever shard must create its primary listener through this
+/// call too.
 pub mod net {
     use super::sys;
     use std::io;
+    use std::net::{SocketAddr, TcpListener};
 
     /// Resizes `fd`'s accept backlog.
     ///
@@ -532,6 +645,19 @@ pub mod net {
     /// The OS error from `listen(2)`; `Unsupported` off Linux.
     pub fn set_listen_backlog(fd: i32, backlog: i32) -> io::Result<()> {
         sys::net::set_listen_backlog(fd, backlog)
+    }
+
+    /// Binds a new `SO_REUSEPORT` + `SO_REUSEADDR` listening socket to
+    /// `addr` with the given accept `backlog`. Additional shards bind
+    /// the *resolved* address of the first listener (port 0 becomes the
+    /// picked port).
+    ///
+    /// # Errors
+    /// The OS error from `socket`/`setsockopt`/`bind`/`listen`;
+    /// `Unsupported` off Linux (callers fall back to striped accept
+    /// from a single listener).
+    pub fn bind_reuseport(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+        sys::net::bind_reuseport(addr, backlog)
     }
 }
 
@@ -675,6 +801,40 @@ mod tests {
             .wait(&mut events, Some(Duration::from_millis(10)))
             .unwrap();
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reuseport_listeners_share_an_address() {
+        let first = net::bind_reuseport("127.0.0.1:0".parse().unwrap(), 64).unwrap();
+        let addr = first.local_addr().unwrap();
+        assert_ne!(addr.port(), 0, "port 0 resolves to a real port");
+        // A second listener binds the *same* resolved address.
+        let second = net::bind_reuseport(addr, 64).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // Connections land on one of the two listeners; accept them all
+        // from both sides (nonblocking, drained after the burst).
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut clients = Vec::new();
+        for _ in 0..8 {
+            clients.push(std::net::TcpStream::connect(addr).unwrap());
+        }
+        let mut accepted = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while accepted < clients.len() {
+            for l in [&first, &second] {
+                while l.accept().is_ok() {
+                    accepted += 1;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {accepted} of {} connections accepted",
+                clients.len()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]
