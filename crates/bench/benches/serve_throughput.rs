@@ -28,6 +28,12 @@
 //! * `replay_plans_c1024_eventloop_shards4` — the replay load generator
 //!   at 1024 connections over **four** `SO_REUSEPORT` loop shards, the
 //!   fan-in where a single loop thread became the ceiling.
+//! * `window_lastk3_publish_storm` — sliding-window plans
+//!   (`Window{LastK:3}` over an epoch series) answered while a curator
+//!   thread republishes the frontier epoch as fast as it can: the
+//!   continual-publication shape, where each republish invalidates only
+//!   that epoch's memoized partial and the warm epochs keep answering
+//!   from cache.
 //!
 //! Besides the criterion-style console lines, it writes the measured
 //! queries/sec into `BENCH_serve.json` (report::Experiment schema) so the
@@ -434,6 +440,77 @@ fn measure_concurrent_qps(
     qps
 }
 
+/// Window plans/sec under a publish storm: the continual-publication
+/// acceptance row. Four epochs of a `ts` series go live, then a curator
+/// thread republishes the frontier epoch in a tight loop while the main
+/// thread drives `Window{LastK:3, Sum, Marginal}` plans request/response
+/// over `DPRB`. Each republish invalidates exactly one memoized
+/// per-epoch partial, so the steady state mixes warm partials (the two
+/// older epochs) with recomputes of the churning frontier.
+fn measure_window_publish_storm_qps(server: Arc<Server>, n: usize) -> f64 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let cfg = HarnessConfig::at_scale(Scale::Quick);
+    let ds = datasets::gaussian(&cfg, 2, 0.2);
+    let eps = Epsilon::new(0.5).expect("valid epsilon");
+    let fresh = |seed: u64| {
+        let out = Ebp::default()
+            .sanitize(&ds.matrix, eps, &mut dpod_dp::seeded_rng(seed))
+            .expect("sanitize");
+        PublishedRelease::from_sanitized(&out)
+    };
+    for t in 1..=4u64 {
+        server
+            .publish_epoch("ts", t, fresh(200 + t))
+            .expect("epoch");
+    }
+    let handle = spawn_legacy_pool(Arc::clone(&server));
+    let req = Request::Plan {
+        release: "ts".into(),
+        plan: QueryPlan::Window {
+            select: dpod_query::EpochSelector::LastK { k: 3 },
+            merge: dpod_query::WindowMerge::Sum,
+            plan: Box::new(QueryPlan::Marginal { keep: vec![0] }),
+        },
+    };
+    let stop = AtomicBool::new(false);
+    let (qps, republished) = std::thread::scope(|scope| {
+        let curator = scope.spawn(|| {
+            let mut republished = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                server
+                    .publish_epoch("ts", 4, fresh(300 + republished))
+                    .expect("republish");
+                republished += 1;
+            }
+            republished
+        });
+        let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
+        let start = Instant::now();
+        for _ in 0..n {
+            match client.request(&req).expect("window plan") {
+                Response::Answer { answer } => {
+                    black_box(answer.units());
+                }
+                other => panic!("window plan failed: {other:?}"),
+            }
+        }
+        let qps = n as f64 / start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        (qps, curator.join().expect("curator"))
+    });
+    handle.stop();
+    // Leave the bench catalog as the other rows found it.
+    for t in 1..=4u64 {
+        server.remove_release(&format!("ts@{t}"));
+    }
+    println!(
+        "serve_throughput window publish storm: {qps:.0} plans/s \
+         while {republished} republishes landed"
+    );
+    qps
+}
+
 /// Plans/sec for one fixed typed plan through the in-process
 /// `Server::handle` path (no serialization) — the ceiling the TCP rows
 /// are chasing.
@@ -537,6 +614,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let replay_ev_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 64, 1);
     let replay_pool_c64 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Pool, 64, 1);
     let replay_ev_c1024_s4 = measure_replay_plansps(Arc::clone(&server), FrontEnd::Event, 1024, 4);
+
+    // Continual publication: sliding-window plans against a series whose
+    // frontier epoch is being republished concurrently.
+    let storm_n = if smoke() { 200 } else { 10_000 };
+    let window_storm_qps = measure_window_publish_storm_qps(Arc::clone(&server), storm_n);
 
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
@@ -659,6 +741,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "replay_plans_c1024_eventloop_shards4".to_string(),
             SIDE as f64,
             replay_ev_c1024_s4,
+        ),
+        (
+            "window_lastk3_publish_storm".to_string(),
+            SIDE as f64,
+            window_storm_qps,
         ),
     ];
     let experiment = Experiment {

@@ -15,6 +15,7 @@ USAGE:
                 [--mechanism NAME] [--seed S] [--out FILE]
   dpod publish  --input trips.csv --name NAME --catalog DIR [--cells M]
                 --epsilon E [--mechanism NAME] [--seed S]
+                [--epoch T [--retain K]]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
                 [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
                 [--front-end event|pool] [--event-loops N]
@@ -46,6 +47,15 @@ REPLAY: FILE is NDJSON, one QueryPlan per line (the `plan` field of a
         connections (remote replays; the load-generator mode);
         --slo-report writes a machine-readable JSON latency report
         (aggregate and per-connection quantiles).
+EPOCHS: --epoch T publishes NAME as epoch T of its series (catalog
+        entry NAME@T; epoch ids are monotonic per series — republish a
+        live epoch or advance past the frontier, never resurrect a
+        retired one). --retain K then tombstones every epoch older than
+        the newest K, releasing their ε back to the series ledger. A
+        pre-epoch release named NAME serves as epoch 0 of series NAME.
+        Window plans slide over a series, e.g.
+        {\"Window\":{\"select\":{\"LastK\":{\"k\":4}},\"merge\":\"Sum\",
+        \"plan\":\"Total\"}}
 MECHANISMS: see `dpod mechanisms`
 SERVE WIRE: newline-delimited JSON by default; e.g.
             {\"Query\":{\"release\":\"NAME\",\"lo\":[0,0],\"hi\":[4,4]}}
@@ -145,6 +155,20 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let input = opts.require("input")?;
             let csv_text = std::fs::read_to_string(&input)
                 .map_err(|e| CliError(format!("cannot read {input}: {e}")))?;
+            let epoch = match opts.get("epoch") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| CliError(format!("--epoch: cannot parse '{v}'")))?,
+                ),
+                None => None,
+            };
+            let retain = match opts.get("retain") {
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| CliError(format!("--retain: cannot parse '{v}'")))?,
+                ),
+                None => None,
+            };
             commands::publish(
                 &csv_text,
                 &SanitizeArgs {
@@ -155,6 +179,8 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 },
                 &opts.require("name")?,
                 &PathBuf::from(opts.require("catalog")?),
+                epoch,
+                retain,
             )
         }
         "replay" => {
@@ -191,10 +217,15 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 metrics_addr: opts.get("metrics-addr").map(str::to_string),
             })?;
             eprintln!(
-                "dpod-serve listening on {} ({} releases, {:?} front end)",
+                "dpod-serve listening on {} ({} releases in {} series; {:?} front end, \
+                 {} event loop{}, listen backlog {})",
                 handle.addr(),
                 server.catalog().len(),
+                dpod_serve::series::series_names(server.catalog()).len(),
                 handle.front_end(),
+                handle.event_loops(),
+                if handle.event_loops() == 1 { "" } else { "s" },
+                handle.listen_backlog(),
             );
             if let Some(exporter) = &metrics {
                 eprintln!("metrics exposition on http://{}/metrics", exporter.addr());

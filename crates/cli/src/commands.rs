@@ -11,7 +11,7 @@ use dpod_obs::HistogramSnapshot;
 use dpod_query::{plan, Answer, QueryPlan, ReleaseIndex};
 use dpod_serve::protocol::{Request, Response};
 use dpod_serve::{
-    Catalog, FrontEnd, MetricsExporter, Server, ServerHandle, SpawnOptions, WireMode,
+    series, Catalog, FrontEnd, MetricsExporter, Server, ServerHandle, SpawnOptions, WireMode,
 };
 use serde::Serialize;
 use std::path::Path;
@@ -108,16 +108,27 @@ pub fn sanitize_to_release(
 /// catalog directory under `name` (creating or updating the directory's
 /// `DPRL` frames and manifest). Returns a confirmation line.
 ///
+/// With `epoch`, the release lands as epoch `T` of the `name` series
+/// (catalog entry `name@T`, monotonic per series); `retain` then
+/// applies the sliding retention window, tombstoning every epoch older
+/// than the newest `K` before the directory is saved.
+///
 /// # Errors
-/// [`CliError`] for pipeline failures or catalog IO.
+/// [`CliError`] for pipeline failures, catalog IO, an epoch that is not
+/// live and not past the series frontier, or `retain` without `epoch`.
 pub fn publish(
     csv_text: &str,
     args: &SanitizeArgs,
     name: &str,
     catalog_dir: &Path,
+    epoch: Option<u64>,
+    retain: Option<usize>,
 ) -> Result<String, CliError> {
     if name.is_empty() {
         return Err("release name must not be empty".into());
+    }
+    if retain.is_some() && epoch.is_none() {
+        return Err("--retain needs --epoch (retention is per epoch series)".into());
     }
     let release = sanitize_to_release(csv_text, args)?;
     let catalog = if catalog_dir.is_dir() {
@@ -125,11 +136,46 @@ pub fn publish(
     } else {
         Catalog::new()
     };
-    let version = catalog.publish(name, release);
+    let (label, version, retired) = match epoch {
+        None => (
+            format!("'{name}'"),
+            catalog.publish(name, release),
+            Vec::new(),
+        ),
+        Some(t) => {
+            series::validate_publish_epoch(&catalog, name, t).map_err(|e| CliError(e.0))?;
+            let version = catalog.publish(&series::epoch_entry_name(name, t), release);
+            let retired: Vec<u64> = match retain {
+                None => Vec::new(),
+                Some(k) => {
+                    let epochs = series::series_epochs(&catalog, name);
+                    let expired = series::expired_epochs(&epochs, k).map_err(|e| CliError(e.0))?;
+                    for info in &expired {
+                        catalog.remove(&info.entry.name);
+                    }
+                    expired.iter().map(|i| i.epoch).collect()
+                }
+            };
+            (format!("'{name}' epoch {t}"), version, retired)
+        }
+    };
     let report = catalog.save_dir(catalog_dir).map_err(|e| CliError(e.0))?;
     let total = report.live();
+    let retirement = if retired.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "; retired epoch{} {}",
+            if retired.len() == 1 { "" } else { "s" },
+            retired
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
     Ok(format!(
-        "published '{name}' v{version} to {} ({total} release{}, {} frame{} written)\n",
+        "published {label} v{version} to {} ({total} release{}, {} frame{} written{retirement})\n",
         catalog_dir.display(),
         if total == 1 { "" } else { "s" },
         report.written,
@@ -222,9 +268,16 @@ pub fn stats_line(server: &Server) -> String {
     let Response::Stats { stats } = server.handle(&Request::Stats) else {
         return "stats unavailable".into();
     };
+    let partial_lookups = stats.partial_hits + stats.partial_misses;
+    let partial_rate = if partial_lookups == 0 {
+        0.0
+    } else {
+        stats.partial_hits as f64 / partial_lookups as f64
+    };
     format!(
         "served {} queries | conns: {} open / {} accepted | matrix cache: {} entries, \
-         {:.1} MiB, {:.0}% hit | index: {} built, {:.0}% hit, {:.1} ms building",
+         {:.1} MiB, {:.0}% hit | index: {} built, {:.0}% hit, {:.1} ms building | \
+         epochs: {} series, {} window partials, {:.0}% hit",
         stats.queries,
         stats.open_connections,
         stats.accepted_connections,
@@ -234,6 +287,9 @@ pub fn stats_line(server: &Server) -> String {
         stats.index_entries,
         100.0 * stats.index_hit_rate,
         stats.index_build_nanos as f64 / 1e6,
+        stats.series,
+        stats.partial_entries,
+        100.0 * partial_rate,
     )
 }
 
@@ -1123,6 +1179,14 @@ fn format_answer(out: &mut String, spec: &str, answer: &Answer) {
                 format_answer(out, spec, answer);
             }
         }
+        Answer::Epochs { epochs, answers } => {
+            // Per-epoch window answers: one header, then each epoch's
+            // answer under an `epoch T` sub-spec.
+            out.push_str(&format!("{spec} => {} epochs\n", epochs.len()));
+            for (epoch, answer) in epochs.iter().zip(answers) {
+                format_answer(out, &format!("  epoch {epoch}"), answer);
+            }
+        }
     }
 }
 
@@ -1321,9 +1385,9 @@ mod tests {
             mechanism: "ebp".into(),
             seed: 22,
         };
-        let msg = publish(&csv_text, &args, "denver-ebp", &dir).unwrap();
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None).unwrap();
         assert!(msg.contains("v1"), "{msg}");
-        let msg = publish(&csv_text, &args, "denver-ebp", &dir).unwrap();
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None).unwrap();
         assert!(msg.contains("v2"), "{msg}");
         publish(
             &csv_text,
@@ -1338,6 +1402,8 @@ mod tests {
             },
             "denver-id",
             &dir,
+            None,
+            None,
         )
         .unwrap();
 
@@ -1393,6 +1459,86 @@ mod tests {
     }
 
     #[test]
+    fn epoch_publish_retention_and_window_queries() {
+        use dpod_query::{EpochSelector, WindowMerge};
+
+        let dir = std::env::temp_dir().join(format!("dpod_cli_epoch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let csv_text = generate(&GenerateArgs {
+            city: "denver".into(),
+            trips: 2_000,
+            stops: 0,
+            seed: 41,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 8,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 42,
+        };
+
+        // Three continual publications under a sliding window of 2.
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(1), Some(2)).unwrap();
+        assert!(msg.contains("'denver' epoch 1 v1"), "{msg}");
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(2), Some(2)).unwrap();
+        assert!(!msg.contains("retired"), "{msg}");
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(3), Some(2)).unwrap();
+        assert!(msg.contains("retired epoch 1"), "{msg}");
+
+        // Retired epochs stay retired across reloads; --retain needs
+        // --epoch; series names cannot contain the separator.
+        let err = publish(&csv_text, &args, "denver", &dir, Some(1), None).unwrap_err();
+        assert!(err.0.contains("behind the frontier"), "{err}");
+        assert!(publish(&csv_text, &args, "denver", &dir, None, Some(2)).is_err());
+        assert!(publish(&csv_text, &args, "d@nver", &dir, Some(4), None).is_err());
+
+        // Serve the directory: the two live epochs answer window plans.
+        let (handle, server, _exporter) = start_server(&ServeArgs {
+            catalog: dir.clone(),
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_mb: 64,
+            index_mb: 64,
+            wire: WireMode::Auto,
+            front_end: None,
+            event_loops: 0,
+            listen_backlog: 1024,
+            metrics_addr: None,
+        })
+        .unwrap();
+        assert_eq!(server.catalog().len(), 2);
+        assert_eq!(series::series_names(server.catalog()).len(), 1);
+
+        let mut client = dpod_serve::wire::Client::connect(handle.addr()).unwrap();
+        client
+            .send(&Request::Plan {
+                release: "denver".into(),
+                plan: QueryPlan::Window {
+                    select: EpochSelector::LastK { k: 2 },
+                    merge: WindowMerge::PerEpoch,
+                    plan: Box::new(QueryPlan::Total),
+                },
+            })
+            .unwrap();
+        let Response::Answer {
+            answer: Answer::Epochs { epochs, answers },
+        } = client.receive().unwrap()
+        else {
+            panic!("expected per-epoch answer");
+        };
+        assert_eq!(epochs, vec![2, 3]);
+        assert_eq!(answers.len(), 2);
+        let mut rendered = String::new();
+        format_answer(&mut rendered, "window", &Answer::Epochs { epochs, answers });
+        assert!(rendered.contains("window => 2 epochs"), "{rendered}");
+        assert!(rendered.contains("  epoch 2 => "), "{rendered}");
+
+        handle.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_refuses_empty_catalog() {
         let dir = std::env::temp_dir().join(format!("dpod_cli_empty_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
@@ -1431,7 +1577,7 @@ mod tests {
             mechanism: "ebp".into(),
             seed: 32,
         };
-        publish(&csv_text, &args, "ny", &dir).unwrap();
+        publish(&csv_text, &args, "ny", &dir, None, None).unwrap();
 
         let specs = vec![
             "total".to_string(),
@@ -1505,7 +1651,7 @@ mod tests {
         let release_path = dir.join("release.json");
         std::fs::write(&release_path, sanitize(&csv_text, &args).unwrap()).unwrap();
         let catalog_dir = dir.join("catalog");
-        publish(&csv_text, &args, "detroit", &catalog_dir).unwrap();
+        publish(&csv_text, &args, "detroit", &catalog_dir, None, None).unwrap();
 
         // A recorded stream: every plan variant plus one failing plan.
         let plans_path = dir.join("plans.ndjson");
@@ -1641,7 +1787,7 @@ mod tests {
             seed: 62,
         };
         let catalog_dir = dir.join("catalog");
-        publish(&csv_text, &args, "denver", &catalog_dir).unwrap();
+        publish(&csv_text, &args, "denver", &catalog_dir, None, None).unwrap();
 
         // 40 plans over 4 connections: every connection gets work and
         // the aggregate line reports the fan-out.

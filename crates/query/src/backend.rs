@@ -383,6 +383,13 @@ mod tests {
                     }
                     out.push(']');
                 }
+                Answer::Epochs { epochs, answers } => {
+                    out.push_str(&format!("e{epochs:?}["));
+                    for a in answers {
+                        walk(a, out);
+                    }
+                    out.push(']');
+                }
             }
         }
         let mut s = String::new();

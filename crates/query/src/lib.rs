@@ -38,5 +38,7 @@ pub use backend::{MarginalTable, PlanBackend, ReleaseIndex, ScanBackend};
 pub use eval::{evaluate, EvalReport};
 pub use metrics::{MreOptions, SummaryStats};
 pub use od::{OdQuery, Region};
-pub use plan::{Answer, PlanError, QueryPlan, TopCell};
+pub use plan::{
+    merge_window_answers, Answer, EpochSelector, PlanError, QueryPlan, TopCell, WindowMerge,
+};
 pub use workload::QueryWorkload;

@@ -116,6 +116,65 @@ pub enum QueryPlan {
         /// The sub-plans, answered in order.
         plans: Vec<QueryPlan>,
     },
+    /// One plan fanned across the epochs of a release *series* and
+    /// merged: the continual-publication vocabulary ("last 7 days",
+    /// "epoch 3 vs 4"). The inner plan runs unchanged against each
+    /// selected epoch's release; [`merge_window_answers`] combines the
+    /// per-epoch answers per the [`WindowMerge`] op. `Window` does not
+    /// nest (inside itself or a [`QueryPlan::Many`]) and is answered by
+    /// the serving layer, which owns the epoch catalog — the
+    /// single-release executors here refuse it with a descriptive
+    /// error.
+    Window {
+        /// Which epochs of the series to cover.
+        select: EpochSelector,
+        /// How the per-epoch answers combine.
+        merge: WindowMerge,
+        /// The plan to run against each selected epoch.
+        plan: Box<QueryPlan>,
+    },
+}
+
+/// Which epochs of a release series a [`QueryPlan::Window`] covers.
+///
+/// Epoch ids are the monotonic `u64`s assigned at publish time; a
+/// selector names ids, and the serving layer intersects it with the
+/// epochs that are still live (retention may have expired older ones).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpochSelector {
+    /// Exactly one epoch (an error if it is not live).
+    At {
+        /// The epoch id.
+        epoch: u64,
+    },
+    /// The `k` most recent live epochs (clamped to however many exist;
+    /// `k = 0` is an error).
+    LastK {
+        /// How many trailing epochs.
+        k: u64,
+    },
+    /// The inclusive id range `from..=to`, intersected with the live
+    /// epochs (`from > to` is an error; an empty intersection too).
+    Range {
+        /// First epoch id, inclusive.
+        from: u64,
+        /// Last epoch id, inclusive.
+        to: u64,
+    },
+}
+
+/// How a [`QueryPlan::Window`]'s per-epoch answers combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowMerge {
+    /// Fold the answers into one: values and marginals sum elementwise
+    /// in ascending epoch order, top-k rankings merge as top-k over the
+    /// union of surfaced cells (per-cell values summed across the
+    /// epochs that surfaced them, re-ranked), `Many` answers merge
+    /// positionally.
+    Sum,
+    /// Keep the per-epoch answers separate: an [`Answer::Epochs`]
+    /// carrying one answer per selected epoch, ascending by id.
+    PerEpoch,
 }
 
 impl QueryPlan {
@@ -131,6 +190,7 @@ impl QueryPlan {
             QueryPlan::TopK { .. } => "top_k",
             QueryPlan::Total => "total",
             QueryPlan::Many { .. } => "many",
+            QueryPlan::Window { .. } => "window",
         }
     }
 
@@ -226,14 +286,26 @@ pub enum Answer {
         /// One answer per sub-plan.
         answers: Vec<Answer>,
     },
+    /// Per-epoch answers to a [`QueryPlan::Window`] with
+    /// [`WindowMerge::PerEpoch`]: one answer per selected epoch,
+    /// ascending by id.
+    Epochs {
+        /// The selected epoch ids, ascending.
+        epochs: Vec<u64>,
+        /// One answer per epoch, in the same order.
+        answers: Vec<Answer>,
+    },
 }
 
 impl Answer {
     /// How many queries this answer represents (for serving-side
-    /// counters): one per leaf, summed through [`Answer::Many`].
+    /// counters): one per leaf, summed through [`Answer::Many`] and
+    /// [`Answer::Epochs`].
     pub fn units(&self) -> u64 {
         match self {
-            Answer::Many { answers } => answers.iter().map(Answer::units).sum(),
+            Answer::Many { answers } | Answer::Epochs { answers, .. } => {
+                answers.iter().map(Answer::units).sum()
+            }
             _ => 1,
         }
     }
@@ -278,6 +350,12 @@ pub fn execute_with<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Ans
                 if matches!(sub, QueryPlan::Many { .. }) {
                     return Err(PlanError(format!("plan {i}: Many plans cannot nest")));
                 }
+                if matches!(sub, QueryPlan::Window { .. }) {
+                    return Err(PlanError(format!(
+                        "plan {i}: Window plans select epochs at the top level \
+                         and cannot ride inside Many"
+                    )));
+                }
                 budget = budget.saturating_add(answer_cells_estimate(matrix, sub));
                 if budget > MAX_ANSWER_CELLS {
                     return Err(PlanError(format!(
@@ -318,8 +396,181 @@ fn answer_cells_estimate(matrix: &SanitizedMatrix, plan: &QueryPlan) -> usize {
                 .map(|&d| if d < shape.ndim() { shape.dim(d) } else { 1 })
                 .fold(1usize, usize::saturating_mul)
         }
-        QueryPlan::Many { .. } => 0, // rejected before estimation
+        // Both are rejected before estimation (neither nests in Many).
+        QueryPlan::Many { .. } | QueryPlan::Window { .. } => 0,
     }
+}
+
+/// Merges one answer per epoch into a [`QueryPlan::Window`]'s final
+/// answer. Pure, deterministic post-processing: `epochs` must be the
+/// selected ids ascending, `answers` the matching per-epoch answers in
+/// the same order, and the result is a pure function of those inputs —
+/// which is what makes a memoized incremental merge bit-identical to a
+/// from-scratch rescan.
+///
+/// [`WindowMerge::PerEpoch`] zips the inputs into [`Answer::Epochs`].
+/// [`WindowMerge::Sum`] folds in ascending epoch order:
+///
+/// * values sum left to right;
+/// * marginals sum elementwise (their `dims` must agree);
+/// * top-k rankings become top-k over the union — each surfaced cell's
+///   value is summed across the epochs that surfaced it (ascending), the
+///   union re-ranked by value descending with ties broken by ascending
+///   cell index, and truncated to the per-epoch ranking length;
+/// * `Many` answers merge positionally (arities must agree).
+///
+/// # Errors
+/// [`PlanError`] when the inputs are empty or mismatched (unequal
+/// lengths, incompatible shapes across epochs).
+pub fn merge_window_answers(
+    merge: WindowMerge,
+    epochs: &[u64],
+    answers: Vec<Answer>,
+) -> Result<Answer, PlanError> {
+    if epochs.is_empty() {
+        return Err(PlanError("window selected no epochs".to_string()));
+    }
+    if epochs.len() != answers.len() {
+        return Err(PlanError(format!(
+            "window merge got {} epochs but {} answers",
+            epochs.len(),
+            answers.len()
+        )));
+    }
+    match merge {
+        WindowMerge::PerEpoch => Ok(Answer::Epochs {
+            epochs: epochs.to_vec(),
+            answers,
+        }),
+        WindowMerge::Sum => {
+            let mut merged: Option<Answer> = None;
+            for answer in answers {
+                merged = Some(match merged {
+                    None => answer,
+                    Some(acc) => sum_answers(acc, answer)?,
+                });
+            }
+            Ok(merged.expect("answers checked non-empty"))
+        }
+    }
+}
+
+/// One step of the [`WindowMerge::Sum`] left fold: `acc` holds the
+/// merge of the earlier epochs, `next` the following epoch's answer.
+fn sum_answers(acc: Answer, next: Answer) -> Result<Answer, PlanError> {
+    match (acc, next) {
+        (Answer::Value { value: a }, Answer::Value { value: b }) => {
+            Ok(Answer::Value { value: a + b })
+        }
+        (
+            Answer::Marginal {
+                dims: da,
+                values: mut va,
+            },
+            Answer::Marginal {
+                dims: db,
+                values: vb,
+            },
+        ) => {
+            if da != db {
+                return Err(PlanError(format!(
+                    "marginal dims differ across epochs: {da:?} vs {db:?}"
+                )));
+            }
+            for (a, b) in va.iter_mut().zip(&vb) {
+                *a += b;
+            }
+            Ok(Answer::Marginal {
+                dims: da,
+                values: va,
+            })
+        }
+        (
+            Answer::TopK {
+                dims: da,
+                cells: ca,
+            },
+            Answer::TopK {
+                dims: db,
+                cells: cb,
+            },
+        ) => {
+            if da != db {
+                return Err(PlanError(format!(
+                    "top-k dims differ across epochs: {da:?} vs {db:?}"
+                )));
+            }
+            // Union keyed by flat index (a BTreeMap, so accumulation
+            // order is deterministic whatever order the inputs listed
+            // cells in); later epochs fold onto earlier sums.
+            let k = ca.len().max(cb.len());
+            let mut union: std::collections::BTreeMap<usize, TopCell> = ca
+                .into_iter()
+                .map(|c| (flat_index(&da, &c.coords), c))
+                .collect();
+            for cell in cb {
+                let idx = flat_index(&da, &cell.coords);
+                match union.entry(idx) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        e.get_mut().value += cell.value;
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(cell);
+                    }
+                }
+            }
+            // Re-rank the union with the executor's own ordering (value
+            // descending, ties by ascending cell index) and truncate
+            // back to the ranking length.
+            let mut ranked: Vec<(usize, TopCell)> = union.into_iter().collect();
+            ranked.sort_by(|(ia, a), (ib, b)| b.value.total_cmp(&a.value).then_with(|| ia.cmp(ib)));
+            ranked.truncate(k);
+            Ok(Answer::TopK {
+                dims: da,
+                cells: ranked.into_iter().map(|(_, c)| c).collect(),
+            })
+        }
+        (Answer::Many { answers: aa }, Answer::Many { answers: ab }) => {
+            if aa.len() != ab.len() {
+                return Err(PlanError(format!(
+                    "Many arity differs across epochs: {} vs {}",
+                    aa.len(),
+                    ab.len()
+                )));
+            }
+            let answers = aa
+                .into_iter()
+                .zip(ab)
+                .map(|(a, b)| sum_answers(a, b))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Answer::Many { answers })
+        }
+        (a, b) => Err(PlanError(format!(
+            "cannot sum mismatched answer shapes across epochs \
+             ({} vs {})",
+            answer_shape(&a),
+            answer_shape(&b)
+        ))),
+    }
+}
+
+/// Stable label for an answer's shape, for merge error messages.
+fn answer_shape(a: &Answer) -> &'static str {
+    match a {
+        Answer::Value { .. } => "value",
+        Answer::Marginal { .. } => "marginal",
+        Answer::TopK { .. } => "top_k",
+        Answer::Many { .. } => "many",
+        Answer::Epochs { .. } => "epochs",
+    }
+}
+
+/// Row-major flat index of `coords` in a domain of `dims` (the tie-break
+/// key top-k rankings sort by).
+fn flat_index(dims: &[usize], coords: &[usize]) -> usize {
+    dims.iter()
+        .zip(coords)
+        .fold(0usize, |acc, (&d, &c)| acc * d + c)
 }
 
 fn execute_leaf<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer, PlanError> {
@@ -380,6 +631,12 @@ fn execute_leaf<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer,
         QueryPlan::Total => Ok(Answer::Value {
             value: backend.total(),
         }),
+        QueryPlan::Window { .. } => Err(PlanError(
+            "Window plans fan across a release series' epochs and are \
+             answered by the serving layer; this release is a single \
+             epoch"
+                .to_string(),
+        )),
         QueryPlan::Many { .. } => unreachable!("handled by execute_with"),
     }
 }
@@ -593,6 +850,172 @@ mod tests {
     }
 
     #[test]
+    fn single_release_executors_refuse_window_plans() {
+        let m = od_matrix(2);
+        let window = QueryPlan::Window {
+            select: EpochSelector::LastK { k: 3 },
+            merge: WindowMerge::Sum,
+            plan: Box::new(QueryPlan::Total),
+        };
+        let err = execute(&m, &window).unwrap_err();
+        assert!(err.0.contains("serving layer"), "{err}");
+        // …and Window cannot ride inside Many either.
+        let err = execute(
+            &m,
+            &QueryPlan::Many {
+                plans: vec![window],
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("Many"), "{err}");
+    }
+
+    #[test]
+    fn window_sum_merge_folds_values_and_marginals() {
+        let epochs = [3u64, 4, 5];
+        let answers = vec![
+            Answer::Value { value: 1.5 },
+            Answer::Value { value: 2.25 },
+            Answer::Value { value: -0.5 },
+        ];
+        let merged = merge_window_answers(WindowMerge::Sum, &epochs, answers).unwrap();
+        let Answer::Value { value } = merged else {
+            panic!("expected value");
+        };
+        // Left fold in ascending epoch order, bit for bit.
+        assert_eq!(value.to_bits(), ((1.5 + 2.25) + -0.5f64).to_bits());
+
+        let answers = vec![
+            Answer::Marginal {
+                dims: vec![2],
+                values: vec![1.0, 2.0],
+            },
+            Answer::Marginal {
+                dims: vec![2],
+                values: vec![0.5, -1.0],
+            },
+        ];
+        let merged = merge_window_answers(WindowMerge::Sum, &epochs[..2], answers).unwrap();
+        assert_eq!(
+            merged,
+            Answer::Marginal {
+                dims: vec![2],
+                values: vec![1.5, 1.0],
+            }
+        );
+    }
+
+    #[test]
+    fn window_sum_merge_ranks_top_k_over_the_union() {
+        let a = Answer::TopK {
+            dims: vec![2, 2],
+            cells: vec![
+                TopCell {
+                    coords: vec![0, 0],
+                    value: 5.0,
+                },
+                TopCell {
+                    coords: vec![1, 1],
+                    value: 3.0,
+                },
+            ],
+        };
+        let b = Answer::TopK {
+            dims: vec![2, 2],
+            cells: vec![
+                TopCell {
+                    coords: vec![0, 1],
+                    value: 4.0,
+                },
+                TopCell {
+                    coords: vec![1, 1],
+                    value: 2.0,
+                },
+            ],
+        };
+        let merged = merge_window_answers(WindowMerge::Sum, &[1, 2], vec![a, b]).unwrap();
+        let Answer::TopK { dims, cells } = merged else {
+            panic!("expected top-k");
+        };
+        assert_eq!(dims, vec![2, 2]);
+        // Cell (1,1) surfaced in both epochs (3+2=5), tying with (0,0)'s
+        // 5.0 — the tie resolves by ascending cell index. (0,1)'s 4.0 is
+        // squeezed out by the k=2 truncation.
+        let got: Vec<(Vec<usize>, f64)> = cells.into_iter().map(|c| (c.coords, c.value)).collect();
+        assert_eq!(got, vec![(vec![0, 0], 5.0), (vec![1, 1], 5.0)]);
+    }
+
+    #[test]
+    fn window_merge_validates_inputs() {
+        // Empty selection, length mismatch, shape mismatch, dims drift.
+        assert!(merge_window_answers(WindowMerge::Sum, &[], vec![]).is_err());
+        assert!(merge_window_answers(
+            WindowMerge::Sum,
+            &[1, 2],
+            vec![Answer::Value { value: 0.0 }]
+        )
+        .is_err());
+        assert!(merge_window_answers(
+            WindowMerge::Sum,
+            &[1, 2],
+            vec![
+                Answer::Value { value: 0.0 },
+                Answer::Many { answers: vec![] }
+            ]
+        )
+        .is_err());
+        assert!(merge_window_answers(
+            WindowMerge::Sum,
+            &[1, 2],
+            vec![
+                Answer::Marginal {
+                    dims: vec![2],
+                    values: vec![0.0, 0.0]
+                },
+                Answer::Marginal {
+                    dims: vec![3],
+                    values: vec![0.0, 0.0, 0.0]
+                }
+            ]
+        )
+        .is_err());
+        // Many answers merge positionally and recursively.
+        let merged = merge_window_answers(
+            WindowMerge::Sum,
+            &[1, 2],
+            vec![
+                Answer::Many {
+                    answers: vec![Answer::Value { value: 1.0 }],
+                },
+                Answer::Many {
+                    answers: vec![Answer::Value { value: 2.0 }],
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            merged,
+            Answer::Many {
+                answers: vec![Answer::Value { value: 3.0 }]
+            }
+        );
+    }
+
+    #[test]
+    fn window_per_epoch_merge_keeps_answers_apart() {
+        let answers = vec![Answer::Value { value: 1.0 }, Answer::Value { value: 2.0 }];
+        let merged = merge_window_answers(WindowMerge::PerEpoch, &[7, 9], answers.clone()).unwrap();
+        assert_eq!(
+            merged,
+            Answer::Epochs {
+                epochs: vec![7, 9],
+                answers
+            }
+        );
+        assert_eq!(merged.units(), 2);
+    }
+
+    #[test]
     fn plans_and_answers_round_trip_as_json() {
         let plans = vec![
             QueryPlan::Range {
@@ -607,6 +1030,21 @@ mod tests {
             QueryPlan::Total,
             QueryPlan::Many {
                 plans: vec![QueryPlan::Total, QueryPlan::TopK { k: 1 }],
+            },
+            QueryPlan::Window {
+                select: EpochSelector::LastK { k: 7 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+            QueryPlan::Window {
+                select: EpochSelector::Range { from: 2, to: 5 },
+                merge: WindowMerge::PerEpoch,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
+            },
+            QueryPlan::Window {
+                select: EpochSelector::At { epoch: 3 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::TopK { k: 4 }),
             },
         ];
         for plan in &plans {
@@ -630,6 +1068,14 @@ mod tests {
             },
             Answer::Many {
                 answers: vec![Answer::Value { value: 0.0 }],
+            },
+            Answer::Epochs {
+                epochs: vec![4, 5, 6],
+                answers: vec![
+                    Answer::Value { value: 1.0 },
+                    Answer::Value { value: 2.0 },
+                    Answer::Value { value: 3.0 },
+                ],
             },
         ];
         for answer in &answers {

@@ -21,7 +21,7 @@
 
 use crate::{CatalogEntry, ServeError};
 use dpod_core::SanitizedMatrix;
-use dpod_query::ReleaseIndex;
+use dpod_query::{Answer, ReleaseIndex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -38,6 +38,8 @@ pub struct QueryEngine {
     misses: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
+    partial_hits: AtomicU64,
+    partial_misses: AtomicU64,
     /// Build time of indexes that have since been evicted; live
     /// indexes' [`ReleaseIndex::build_nanos`] are summed on demand.
     retired_index_nanos: AtomicU64,
@@ -57,6 +59,15 @@ struct Cached {
     /// The release's prepared plan index, attached on first aggregate
     /// query. Lives and dies with the matrix entry.
     index: Option<Arc<ReleaseIndex>>,
+    /// Memoized per-epoch plan partials for window queries: canonical
+    /// plan key → the finished answer and its estimated bytes. Riding
+    /// on the `(name, version)` entry gives version-keyed invalidation
+    /// for free — republishing one epoch drops only that epoch's
+    /// partials, every other epoch's stay warm.
+    partials: HashMap<String, (Answer, usize)>,
+    /// Running byte total of `partials` (so [`Cached::bytes`] stays
+    /// O(1) under the ledger refresh).
+    partials_bytes: usize,
     /// What this entry currently contributes to `LruState::bytes`. Kept
     /// beside the live size so a warm touch can apply an O(1) delta
     /// (index bytes only grow) instead of rescanning every entry.
@@ -65,10 +76,28 @@ struct Cached {
 }
 
 impl Cached {
-    /// Current resident bytes: the rebuild plus whatever the index has
-    /// memoized so far (it grows after insertion).
+    /// Current resident bytes: the rebuild plus whatever the index and
+    /// plan partials have memoized so far (both grow after insertion).
     fn bytes(&self) -> usize {
-        self.matrix_bytes + self.index.as_ref().map_or(0, |ix| ix.resident_bytes())
+        self.matrix_bytes
+            + self.index.as_ref().map_or(0, |ix| ix.resident_bytes())
+            + self.partials_bytes
+    }
+}
+
+/// Estimated resident bytes of one memoized answer (heap payload plus a
+/// small per-node overhead), used to charge plan partials against the
+/// shared LRU budget.
+fn answer_bytes(answer: &Answer) -> usize {
+    match answer {
+        Answer::Value { .. } => 32,
+        Answer::Marginal { dims, values } => 64 + dims.len() * 8 + values.len() * 8,
+        Answer::TopK { dims, cells } => {
+            64 + dims.len() * 8 + cells.iter().map(|c| 48 + c.coords.len() * 8).sum::<usize>()
+        }
+        Answer::Many { answers } | Answer::Epochs { answers, .. } => {
+            64 + answers.iter().map(answer_bytes).sum::<usize>()
+        }
     }
 }
 
@@ -90,6 +119,14 @@ pub struct EngineStats {
     pub index_hits: u64,
     /// Lifetime index-cache misses (— indexes constructed).
     pub index_misses: u64,
+    /// Memoized window-plan partials currently resident (across all
+    /// cached epochs).
+    pub partial_entries: usize,
+    /// Lifetime window-partial hits (per-epoch answers served from the
+    /// memo instead of re-executing the plan).
+    pub partial_hits: u64,
+    /// Lifetime window-partial misses (— per-epoch plan executions).
+    pub partial_misses: u64,
     /// Cumulative wall-clock nanoseconds spent building index
     /// structures (marginal tables, cell orders), evicted indexes
     /// included.
@@ -137,6 +174,8 @@ impl QueryEngine {
             misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
+            partial_hits: AtomicU64::new(0),
+            partial_misses: AtomicU64::new(0),
             retired_index_nanos: AtomicU64::new(0),
         }
     }
@@ -280,6 +319,8 @@ impl QueryEngine {
                 matrix: Arc::clone(&matrix),
                 matrix_bytes: bytes,
                 index: None,
+                partials: HashMap::new(),
+                partials_bytes: 0,
                 charged: 0, // set by the refresh below
                 last_used: tick,
             },
@@ -368,6 +409,71 @@ impl QueryEngine {
         Ok(index)
     }
 
+    /// Answers one epoch's share of a window plan through the partial
+    /// memo: a warm `(entry, plan_key)` pair returns the memoized
+    /// answer without touching the release at all; a cold one resolves
+    /// the epoch's [`ReleaseIndex`] (through [`Self::index_if`], which
+    /// owns all the staleness rules), runs `compute` against it, and
+    /// memoizes the answer beside the index under the shared byte
+    /// budget. `plan_key` must be a canonical serialization of the
+    /// inner plan — the caller owns that contract.
+    ///
+    /// Because the memo rides the `(name, version)` cache entry, a
+    /// republish of one epoch invalidates exactly that epoch's partials
+    /// (its version changes; the stale entry is dropped on next
+    /// resolve) while every other epoch's stay warm — a sliding window
+    /// over k epochs after one republish re-executes one epoch, not k.
+    ///
+    /// # Errors
+    /// As for [`Self::sanitized`], plus whatever `compute` returns
+    /// (plan-validation failures are not memoized).
+    pub fn window_partial(
+        &self,
+        entry: &CatalogEntry,
+        plan_key: &str,
+        still_current: impl Fn() -> bool,
+        compute: impl FnOnce(&ReleaseIndex) -> Result<Answer, ServeError>,
+    ) -> Result<Answer, ServeError> {
+        let key = (entry.name.clone(), entry.version);
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(cached) = state.map.get_mut(&key) {
+                if let Some((answer, _)) = cached.partials.get(plan_key) {
+                    cached.last_used = tick;
+                    self.partial_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(answer.clone());
+                }
+            }
+        }
+        self.partial_misses.fetch_add(1, Ordering::Relaxed);
+        let index = self.index_if(entry, &still_current)?;
+        let answer = compute(&index)?;
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(cached) = state.map.get_mut(&key) {
+            // Memoize only against the entry this answer was computed
+            // from (the entry may have raced a removal or republish
+            // while the plan ran) — and keep a racing winner's answer.
+            if Arc::ptr_eq(&cached.matrix, index.matrix())
+                && !cached.partials.contains_key(plan_key)
+            {
+                cached.last_used = tick;
+                let bytes = answer_bytes(&answer) + plan_key.len();
+                cached
+                    .partials
+                    .insert(plan_key.to_string(), (answer.clone(), bytes));
+                cached.partials_bytes += bytes;
+                Self::refresh_bytes(&mut state);
+                self.enforce_budget(&mut state, &key);
+            }
+        }
+        Ok(answer)
+    }
+
     /// Drops every cached rebuild of `name` (any version) — plan
     /// indexes included — returning the bytes reclaimed. Used when a
     /// release is removed outright: no future request can reach those
@@ -419,6 +525,9 @@ impl QueryEngine {
             index_entries: state.map.values().filter(|c| c.index.is_some()).count(),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             index_misses: self.index_misses.load(Ordering::Relaxed),
+            partial_entries: state.map.values().map(|c| c.partials.len()).sum(),
+            partial_hits: self.partial_hits.load(Ordering::Relaxed),
+            partial_misses: self.partial_misses.load(Ordering::Relaxed),
             index_build_nanos: self.retired_index_nanos.load(Ordering::Relaxed) + live_nanos,
         }
     }
@@ -826,6 +935,103 @@ mod tests {
         // A current build caches as usual.
         engine.index_if(&entry, || true).unwrap();
         assert_eq!(engine.stats().index_entries, 1);
+    }
+
+    #[test]
+    fn window_partials_memoize_per_entry() {
+        use dpod_query::{plan, QueryPlan};
+        let c = catalog_with(&["s@1", "s@2"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let plan = QueryPlan::Total;
+        let key = serde_json::to_string(&plan).unwrap();
+        let run = |entry: &crate::CatalogEntry| {
+            engine
+                .window_partial(
+                    entry,
+                    &key,
+                    || true,
+                    |ix| plan::execute_with(ix, &plan).map_err(|e| crate::ServeError(e.0)),
+                )
+                .unwrap()
+        };
+        let e1 = c.get("s@1").unwrap();
+        let e2 = c.get("s@2").unwrap();
+        let a1 = run(&e1);
+        let a2 = run(&e2);
+        let stats = engine.stats();
+        assert_eq!((stats.partial_hits, stats.partial_misses), (0, 2));
+        assert_eq!(stats.partial_entries, 2);
+        assert!(stats.bytes > 0);
+        // Warm repeats serve the memo, bit for bit.
+        assert_eq!(run(&e1), a1);
+        assert_eq!(run(&e2), a2);
+        let stats = engine.stats();
+        assert_eq!((stats.partial_hits, stats.partial_misses), (2, 2));
+    }
+
+    #[test]
+    fn republishing_one_epoch_keeps_the_others_partials_warm() {
+        use dpod_query::{plan, QueryPlan};
+        let c = catalog_with(&["s@1", "s@2"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let plan = QueryPlan::TopK { k: 2 };
+        let key = serde_json::to_string(&plan).unwrap();
+        let run = |entry: &crate::CatalogEntry| {
+            engine
+                .window_partial(
+                    entry,
+                    &key,
+                    || true,
+                    |ix| plan::execute_with(ix, &plan).map_err(|e| crate::ServeError(e.0)),
+                )
+                .unwrap()
+        };
+        run(&c.get("s@1").unwrap());
+        run(&c.get("s@2").unwrap());
+
+        // Republish epoch 2 only.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[4, 4], 777).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(70))
+            .unwrap();
+        c.publish("s@2", PublishedRelease::from_sanitized(&out));
+
+        let (hits0, misses0) = {
+            let s = engine.stats();
+            (s.partial_hits, s.partial_misses)
+        };
+        // Epoch 1 still answers from the memo; epoch 2's new version is
+        // a miss — exactly one re-execution for a one-epoch republish.
+        run(&c.get("s@1").unwrap());
+        run(&c.get("s@2").unwrap());
+        let stats = engine.stats();
+        assert_eq!(stats.partial_hits, hits0 + 1, "epoch 1 must stay warm");
+        assert_eq!(stats.partial_misses, misses0 + 1);
+    }
+
+    #[test]
+    fn failed_window_partials_are_not_memoized() {
+        use dpod_query::{plan, QueryPlan};
+        let c = catalog_with(&["s@1"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        // An invalid plan (2-D release has no dimension 9).
+        let plan = QueryPlan::Marginal { keep: vec![9] };
+        let key = serde_json::to_string(&plan).unwrap();
+        let entry = c.get("s@1").unwrap();
+        for _ in 0..2 {
+            let err = engine.window_partial(
+                &entry,
+                &key,
+                || true,
+                |ix| plan::execute_with(ix, &plan).map_err(|e| crate::ServeError(e.0)),
+            );
+            assert!(err.is_err());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.partial_entries, 0, "errors must not be memoized");
+        assert_eq!((stats.partial_hits, stats.partial_misses), (0, 2));
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod engine;
 mod event;
 pub mod metrics;
 pub mod protocol;
+pub mod series;
 mod server;
 pub mod wire;
 
@@ -58,6 +59,7 @@ pub use engine::{EngineStats, QueryEngine};
 #[cfg(unix)]
 pub use event::WRITE_BACKPRESSURE_BYTES;
 pub use metrics::{spawn_metrics_exporter, MetricsExporter, ServeMetrics, Stage, Transport};
+pub use series::{EpochInfo, SeriesLedgers, EPOCH_SEP};
 pub use server::{
     spawn, spawn_wire, spawn_with, FrontEnd, Server, ServerHandle, SpawnOptions, WireMode,
     DEFAULT_CACHE_BYTES, IDLE_TIMEOUT, MAX_LINE_BYTES, MAX_RELEASE_HIT_ENTRIES,

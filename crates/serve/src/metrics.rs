@@ -434,6 +434,36 @@ pub(crate) fn render_metrics(server: &Server) -> String {
         "gauge",
         server.catalog().len().to_string(),
     );
+    gauge(
+        "dpod_epochs_published_total",
+        "Epochs published through the server since start",
+        "counter",
+        server.epochs_published().to_string(),
+    );
+    gauge(
+        "dpod_epochs_retired_total",
+        "Epochs retired by retention since start",
+        "counter",
+        server.epochs_retired().to_string(),
+    );
+    gauge(
+        "dpod_engine_partial_entries",
+        "Memoized per-epoch window partials resident in the cache",
+        "gauge",
+        engine.partial_entries.to_string(),
+    );
+    gauge(
+        "dpod_engine_partial_hits_total",
+        "Window sub-plans answered from a memoized per-epoch partial",
+        "counter",
+        engine.partial_hits.to_string(),
+    );
+    gauge(
+        "dpod_engine_partial_misses_total",
+        "Window sub-plans executed against an epoch's index",
+        "counter",
+        engine.partial_misses.to_string(),
+    );
 
     // Per-release traffic.
     out.push_str("# HELP dpod_release_hits_total Queries answered per release\n");
@@ -483,6 +513,47 @@ pub(crate) fn render_metrics(server: &Server) -> String {
         "# HELP dpod_epsilon_ledger_entries Releases in the ε composition ledger\n# TYPE dpod_epsilon_ledger_entries gauge\ndpod_epsilon_ledger_entries {}\n",
         snap.entries
     ));
+
+    // Epoch catalogs: per-series live-epoch counts, the per-epoch ε
+    // series, and each series' active ε (the sum over its live epochs —
+    // what retention refunds shrink). Rendered fresh from the catalog
+    // per scrape, so directly-published epochs are counted too.
+    out.push_str(
+        "# HELP dpod_epoch_count Live epochs per release series\n# TYPE dpod_epoch_count gauge\n",
+    );
+    let series_list = crate::series::series_names(server.catalog());
+    let mut epoch_eps = String::new();
+    let mut series_active = String::new();
+    for (series, _) in &series_list {
+        let epochs = crate::series::series_epochs(server.catalog(), series);
+        out.push_str(&format!(
+            "dpod_epoch_count{{series=\"{}\"}} {}\n",
+            escape(series),
+            epochs.len()
+        ));
+        let mut active = 0.0;
+        for info in &epochs {
+            active += info.entry.release.epsilon;
+            epoch_eps.push_str(&format!(
+                "dpod_epoch_epsilon{{series=\"{}\",epoch=\"{}\"}} {}\n",
+                escape(series),
+                info.epoch,
+                info.entry.release.epsilon
+            ));
+        }
+        series_active.push_str(&format!(
+            "dpod_series_epsilon_active{{series=\"{}\"}} {active}\n",
+            escape(series)
+        ));
+    }
+    out.push_str(
+        "# HELP dpod_epoch_epsilon Privacy budget each live epoch consumed\n# TYPE dpod_epoch_epsilon gauge\n",
+    );
+    out.push_str(&epoch_eps);
+    out.push_str(
+        "# HELP dpod_series_epsilon_active Privacy budget active across a series' live epochs\n# TYPE dpod_series_epsilon_active gauge\n",
+    );
+    out.push_str(&series_active);
     out
 }
 

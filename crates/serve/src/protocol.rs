@@ -221,6 +221,16 @@ pub struct ServerStats {
     /// Sourced from the same histograms `/metrics` exposes, so the two
     /// surfaces agree.
     pub stage_latencies: Vec<StageLatency>,
+    /// Release series in the catalog (epoch entries `name@T` group under
+    /// `name`; a plain-named release is a one-epoch series — see
+    /// `dpod_serve::series`). Equals `releases` on pre-epoch catalogs.
+    pub series: usize,
+    /// Memoized per-epoch window partials resident in the engine cache.
+    pub partial_entries: usize,
+    /// Window sub-plans answered from a memoized per-epoch partial.
+    pub partial_hits: u64,
+    /// Window sub-plans that had to execute against an epoch's index.
+    pub partial_misses: u64,
 }
 
 /// Latency quantiles for one `(transport, stage)` pair, in nanoseconds.
@@ -359,6 +369,10 @@ mod tests {
                         p99_nanos: 4_000,
                         p999_nanos: 8_000,
                     }],
+                    series: 1,
+                    partial_entries: 2,
+                    partial_hits: 5,
+                    partial_misses: 3,
                 },
             },
             Response::Error {

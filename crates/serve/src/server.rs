@@ -28,9 +28,11 @@
 
 use crate::metrics::{ServeMetrics, Stage, Transport};
 use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats};
+use crate::series::{self, SeriesLedgers};
 use crate::{wire, Catalog, QueryEngine, ServeError};
 use dpod_fmatrix::AxisBox;
 use dpod_obs::Span;
+use dpod_query::{Answer, EpochSelector, QueryPlan, WindowMerge};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -148,6 +150,13 @@ pub struct Server {
     /// Hot-path metric handles shared by every front end (stage latency
     /// histograms, event-loop health, request-mix counters).
     metrics: ServeMetrics,
+    /// Per-series ε ledgers: publishes spend, retention expiries refund
+    /// (see [`crate::series::SeriesLedgers`]).
+    ledgers: SeriesLedgers,
+    /// Epochs published through [`Server::publish_epoch`] since start.
+    epochs_published: AtomicU64,
+    /// Epochs retired through [`Server::apply_retention`] since start.
+    epochs_retired: AtomicU64,
 }
 
 impl Server {
@@ -179,6 +188,9 @@ impl Server {
             conn_accepted: AtomicU64::new(0),
             conn_open: AtomicU64::new(0),
             metrics: ServeMetrics::new(),
+            ledgers: SeriesLedgers::new(),
+            epochs_published: AtomicU64::new(0),
+            epochs_retired: AtomicU64::new(0),
         }
     }
 
@@ -251,6 +263,118 @@ impl Server {
         existed
     }
 
+    /// Publishes `release` as epoch `epoch` of `series` (catalog entry
+    /// `series@epoch`), enforcing the monotonic epoch rule and spending
+    /// the release's ε into the series ledger. Returns the entry's new
+    /// catalog version (`> 1` on a republish of a live epoch).
+    ///
+    /// # Errors
+    /// [`ServeError`] when the series name contains
+    /// [`EPOCH_SEP`](crate::EPOCH_SEP) or `epoch` is behind the series
+    /// frontier and not live (see
+    /// [`series::validate_publish_epoch`](crate::series::validate_publish_epoch)).
+    pub fn publish_epoch(
+        &self,
+        series: &str,
+        epoch: u64,
+        release: dpod_core::release::PublishedRelease,
+    ) -> Result<u64, ServeError> {
+        series::validate_publish_epoch(&self.catalog, series, epoch)?;
+        let epsilon = release.epsilon;
+        let version = self
+            .catalog
+            .publish(&series::epoch_entry_name(series, epoch), release);
+        self.ledgers.note_publish(series, epoch, epsilon);
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+        Ok(version)
+    }
+
+    /// Applies a `retain`-newest retention policy to `series`: every
+    /// older epoch is removed through [`Server::remove_release`] (so its
+    /// cached rebuild, index, window partials and hit counter go with
+    /// it) and its ε is refunded into the series ledger. Returns the
+    /// retired epoch ids, oldest first.
+    ///
+    /// # Errors
+    /// [`ServeError`] when `retain` is zero.
+    pub fn apply_retention(&self, series: &str, retain: usize) -> Result<Vec<u64>, ServeError> {
+        let epochs = series::series_epochs(&self.catalog, series);
+        let expired = series::expired_epochs(&epochs, retain)?;
+        let mut retired = Vec::with_capacity(expired.len());
+        for info in expired {
+            if self.remove_release(&info.entry.name) {
+                self.ledgers
+                    .note_retire(series, info.epoch, info.entry.release.epsilon);
+                self.epochs_retired.fetch_add(1, Ordering::Relaxed);
+                retired.push(info.epoch);
+            }
+        }
+        Ok(retired)
+    }
+
+    /// The per-series ε ledgers (publish spends, retention refunds).
+    pub fn ledgers(&self) -> &SeriesLedgers {
+        &self.ledgers
+    }
+
+    /// Epochs published through [`Server::publish_epoch`] since start.
+    pub fn epochs_published(&self) -> u64 {
+        self.epochs_published.load(Ordering::Relaxed)
+    }
+
+    /// Epochs retired through [`Server::apply_retention`] since start.
+    pub fn epochs_retired(&self) -> u64 {
+        self.epochs_retired.load(Ordering::Relaxed)
+    }
+
+    /// Answers a [`QueryPlan::Window`]: resolves the selector against
+    /// the series' live epochs, executes the inner plan once per
+    /// selected epoch (each through the engine's memoized per-epoch
+    /// partials, keyed by the inner plan's canonical JSON, so a sliding
+    /// window re-executes only the epochs it hasn't seen), then merges.
+    ///
+    /// With indexed plans disabled the per-epoch executions run cold
+    /// against each epoch's rebuild — bit-identical answers, no
+    /// memoization (the same kill-switch contract single-release plans
+    /// have).
+    fn answer_window(
+        &self,
+        series: &str,
+        select: &EpochSelector,
+        merge: WindowMerge,
+        inner: &QueryPlan,
+    ) -> Result<Answer, ServeError> {
+        let live = series::series_epochs(&self.catalog, series);
+        let selected = series::select_epochs(select, &live)?;
+        let plan_key = serde_json::to_string(inner)
+            .map_err(|e| ServeError(format!("cannot key window plan: {e}")))?;
+        let epochs: Vec<u64> = selected.iter().map(|info| info.epoch).collect();
+        let mut answers = Vec::with_capacity(selected.len());
+        for info in &selected {
+            let answer = if self.indexed_plans() {
+                let name = info.entry.name.clone();
+                let version = info.entry.version;
+                self.engine.window_partial(
+                    &info.entry,
+                    &plan_key,
+                    || {
+                        self.catalog
+                            .get(&name)
+                            .is_some_and(|current| current.version == version)
+                    },
+                    |index| {
+                        dpod_query::plan::execute_with(index, inner).map_err(|e| ServeError(e.0))
+                    },
+                )?
+            } else {
+                let matrix = self.resolve(&info.entry.name)?;
+                dpod_query::plan::execute(&matrix, inner).map_err(|e| ServeError(e.0))?
+            };
+            answers.push(answer);
+        }
+        dpod_query::merge_window_answers(merge, &epochs, answers).map_err(|e| ServeError(e.0))
+    }
+
     /// Answers one request. Never panics on analyst input: every failure
     /// is a [`Response::Error`].
     pub fn handle(&self, request: &Request) -> Response {
@@ -293,7 +417,16 @@ impl Server {
                 // structures answering warm aggregates), then execute
                 // against it. The cold fallback scans the rebuild
                 // directly — bit-identical answers, no preparation.
-                let answer = if self.indexed_plans() {
+                // Window plans take a third path: the name addresses a
+                // release *series* and the plan fans across its epochs.
+                let answer = if let QueryPlan::Window {
+                    select,
+                    merge,
+                    plan: inner,
+                } = plan
+                {
+                    self.answer_window(release, select, *merge, inner)
+                } else if self.indexed_plans() {
                     self.resolve_index(release).and_then(|ix| {
                         dpod_query::plan::execute_with(ix.as_ref(), plan)
                             .map_err(|e| ServeError(e.0))
@@ -353,6 +486,10 @@ impl Server {
                         release_hits: self.release_hits(),
                         evicted_stat_entries: self.metrics.evicted_stat_entries.get(),
                         stage_latencies: self.metrics.stage_latencies(),
+                        series: series::series_names(&self.catalog).len(),
+                        partial_entries: engine.partial_entries,
+                        partial_hits: engine.partial_hits,
+                        partial_misses: engine.partial_misses,
                     },
                 }
             }
@@ -611,6 +748,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     front_end: FrontEnd,
+    /// Event-loop shards actually spawned (1 in pool mode).
+    loops: usize,
+    /// The `listen(2)` backlog requested for every listener.
+    backlog: i32,
     /// Event mode: one join handle per loop shard. Pool mode: the
     /// acceptor.
     joins: Vec<std::thread::JoinHandle<()>>,
@@ -632,6 +773,18 @@ impl ServerHandle {
     /// without epoll).
     pub fn front_end(&self) -> FrontEnd {
         self.front_end
+    }
+
+    /// Event-loop shards actually spawned (after fallback and
+    /// environment resolution; `1` on the pool front end).
+    pub fn event_loops(&self) -> usize {
+        self.loops
+    }
+
+    /// The `listen(2)` backlog requested for every listener (the kernel
+    /// clamps to `net.core.somaxconn`).
+    pub fn listen_backlog(&self) -> i32 {
+        self.backlog
     }
 
     /// Stops the server. On the event front end this is a graceful
@@ -868,6 +1021,8 @@ fn spawn_event_front_end(
         addr: local,
         shutdown,
         front_end: FrontEnd::Event,
+        loops,
+        backlog,
         joins,
         wakers,
         drain_ms,
@@ -969,6 +1124,8 @@ fn spawn_pool_front_end(
         addr: local,
         shutdown,
         front_end: FrontEnd::Pool,
+        loops: 1,
+        backlog: opts.listen_backlog.max(1),
         joins: vec![acceptor],
         wakers: Vec::new(),
         drain_ms: Arc::new(AtomicU64::new(opts.drain_deadline.as_millis() as u64)),
@@ -1780,5 +1937,221 @@ mod tests {
         let resp: Response = serde_json::from_str(line.trim()).unwrap();
         assert!(matches!(resp, Response::Value { .. }));
         handle.stop();
+    }
+
+    /// An 8×8 release whose noise differs per seed (each epoch of a
+    /// series must carry distinct values or the merge tests prove
+    /// nothing).
+    fn epoch_release(seed: u64) -> PublishedRelease {
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[2, 2], 500).unwrap();
+        m.add_at(&[5, 1], 120).unwrap();
+        let out = Ebp::default()
+            .sanitize(
+                &m,
+                Epsilon::new(0.5).unwrap(),
+                &mut dpod_dp::seeded_rng(seed),
+            )
+            .unwrap();
+        PublishedRelease::from_sanitized(&out)
+    }
+
+    /// A server carrying epochs 1–3 of series `city`.
+    fn epoch_server() -> Arc<Server> {
+        let server = Arc::new(Server::new(Arc::new(Catalog::new()), 1 << 20));
+        for epoch in 1..=3u64 {
+            server
+                .publish_epoch("city", epoch, epoch_release(100 + epoch))
+                .unwrap();
+        }
+        server
+    }
+
+    /// The acceptance criterion: a `Window{last_k}` plan answers
+    /// bit-identically to executing the inner plan per epoch and
+    /// merging by hand — and the same bytes come back in-process, over
+    /// NDJSON, and over `DPRB`.
+    #[test]
+    fn window_plans_match_per_epoch_execution_on_every_transport() {
+        use dpod_query::{merge_window_answers, plan, EpochSelector, QueryPlan, WindowMerge};
+        let server = epoch_server();
+        let inner = QueryPlan::Many {
+            plans: vec![
+                QueryPlan::Total,
+                QueryPlan::Marginal { keep: vec![0] },
+                QueryPlan::TopK { k: 4 },
+            ],
+        };
+
+        // Merge by hand: execute the inner plan against each epoch's
+        // release directly, then fold with the pure merge.
+        let epochs: Vec<u64> = vec![1, 2, 3];
+        let mut by_hand = Vec::new();
+        for &epoch in &epochs {
+            let matrix = server.resolve(&format!("city@{epoch}")).unwrap();
+            by_hand.push(plan::execute(&matrix, &inner).unwrap());
+        }
+        let expected_sum =
+            merge_window_answers(WindowMerge::Sum, &epochs, by_hand.clone()).unwrap();
+        let expected_per = merge_window_answers(WindowMerge::PerEpoch, &epochs, by_hand).unwrap();
+
+        let window = |merge| Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::LastK { k: 3 },
+                merge,
+                plan: Box::new(inner.clone()),
+            },
+        };
+
+        // In-process, indexed and cold paths.
+        for indexed in [true, false] {
+            server.set_indexed_plans(indexed);
+            let Response::Answer { answer } = server.handle(&window(WindowMerge::Sum)) else {
+                panic!("expected answer (indexed={indexed})");
+            };
+            assert_eq!(answer, expected_sum, "indexed={indexed}");
+            let Response::Answer { answer } = server.handle(&window(WindowMerge::PerEpoch)) else {
+                panic!("expected answer (indexed={indexed})");
+            };
+            assert_eq!(answer, expected_per, "indexed={indexed}");
+        }
+        server.set_indexed_plans(true);
+
+        // Both TCP encodings return the same bytes.
+        let handle = spawn(Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr();
+        let mut binary = crate::wire::Client::connect(addr).unwrap();
+        let Response::Answer { answer } = binary.request(&window(WindowMerge::Sum)).unwrap() else {
+            panic!("binary window failed");
+        };
+        assert_eq!(answer, expected_sum);
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(
+                serde_json::to_string(&window(WindowMerge::Sum))
+                    .unwrap()
+                    .as_bytes(),
+            )
+            .unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let Response::Answer { answer } = serde_json::from_str(line.trim()).unwrap() else {
+            panic!("json window failed");
+        };
+        assert_eq!(answer, expected_sum);
+        handle.stop();
+    }
+
+    /// Warm window queries answer from memoized per-epoch partials: the
+    /// second identical window is all hits, and sliding the window to
+    /// include a new epoch misses only that epoch.
+    #[test]
+    fn sliding_windows_reuse_memoized_partials() {
+        use dpod_query::{EpochSelector, QueryPlan, WindowMerge};
+        let server = epoch_server();
+        let window = |k| Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::LastK { k },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+        };
+
+        assert!(matches!(server.handle(&window(2)), Response::Answer { .. }));
+        let cold = server.engine_stats();
+        assert_eq!(cold.partial_hits, 0);
+        assert_eq!(cold.partial_misses, 2);
+
+        // Same window again: pure hits.
+        assert!(matches!(server.handle(&window(2)), Response::Answer { .. }));
+        let warm = server.engine_stats();
+        assert_eq!(warm.partial_hits, 2);
+        assert_eq!(warm.partial_misses, 2);
+
+        // Widen to 3: the two cached epochs hit, the new one misses.
+        assert!(matches!(server.handle(&window(3)), Response::Answer { .. }));
+        let slid = server.engine_stats();
+        assert_eq!(slid.partial_hits, 4);
+        assert_eq!(slid.partial_misses, 3);
+
+        // Republishing epoch 3 invalidates only its partial: the next
+        // window misses once (epoch 3) and hits the rest.
+        server.publish_epoch("city", 3, epoch_release(999)).unwrap();
+        assert!(matches!(server.handle(&window(3)), Response::Answer { .. }));
+        let republished = server.engine_stats();
+        assert_eq!(republished.partial_hits, 6);
+        assert_eq!(republished.partial_misses, 4);
+
+        let Response::Stats { stats } = server.handle(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!(stats.series, 1);
+        assert_eq!(stats.partial_hits, 6);
+        assert_eq!(stats.partial_misses, 4);
+    }
+
+    /// Retention tombstones expired epochs, refunds their ε into the
+    /// series ledger, and the monotonic rule keeps their ids retired.
+    #[test]
+    fn retention_retires_epochs_and_refunds_epsilon() {
+        use dpod_query::{EpochSelector, QueryPlan, WindowMerge};
+        let server = epoch_server();
+        let active_before = server.ledgers().active_epsilon("city").unwrap();
+        assert!((active_before - 1.5).abs() < 1e-9, "{active_before}");
+
+        let retired = server.apply_retention("city", 2).unwrap();
+        assert_eq!(retired, vec![1]);
+        assert_eq!(server.epochs_retired(), 1);
+        let active_after = server.ledgers().active_epsilon("city").unwrap();
+        assert!((active_after - 1.0).abs() < 1e-9, "{active_after}");
+
+        // The retired epoch is gone from serving and from selection.
+        assert!(server.catalog().get("city@1").is_none());
+        let at_retired = server.handle(&Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::At { epoch: 1 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+        });
+        assert!(matches!(at_retired, Response::Error { .. }));
+        // Its id cannot be republished (the ε was refunded).
+        assert!(server.publish_epoch("city", 1, epoch_release(7)).is_err());
+        // But the frontier keeps moving.
+        assert_eq!(
+            server.publish_epoch("city", 4, epoch_release(8)).unwrap(),
+            1
+        );
+        assert_eq!(server.epochs_published(), 4);
+    }
+
+    /// Window plans against a legacy plain-named release see it as a
+    /// one-epoch series at epoch 0 — continuity for pre-epoch catalogs.
+    #[test]
+    fn legacy_releases_answer_window_plans_as_epoch_zero() {
+        use dpod_query::{plan, EpochSelector, QueryPlan, WindowMerge};
+        let server = test_server(&["city"]);
+        let matrix = server.resolve("city").unwrap();
+        let expected = plan::execute(&matrix, &QueryPlan::Total).unwrap();
+        let Response::Answer { answer } = server.handle(&Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::LastK { k: 5 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+        }) else {
+            panic!("expected answer");
+        };
+        assert_eq!(answer, expected);
     }
 }

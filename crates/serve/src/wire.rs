@@ -62,11 +62,15 @@
 //! origin/destination regions of 4 raw u64 corners each, then
 //! `u64 count` × (u64 stop index + region)), `0x03` Marginal (keep\[\]),
 //! `0x04` TopK (u64 k), `0x05` Total, `0x06` Many (u64 count + nested
-//! plans). An `Answer` payload mirrors it with packed encodings for the
+//! plans), `0x07` Window (selector tag + ids, merge tag, nested plan).
+//! An `Answer` payload mirrors it with packed encodings for the
 //! hot variants: `0x01` Value (f64), `0x02` Marginal (dims\[\] + a raw
 //! f64 vector), `0x03` TopK (dims\[\], u64 count, then `count` packed
 //! flat-index/value u64 word pairs), `0x04` Many (u64 count + nested
-//! answers).
+//! answers), `0x05` Epochs (u64 count + raw epoch ids, then u64 count +
+//! nested answers). The `0x07`/`0x05` window tags are additive: earlier
+//! encoders never emit them and earlier decoders reject them as unknown
+//! tags, so legacy bytes are untouched.
 //!
 //! Every decode error is a descriptive [`WireError`], never a panic; the
 //! declared lengths are validated against the bytes actually present
@@ -74,7 +78,7 @@
 
 use crate::protocol::{ReleaseHits, ReleaseInfo, Request, Response, ServerStats, StageLatency};
 use dpod_fmatrix::codec::{FrameReader, FrameWriter};
-use dpod_query::{Answer, QueryPlan, Region, TopCell};
+use dpod_query::{Answer, EpochSelector, QueryPlan, Region, TopCell, WindowMerge};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -101,18 +105,33 @@ const OP_ANSWER: u8 = 0x85;
 const OP_ERROR: u8 = 0xEF;
 
 // Plan tags inside an `OP_PLAN` payload (one per `QueryPlan` variant).
+// `PLAN_WINDOW` is additive: pre-epoch encoders never emit it and
+// pre-epoch decoders reject it as an unknown tag, so legacy bytes are
+// untouched (the pinned-bytes tests below prove it).
 const PLAN_RANGE: u8 = 0x01;
 const PLAN_OD: u8 = 0x02;
 const PLAN_MARGINAL: u8 = 0x03;
 const PLAN_TOP_K: u8 = 0x04;
 const PLAN_TOTAL: u8 = 0x05;
 const PLAN_MANY: u8 = 0x06;
+const PLAN_WINDOW: u8 = 0x07;
 
-// Answer tags inside an `OP_ANSWER` payload (one per `Answer` variant).
+// Epoch-selector tags inside a `PLAN_WINDOW` payload.
+const SELECT_AT: u8 = 0x01;
+const SELECT_LAST_K: u8 = 0x02;
+const SELECT_RANGE: u8 = 0x03;
+
+// Window-merge tags inside a `PLAN_WINDOW` payload.
+const MERGE_SUM: u8 = 0x01;
+const MERGE_PER_EPOCH: u8 = 0x02;
+
+// Answer tags inside an `OP_ANSWER` payload (one per `Answer` variant;
+// `ANSWER_EPOCHS` is additive, as `PLAN_WINDOW` above).
 const ANSWER_VALUE: u8 = 0x01;
 const ANSWER_MARGINAL: u8 = 0x02;
 const ANSWER_TOP_K: u8 = 0x03;
 const ANSWER_MANY: u8 = 0x04;
+const ANSWER_EPOCHS: u8 = 0x05;
 
 /// Deepest `Many` nesting the decoder will follow. The executor rejects
 /// nested `Many` anyway; this cap merely keeps an adversarial frame from
@@ -274,6 +293,33 @@ fn encode_plan(w: &mut FrameWriter, plan: &QueryPlan) {
                 encode_plan(w, p);
             }
         }
+        QueryPlan::Window {
+            select,
+            merge,
+            plan,
+        } => {
+            w.put_u8(PLAN_WINDOW);
+            match select {
+                EpochSelector::At { epoch } => {
+                    w.put_u8(SELECT_AT);
+                    w.put_u64(*epoch);
+                }
+                EpochSelector::LastK { k } => {
+                    w.put_u8(SELECT_LAST_K);
+                    w.put_u64(*k);
+                }
+                EpochSelector::Range { from, to } => {
+                    w.put_u8(SELECT_RANGE);
+                    w.put_u64(*from);
+                    w.put_u64(*to);
+                }
+            }
+            w.put_u8(match merge {
+                WindowMerge::Sum => MERGE_SUM,
+                WindowMerge::PerEpoch => MERGE_PER_EPOCH,
+            });
+            encode_plan(w, plan);
+        }
     }
 }
 
@@ -327,6 +373,36 @@ fn decode_plan(r: &mut FrameReader<'_>, depth: usize) -> Result<QueryPlan, WireE
             }
             Ok(QueryPlan::Many { plans })
         }
+        PLAN_WINDOW => {
+            let select = match r.get_u8("window selector tag")? {
+                SELECT_AT => EpochSelector::At {
+                    epoch: r.get_u64("window epoch")?,
+                },
+                SELECT_LAST_K => EpochSelector::LastK {
+                    k: r.get_u64("window k")?,
+                },
+                SELECT_RANGE => EpochSelector::Range {
+                    from: r.get_u64("window from")?,
+                    to: r.get_u64("window to")?,
+                },
+                other => {
+                    return Err(WireError(format!(
+                        "unknown window selector tag {other:#04x}"
+                    )))
+                }
+            };
+            let merge = match r.get_u8("window merge tag")? {
+                MERGE_SUM => WindowMerge::Sum,
+                MERGE_PER_EPOCH => WindowMerge::PerEpoch,
+                other => return Err(WireError(format!("unknown window merge tag {other:#04x}"))),
+            };
+            let plan = Box::new(decode_plan(r, depth + 1)?);
+            Ok(QueryPlan::Window {
+                select,
+                merge,
+                plan,
+            })
+        }
         other => Err(WireError(format!("unknown plan tag {other:#04x}"))),
     }
 }
@@ -374,6 +450,17 @@ fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
         }
         Answer::Many { answers } => {
             w.put_u8(ANSWER_MANY);
+            w.put_u64(answers.len() as u64);
+            for a in answers {
+                encode_answer(w, a);
+            }
+        }
+        Answer::Epochs { epochs, answers } => {
+            w.put_u8(ANSWER_EPOCHS);
+            w.put_u64(epochs.len() as u64);
+            for &e in epochs {
+                w.put_u64(e);
+            }
             w.put_u64(answers.len() as u64);
             for a in answers {
                 encode_answer(w, a);
@@ -440,6 +527,24 @@ fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireEr
                 answers.push(decode_answer(r, depth + 1)?);
             }
             Ok(Answer::Many { answers })
+        }
+        ANSWER_EPOCHS => {
+            let n = usize::try_from(r.get_u64("epoch count")?)
+                .map_err(|_| WireError("epoch count overflows".into()))?;
+            // Each epoch id is 8 bytes; the reader validates the byte
+            // budget before the vector allocates.
+            let raw = r.get_raw_u64s(n, "epoch ids")?;
+            let epochs = raw
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            let count = usize::try_from(r.get_u64("epoch answer count")?)
+                .map_err(|_| WireError("epoch answer count overflows".into()))?;
+            let mut answers = Vec::with_capacity(count.min(1 << 12));
+            for _ in 0..count {
+                answers.push(decode_answer(r, depth + 1)?);
+            }
+            Ok(Answer::Epochs { epochs, answers })
         }
         other => Err(WireError(format!("unknown answer tag {other:#04x}"))),
     }
@@ -646,6 +751,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 w.put_u64(sl.p99_nanos);
                 w.put_u64(sl.p999_nanos);
             }
+            // Epoch tail, appended after the observability tail under
+            // the same convention: optional on decode as a block, so
+            // pre-epoch stats frames keep working.
+            w.put_u64(stats.series as u64);
+            w.put_u64(stats.partial_entries as u64);
+            w.put_u64(stats.partial_hits);
+            w.put_u64(stats.partial_misses);
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -733,6 +845,19 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             } else {
                 (0, Vec::new())
             };
+            // Epoch tail: same optional-block convention, one level
+            // further out (a frame ending after the observability tail
+            // is a pre-epoch server's — decode with zero defaults).
+            let (series, partial_entries, partial_hits, partial_misses) = if r.remaining() > 0 {
+                (
+                    r.get_u64("series")? as usize,
+                    r.get_u64("partial_entries")? as usize,
+                    r.get_u64("partial_hits")?,
+                    r.get_u64("partial_misses")?,
+                )
+            } else {
+                (0, 0, 0, 0)
+            };
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -752,6 +877,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     release_hits,
                     evicted_stat_entries,
                     stage_latencies,
+                    series,
+                    partial_entries,
+                    partial_hits,
+                    partial_misses,
                 },
             }
         }
@@ -984,6 +1113,30 @@ mod tests {
                 release: "x".into(),
                 plan: QueryPlan::od(),
             },
+            Request::Plan {
+                release: "series".into(),
+                plan: QueryPlan::Window {
+                    select: EpochSelector::LastK { k: 4 },
+                    merge: WindowMerge::Sum,
+                    plan: Box::new(QueryPlan::Marginal { keep: vec![0] }),
+                },
+            },
+            Request::Plan {
+                release: "series".into(),
+                plan: QueryPlan::Window {
+                    select: EpochSelector::Range { from: 2, to: 9 },
+                    merge: WindowMerge::PerEpoch,
+                    plan: Box::new(QueryPlan::TopK { k: 3 }),
+                },
+            },
+            Request::Plan {
+                release: "series".into(),
+                plan: QueryPlan::Window {
+                    select: EpochSelector::At { epoch: 7 },
+                    merge: WindowMerge::Sum,
+                    plan: Box::new(QueryPlan::Total),
+                },
+            },
             Request::List,
             Request::Stats,
         ];
@@ -1040,10 +1193,65 @@ mod tests {
                     ],
                 },
             },
+            Response::Answer {
+                answer: Answer::Epochs {
+                    epochs: vec![3, 4, 5],
+                    answers: vec![
+                        Answer::Value { value: 1.0 },
+                        Answer::Value { value: -2.5 },
+                        Answer::Marginal {
+                            dims: vec![2],
+                            values: vec![0.25, 0.75],
+                        },
+                    ],
+                },
+            },
         ];
         for resp in &resps {
             assert_eq!(&round_trip_response(resp), resp);
         }
+    }
+
+    /// Window plan tags past the legacy set are validated: an unknown
+    /// selector or merge tag is a named error, never a misread.
+    #[test]
+    fn window_decode_rejects_unknown_tags() {
+        let good = encode_request(&Request::Plan {
+            release: "s".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::LastK { k: 2 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+        });
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Unknown selector tag.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 32);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"s");
+        w.put_u8(PLAN_WINDOW);
+        w.put_u8(0x7E);
+        let err = decode_request(&w.finish()).expect_err("selector tag check");
+        assert!(err.0.contains("selector"), "{err}");
+        // Unknown merge tag.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 32);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"s");
+        w.put_u8(PLAN_WINDOW);
+        w.put_u8(SELECT_AT);
+        w.put_u64(1);
+        w.put_u8(0x7E);
+        let err = decode_request(&w.finish()).expect_err("merge tag check");
+        assert!(err.0.contains("merge"), "{err}");
+        // An epochs answer declaring more ids than the frame holds must
+        // fail on the byte budget, not allocate.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 32);
+        w.put_u8(OP_ANSWER);
+        w.put_u8(ANSWER_EPOCHS);
+        w.put_u64(u64::MAX / 16);
+        assert!(decode_response(&w.finish()).is_err());
     }
 
     #[test]
@@ -1148,6 +1356,10 @@ mod tests {
                         p99_nanos: 3_600,
                         p999_nanos: 7_200,
                     }],
+                    series: 1,
+                    partial_entries: 4,
+                    partial_hits: 6,
+                    partial_misses: 2,
                 },
             },
             Response::Error {
@@ -1188,6 +1400,10 @@ mod tests {
             }],
             evicted_stat_entries: 0,
             stage_latencies: Vec::new(),
+            series: 0,
+            partial_entries: 0,
+            partial_hits: 0,
+            partial_misses: 0,
         };
         // Re-encode the frame the way the previous wire revision did:
         // everything except the appended observability tail.
@@ -1256,6 +1472,10 @@ mod tests {
                     p99_nanos: 10,
                     p999_nanos: 10,
                 }],
+                series: 1,
+                partial_entries: 0,
+                partial_hits: 0,
+                partial_misses: 0,
             },
         });
         for cut in [full.len() - 1, full.len() - 9, full.len() - 40] {

@@ -193,6 +193,64 @@ fn metrics_exposition_pool_front_end() {
     exposition_covers_served_traffic(FrontEnd::Pool);
 }
 
+/// The epoch catalog's whole lifecycle is visible on `/metrics`: live
+/// epoch counts, the per-epoch ε series, per-series active ε (shrunk by
+/// retention refunds), publish/retire counters, and the window-partial
+/// cache counters.
+#[test]
+fn epoch_gauges_cover_the_series_lifecycle() {
+    use dpod_query::{EpochSelector, QueryPlan, WindowMerge};
+
+    let fresh = |seed: u64| {
+        let shape = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(shape);
+        m.add_at(&[2, 2], 500).unwrap();
+        let out = Ebp::default()
+            .sanitize(
+                &m,
+                Epsilon::new(0.5).unwrap(),
+                &mut dpod_dp::seeded_rng(seed),
+            )
+            .unwrap();
+        PublishedRelease::from_sanitized(&out)
+    };
+    // The pre-epoch "city" release plays epoch 0 of its series.
+    let server = test_server();
+    server.publish_epoch("city", 1, fresh(11)).unwrap();
+    server.publish_epoch("city", 2, fresh(12)).unwrap();
+    assert_eq!(server.apply_retention("city", 2).unwrap(), vec![0]);
+
+    // A window query warms the per-epoch partial cache.
+    let answer = server.handle(&Request::Plan {
+        release: "city".into(),
+        plan: QueryPlan::Window {
+            select: EpochSelector::LastK { k: 2 },
+            merge: WindowMerge::Sum,
+            plan: Box::new(QueryPlan::Total),
+        },
+    });
+    assert!(matches!(answer, Response::Answer { .. }), "{answer:?}");
+
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let body = scrape(exporter.addr());
+    assert!(
+        body.contains("dpod_epoch_count{series=\"city\"} 2"),
+        "{body}"
+    );
+    assert!(body.contains("dpod_epoch_epsilon{series=\"city\",epoch=\"1\"} 0.5"));
+    assert!(body.contains("dpod_epoch_epsilon{series=\"city\",epoch=\"2\"} 0.5"));
+    assert!(
+        !body.contains("epoch=\"0\""),
+        "retired epoch 0 must drop out of the exposition"
+    );
+    assert!(body.contains("dpod_series_epsilon_active{series=\"city\"} 1"));
+    assert!(body.contains("dpod_epochs_published_total 2"));
+    assert!(body.contains("dpod_epochs_retired_total 1"));
+    assert!(body.contains("dpod_engine_partial_entries 2"));
+    assert!(body.contains("dpod_engine_partial_misses_total 2"));
+    exporter.stop();
+}
+
 /// A second scrape on a fresh connection must work (the exporter serves
 /// one request per connection, `Connection: close`).
 #[test]

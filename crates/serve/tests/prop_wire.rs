@@ -141,6 +141,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             p999_nanos: counter.wrapping_mul(8),
                         })
                         .collect(),
+                    series: domain.len(),
+                    partial_entries: (counter % 9) as usize,
+                    partial_hits: counter / 6,
+                    partial_misses: counter / 7,
                 },
             },
             _ => Response::Error { message: name },
