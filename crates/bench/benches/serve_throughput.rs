@@ -13,7 +13,10 @@
 //! * `tcp/binary` — the same single-query traffic over the `DPRB`
 //!   binary protocol (pipelined frames, one connection);
 //! * `tcp/binary-batch` — 1000-range `DPRB` batch frames, the protocol's
-//!   intended interactive-analyst shape;
+//!   intended interactive-analyst shape — measured legacy and packed
+//!   (the preamble feature bit that varint-packs coordinates and answer
+//!   vectors), plus static `wire_bytes_batch1000_*` rows pinning the
+//!   bytes per batch round trip under each encoding;
 //! * `plan/marginal` and `plan/topk` — the typed query algebra's hot
 //!   aggregate plans (`QueryPlan::Marginal` / `QueryPlan::TopK`) over
 //!   both TCP encodings, measuring plans/sec (each plan scans the full
@@ -215,10 +218,8 @@ fn measure_tcp_binary_qps(server: Arc<Server>, n: usize) -> f64 {
     qps
 }
 
-/// 1000-range `DPRB` batch frames on one connection: the protocol's
-/// intended high-volume shape (packed coordinates out, raw f64s back).
-fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
-    let handle = spawn_legacy_pool(server);
+/// The fixed 1000-range batch request the binary-batch rows share.
+fn batch_request() -> Request {
     let shape = dpod_fmatrix::Shape::new(vec![SIDE, SIDE]).expect("shape");
     let mut rng = dpod_dp::seeded_rng(9);
     let ranges: Vec<(Vec<usize>, Vec<usize>)> = QueryWorkload::Random
@@ -226,11 +227,20 @@ fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
         .into_iter()
         .map(|q| (q.lo().to_vec(), q.hi().to_vec()))
         .collect();
-    let mut client = dpod_serve::wire::Client::connect(handle.addr()).expect("connect");
-    let req = Request::Batch {
+    Request::Batch {
         release: "gauss-ebp".into(),
         ranges,
-    };
+    }
+}
+
+/// 1000-range `DPRB` batch frames on one connection: the protocol's
+/// intended high-volume shape. `packed` negotiates the varint-packed
+/// payload encoding (preamble feature bit `0x80`).
+fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize, packed: bool) -> f64 {
+    let handle = spawn_legacy_pool(server);
+    let mut client =
+        dpod_serve::wire::Client::connect_with(handle.addr(), packed).expect("connect");
+    let req = batch_request();
     let start = Instant::now();
     for _ in 0..rounds {
         match client.request(&req).expect("batch") {
@@ -243,6 +253,24 @@ fn measure_tcp_binary_batch_qps(server: Arc<Server>, rounds: usize) -> f64 {
     let qps = (BATCH * rounds) as f64 / start.elapsed().as_secs_f64();
     handle.stop();
     qps
+}
+
+/// Wire bytes for one 1000-range batch round trip (request frame plus
+/// response frame), legacy vs varint-packed payload encoding — the
+/// serialization-tax comparison the packed feature bit exists for.
+fn measure_batch_wire_bytes(server: &Server) -> (usize, usize) {
+    use dpod_serve::wire;
+    let req = batch_request();
+    let resp = server.handle(&req);
+    let frame = |body: &[u8]| {
+        let mut framed = Vec::new();
+        wire::write_frame(&mut framed, body).expect("frame");
+        framed.len()
+    };
+    let legacy = frame(&wire::encode_request(&req)) + frame(&wire::encode_response(&resp));
+    let packed =
+        frame(&wire::encode_request_packed(&req)) + frame(&wire::encode_response_packed(&resp));
+    (legacy, packed)
 }
 
 /// Plans/sec for one fixed typed plan over the chosen encoding, fully
@@ -562,7 +590,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let batch_qps = measure_batch_qps(&server, rounds);
     let tcp_qps = measure_tcp_qps(Arc::clone(&server), tcp_n);
     let tcp_bin_qps = measure_tcp_binary_qps(Arc::clone(&server), bin_n);
-    let tcp_bin_batch_qps = measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds);
+    let tcp_bin_batch_qps = measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds, false);
+    let tcp_bin_batch_packed_qps =
+        measure_tcp_binary_batch_qps(Arc::clone(&server), bin_rounds, true);
+    let (batch_bytes_unpacked, batch_bytes_packed) = measure_batch_wire_bytes(&server);
     let marginal = QueryPlan::Marginal { keep: vec![0] };
     let topk = QueryPlan::TopK { k: 10 };
 
@@ -622,8 +653,14 @@ fn bench_serve_throughput(c: &mut Criterion) {
 
     println!(
         "serve_throughput: single {:.0} q/s, batch {:.0} q/s, tcp-json {:.0} q/s, \
-         tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s",
-        single_qps, batch_qps, tcp_qps, tcp_bin_qps, tcp_bin_batch_qps
+         tcp-binary {:.0} q/s, tcp-binary-batch {:.0} q/s (packed {:.0} q/s)",
+        single_qps, batch_qps, tcp_qps, tcp_bin_qps, tcp_bin_batch_qps, tcp_bin_batch_packed_qps
+    );
+    println!(
+        "serve_throughput batch wire bytes (req+resp frames, {BATCH} ranges): \
+         unpacked {batch_bytes_unpacked} B, packed {batch_bytes_packed} B \
+         ({:.2}x smaller)",
+        batch_bytes_unpacked as f64 / batch_bytes_packed as f64
     );
     println!(
         "serve_throughput plans (cold scan): marginal json {:.0}/s binary {:.0}/s, \
@@ -664,6 +701,23 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "tcp_binary_batch1000".to_string(),
             SIDE as f64,
             tcp_bin_batch_qps,
+        ),
+        (
+            "tcp_binary_batch1000_packed".to_string(),
+            SIDE as f64,
+            tcp_bin_batch_packed_qps,
+        ),
+        // Wire bytes per 1000-range batch round trip (request +
+        // response frames) — lower is better, unlike the rate rows.
+        (
+            "wire_bytes_batch1000_unpacked".to_string(),
+            SIDE as f64,
+            batch_bytes_unpacked as f64,
+        ),
+        (
+            "wire_bytes_batch1000_packed".to_string(),
+            SIDE as f64,
+            batch_bytes_packed as f64,
         ),
         (
             "tcp_plan_marginal_json".to_string(),

@@ -15,11 +15,12 @@ USAGE:
                 [--mechanism NAME] [--seed S] [--out FILE]
   dpod publish  --input trips.csv --name NAME --catalog DIR [--cells M]
                 --epsilon E [--mechanism NAME] [--seed S]
-                [--epoch T [--retain K]]
+                [--epoch T [--retain K] [--series-budget EPS]]
   dpod serve    --catalog DIR [--addr HOST:PORT] [--workers N]
                 [--cache-mb M] [--index-mb M] [--wire auto|json|binary]
                 [--front-end event|pool] [--event-loops N]
                 [--listen-backlog N] [--metrics-addr HOST:PORT]
+                [--retain-ttl SECS [--retain-last K]]
   dpod inspect  --release release.json
   dpod query    --release release.json --range SPEC [--range SPEC]...
   dpod query    --connect HOST:PORT --release NAME [--binary true]
@@ -51,8 +52,13 @@ EPOCHS: --epoch T publishes NAME as epoch T of its series (catalog
         entry NAME@T; epoch ids are monotonic per series — republish a
         live epoch or advance past the frontier, never resurrect a
         retired one). --retain K then tombstones every epoch older than
-        the newest K, releasing their ε back to the series ledger. A
+        the newest K, releasing their ε back to the series ledger.
+        --series-budget EPS refuses any publish whose post-retention
+        live epochs would together hold more than EPS of active ε. A
         pre-epoch release named NAME serves as epoch 0 of series NAME.
+        `serve --retain-ttl SECS` sweeps the same retention (keeping
+        --retain-last K epochs, default 1) on a timer for unattended
+        feeds.
         Window plans slide over a series, e.g.
         {\"Window\":{\"select\":{\"LastK\":{\"k\":4}},\"merge\":\"Sum\",
         \"plan\":\"Total\"}}
@@ -62,7 +68,10 @@ SERVE WIRE: newline-delimited JSON by default; e.g.
             A connection opening with the 5-byte preamble 'DPRB'+version
             speaks the length-prefixed binary protocol instead (fastest;
             used by `dpod query --binary true`). --wire restricts an
-            endpoint to one encoding.
+            endpoint to one encoding. DPOD_WIRE_PACKED=1 makes binary
+            clients advertise the varint-packed frame feature bit
+            (fewer wire bytes; old servers refuse, old frames
+            unchanged).
 SERVE CORE: --front-end event (default) serves many idle connections on
             a few workers via epoll readiness loops; --front-end pool
             is the legacy thread-per-connection kill-switch. The event
@@ -169,6 +178,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 ),
                 None => None,
             };
+            let series_budget = match opts.get("series-budget") {
+                Some(v) => Some(
+                    v.parse::<f64>()
+                        .map_err(|_| CliError(format!("--series-budget: cannot parse '{v}'")))?,
+                ),
+                None => None,
+            };
             commands::publish(
                 &csv_text,
                 &SanitizeArgs {
@@ -181,6 +197,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 &PathBuf::from(opts.require("catalog")?),
                 epoch,
                 retain,
+                series_budget,
             )
         }
         "replay" => {
@@ -215,6 +232,13 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 event_loops: opts.parse_or("event-loops", 0)?,
                 listen_backlog: opts.parse_or("listen-backlog", 1024)?,
                 metrics_addr: opts.get("metrics-addr").map(str::to_string),
+                retain_ttl: match opts.get("retain-ttl") {
+                    Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                        CliError(format!("--retain-ttl: cannot parse '{v}' (seconds)"))
+                    })?),
+                    None => None,
+                },
+                retain_last: opts.parse_or("retain-last", 1)?,
             })?;
             eprintln!(
                 "dpod-serve listening on {} ({} releases in {} series; {:?} front end, \

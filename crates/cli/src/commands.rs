@@ -113,9 +113,17 @@ pub fn sanitize_to_release(
 /// applies the sliding retention window, tombstoning every epoch older
 /// than the newest `K` before the directory is saved.
 ///
+/// With `series_budget`, the publish is refused outright — nothing
+/// written — when the series' *active* ε (live epochs after this
+/// publish and after the `retain` prune) would exceed the ceiling.
+/// Retention refunds count: a sliding window whose retired epochs give
+/// back their ε can publish forever under a fixed ceiling, which is the
+/// continual-release accounting the epoch ledgers implement.
+///
 /// # Errors
 /// [`CliError`] for pipeline failures, catalog IO, an epoch that is not
-/// live and not past the series frontier, or `retain` without `epoch`.
+/// live and not past the series frontier, `retain` or `series_budget`
+/// without `epoch`, or a publish that would break the series ε ceiling.
 pub fn publish(
     csv_text: &str,
     args: &SanitizeArgs,
@@ -123,6 +131,7 @@ pub fn publish(
     catalog_dir: &Path,
     epoch: Option<u64>,
     retain: Option<usize>,
+    series_budget: Option<f64>,
 ) -> Result<String, CliError> {
     if name.is_empty() {
         return Err("release name must not be empty".into());
@@ -130,12 +139,18 @@ pub fn publish(
     if retain.is_some() && epoch.is_none() {
         return Err("--retain needs --epoch (retention is per epoch series)".into());
     }
+    if series_budget.is_some() && epoch.is_none() {
+        return Err("--series-budget needs --epoch (the ceiling is per epoch series)".into());
+    }
     let release = sanitize_to_release(csv_text, args)?;
     let catalog = if catalog_dir.is_dir() {
         Catalog::load_dir(catalog_dir).map_err(|e| CliError(e.0))?
     } else {
         Catalog::new()
     };
+    if let (Some(budget), Some(t)) = (series_budget, epoch) {
+        check_series_budget(&catalog, name, t, release.epsilon, retain, budget)?;
+    }
     let (label, version, retired) = match epoch {
         None => (
             format!("'{name}'"),
@@ -183,6 +198,49 @@ pub fn publish(
     ))
 }
 
+/// Enforces `--series-budget`: simulates the live epoch set *after*
+/// publishing ε at epoch `t` and after the `retain`-newest prune, and
+/// refuses (before anything is mutated or written) when the surviving
+/// active ε would exceed `budget`. The small tolerance absorbs the
+/// float summation of many per-epoch ε values at an exact ceiling.
+fn check_series_budget(
+    catalog: &Catalog,
+    name: &str,
+    t: u64,
+    epsilon: f64,
+    retain: Option<usize>,
+    budget: f64,
+) -> Result<(), CliError> {
+    let mut sim: Vec<(u64, f64)> = series::series_epochs(catalog, name)
+        .iter()
+        .map(|info| (info.epoch, info.entry.release.epsilon))
+        .collect();
+    // A republish of a live epoch replaces its ε; a new epoch adds one.
+    match sim.iter_mut().find(|(e, _)| *e == t) {
+        Some(slot) => slot.1 = epsilon,
+        None => {
+            sim.push((t, epsilon));
+            sim.sort_by_key(|(e, _)| *e);
+        }
+    }
+    if let Some(k) = retain.filter(|&k| k > 0) {
+        if sim.len() > k {
+            let cut = sim.len() - k;
+            sim.drain(..cut);
+        }
+    }
+    let active: f64 = sim.iter().map(|(_, eps)| eps).sum();
+    if active > budget + 1e-12 {
+        return Err(CliError(format!(
+            "refusing publish: series '{name}' active \u{3b5} would be {active} \
+             ({} live epoch{}), over the --series-budget ceiling {budget}",
+            sim.len(),
+            if sim.len() == 1 { "" } else { "s" },
+        )));
+    }
+    Ok(())
+}
+
 /// `dpod serve` configuration.
 pub struct ServeArgs {
     /// Catalog directory produced by `dpod publish`.
@@ -212,6 +270,13 @@ pub struct ServeArgs {
     /// Bind address for the Prometheus-text `/metrics` exposition
     /// (`--metrics-addr`); `None` disables the exporter.
     pub metrics_addr: Option<String>,
+    /// Retention sweep period in seconds (`--retain-ttl`); `None`
+    /// disables the serve-side retention timer.
+    pub retain_ttl: Option<u64>,
+    /// Epochs each series keeps under the retention timer
+    /// (`--retain-last`, default 1; must be ≥ 1 when `--retain-ttl` is
+    /// set).
+    pub retain_last: usize,
 }
 
 /// Starts the serving stack for `dpod serve`, returning the running
@@ -225,6 +290,16 @@ pub struct ServeArgs {
 pub fn start_server(
     args: &ServeArgs,
 ) -> Result<(ServerHandle, Arc<Server>, Option<MetricsExporter>), CliError> {
+    if let Some(secs) = args.retain_ttl {
+        if secs == 0 {
+            return Err("--retain-ttl must be at least 1 second".into());
+        }
+        if args.retain_last == 0 {
+            return Err(
+                "--retain-last must be at least 1 (a series keeps its newest epoch)".into(),
+            );
+        }
+    }
     let catalog = Catalog::load_dir(&args.catalog).map_err(|e| CliError(e.0))?;
     if catalog.is_empty() {
         return Err(CliError(format!(
@@ -257,6 +332,16 @@ pub fn start_server(
         ),
         None => None,
     };
+    if let Some(secs) = args.retain_ttl {
+        // Validated ≥ 1 above. Daemon thread holding only a weak server
+        // reference; it dies with the server, so the handle needs no
+        // keeping.
+        let _ = dpod_serve::spawn_retention_timer(
+            &server,
+            std::time::Duration::from_secs(secs),
+            args.retain_last,
+        );
+    }
     Ok((handle, server, exporter))
 }
 
@@ -1385,9 +1470,9 @@ mod tests {
             mechanism: "ebp".into(),
             seed: 22,
         };
-        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None).unwrap();
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None, None).unwrap();
         assert!(msg.contains("v1"), "{msg}");
-        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None).unwrap();
+        let msg = publish(&csv_text, &args, "denver-ebp", &dir, None, None, None).unwrap();
         assert!(msg.contains("v2"), "{msg}");
         publish(
             &csv_text,
@@ -1402,6 +1487,7 @@ mod tests {
             },
             "denver-id",
             &dir,
+            None,
             None,
             None,
         )
@@ -1419,6 +1505,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .unwrap();
         assert_eq!(server.catalog().len(), 2);
@@ -1458,6 +1546,46 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// `--series-budget` refuses any publish whose post-retention live
+    /// epochs would exceed the ceiling — and refunds from the `--retain`
+    /// prune count, so a sliding window publishes forever under a fixed
+    /// ceiling.
+    #[test]
+    fn series_budget_refuses_over_ceiling_publishes() {
+        let dir = std::env::temp_dir().join(format!("dpod_cli_budget_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let csv_text = generate(&GenerateArgs {
+            city: "denver".into(),
+            trips: 1_000,
+            stops: 0,
+            seed: 7,
+        })
+        .unwrap();
+        let args = SanitizeArgs {
+            cells: 8,
+            epsilon: 1.0,
+            mechanism: "ebp".into(),
+            seed: 8,
+        };
+
+        // Ceiling of 2.0 at ε=1.0/epoch: two live epochs fit exactly.
+        let b = Some(2.0);
+        publish(&csv_text, &args, "denver", &dir, Some(1), Some(2), b).unwrap();
+        publish(&csv_text, &args, "denver", &dir, Some(2), Some(2), b).unwrap();
+        // A third without retention pruning would hold 3ε — refused,
+        // and nothing is written (epoch 3 stays unpublished).
+        let err = publish(&csv_text, &args, "denver", &dir, Some(3), None, b).unwrap_err();
+        assert!(err.0.contains("series-budget"), "{err}");
+        // With the window of 2 the oldest epoch's refund pays for the
+        // new one: active ε stays at 2.0 and the publish is accepted.
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(3), Some(2), b).unwrap();
+        assert!(msg.contains("retired epoch 1"), "{msg}");
+        // The ceiling needs an epoch series to meter.
+        assert!(publish(&csv_text, &args, "denver", &dir, None, None, b).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn epoch_publish_retention_and_window_queries() {
         use dpod_query::{EpochSelector, WindowMerge};
@@ -1479,19 +1607,19 @@ mod tests {
         };
 
         // Three continual publications under a sliding window of 2.
-        let msg = publish(&csv_text, &args, "denver", &dir, Some(1), Some(2)).unwrap();
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(1), Some(2), None).unwrap();
         assert!(msg.contains("'denver' epoch 1 v1"), "{msg}");
-        let msg = publish(&csv_text, &args, "denver", &dir, Some(2), Some(2)).unwrap();
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(2), Some(2), None).unwrap();
         assert!(!msg.contains("retired"), "{msg}");
-        let msg = publish(&csv_text, &args, "denver", &dir, Some(3), Some(2)).unwrap();
+        let msg = publish(&csv_text, &args, "denver", &dir, Some(3), Some(2), None).unwrap();
         assert!(msg.contains("retired epoch 1"), "{msg}");
 
         // Retired epochs stay retired across reloads; --retain needs
         // --epoch; series names cannot contain the separator.
-        let err = publish(&csv_text, &args, "denver", &dir, Some(1), None).unwrap_err();
+        let err = publish(&csv_text, &args, "denver", &dir, Some(1), None, None).unwrap_err();
         assert!(err.0.contains("behind the frontier"), "{err}");
-        assert!(publish(&csv_text, &args, "denver", &dir, None, Some(2)).is_err());
-        assert!(publish(&csv_text, &args, "d@nver", &dir, Some(4), None).is_err());
+        assert!(publish(&csv_text, &args, "denver", &dir, None, Some(2), None).is_err());
+        assert!(publish(&csv_text, &args, "d@nver", &dir, Some(4), None, None).is_err());
 
         // Serve the directory: the two live epochs answer window plans.
         let (handle, server, _exporter) = start_server(&ServeArgs {
@@ -1505,6 +1633,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .unwrap();
         assert_eq!(server.catalog().len(), 2);
@@ -1554,6 +1684,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -1577,7 +1709,7 @@ mod tests {
             mechanism: "ebp".into(),
             seed: 32,
         };
-        publish(&csv_text, &args, "ny", &dir, None, None).unwrap();
+        publish(&csv_text, &args, "ny", &dir, None, None, None).unwrap();
 
         let specs = vec![
             "total".to_string(),
@@ -1609,6 +1741,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -1651,7 +1785,7 @@ mod tests {
         let release_path = dir.join("release.json");
         std::fs::write(&release_path, sanitize(&csv_text, &args).unwrap()).unwrap();
         let catalog_dir = dir.join("catalog");
-        publish(&csv_text, &args, "detroit", &catalog_dir, None, None).unwrap();
+        publish(&csv_text, &args, "detroit", &catalog_dir, None, None, None).unwrap();
 
         // A recorded stream: every plan variant plus one failing plan.
         let plans_path = dir.join("plans.ndjson");
@@ -1720,6 +1854,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .unwrap();
         let addr = handle.addr().to_string();
@@ -1787,7 +1923,7 @@ mod tests {
             seed: 62,
         };
         let catalog_dir = dir.join("catalog");
-        publish(&csv_text, &args, "denver", &catalog_dir, None, None).unwrap();
+        publish(&csv_text, &args, "denver", &catalog_dir, None, None, None).unwrap();
 
         // 40 plans over 4 connections: every connection gets work and
         // the aggregate line reports the fan-out.
@@ -1813,6 +1949,8 @@ mod tests {
             event_loops: 0,
             listen_backlog: 1024,
             metrics_addr: None,
+            retain_ttl: None,
+            retain_last: 1,
         })
         .unwrap();
         let addr = handle.addr().to_string();

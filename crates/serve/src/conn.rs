@@ -80,6 +80,10 @@ pub(crate) struct Assembler {
     poisoned: bool,
     /// Set once EOF was observed; finalizes partial lines/frames.
     eof: bool,
+    /// Set when the `DPRB` preamble advertised
+    /// [`wire::WIRE_FEATURE_PACKED`]: responses may use the packed
+    /// opcodes.
+    packed: bool,
 }
 
 impl Assembler {
@@ -93,7 +97,14 @@ impl Assembler {
             items: Vec::new(),
             poisoned: false,
             eof: false,
+            packed: false,
         }
+    }
+
+    /// Whether the connection negotiated the packed response opcodes
+    /// (meaningful only once the stream committed to `DPRB`).
+    pub(crate) fn packed(&self) -> bool {
+        self.packed
     }
 
     /// Whether the stream hit an unrecoverable state: once the pending
@@ -217,7 +228,9 @@ impl Assembler {
             });
             return false;
         }
-        if version != wire::WIRE_VERSION {
+        // The high bit of the version byte is the packed-opcode feature
+        // advertisement, not part of the version number.
+        if version & !wire::WIRE_FEATURE_PACKED != wire::WIRE_VERSION {
             self.poison(WorkItem::Desync {
                 as_binary: true,
                 message: format!(
@@ -227,6 +240,7 @@ impl Assembler {
             });
             return false;
         }
+        self.packed = version & wire::WIRE_FEATURE_PACKED != 0;
         self.enc = Encoding::Binary;
         true
     }
@@ -524,6 +538,45 @@ mod tests {
         stream.extend_from_slice(wire::WIRE_MAGIC);
         stream.push(wire::WIRE_VERSION + 7);
         let (items, _) = drip(WireMode::Auto, &stream, false);
+        match &items[0] {
+            WorkItem::Desync { message, .. } => {
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packed_preamble_negotiates_the_feature_bit() {
+        // The feature bit commits to binary and records the
+        // negotiation; frames flow as usual.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push(wire::WIRE_VERSION | wire::WIRE_FEATURE_PACKED);
+        let body = wire::encode_request(&Request::List);
+        wire::write_frame(&mut stream, &body).unwrap();
+        let mut a = Assembler::new(WireMode::Auto);
+        for &b in &stream {
+            a.push(&[b]);
+        }
+        assert!(!a.poisoned());
+        assert!(a.packed());
+        assert_eq!(a.take_items(), vec![WorkItem::Frame(body)]);
+
+        // A plain preamble leaves the flag off.
+        let mut a = Assembler::new(WireMode::Auto);
+        a.push(wire::WIRE_MAGIC);
+        a.push(&[wire::WIRE_VERSION]);
+        assert!(!a.packed());
+        assert!(!a.poisoned());
+
+        // The feature bit excuses nothing about the version bits: a
+        // wrong version under the flag is still refused.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(wire::WIRE_MAGIC);
+        stream.push((wire::WIRE_VERSION + 1) | wire::WIRE_FEATURE_PACKED);
+        let (items, poisoned) = drip(WireMode::Auto, &stream, false);
+        assert!(poisoned);
         match &items[0] {
             WorkItem::Desync { message, .. } => {
                 assert!(message.contains("version"), "{message}");

@@ -40,6 +40,8 @@ pub struct QueryEngine {
     index_misses: AtomicU64,
     partial_hits: AtomicU64,
     partial_misses: AtomicU64,
+    encoded_hits: AtomicU64,
+    encoded_misses: AtomicU64,
     /// Build time of indexes that have since been evicted; live
     /// indexes' [`ReleaseIndex::build_nanos`] are summed on demand.
     retired_index_nanos: AtomicU64,
@@ -68,11 +70,27 @@ struct Cached {
     /// Running byte total of `partials` (so [`Cached::bytes`] stays
     /// O(1) under the ledger refresh).
     partials_bytes: usize,
+    /// Memoized final wire bytes per `(encoding, plan key)`: a warm hit
+    /// skips plan execution *and* encoding — the worker memcpys the
+    /// bytes to the socket. Rides the `(name, version)` entry exactly
+    /// like `partials`, so republish invalidation is free.
+    encoded: HashMap<(u8, String), EncodedEntry>,
+    /// Running byte total of `encoded` (as `partials_bytes`).
+    encoded_bytes: usize,
     /// What this entry currently contributes to `LruState::bytes`. Kept
     /// beside the live size so a warm touch can apply an O(1) delta
     /// (index bytes only grow) instead of rescanning every entry.
     charged: usize,
     last_used: u64,
+}
+
+/// One memoized encoded response: the exact on-socket bytes and the
+/// query units the answer counts for (so warm hits bump the same
+/// accounting a cold execution would).
+#[derive(Debug)]
+struct EncodedEntry {
+    bytes: Arc<Vec<u8>>,
+    units: u64,
 }
 
 impl Cached {
@@ -82,6 +100,7 @@ impl Cached {
         self.matrix_bytes
             + self.index.as_ref().map_or(0, |ix| ix.resident_bytes())
             + self.partials_bytes
+            + self.encoded_bytes
     }
 }
 
@@ -127,6 +146,16 @@ pub struct EngineStats {
     pub partial_hits: u64,
     /// Lifetime window-partial misses (— per-epoch plan executions).
     pub partial_misses: u64,
+    /// Memoized encoded responses currently resident (across all
+    /// cached releases and encodings).
+    pub encoded_entries: usize,
+    /// Lifetime encoded-memo hits (responses served as a memcpy of
+    /// cached wire bytes, skipping execution and encoding).
+    pub encoded_hits: u64,
+    /// Lifetime encoded-memo misses (— responses executed and encoded).
+    pub encoded_misses: u64,
+    /// Resident bytes held by the encoded-response memo.
+    pub encoded_bytes: usize,
     /// Cumulative wall-clock nanoseconds spent building index
     /// structures (marginal tables, cell orders), evicted indexes
     /// included.
@@ -176,6 +205,8 @@ impl QueryEngine {
             index_misses: AtomicU64::new(0),
             partial_hits: AtomicU64::new(0),
             partial_misses: AtomicU64::new(0),
+            encoded_hits: AtomicU64::new(0),
+            encoded_misses: AtomicU64::new(0),
             retired_index_nanos: AtomicU64::new(0),
         }
     }
@@ -321,6 +352,8 @@ impl QueryEngine {
                 index: None,
                 partials: HashMap::new(),
                 partials_bytes: 0,
+                encoded: HashMap::new(),
+                encoded_bytes: 0,
                 charged: 0, // set by the refresh below
                 last_used: tick,
             },
@@ -474,6 +507,76 @@ impl QueryEngine {
         Ok(answer)
     }
 
+    /// Serves one request's final wire bytes through the encoded memo:
+    /// a warm `(entry, encoding, plan_key)` triple returns the memoized
+    /// bytes — no plan execution, no serialization, the caller memcpys
+    /// them to the socket — together with the query units the answer
+    /// counts for. A cold triple runs `compute` (execute + encode, the
+    /// caller owns both) and memoizes its bytes beside the entry under
+    /// the shared LRU byte budget.
+    ///
+    /// The memo key rides the `(name, version)` cache entry like
+    /// `partials`, so a republish invalidates exactly the republished
+    /// release's bytes. `still_current` is consulted under the cache
+    /// lock before a fresh result is memoized: a compute that raced a
+    /// removal or republish is served to its caller but never cached.
+    /// `plan_key` must be a canonical serialization of the request's
+    /// plan and `enc` the response encoding discriminant — the caller
+    /// owns both contracts.
+    ///
+    /// # Errors
+    /// Whatever `compute` returns; errors are never memoized.
+    pub fn encoded_response(
+        &self,
+        entry: &CatalogEntry,
+        enc: u8,
+        plan_key: &str,
+        still_current: impl Fn() -> bool,
+        compute: impl FnOnce() -> Result<(Vec<u8>, u64), ServeError>,
+    ) -> Result<(Arc<Vec<u8>>, u64), ServeError> {
+        let key = (entry.name.clone(), entry.version);
+        let memo_key = (enc, plan_key.to_string());
+        {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(cached) = state.map.get_mut(&key) {
+                if let Some(e) = cached.encoded.get(&memo_key) {
+                    cached.last_used = tick;
+                    self.encoded_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&e.bytes), e.units));
+                }
+            }
+        }
+        self.encoded_misses.fetch_add(1, Ordering::Relaxed);
+        let (bytes, units) = compute()?;
+        let bytes = Arc::new(bytes);
+
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(cached) = state.map.get_mut(&key) {
+            // Memoize only while the entry is still the catalog's
+            // current version (checked under the lock, as
+            // `sanitized_if` does) — and keep a racing winner's bytes.
+            if still_current() && !cached.encoded.contains_key(&memo_key) {
+                cached.last_used = tick;
+                let cost = bytes.len() + memo_key.1.len() + 64;
+                cached.encoded.insert(
+                    memo_key,
+                    EncodedEntry {
+                        bytes: Arc::clone(&bytes),
+                        units,
+                    },
+                );
+                cached.encoded_bytes += cost;
+                Self::refresh_bytes(&mut state);
+                self.enforce_budget(&mut state, &key);
+            }
+        }
+        Ok((bytes, units))
+    }
+
     /// Drops every cached rebuild of `name` (any version) — plan
     /// indexes included — returning the bytes reclaimed. Used when a
     /// release is removed outright: no future request can reach those
@@ -528,6 +631,10 @@ impl QueryEngine {
             partial_entries: state.map.values().map(|c| c.partials.len()).sum(),
             partial_hits: self.partial_hits.load(Ordering::Relaxed),
             partial_misses: self.partial_misses.load(Ordering::Relaxed),
+            encoded_entries: state.map.values().map(|c| c.encoded.len()).sum(),
+            encoded_hits: self.encoded_hits.load(Ordering::Relaxed),
+            encoded_misses: self.encoded_misses.load(Ordering::Relaxed),
+            encoded_bytes: state.map.values().map(|c| c.encoded_bytes).sum(),
             index_build_nanos: self.retired_index_nanos.load(Ordering::Relaxed) + live_nanos,
         }
     }
@@ -1032,6 +1139,112 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.partial_entries, 0, "errors must not be memoized");
         assert_eq!((stats.partial_hits, stats.partial_misses), (0, 2));
+    }
+
+    #[test]
+    fn encoded_responses_memoize_per_entry_and_encoding() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let entry = c.get("a").unwrap();
+        // The memo rides the release's cache entry (in production the
+        // compute path resolves it); create it as an executor would.
+        engine.sanitized(&entry).unwrap();
+        // Two encodings of the "same plan" memoize independently.
+        let run = |enc: u8, payload: &[u8]| {
+            let payload = payload.to_vec();
+            engine
+                .encoded_response(&entry, enc, "plan-key", || true, move || Ok((payload, 3)))
+                .unwrap()
+        };
+        let (b1, u1) = run(0, b"json bytes");
+        assert_eq!((&b1[..], u1), (&b"json bytes"[..], 3));
+        let (b2, _) = run(1, b"frame bytes");
+        assert_eq!(&b2[..], b"frame bytes");
+        // Warm repeats return the first compute's bytes, bit for bit —
+        // the second closure's payload is never consulted.
+        let (warm, units) = run(0, b"IGNORED");
+        assert!(Arc::ptr_eq(&warm, &b1));
+        assert_eq!(units, 3);
+        let stats = engine.stats();
+        assert_eq!((stats.encoded_hits, stats.encoded_misses), (1, 2));
+        assert_eq!(stats.encoded_entries, 2);
+        assert!(stats.encoded_bytes > 0);
+
+        // Errors are never memoized.
+        let err: Result<_, ServeError> = engine.encoded_response(
+            &entry,
+            0,
+            "bad-plan",
+            || true,
+            || Err(ServeError("nope".into())),
+        );
+        assert!(err.is_err());
+        assert_eq!(engine.stats().encoded_entries, 2);
+
+        // A compute that raced a removal is served but not cached.
+        let (served, _) = engine
+            .encoded_response(&entry, 0, "racing", || false, || Ok((vec![1, 2], 1)))
+            .unwrap();
+        assert_eq!(&served[..], &[1, 2]);
+        assert_eq!(engine.stats().encoded_entries, 2);
+    }
+
+    #[test]
+    fn encoded_memo_bytes_ride_the_shared_ledger() {
+        let c = catalog_with(&["a", "b"], 16);
+        let (ea, eb) = (c.get("a").unwrap(), c.get("b").unwrap());
+        let (sa, sb) = (charged_bytes(&ea), charged_bytes(&eb));
+
+        let engine = QueryEngine::new(usize::MAX);
+        engine.sanitized(&ea).unwrap();
+        engine.sanitized(&eb).unwrap();
+        assert_eq!(
+            engine.stats().bytes,
+            sa + sb,
+            "an unused encoded memo must charge zero bytes"
+        );
+        let payload = vec![0u8; 1 << 12];
+        engine
+            .encoded_response(&ea, 1, "k", || true, || Ok((payload, 1)))
+            .unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.bytes, sa + sb + stats.encoded_bytes);
+        assert!(stats.encoded_bytes >= 1 << 12);
+
+        // Evicting the release reclaims the memo's bytes with it.
+        let reclaimed = engine.evict("a");
+        assert_eq!(reclaimed, sa + stats.encoded_bytes);
+        let stats = engine.stats();
+        assert_eq!((stats.bytes, stats.encoded_entries), (sb, 0));
+        assert_eq!(stats.encoded_bytes, 0);
+    }
+
+    #[test]
+    fn republish_invalidates_the_encoded_memo() {
+        let c = catalog_with(&["a"], 8);
+        let engine = QueryEngine::new(1 << 20);
+        let old = c.get("a").unwrap();
+        engine
+            .encoded_response(&old, 1, "k", || true, || Ok((b"v1".to_vec(), 1)))
+            .unwrap();
+        // Republish under the same name: the next resolve drops the
+        // stale entry, so the memo misses and re-computes.
+        let s = Shape::new(vec![8, 8]).unwrap();
+        let mut m = DenseMatrix::<u64>::zeros(s);
+        m.add_at(&[2, 2], 999).unwrap();
+        let out = Ebp::default()
+            .sanitize(&m, Epsilon::new(0.5).unwrap(), &mut dpod_dp::seeded_rng(42))
+            .unwrap();
+        c.publish("a", PublishedRelease::from_sanitized(&out));
+        let new = c.get("a").unwrap();
+        engine.sanitized(&new).unwrap(); // drops (a, v1) and its memo
+        let (bytes, _) = engine
+            .encoded_response(&new, 1, "k", || true, || Ok((b"v2".to_vec(), 1)))
+            .unwrap();
+        assert_eq!(&bytes[..], b"v2");
+        let stats = engine.stats();
+        assert_eq!((stats.encoded_hits, stats.encoded_misses), (0, 2));
+        assert_eq!(stats.encoded_entries, 1);
     }
 
     #[test]

@@ -82,7 +82,7 @@
 use crate::conn::{Assembler, WorkItem};
 use crate::metrics::{ShardMetrics, Stage, Transport, KIND_UNDECODABLE};
 use crate::protocol::{Request, Response};
-use crate::server::{Server, WireMode};
+use crate::server::{ResponseEncoding, Server, WireMode};
 use crate::wire;
 use dpod_obs::Span;
 use polling::{Interest, Poller, Waker};
@@ -369,13 +369,14 @@ fn transport_code(item: &WorkItem) -> u8 {
 
 /// Worker-side framing for one unit: feeds the raw bytes (and EOF) into
 /// the connection's assembler, settles the transport, and accounts the
-/// `parse` and `queue` stages. Returns the completed items and the
-/// settled transport.
+/// `parse` and `queue` stages. Returns the completed items, the settled
+/// transport, and whether the peer negotiated packed response frames
+/// (read from the assembler under the same lock).
 ///
 /// The parser mutex is taken here and only here — the single in-flight
 /// worker is the only thread that ever locks it, so this is a plain
 /// uncontended acquire, not a synchronization point.
-fn parse_unit(server: &Server, unit: &JobUnit) -> (Transport, Vec<WorkItem>) {
+fn parse_unit(server: &Server, unit: &JobUnit) -> (Transport, bool, Vec<WorkItem>) {
     let metrics = server.metrics();
     let dequeued = metrics.now_nanos();
     let mut parser = unit.shared.parser.lock().unwrap_or_else(|e| e.into_inner());
@@ -386,6 +387,7 @@ fn parse_unit(server: &Server, unit: &JobUnit) -> (Transport, Vec<WorkItem>) {
         parser.asm.push_eof();
     }
     let items = parser.asm.take_items();
+    let packed = parser.asm.packed();
     if unit.shared.transport.load(Ordering::Relaxed) == TRANSPORT_UNKNOWN {
         if let Some(first) = items.first() {
             unit.shared
@@ -430,14 +432,23 @@ fn parse_unit(server: &Server, unit: &JobUnit) -> (Transport, Vec<WorkItem>) {
             dequeued.saturating_sub(unit.queued_at),
         );
     }
-    (transport, items)
+    (transport, packed, items)
 }
 
 /// Turns one connection's ordered work items into response bytes.
-/// Returns `(bytes, close_after)`; shared by every worker. The execute
-/// and encode stages are timed here, where the work actually runs.
-fn run_job(server: &Server, items: Vec<WorkItem>) -> (Vec<u8>, bool) {
+/// Returns `(bytes, close_after)`; shared by every worker. Execution
+/// and serialization are fused in [`Server::handle_encoded`] (that
+/// fusion is what lets a warm encoded-memo hit skip both), so the
+/// execute lap covers them and the encode lap is the memcpy into the
+/// connection's write buffer. `packed` selects the packed `DPRB`
+/// response opcodes for peers that negotiated them.
+fn run_job(server: &Server, items: Vec<WorkItem>, packed: bool) -> (Vec<u8>, bool) {
     let metrics = server.metrics();
+    let frame_enc = if packed {
+        ResponseEncoding::BinaryPacked
+    } else {
+        ResponseEncoding::Binary
+    };
     let mut out = Vec::new();
     for item in items {
         match item {
@@ -451,44 +462,38 @@ fn run_job(server: &Server, items: Vec<WorkItem>) -> (Vec<u8>, bool) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = match serde_json::from_str::<Request>(line.trim_end()) {
+                let encoded = match serde_json::from_str::<Request>(line.trim_end()) {
                     Ok(request) => {
                         metrics.count_request(Transport::Json, &request);
-                        server.handle(&request)
+                        server.handle_encoded(&request, ResponseEncoding::Json)
                     }
                     Err(e) => {
                         metrics.count_request_index(Transport::Json, KIND_UNDECODABLE);
-                        Response::Error {
+                        Arc::new(ResponseEncoding::Json.encode(&Response::Error {
                             message: format!("bad request: {e}"),
-                        }
+                        }))
                     }
                 };
                 span.lap(metrics.stage(Transport::Json, Stage::Execute));
-                let body = serde_json::to_string(&response).unwrap_or_else(|e| {
-                    format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
-                });
-                out.extend_from_slice(body.as_bytes());
-                out.push(b'\n');
+                out.extend_from_slice(&encoded);
                 span.finish(metrics.stage(Transport::Json, Stage::Encode));
             }
             WorkItem::Frame(body) => {
                 let mut span = Span::start();
-                let response = match wire::decode_request(&body) {
+                let encoded = match wire::decode_request(&body) {
                     Ok(request) => {
                         metrics.count_request(Transport::Binary, &request);
-                        server.handle(&request)
+                        server.handle_encoded(&request, frame_enc)
                     }
                     Err(e) => {
                         metrics.count_request_index(Transport::Binary, KIND_UNDECODABLE);
-                        Response::Error {
+                        Arc::new(frame_enc.encode(&Response::Error {
                             message: format!("bad request: {e}"),
-                        }
+                        }))
                     }
                 };
                 span.lap(metrics.stage(Transport::Binary, Stage::Execute));
-                if wire::write_frame(&mut out, &wire::encode_response(&response)).is_err() {
-                    return (out, true);
-                }
+                out.extend_from_slice(&encoded);
                 span.finish(metrics.stage(Transport::Binary, Stage::Encode));
             }
             WorkItem::Desync { as_binary, message } => {
@@ -619,8 +624,8 @@ pub(crate) fn spawn(
                         let mut units = Vec::new();
                         let mut urgent = false;
                         for unit in job.units {
-                            let (transport, items) = parse_unit(&server, &unit);
-                            let (mut bytes, close) = run_job(&server, items);
+                            let (transport, packed, items) = parse_unit(&server, &unit);
+                            let (mut bytes, close) = run_job(&server, items, packed);
                             unit.shared
                                 .last_done_ms
                                 .store(epoch.elapsed().as_millis() as u64, Ordering::Relaxed);

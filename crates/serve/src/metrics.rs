@@ -464,6 +464,30 @@ pub(crate) fn render_metrics(server: &Server) -> String {
         "counter",
         engine.partial_misses.to_string(),
     );
+    gauge(
+        "dpod_engine_encoded_entries",
+        "Memoized encoded responses resident in the cache",
+        "gauge",
+        engine.encoded_entries.to_string(),
+    );
+    gauge(
+        "dpod_engine_encoded_hits_total",
+        "Plan requests answered by memcpying memoized wire bytes",
+        "counter",
+        engine.encoded_hits.to_string(),
+    );
+    gauge(
+        "dpod_engine_encoded_misses_total",
+        "Plan requests executed and encoded before memoization",
+        "counter",
+        engine.encoded_misses.to_string(),
+    );
+    gauge(
+        "dpod_engine_encoded_bytes",
+        "Bytes the encoded-response memo holds in the shared cache ledger",
+        "gauge",
+        engine.encoded_bytes.to_string(),
+    );
 
     // Per-release traffic.
     out.push_str("# HELP dpod_release_hits_total Queries answered per release\n");

@@ -231,6 +231,18 @@ pub struct ServerStats {
     pub partial_hits: u64,
     /// Window sub-plans that had to execute against an epoch's index.
     pub partial_misses: u64,
+    /// Memoized encoded responses (final wire bytes) resident in the
+    /// engine cache, summed across releases and encodings.
+    pub encoded_entries: usize,
+    /// Plan requests answered by memcpying memoized wire bytes —
+    /// execution *and* encoding skipped.
+    pub encoded_hits: u64,
+    /// Plan requests that executed and encoded before (re)populating
+    /// the encoded-response memo.
+    pub encoded_misses: u64,
+    /// Bytes the encoded-response memo holds inside the shared cache
+    /// ledger (already included in `cache_bytes`).
+    pub encoded_bytes: usize,
 }
 
 /// Latency quantiles for one `(transport, stage)` pair, in nanoseconds.
@@ -373,6 +385,10 @@ mod tests {
                     partial_entries: 2,
                     partial_hits: 5,
                     partial_misses: 3,
+                    encoded_entries: 4,
+                    encoded_hits: 9,
+                    encoded_misses: 4,
+                    encoded_bytes: 512,
                 },
             },
             Response::Error {

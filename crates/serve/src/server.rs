@@ -101,6 +101,68 @@ impl std::str::FromStr for FrontEnd {
     }
 }
 
+/// How [`Server::handle_encoded`] serializes a response into final
+/// socket bytes — one variant per wire shape a connection can be in.
+/// The discriminant keys the engine's encoded-response memo, so each
+/// encoding memoizes its own bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseEncoding {
+    /// One JSON document plus the trailing newline (NDJSON transport
+    /// and the event loop's JSON-line connections).
+    Json,
+    /// A length-prefixed `DPRB` frame with the legacy opcodes.
+    Binary,
+    /// A length-prefixed `DPRB` frame preferring the packed opcodes
+    /// (peer advertised [`wire::WIRE_FEATURE_PACKED`]).
+    BinaryPacked,
+}
+
+impl ResponseEncoding {
+    /// The memo-key discriminant for this encoding.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            ResponseEncoding::Json => 0,
+            ResponseEncoding::Binary => 1,
+            ResponseEncoding::BinaryPacked => 2,
+        }
+    }
+
+    /// Serializes `resp` into complete socket bytes: JSON line with its
+    /// `\n`, or a `DPRB` frame *with* its u32 length prefix. A response
+    /// too large to frame degrades to an in-protocol error so the
+    /// connection survives (the frame cap is 64 MiB; real answers stay
+    /// far under it).
+    pub(crate) fn encode(self, resp: &Response) -> Vec<u8> {
+        match self {
+            ResponseEncoding::Json => {
+                let mut line = serde_json::to_string(resp)
+                    .unwrap_or_else(|e| {
+                        format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
+                    })
+                    .into_bytes();
+                line.push(b'\n');
+                line
+            }
+            ResponseEncoding::Binary | ResponseEncoding::BinaryPacked => {
+                let body = if self == ResponseEncoding::BinaryPacked {
+                    wire::encode_response_packed(resp)
+                } else {
+                    wire::encode_response(resp)
+                };
+                let mut out = Vec::with_capacity(body.len() + 4);
+                if wire::write_frame(&mut out, &body).is_err() {
+                    out.clear();
+                    let fallback = wire::encode_response(&Response::Error {
+                        message: format!("response of {} bytes exceeds the frame cap", body.len()),
+                    });
+                    wire::write_frame(&mut out, &fallback).expect("error frame fits the frame cap");
+                }
+                out
+            }
+        }
+    }
+}
+
 /// A connection with no readable line for this long is closed so its
 /// worker can serve the next queued connection.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
@@ -412,31 +474,7 @@ impl Server {
                 Response::Values { values }
             }
             Request::Plan { release, plan } => {
-                // Two-phase execution: resolve the release's prepared
-                // index (built once per (name, version), memoized
-                // structures answering warm aggregates), then execute
-                // against it. The cold fallback scans the rebuild
-                // directly — bit-identical answers, no preparation.
-                // Window plans take a third path: the name addresses a
-                // release *series* and the plan fans across its epochs.
-                let answer = if let QueryPlan::Window {
-                    select,
-                    merge,
-                    plan: inner,
-                } = plan
-                {
-                    self.answer_window(release, select, *merge, inner)
-                } else if self.indexed_plans() {
-                    self.resolve_index(release).and_then(|ix| {
-                        dpod_query::plan::execute_with(ix.as_ref(), plan)
-                            .map_err(|e| ServeError(e.0))
-                    })
-                } else {
-                    self.resolve(release).and_then(|m| {
-                        dpod_query::plan::execute(&m, plan).map_err(|e| ServeError(e.0))
-                    })
-                };
-                match answer {
+                match self.execute_plan(release, plan) {
                     Ok(answer) => {
                         // A plan counts one query per leaf answered; a
                         // failed plan counts none (unlike `Batch`, plans
@@ -490,10 +528,92 @@ impl Server {
                         partial_entries: engine.partial_entries,
                         partial_hits: engine.partial_hits,
                         partial_misses: engine.partial_misses,
+                        encoded_entries: engine.encoded_entries,
+                        encoded_hits: engine.encoded_hits,
+                        encoded_misses: engine.encoded_misses,
+                        encoded_bytes: engine.encoded_bytes,
                     },
                 }
             }
         }
+    }
+
+    /// Executes one [`QueryPlan`] against a release (or, for `Window`
+    /// plans, a release series). Two-phase execution: resolve the
+    /// release's prepared index (built once per (name, version),
+    /// memoized structures answering warm aggregates), then execute
+    /// against it. The cold fallback scans the rebuild directly —
+    /// bit-identical answers, no preparation. Window plans take a third
+    /// path: the name addresses a release *series* and the plan fans
+    /// across its epochs. Pure execution — the caller owns the query
+    /// counters.
+    fn execute_plan(&self, release: &str, plan: &QueryPlan) -> Result<Answer, ServeError> {
+        if let QueryPlan::Window {
+            select,
+            merge,
+            plan: inner,
+        } = plan
+        {
+            self.answer_window(release, select, *merge, inner)
+        } else if self.indexed_plans() {
+            self.resolve_index(release).and_then(|ix| {
+                dpod_query::plan::execute_with(ix.as_ref(), plan).map_err(|e| ServeError(e.0))
+            })
+        } else {
+            self.resolve(release)
+                .and_then(|m| dpod_query::plan::execute(&m, plan).map_err(|e| ServeError(e.0)))
+        }
+    }
+
+    /// Answers one request as final socket-ready bytes in the given
+    /// encoding — the transport loops memcpy the result to the wire.
+    ///
+    /// For non-`Window` [`Request::Plan`] requests with indexed plans
+    /// enabled, the bytes come from the engine's encoded-response memo:
+    /// a warm hit skips plan execution *and* serialization (the source
+    /// paper's post-processing invariance makes re-serving identical
+    /// bytes ε-free), while a miss executes, encodes once, and memoizes
+    /// under the shared cache ledger with the same catalog-currency
+    /// re-check the index cache uses. Every other request — and every
+    /// error — takes the plain [`Server::handle`] path and is encoded
+    /// fresh. Query counters advance identically on warm and cold paths.
+    pub fn handle_encoded(&self, request: &Request, enc: ResponseEncoding) -> Arc<Vec<u8>> {
+        if let Request::Plan { release, plan } = request {
+            let memoizable = !matches!(plan, QueryPlan::Window { .. }) && self.indexed_plans();
+            if memoizable {
+                if let (Some(entry), Ok(plan_key)) =
+                    (self.catalog.get(release), serde_json::to_string(plan))
+                {
+                    let version = entry.version;
+                    let result = self.engine.encoded_response(
+                        &entry,
+                        enc.code(),
+                        &plan_key,
+                        || {
+                            self.catalog
+                                .get(release)
+                                .is_some_and(|current| current.version == version)
+                        },
+                        || {
+                            let answer = self.execute_plan(release, plan)?;
+                            let units = answer.units();
+                            Ok((enc.encode(&Response::Answer { answer }), units))
+                        },
+                    );
+                    return match result {
+                        Ok((bytes, units)) => {
+                            self.queries.fetch_add(units, Ordering::Relaxed);
+                            self.note_hits(release, units);
+                            bytes
+                        }
+                        Err(e) => Arc::new(enc.encode(&Response::Error { message: e.0 })),
+                    };
+                }
+                // Unknown release or unkeyable plan: fall through to the
+                // plain path, which produces the error response.
+            }
+        }
+        Arc::new(enc.encode(&self.handle(request)))
     }
 
     /// Resolves a release name to its cached queryable rebuild.
@@ -848,6 +968,39 @@ impl ServerHandle {
             std::thread::sleep(Duration::from_millis(5));
         }
     }
+}
+
+/// Spawns the serve-side retention timer for unattended feeds (`dpod
+/// serve --retain-ttl` plumbs here): every `period`, each series in the
+/// catalog is trimmed to its `retain` newest epochs through
+/// [`Server::apply_retention`], retiring caches and refunding ε exactly
+/// as a manual sweep would.
+///
+/// The thread holds only a [`Weak`](std::sync::Weak) reference, so it
+/// never keeps a
+/// server alive: once every strong reference drops (tests, short-lived
+/// embedders), the next tick exits the loop. There is no explicit stop
+/// handle — the timer is daemon-like by design.
+pub fn spawn_retention_timer(
+    server: &Arc<Server>,
+    period: Duration,
+    retain: usize,
+) -> std::thread::JoinHandle<()> {
+    let weak = Arc::downgrade(server);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(period);
+        let Some(server) = weak.upgrade() else {
+            return;
+        };
+        for (series, epochs) in series::series_names(server.catalog()) {
+            if epochs <= retain {
+                continue;
+            }
+            // `retain` is validated non-zero by the CLI; a sweep error
+            // on one series must not starve the others.
+            let _ = server.apply_retention(&series, retain);
+        }
+    })
 }
 
 /// Binds `addr` and serves `server` on `workers` pool threads with the
@@ -1211,7 +1364,10 @@ fn serve_binary(
     if &preamble[..4] != wire::WIRE_MAGIC {
         return refuse_binary(&mut writer, "bad preamble magic");
     }
-    if preamble[4] != wire::WIRE_VERSION {
+    // The version byte carries optional feature bits above the base
+    // version; masking them off first keeps genuinely unknown versions
+    // refused while letting an opted-in client negotiate packed frames.
+    if preamble[4] & !wire::WIRE_FEATURE_PACKED != wire::WIRE_VERSION {
         return refuse_binary(
             &mut writer,
             &format!(
@@ -1221,34 +1377,41 @@ fn serve_binary(
             ),
         );
     }
+    let enc = if preamble[4] & wire::WIRE_FEATURE_PACKED != 0 {
+        ResponseEncoding::BinaryPacked
+    } else {
+        ResponseEncoding::Binary
+    };
     loop {
         match wire::read_frame(&mut reader) {
             Ok(None) => return Ok(()), // clean EOF
             Ok(Some(body)) => {
                 // Stage timing on the pool path covers execute and
                 // encode (parse/queue/write have no separable moments
-                // in a blocking read-answer-write loop).
+                // in a blocking read-answer-write loop). Execution and
+                // serialization are fused in `handle_encoded` (that is
+                // what lets a warm memo hit skip both), so the execute
+                // lap covers them and the encode lap is the memcpy.
                 let metrics = server.metrics();
                 let mut span = Span::start();
-                let response = match wire::decode_request(&body) {
+                let encoded = match wire::decode_request(&body) {
                     Ok(request) => {
                         metrics.count_request(Transport::Binary, &request);
-                        server.handle(&request)
+                        server.handle_encoded(&request, enc)
                     }
                     Err(e) => {
                         metrics.count_request_index(
                             Transport::Binary,
                             crate::metrics::KIND_UNDECODABLE,
                         );
-                        Response::Error {
+                        Arc::new(enc.encode(&Response::Error {
                             message: format!("bad request: {e}"),
-                        }
+                        }))
                     }
                 };
                 span.lap(metrics.stage(Transport::Binary, Stage::Execute));
-                let encoded = wire::encode_response(&response);
+                writer.write_all(&encoded)?;
                 span.finish(metrics.stage(Transport::Binary, Stage::Encode));
-                wire::write_frame(&mut writer, &encoded).map_err(std::io::Error::other)?;
                 // As on the JSON path: flush only once no further
                 // request is already buffered, so pipelined batches are
                 // answered in large writes.
@@ -1300,25 +1463,24 @@ fn serve_ndjson(
         }
         let metrics = server.metrics();
         let mut span = Span::start();
-        let response = match serde_json::from_str::<Request>(line.trim_end()) {
+        // Execution and serialization are fused in `handle_encoded`
+        // (that fusion is what lets a warm encoded-memo hit skip both);
+        // the execute lap covers them, the encode lap is the memcpy.
+        let encoded = match serde_json::from_str::<Request>(line.trim_end()) {
             Ok(request) => {
                 metrics.count_request(Transport::Json, &request);
-                server.handle(&request)
+                server.handle_encoded(&request, ResponseEncoding::Json)
             }
             Err(e) => {
                 metrics.count_request_index(Transport::Json, crate::metrics::KIND_UNDECODABLE);
-                Response::Error {
+                Arc::new(ResponseEncoding::Json.encode(&Response::Error {
                     message: format!("bad request: {e}"),
-                }
+                }))
             }
         };
         span.lap(metrics.stage(Transport::Json, Stage::Execute));
-        let body = serde_json::to_string(&response).unwrap_or_else(|e| {
-            format!("{{\"Error\":{{\"message\":\"serialization failed: {e}\"}}}}")
-        });
+        writer.write_all(&encoded)?;
         span.finish(metrics.stage(Transport::Json, Stage::Encode));
-        writer.write_all(body.as_bytes())?;
-        writer.write_all(b"\n")?;
         if reader.buffer().is_empty() {
             writer.flush()?;
         }
@@ -1966,6 +2128,80 @@ mod tests {
                 .unwrap();
         }
         server
+    }
+
+    /// The retention timer sweeps every series down to its `retain`
+    /// newest epochs, and its thread — holding only a weak reference —
+    /// exits once the server is dropped.
+    #[test]
+    fn retention_timer_sweeps_series_and_dies_with_the_server() {
+        let server = epoch_server();
+        assert_eq!(server.catalog().len(), 3);
+        let timer = spawn_retention_timer(&server, Duration::from_millis(10), 1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.catalog().len() > 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(server.catalog().len(), 1, "timer should retire epochs 1-2");
+        assert!(server.catalog().get("city@3").is_some());
+        assert_eq!(server.epochs_retired(), 2);
+        // Refunds landed: one live epoch's ε remains on the ledger.
+        let active = server.ledgers().active_epsilon("city").unwrap();
+        assert!((active - 0.5).abs() < 1e-12, "{active}");
+        // Dropping the last strong reference ends the timer thread.
+        drop(server);
+        timer.join().expect("timer thread exits cleanly");
+    }
+
+    /// `handle_encoded` returns byte-identical output to the
+    /// handle-then-encode path, serves warm hits from the memo (same
+    /// allocation, no re-execution), and keeps encodings independent.
+    #[test]
+    fn handle_encoded_memoizes_plan_responses_per_encoding() {
+        let server = test_server(&["city"]);
+        let request = Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Marginal { keep: vec![0] },
+        };
+
+        // Cold call matches encoding the plain handle() response.
+        let cold = server.handle_encoded(&request, ResponseEncoding::Binary);
+        let by_hand = ResponseEncoding::Binary.encode(&server.handle(&request));
+        assert_eq!(*cold, by_hand);
+
+        // Warm call: the very same bytes, straight from the memo.
+        let warm = server.handle_encoded(&request, ResponseEncoding::Binary);
+        assert!(Arc::ptr_eq(&cold, &warm));
+
+        // A different encoding memoizes separately and stays correct.
+        let json = server.handle_encoded(&request, ResponseEncoding::Json);
+        let mut json_line = serde_json::to_string(&server.handle(&request))
+            .unwrap()
+            .into_bytes();
+        json_line.push(b'\n');
+        assert_eq!(*json, json_line);
+
+        let stats = server.engine.stats();
+        assert_eq!(stats.encoded_entries, 2);
+        assert_eq!(stats.encoded_hits, 1);
+        assert_eq!(stats.encoded_misses, 2);
+        assert!(stats.encoded_bytes > 0);
+
+        // Errors and non-plan requests bypass the memo.
+        let bad = Request::Plan {
+            release: "nope".into(),
+            plan: QueryPlan::Total,
+        };
+        let err = server.handle_encoded(&bad, ResponseEncoding::Binary);
+        assert_eq!(*err, ResponseEncoding::Binary.encode(&server.handle(&bad)));
+        let stats = server.engine.stats();
+        assert_eq!(stats.encoded_entries, 2);
+
+        // The kill-switch also bypasses it: cold scans are never cached.
+        server.set_indexed_plans(false);
+        let off = server.handle_encoded(&request, ResponseEncoding::Binary);
+        assert_eq!(*off, by_hand, "kill-switch answers stay bit-identical");
+        server.set_indexed_plans(true);
     }
 
     /// The acceptance criterion: a `Window{last_k}` plan answers

@@ -17,8 +17,17 @@
 //! ```text
 //! preamble (client → server, once):
 //!   magic   "DPRB"   4 bytes
-//!   version u8       currently 1
+//!   version u8       low 7 bits: currently 1; high bit: feature flag
 //! ```
+//!
+//! The version byte's high bit ([`WIRE_FEATURE_PACKED`]) is a feature
+//! advertisement, not a version bump: a client setting it declares it
+//! understands the packed (varint) opcodes below, and the server is then
+//! free to answer with them. Clients that never set the bit — every
+//! pre-packing binary — get byte-identical legacy frames, and a packed
+//! client talking to a pre-packing server is refused with the same named
+//! version error any unknown version gets (the bit is only meaningful on
+//! servers that know to mask it off).
 //!
 //! ## Frames
 //!
@@ -40,12 +49,29 @@
 //!
 //! Request opcodes: `0x01` Query (release, lo, hi), `0x02` Batch
 //! (release + packed coordinate array), `0x03` List, `0x04` Stats,
-//! `0x05` Plan (release + typed plan tree).
+//! `0x05` Plan (release + typed plan tree), `0x06` packed Batch
+//! (delta+zigzag varint coordinates).
 //! Response opcodes: `0x81` Value, `0x82` Values, `0x83` Releases,
-//! `0x84` Stats, `0x85` Answer (typed answer tree), `0xEF` Error.
+//! `0x84` Stats, `0x85` Answer (typed answer tree), `0x86` packed
+//! Values, `0x87` packed Answer, `0xEF` Error.
 //! Opcodes `0x01`–`0x04`/`0x81`–`0x84`/`0xEF` are byte-for-byte
-//! unchanged from before the plan algebra existed; `0x05`/`0x85` are
-//! additive, so legacy clients are untouched.
+//! unchanged from before the plan algebra existed; `0x05`/`0x85` and
+//! the packed trio are additive, so legacy clients are untouched.
+//!
+//! ## Packed opcodes (`0x06`/`0x86`/`0x87`)
+//!
+//! Negotiated via [`WIRE_FEATURE_PACKED`]; emitted only by
+//! [`encode_request_packed`]/[`encode_response_packed`], decoded
+//! unconditionally (additive, like the plan opcodes). A packed batch
+//! flattens its `count × 2d` coordinates and stores each word as the
+//! zigzag varint of its delta from the previous word — grid coordinates
+//! cluster, so most words collapse to one byte against eight. Dense f64
+//! vectors (`Values`, `Marginal` payloads inside a packed `Answer`)
+//! store each value as the varint of its IEEE-754 bits XOR the previous
+//! value's bits: repeated values collapse to one byte and shared
+//! sign/exponent prefixes drop, while worst-case noise costs at most two
+//! bytes over raw. Both blob forms are length-prefixed, so the usual
+//! bytes-present validation still runs before any allocation.
 //!
 //! A homogeneous `Batch` — every range with the same dimensionality `d`
 //! — is packed as `u16 d`, `u64 count`, then `count × 2d` raw `u64`
@@ -89,6 +115,12 @@ pub use dpod_fmatrix::codec::{WIRE_MAGIC, WIRE_VERSION};
 /// (64 MiB holds a ~1.3M-range 2-d batch or a ~8M-value response).
 pub const MAX_FRAME_BYTES: u32 = 64 << 20;
 
+/// Preamble feature bit: the client understands the packed (varint)
+/// opcodes and the server may answer with them. Or-ed onto the version
+/// byte of the connection preamble only — frame bodies always carry the
+/// plain [`WIRE_VERSION`], so every frame stays decodable in isolation.
+pub const WIRE_FEATURE_PACKED: u8 = 0x80;
+
 /// Sentinel dimensionality marking a heterogeneous batch encoding.
 const MIXED_NDIM: u16 = u16::MAX;
 
@@ -97,11 +129,14 @@ const OP_BATCH: u8 = 0x02;
 const OP_LIST: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_PLAN: u8 = 0x05;
+const OP_BATCH_PACKED: u8 = 0x06;
 const OP_VALUE: u8 = 0x81;
 const OP_VALUES: u8 = 0x82;
 const OP_RELEASES: u8 = 0x83;
 const OP_STATS_RESP: u8 = 0x84;
 const OP_ANSWER: u8 = 0x85;
+const OP_VALUES_PACKED: u8 = 0x86;
+const OP_ANSWER_PACKED: u8 = 0x87;
 const OP_ERROR: u8 = 0xEF;
 
 // Plan tags inside an `OP_PLAN` payload (one per `QueryPlan` variant).
@@ -196,6 +231,139 @@ fn get_wire_str(r: &mut FrameReader<'_>, what: &str) -> Result<String, WireError
         .map_err(|_| WireError(format!("frame field {what} is not valid UTF-8")))
 }
 
+/// Zigzag-maps a signed delta so small magnitudes of either sign get
+/// small unsigned codes (`0 → 0, -1 → 1, 1 → 2, -2 → 3, …`).
+#[inline]
+#[must_use]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+#[must_use]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends one LEB128 varint: 7 value bits per byte, high bit set on
+/// every byte but the last. A u64 spans at most 10 bytes.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads one LEB128 varint from `bytes` at `*pos`, advancing the cursor
+/// past it.
+///
+/// # Errors
+/// [`WireError`] when the blob ends mid-varint or the encoding carries
+/// more than 64 significant bits.
+pub fn get_uvarint(bytes: &[u8], pos: &mut usize, what: &str) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*pos)
+            .ok_or_else(|| WireError(format!("frame field {what}: varint truncated")))?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && b > 1) {
+            return Err(WireError(format!(
+                "frame field {what}: varint overflows u64"
+            )));
+        }
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Delta-encodes a flat word stream: each word is stored as the zigzag
+/// varint of its difference from the previous word (the stream starts
+/// from an implicit zero). Clustered coordinate streams collapse to one
+/// or two bytes per word.
+fn pack_words(words: impl Iterator<Item = u64>) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut prev = 0u64;
+    for w in words {
+        put_uvarint(&mut out, zigzag(w.wrapping_sub(prev) as i64));
+        prev = w;
+    }
+    out
+}
+
+/// Decodes exactly `count` delta-packed words, rejecting a blob that is
+/// short, long, or truncated mid-varint. Every word costs at least one
+/// byte, so the up-front count check bounds the allocation.
+fn unpack_words(blob: &[u8], count: usize, what: &str) -> Result<Vec<u64>, WireError> {
+    if count > blob.len() {
+        return Err(WireError(format!(
+            "frame field {what}: {count} packed words cannot fit in {} bytes",
+            blob.len()
+        )));
+    }
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    let mut words = Vec::with_capacity(count);
+    for _ in 0..count {
+        let delta = unzigzag(get_uvarint(blob, &mut pos, what)?);
+        prev = prev.wrapping_add(delta as u64);
+        words.push(prev);
+    }
+    if pos != blob.len() {
+        return Err(WireError(format!(
+            "frame field {what}: {} trailing bytes after packed words",
+            blob.len() - pos
+        )));
+    }
+    Ok(words)
+}
+
+/// Packs a dense f64 vector as varints of each value's IEEE-754 bits
+/// XOR the previous value's bits (implicit zero start): repeats cost one
+/// byte, shared sign/exponent prefixes drop, worst-case noise costs 10
+/// bytes against 8 raw.
+fn pack_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut prev = 0u64;
+    for &v in values {
+        let bits = v.to_bits();
+        put_uvarint(&mut out, bits ^ prev);
+        prev = bits;
+    }
+    out
+}
+
+/// Decodes exactly `count` XOR-packed f64 values (see [`pack_f64s`]);
+/// validation mirrors [`unpack_words`].
+fn unpack_f64s(blob: &[u8], count: usize, what: &str) -> Result<Vec<f64>, WireError> {
+    if count > blob.len() {
+        return Err(WireError(format!(
+            "frame field {what}: {count} packed values cannot fit in {} bytes",
+            blob.len()
+        )));
+    }
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        prev ^= get_uvarint(blob, &mut pos, what)?;
+        values.push(f64::from_bits(prev));
+    }
+    if pos != blob.len() {
+        return Err(WireError(format!(
+            "frame field {what}: {} trailing bytes after packed values",
+            blob.len() - pos
+        )));
+    }
+    Ok(values)
+}
+
 /// Encodes one request as a `DPRB` frame body.
 pub fn encode_request(req: &Request) -> Vec<u8> {
     match req {
@@ -215,6 +383,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::List => writer(0, OP_LIST).finish().to_vec(),
         Request::Stats => writer(0, OP_STATS).finish().to_vec(),
+    }
+}
+
+/// Encodes one request preferring the packed opcodes where they apply
+/// (today: homogeneous batches). Every other shape falls back to
+/// [`encode_request`] byte-identically, so a packed client's non-batch
+/// traffic is indistinguishable from a legacy client's.
+pub fn encode_request_packed(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Batch { release, ranges } => encode_batch_packed(release, ranges),
+        other => encode_request(other),
     }
 }
 
@@ -420,8 +599,10 @@ fn strides_for(dims: &[usize]) -> Vec<usize> {
 
 /// Encodes one answer recursively. Top-k cells pack as flat-index/value
 /// word pairs against the answer's own `dims` (the hot variant: two raw
-/// words per cell, no per-cell framing).
-fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
+/// words per cell, no per-cell framing). Under `packed` (the
+/// `OP_ANSWER_PACKED` body) dense marginal vectors switch to the
+/// XOR-varint form; the tag tree and every other payload are unchanged.
+fn encode_answer(w: &mut FrameWriter, answer: &Answer, packed: bool) {
     match answer {
         Answer::Value { value } => {
             w.put_u8(ANSWER_VALUE);
@@ -430,7 +611,12 @@ fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
         Answer::Marginal { dims, values } => {
             w.put_u8(ANSWER_MARGINAL);
             w.put_usize_slice(dims);
-            w.put_f64_slice(values);
+            if packed {
+                w.put_u64(values.len() as u64);
+                w.put_bytes(&pack_f64s(values));
+            } else {
+                w.put_f64_slice(values);
+            }
         }
         Answer::TopK { dims, cells } => {
             w.put_u8(ANSWER_TOP_K);
@@ -452,7 +638,7 @@ fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
             w.put_u8(ANSWER_MANY);
             w.put_u64(answers.len() as u64);
             for a in answers {
-                encode_answer(w, a);
+                encode_answer(w, a, packed);
             }
         }
         Answer::Epochs { epochs, answers } => {
@@ -463,13 +649,13 @@ fn encode_answer(w: &mut FrameWriter, answer: &Answer) {
             }
             w.put_u64(answers.len() as u64);
             for a in answers {
-                encode_answer(w, a);
+                encode_answer(w, a, packed);
             }
         }
     }
 }
 
-fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireError> {
+fn decode_answer(r: &mut FrameReader<'_>, depth: usize, packed: bool) -> Result<Answer, WireError> {
     if depth > MAX_PLAN_DEPTH {
         return Err(WireError(format!(
             "answer nesting exceeds depth {MAX_PLAN_DEPTH}"
@@ -479,10 +665,18 @@ fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireEr
         ANSWER_VALUE => Ok(Answer::Value {
             value: r.get_f64("answer value")?,
         }),
-        ANSWER_MARGINAL => Ok(Answer::Marginal {
-            dims: r.get_usize_vec("marginal dims")?,
-            values: r.get_f64_vec("marginal values")?,
-        }),
+        ANSWER_MARGINAL => {
+            let dims = r.get_usize_vec("marginal dims")?;
+            let values = if packed {
+                let count = usize::try_from(r.get_u64("marginal count")?)
+                    .map_err(|_| WireError("marginal count overflows".into()))?;
+                let blob = r.get_bytes("packed marginal values")?;
+                unpack_f64s(blob, count, "packed marginal values")?
+            } else {
+                r.get_f64_vec("marginal values")?
+            };
+            Ok(Answer::Marginal { dims, values })
+        }
         ANSWER_TOP_K => {
             let dims = r.get_usize_vec("top-k dims")?;
             let size = dims
@@ -524,7 +718,7 @@ fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireEr
                 .map_err(|_| WireError("answer count overflows".into()))?;
             let mut answers = Vec::with_capacity(count.min(1 << 12));
             for _ in 0..count {
-                answers.push(decode_answer(r, depth + 1)?);
+                answers.push(decode_answer(r, depth + 1, packed)?);
             }
             Ok(Answer::Many { answers })
         }
@@ -542,7 +736,7 @@ fn decode_answer(r: &mut FrameReader<'_>, depth: usize) -> Result<Answer, WireEr
                 .map_err(|_| WireError("epoch answer count overflows".into()))?;
             let mut answers = Vec::with_capacity(count.min(1 << 12));
             for _ in 0..count {
-                answers.push(decode_answer(r, depth + 1)?);
+                answers.push(decode_answer(r, depth + 1, packed)?);
             }
             Ok(Answer::Epochs { epochs, answers })
         }
@@ -592,6 +786,37 @@ fn encode_batch(release: &str, ranges: &[(Vec<usize>, Vec<usize>)]) -> Vec<u8> {
     }
 }
 
+/// The varint form of [`encode_batch`]: the flattened coordinate stream
+/// (lo then hi per range, range after range) is delta+zigzag packed.
+/// Heterogeneous and empty batches gain nothing from packing and fall
+/// back to the legacy encoding, which every decoder accepts.
+fn encode_batch_packed(release: &str, ranges: &[(Vec<usize>, Vec<usize>)]) -> Vec<u8> {
+    let homogeneous_ndim = match ranges.first() {
+        Some((lo, _)) if (lo.len() as u64) < u64::from(MIXED_NDIM) => {
+            let d = lo.len();
+            ranges
+                .iter()
+                .all(|(lo, hi)| lo.len() == d && hi.len() == d)
+                .then_some(d)
+        }
+        _ => None,
+    };
+    let Some(d) = homogeneous_ndim else {
+        return encode_batch(release, ranges);
+    };
+    let blob = pack_words(
+        ranges
+            .iter()
+            .flat_map(|(lo, hi)| lo.iter().chain(hi.iter()).map(|&c| c as u64)),
+    );
+    let mut w = writer(release.len() + 32 + blob.len(), OP_BATCH_PACKED);
+    put_wire_str(&mut w, release);
+    w.put_u16(d as u16);
+    w.put_u64(ranges.len() as u64);
+    w.put_bytes(&blob);
+    w.finish().to_vec()
+}
+
 /// Decodes a `DPRB` frame body into a request.
 ///
 /// # Errors
@@ -622,6 +847,35 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
                 ranges
             } else {
                 decode_packed_ranges(&mut r, ndim as usize, count)?
+            };
+            Request::Batch { release, ranges }
+        }
+        OP_BATCH_PACKED => {
+            let release = get_wire_str(&mut r, "release")?;
+            let ndim = r.get_u16("batch ndim")? as usize;
+            let count = usize::try_from(r.get_u64("batch count")?)
+                .map_err(|_| WireError("batch count overflows".into()))?;
+            if ndim == 0 && count > MAX_ZERO_DIM_RANGES {
+                return Err(WireError(format!(
+                    "zero-dimension batch count {count} exceeds limit {MAX_ZERO_DIM_RANGES}"
+                )));
+            }
+            let words_n = count
+                .checked_mul(2 * ndim)
+                .ok_or_else(|| WireError("batch coordinate count overflows".into()))?;
+            let blob = r.get_bytes("packed batch coordinates")?;
+            let words = unpack_words(blob, words_n, "packed batch coordinates")?;
+            let ranges = if ndim == 0 {
+                vec![(Vec::new(), Vec::new()); count]
+            } else {
+                words
+                    .chunks_exact(2 * ndim)
+                    .map(|pair| {
+                        let lo = pair[..ndim].iter().map(|&w| w as usize).collect();
+                        let hi = pair[ndim..].iter().map(|&w| w as usize).collect();
+                        (lo, hi)
+                    })
+                    .collect()
             };
             Request::Batch { release, ranges }
         }
@@ -690,7 +944,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Answer { answer } => {
             let mut w = writer(64, OP_ANSWER);
-            encode_answer(&mut w, answer);
+            encode_answer(&mut w, answer, false);
             w.finish().to_vec()
         }
         Response::Releases { releases } => {
@@ -758,6 +1012,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u64(stats.partial_entries as u64);
             w.put_u64(stats.partial_hits);
             w.put_u64(stats.partial_misses);
+            // Encoded-memo tail: the third optional block, appended
+            // after the epoch tail under the same convention.
+            w.put_u64(stats.encoded_entries as u64);
+            w.put_u64(stats.encoded_hits);
+            w.put_u64(stats.encoded_misses);
+            w.put_u64(stats.encoded_bytes as u64);
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -765,6 +1025,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_wire_str(&mut w, message);
             w.finish().to_vec()
         }
+    }
+}
+
+/// Encodes one response preferring the packed opcodes where they apply
+/// (dense value vectors and answer trees). Every other variant falls
+/// back to [`encode_response`] byte-identically; emit these frames only
+/// to peers that advertised [`WIRE_FEATURE_PACKED`].
+pub fn encode_response_packed(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Values { values } => {
+            let blob = pack_f64s(values);
+            let mut w = writer(16 + blob.len(), OP_VALUES_PACKED);
+            w.put_u64(values.len() as u64);
+            w.put_bytes(&blob);
+            w.finish().to_vec()
+        }
+        Response::Answer { answer } => {
+            let mut w = writer(64, OP_ANSWER_PACKED);
+            encode_answer(&mut w, answer, true);
+            w.finish().to_vec()
+        }
+        other => encode_response(other),
     }
 }
 
@@ -782,8 +1064,19 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         OP_VALUES => Response::Values {
             values: r.get_f64_vec("values")?,
         },
+        OP_VALUES_PACKED => {
+            let count = usize::try_from(r.get_u64("values count")?)
+                .map_err(|_| WireError("values count overflows".into()))?;
+            let blob = r.get_bytes("packed values")?;
+            Response::Values {
+                values: unpack_f64s(blob, count, "packed values")?,
+            }
+        }
         OP_ANSWER => Response::Answer {
-            answer: decode_answer(&mut r, 0)?,
+            answer: decode_answer(&mut r, 0, false)?,
+        },
+        OP_ANSWER_PACKED => Response::Answer {
+            answer: decode_answer(&mut r, 0, true)?,
         },
         OP_RELEASES => {
             let count = r.get_u64("release count")?;
@@ -858,6 +1151,20 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
             } else {
                 (0, 0, 0, 0)
             };
+            // Encoded-memo tail: third optional block (a frame ending
+            // after the epoch tail is a pre-memo server's — decode
+            // with zero defaults).
+            let (encoded_entries, encoded_hits, encoded_misses, encoded_bytes) =
+                if r.remaining() > 0 {
+                    (
+                        r.get_u64("encoded_entries")? as usize,
+                        r.get_u64("encoded_hits")?,
+                        r.get_u64("encoded_misses")?,
+                        r.get_u64("encoded_bytes")? as usize,
+                    )
+                } else {
+                    (0, 0, 0, 0)
+                };
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -881,6 +1188,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     partial_entries,
                     partial_hits,
                     partial_misses,
+                    encoded_entries,
+                    encoded_hits,
+                    encoded_misses,
+                    encoded_bytes,
                 },
             }
         }
@@ -969,25 +1280,54 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
 pub struct Client {
     reader: std::io::BufReader<TcpStream>,
     writer: std::io::BufWriter<TcpStream>,
+    packed: bool,
 }
 
 impl Client {
-    /// Connects and speaks the `DPRB` preamble.
+    /// Connects and speaks the `DPRB` preamble. Whether the packed
+    /// opcodes are negotiated follows the `DPOD_WIRE_PACKED` environment
+    /// variable (`1`/`true` to enable; default off, the legacy
+    /// preamble); use [`Self::connect_with`] to pick explicitly.
     ///
     /// # Errors
     /// IO errors from connect or the preamble write.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let packed = std::env::var("DPOD_WIRE_PACKED")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        Self::connect_with(addr, packed)
+    }
+
+    /// Connects, advertising [`WIRE_FEATURE_PACKED`] in the preamble
+    /// when `packed` is set; the client then sends packed batch frames
+    /// and the server is free to answer with packed responses.
+    ///
+    /// # Errors
+    /// IO errors from connect or the preamble write.
+    pub fn connect_with(addr: impl ToSocketAddrs, packed: bool) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         // Batch frames span many segments; without NODELAY the tail of
         // a frame can sit behind Nagle waiting on a delayed ACK.
         stream.set_nodelay(true)?;
         let mut writer = std::io::BufWriter::new(stream.try_clone()?);
         writer.write_all(WIRE_MAGIC)?;
-        writer.write_all(&[WIRE_VERSION])?;
+        let version = if packed {
+            WIRE_VERSION | WIRE_FEATURE_PACKED
+        } else {
+            WIRE_VERSION
+        };
+        writer.write_all(&[version])?;
         Ok(Client {
             reader: std::io::BufReader::new(stream),
             writer,
+            packed,
         })
+    }
+
+    /// Whether this connection negotiated the packed opcodes.
+    #[must_use]
+    pub fn is_packed(&self) -> bool {
+        self.packed
     }
 
     /// Queues one request (buffered; flushed by [`Self::receive`]).
@@ -995,7 +1335,12 @@ impl Client {
     /// # Errors
     /// [`WireError`] on encode or IO failure.
     pub fn send(&mut self, req: &Request) -> Result<(), WireError> {
-        write_frame(&mut self.writer, &encode_request(req))
+        let body = if self.packed {
+            encode_request_packed(req)
+        } else {
+            encode_request(req)
+        };
+        write_frame(&mut self.writer, &body)
     }
 
     /// Flushes queued requests and reads the next response.
@@ -1360,6 +1705,10 @@ mod tests {
                     partial_entries: 4,
                     partial_hits: 6,
                     partial_misses: 2,
+                    encoded_entries: 3,
+                    encoded_hits: 11,
+                    encoded_misses: 3,
+                    encoded_bytes: 4096,
                 },
             },
             Response::Error {
@@ -1404,6 +1753,10 @@ mod tests {
             partial_entries: 0,
             partial_hits: 0,
             partial_misses: 0,
+            encoded_entries: 0,
+            encoded_hits: 0,
+            encoded_misses: 0,
+            encoded_bytes: 0,
         };
         // Re-encode the frame the way the previous wire revision did:
         // everything except the appended observability tail.
@@ -1476,6 +1829,10 @@ mod tests {
                 partial_entries: 0,
                 partial_hits: 0,
                 partial_misses: 0,
+                encoded_entries: 2,
+                encoded_hits: 3,
+                encoded_misses: 2,
+                encoded_bytes: 128,
             },
         });
         for cut in [full.len() - 1, full.len() - 9, full.len() - 40] {
@@ -1565,5 +1922,196 @@ mod tests {
         // Writing an oversized body is refused client-side.
         let body = vec![0u8; MAX_FRAME_BYTES as usize + 1];
         assert!(write_frame(&mut Vec::new(), &body).is_err());
+    }
+
+    #[test]
+    fn varints_round_trip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos, "t").unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // A truncated varint and an 11-byte varint are named errors.
+        let mut pos = 0;
+        assert!(get_uvarint(&[0x80], &mut pos, "t").is_err());
+        let mut pos = 0;
+        let over = [0xFFu8; 11];
+        assert!(get_uvarint(&over, &mut pos, "t").is_err());
+        // 10 bytes whose final byte carries more than u64's last bit.
+        let mut pos = 0;
+        let mut top_heavy = [0x80u8; 10];
+        top_heavy[9] = 0x02;
+        assert!(get_uvarint(&top_heavy, &mut pos, "t").is_err());
+    }
+
+    #[test]
+    fn packed_requests_round_trip_and_shrink() {
+        // A dense homogeneous batch round-trips through the packed
+        // opcode and lands well under half the legacy size.
+        let ranges: Vec<(Vec<usize>, Vec<usize>)> = (0..500)
+            .map(|i| {
+                (
+                    vec![i % 64, (i * 7) % 64],
+                    vec![i % 64 + 1, (i * 7) % 64 + 3],
+                )
+            })
+            .collect();
+        let req = Request::Batch {
+            release: "city".into(),
+            ranges,
+        };
+        let packed = encode_request_packed(&req);
+        let legacy = encode_request(&req);
+        assert_eq!(decode_request(&packed).unwrap(), req);
+        assert_eq!(decode_request(&legacy).unwrap(), req);
+        assert!(
+            packed.len() * 2 < legacy.len(),
+            "packed {} vs legacy {}",
+            packed.len(),
+            legacy.len()
+        );
+        // Truncations at every prefix length still error, never panic.
+        for cut in 0..packed.len().min(64) {
+            assert!(decode_request(&packed[..cut]).is_err(), "cut {cut}");
+        }
+        // Heterogeneous and empty batches fall back to legacy bytes.
+        for req in [
+            Request::Batch {
+                release: "x".into(),
+                ranges: vec![(vec![0], vec![1]), (vec![0, 0], vec![1, 1])],
+            },
+            Request::Batch {
+                release: "empty".into(),
+                ranges: vec![],
+            },
+            Request::Query {
+                release: "city".into(),
+                lo: vec![0, 0],
+                hi: vec![4, 4],
+            },
+            Request::List,
+        ] {
+            assert_eq!(encode_request_packed(&req), encode_request(&req));
+        }
+        // Extreme coordinates survive the zigzag round trip.
+        let req = Request::Batch {
+            release: "x".into(),
+            ranges: vec![(vec![usize::MAX, 0], vec![0, usize::MAX])],
+        };
+        assert_eq!(decode_request(&encode_request_packed(&req)).unwrap(), req);
+        // Zero-dimension packed batches obey the same count cap.
+        let req = Request::Batch {
+            release: "r".into(),
+            ranges: vec![(vec![], vec![]); 100],
+        };
+        assert_eq!(decode_request(&encode_request_packed(&req)).unwrap(), req);
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 64);
+        w.put_u8(OP_BATCH_PACKED);
+        w.put_bytes(b"r");
+        w.put_u16(0);
+        w.put_u64(u64::MAX);
+        let err = decode_request(&w.finish()).expect_err("count cap must fire");
+        assert!(err.0.contains("zero-dimension"), "{err}");
+        // A declared word count the blob cannot hold errors before any
+        // allocation.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 64);
+        w.put_u8(OP_BATCH_PACKED);
+        w.put_bytes(b"r");
+        w.put_u16(2);
+        w.put_u64(u64::MAX / 64);
+        w.put_bytes(&[0, 0, 0]);
+        assert!(decode_request(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn packed_responses_round_trip() {
+        let resps = vec![
+            Response::Values {
+                values: vec![0.5, 0.5, -1e-300, f64::MAX, 0.0, -0.0, 42.0],
+            },
+            Response::Values { values: vec![] },
+            Response::Answer {
+                answer: Answer::Many {
+                    answers: vec![
+                        Answer::Marginal {
+                            dims: vec![3, 2],
+                            values: vec![1.5, -2.0, f64::MAX, 0.0, -1e-300, 7.0],
+                        },
+                        Answer::Value { value: -0.0 },
+                        Answer::TopK {
+                            dims: vec![4, 4],
+                            cells: vec![TopCell {
+                                coords: vec![3, 1],
+                                value: 9.25,
+                            }],
+                        },
+                    ],
+                },
+            },
+            Response::Answer {
+                answer: Answer::Epochs {
+                    epochs: vec![3, 4],
+                    answers: vec![
+                        Answer::Marginal {
+                            dims: vec![2],
+                            values: vec![0.25, 0.75],
+                        },
+                        Answer::Value { value: 1.0 },
+                    ],
+                },
+            },
+        ];
+        for resp in &resps {
+            let packed = encode_response_packed(resp);
+            assert_eq!(&decode_response(&packed).unwrap(), resp);
+            // NaN-free payloads above: equality is exact bit equality
+            // for these values, and legacy decode agrees.
+            assert_eq!(&decode_response(&encode_response(resp)).unwrap(), resp);
+        }
+        // Non-packable variants emit legacy bytes from the packed
+        // encoder too.
+        for resp in [
+            Response::Value { value: -12.25 },
+            Response::Error {
+                message: "x".into(),
+            },
+        ] {
+            assert_eq!(encode_response_packed(&resp), encode_response(&resp));
+        }
+        // A repeated-value vector collapses to ~1 byte per value.
+        let flat = Response::Values {
+            values: vec![3.25; 1000],
+        };
+        let packed = encode_response_packed(&flat);
+        let legacy = encode_response(&flat);
+        assert!(
+            packed.len() * 4 < legacy.len(),
+            "packed {} vs legacy {}",
+            packed.len(),
+            legacy.len()
+        );
+        // Truncations inside a packed values frame are errors.
+        let body = encode_response_packed(&Response::Values {
+            values: vec![1.0, 2.0, 3.0],
+        });
+        for cut in 0..body.len() {
+            assert!(decode_response(&body[..cut]).is_err(), "cut {cut}");
+        }
     }
 }

@@ -145,6 +145,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     partial_entries: (counter % 9) as usize,
                     partial_hits: counter / 6,
                     partial_misses: counter / 7,
+                    encoded_entries: (counter % 11) as usize,
+                    encoded_hits: counter / 8,
+                    encoded_misses: counter / 9,
+                    encoded_bytes: (counter % 4096) as usize,
                 },
             },
             _ => Response::Error { message: name },

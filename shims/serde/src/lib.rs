@@ -28,6 +28,11 @@ pub enum Content {
     Str(String),
     /// Ordered sequence.
     Seq(Vec<Content>),
+    /// Homogeneous floating-point sequence — the JSON parser's fast
+    /// path for dense numeric arrays (answer vectors), equivalent to a
+    /// `Seq` of `F64` at a fraction of the tree cost. Every consumer
+    /// of `Seq` must accept this variant interchangeably.
+    F64Seq(Vec<f64>),
     /// Ordered key/value map (insertion order preserved).
     Map(Vec<(String, Content)>),
 }
@@ -57,6 +62,17 @@ pub trait Deserialize: Sized {
     /// # Errors
     /// [`DeError`] naming the first structural mismatch.
     fn from_content(c: &Content) -> Result<Self, DeError>;
+
+    /// Element hook for the packed [`Content::F64Seq`] consumers:
+    /// equivalent to `from_content(&Content::F64(v))`, but overridable
+    /// so dense float vectors convert by plain copy instead of routing
+    /// every element through a temporary tree node.
+    ///
+    /// # Errors
+    /// [`DeError`] when `Self` does not accept a number.
+    fn from_f64(v: f64) -> Result<Self, DeError> {
+        Self::from_content(&Content::F64(v))
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
@@ -145,6 +161,9 @@ macro_rules! impl_float {
                     other => Err(DeError(format!("expected number, found {other:?}"))),
                 }
             }
+            fn from_f64(v: f64) -> Result<Self, DeError> {
+                Ok(v as $t)
+            }
         }
     )*};
 }
@@ -214,6 +233,13 @@ impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
                     .collect::<Result<_, _>>()?;
                 Ok(v.try_into().expect("length checked"))
             }
+            Content::F64Seq(vs) if vs.len() == N => {
+                let v: Vec<T> = vs
+                    .iter()
+                    .map(|v| T::from_f64(*v))
+                    .collect::<Result<_, _>>()?;
+                Ok(v.try_into().expect("length checked"))
+            }
             other => Err(DeError(format!(
                 "expected sequence of length {N}, found {other:?}"
             ))),
@@ -225,6 +251,8 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
         match c {
             Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            // For T = f64 the per-element conversion is a plain copy.
+            Content::F64Seq(vs) => vs.iter().map(|v| T::from_f64(*v)).collect(),
             other => Err(DeError(format!("expected sequence, found {other:?}"))),
         }
     }
@@ -260,6 +288,9 @@ macro_rules! impl_tuple {
                 match c {
                     Content::Seq(items) if items.len() == $len => Ok((
                         $($name::from_content(&items[$idx])?,)+
+                    )),
+                    Content::F64Seq(vs) if vs.len() == $len => Ok((
+                        $($name::from_f64(vs[$idx])?,)+
                     )),
                     other => Err(DeError(format!(
                         "expected {}-tuple, found {other:?}", $len
@@ -317,10 +348,18 @@ pub fn content_as_map<'a>(c: &'a Content, ty: &str) -> Result<&'a [(String, Cont
     }
 }
 
-/// Views `c` as a sequence, or errors naming `ty`.
-pub fn content_as_seq<'a>(c: &'a Content, ty: &str) -> Result<&'a [Content], DeError> {
+/// Views `c` as a sequence, or errors naming `ty`. A packed `F64Seq`
+/// is expanded on the fly (tuple payloads are short, so the allocation
+/// is negligible; the dense-vector hot path never lands here).
+pub fn content_as_seq<'a>(
+    c: &'a Content,
+    ty: &str,
+) -> Result<std::borrow::Cow<'a, [Content]>, DeError> {
     match c {
-        Content::Seq(items) => Ok(items),
+        Content::Seq(items) => Ok(std::borrow::Cow::Borrowed(items)),
+        Content::F64Seq(vs) => Ok(std::borrow::Cow::Owned(
+            vs.iter().map(|v| Content::F64(*v)).collect(),
+        )),
         other => Err(DeError(format!("{ty}: expected sequence, found {other:?}"))),
     }
 }

@@ -69,15 +69,22 @@ fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: us
         Content::I64(v) => {
             let _ = write!(out, "{v}");
         }
-        Content::F64(v) => {
-            if !v.is_finite() {
-                return Err(Error(format!("cannot serialize non-finite float {v}")));
-            }
-            // `{:?}` is Rust's shortest round-trip float form; it always
-            // contains '.' or 'e', so it re-parses as a float.
-            let _ = write!(out, "{v:?}");
-        }
+        Content::F64(v) => write_f64(*v, out)?,
         Content::Str(s) => write_string(s, out),
+        Content::F64Seq(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_sep(out, indent, level + 1);
+                write_f64(*v, out)?;
+            }
+            if !vs.is_empty() {
+                write_sep(out, indent, level);
+            }
+            out.push(']');
+        }
         Content::Seq(items) => {
             out.push('[');
             for (i, item) in items.iter().enumerate() {
@@ -111,6 +118,31 @@ fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: us
             }
             out.push('}');
         }
+    }
+    Ok(())
+}
+
+fn write_f64(v: f64, out: &mut String) -> Result<()> {
+    use std::fmt::Write;
+    if !v.is_finite() {
+        return Err(Error(format!("cannot serialize non-finite float {v}")));
+    }
+    // Integral fast path: values with no fractional part below 1e16 —
+    // where `{:?}` still prints plain decimal and an i64 cast is exact —
+    // format as `<int>.0` via the integer formatter, skipping the
+    // general shortest-float search. Byte-identical to `{v:?}` (pinned
+    // by sweep test below); marginal tables over count data are
+    // dominated by such values.
+    if v.fract() == 0.0 && v.abs() < 1e16 {
+        if v == 0.0 && v.is_sign_negative() {
+            out.push_str("-0.0");
+        } else {
+            let _ = write!(out, "{}.0", v as i64);
+        }
+    } else {
+        // `{:?}` is Rust's shortest round-trip float form; it always
+        // contains '.' or 'e', so it re-parses as a float.
+        let _ = write!(out, "{v:?}");
     }
     Ok(())
 }
@@ -276,14 +308,26 @@ impl<'a> Parser<'a> {
     fn array(&mut self) -> Result<Content> {
         self.expect(b'[')?;
         self.enter()?;
-        let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
             self.depth -= 1;
-            return Ok(Content::Seq(items));
+            return Ok(Content::Seq(Vec::new()));
         }
+        // Dense float arrays (answer vectors, marginal tables) are the
+        // hot shape on the serving path: accumulate raw f64s and pack
+        // them as one `F64Seq` so each element costs a word, not a tree
+        // node. The first non-float element demotes the collected
+        // prefix to the generic `Seq` tree.
+        match self.value()? {
+            Content::F64(first) => self.float_array_tail(first),
+            first => self.array_tail(vec![first]),
+        }
+    }
+
+    /// Continues a `[`-opened array whose elements so far are `items`
+    /// (positioned right after an element, before its separator).
+    fn array_tail(&mut self, mut items: Vec<Content>) -> Result<Content> {
         loop {
-            items.push(self.value()?);
             match self.peek()? {
                 b',' => self.pos += 1,
                 b']' => {
@@ -298,7 +342,115 @@ impl<'a> Parser<'a> {
                     )))
                 }
             }
+            items.push(self.value()?);
         }
+    }
+
+    /// All-float continuation of [`Parser::array`].
+    fn float_array_tail(&mut self, first: f64) -> Result<Content> {
+        if let Some(content) = self.try_float_array_sweep(first) {
+            self.depth -= 1;
+            return Ok(content);
+        }
+        let mut floats = vec![first];
+        loop {
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Content::F64Seq(floats));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected ',' or ']', found '{}' at offset {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+            if let Some(v) = self.try_float_element() {
+                floats.push(v);
+                continue;
+            }
+            match self.value()? {
+                Content::F64(v) => floats.push(v),
+                other => {
+                    let mut items: Vec<Content> = floats.into_iter().map(Content::F64).collect();
+                    items.push(other);
+                    return self.array_tail(items);
+                }
+            }
+        }
+    }
+
+    /// Whole-array sweep for the dense-float hot shape. A plain-float
+    /// array contains no `]` before its terminator, so one search finds
+    /// the end and the body splits on commas into elements — no
+    /// per-element position bookkeeping. Entered right after the first
+    /// element, before its separator. Any surprise in the body
+    /// (integer, string, nested value, malformed piece) returns `None`
+    /// without consuming input and the per-element path takes over.
+    fn try_float_array_sweep(&mut self, first: f64) -> Option<Content> {
+        let rest = &self.bytes[self.pos..];
+        let end = rest.iter().position(|&b| b == b']')?;
+        // The search stopped on ASCII, so the slice is valid UTF-8
+        // whenever the document is; non-UTF-8 only reaches the generic
+        // path's error reporting.
+        let body = std::str::from_utf8(&rest[..end]).ok()?;
+        let mut floats = Vec::with_capacity(1 + body.len() / 8);
+        floats.push(first);
+        for (i, piece) in body.split(',').enumerate() {
+            let text = piece.trim_matches([' ', '\t', '\n', '\r']);
+            if i == 0 {
+                // Whitespace between the already-parsed first element
+                // and its separator (or the closing bracket).
+                if text.is_empty() {
+                    continue;
+                }
+                return None;
+            }
+            let lead = *text.as_bytes().first()?;
+            if lead != b'-' && !lead.is_ascii_digit() {
+                return None;
+            }
+            // Integers must stay integers in the generic tree.
+            if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+                return None;
+            }
+            floats.push(text.parse::<f64>().ok()?);
+        }
+        self.pos += end + 1;
+        Some(Content::F64Seq(floats))
+    }
+
+    /// Fused scan of one plain-float array element: locate its end (the
+    /// next `,` or `]` — a number contains neither), then let
+    /// `f64::from_str` do all validation in one pass over the slice.
+    /// Returns `None` without consuming input when the element is
+    /// anything else (integer, string, nested value, malformed) so the
+    /// caller can fall back to the generic tree path, which also owns
+    /// error reporting.
+    fn try_float_element(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let first = *self.bytes.get(self.pos)?;
+        if first != b'-' && !first.is_ascii_digit() {
+            return None;
+        }
+        let rest = &self.bytes[self.pos..];
+        let len = rest.iter().position(|&b| b == b',' || b == b']')?;
+        // The delimiter search stopped on ASCII, so the slice is valid
+        // UTF-8 whenever the document is; non-UTF-8 only reaches the
+        // generic path's error reporting.
+        let text = std::str::from_utf8(&rest[..len])
+            .ok()?
+            .trim_end_matches([' ', '\t', '\n', '\r']);
+        // Integers must stay integers in the generic tree.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            return None;
+        }
+        let v = text.parse::<f64>().ok()?;
+        self.pos += len;
+        Some(v)
     }
 
     fn string(&mut self) -> Result<String> {
@@ -455,6 +607,34 @@ mod tests {
             let text = to_string(&v).unwrap();
             let back: f64 = from_str(&text).unwrap();
             assert_eq!(back, v, "{text}");
+        }
+    }
+
+    /// The integral fast path must be byte-identical to `{:?}` across
+    /// its whole gate: zeros of both signs, small and large magnitudes,
+    /// the 2^53 exactness boundary, and just-outside values that take
+    /// the general path.
+    #[test]
+    fn integral_fast_path_matches_debug_formatting() {
+        let mut cases: Vec<f64> = vec![0.0, -0.0, 1.0, -1.0, 400.0, -512.0];
+        for exp in 0..=15 {
+            let p = 10f64.powi(exp);
+            cases.extend([p, -p, p - 1.0, p + 1.0]);
+        }
+        cases.extend([
+            9007199254740992.0, // 2^53
+            9007199254740994.0, // 2^53 + 2 (next representable)
+            9999999999999998.0, // largest even integral below 1e16
+            1e16,               // general path: Debug switches to 1e16
+            1e17,
+            0.5,
+            -2.25,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ]);
+        for v in cases {
+            assert_eq!(to_string(&v).unwrap(), format!("{v:?}"), "{v}");
         }
     }
 
