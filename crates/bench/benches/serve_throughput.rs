@@ -22,6 +22,12 @@
 //!   both TCP encodings, measuring plans/sec (each plan scans the full
 //!   release, so these are orders of magnitude below range-sum rates by
 //!   design);
+//! * `plan/*_pyramid` — coarse aggregates over a 1024×1024 release
+//!   routed through the resolution pyramid (`DrillDown { level: 4 }`
+//!   answers from a memoized 64×64 coarse level, derived from the
+//!   sanitized leaf by pure post-processing — zero extra ε), pinned
+//!   against the leaf-indexed marginal at the same side; the pyramid
+//!   marginal must clear 5× the leaf-indexed rate;
 //! * `tcp/eventloop-cN` — request/response `DPRB` traffic from N
 //!   concurrent connections (1, 64, 512) against the epoll front end
 //!   (one loop shard, pinned) on a fixed 8-worker pool, plus a
@@ -279,10 +285,16 @@ fn measure_batch_wire_bytes(server: &Server) -> (usize, usize) {
 /// response, so neither socket buffer can fill against a blocked peer
 /// however large `n` is. Aggregate plans return multi-kilobyte answers,
 /// so this measures the full serialize/transport cost, not just compute.
-fn measure_tcp_plan_qps(server: Arc<Server>, plan: QueryPlan, n: usize, binary: bool) -> f64 {
+fn measure_tcp_plan_qps(
+    server: Arc<Server>,
+    release: &str,
+    plan: QueryPlan,
+    n: usize,
+    binary: bool,
+) -> f64 {
     let handle = spawn_legacy_pool(server);
     let req = Request::Plan {
-        release: "gauss-ebp".into(),
+        release: release.to_string(),
         plan,
     };
     let check = |resp: Response| match resp {
@@ -602,12 +614,29 @@ fn bench_serve_throughput(c: &mut Criterion) {
     // trajectory labels comparable across PRs — now that plans are
     // served indexed by default.
     server.set_indexed_plans(false);
-    let marginal_json_qps =
-        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), plan_n, false);
-    let marginal_bin_qps =
-        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), plan_n, true);
-    let topk_json_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), plan_n, false);
-    let topk_bin_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), plan_n, true);
+    let marginal_json_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        marginal.clone(),
+        plan_n,
+        false,
+    );
+    let marginal_bin_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        marginal.clone(),
+        plan_n,
+        true,
+    );
+    let topk_json_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        topk.clone(),
+        plan_n,
+        false,
+    );
+    let topk_bin_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), "gauss-ebp", topk.clone(), plan_n, true);
 
     // Indexed rows: the prepare/execute path. One warming request per
     // plan shape builds the release's memoized structures; the
@@ -615,15 +644,112 @@ fn bench_serve_throughput(c: &mut Criterion) {
     server.set_indexed_plans(true);
     let _ = measure_handle_plan_qps(&server, marginal.clone(), 1);
     let _ = measure_handle_plan_qps(&server, topk.clone(), 1);
-    let marginal_json_ix_qps =
-        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), indexed_n, false);
-    let marginal_bin_ix_qps =
-        measure_tcp_plan_qps(Arc::clone(&server), marginal.clone(), indexed_n, true);
-    let topk_json_ix_qps =
-        measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), indexed_n, false);
-    let topk_bin_ix_qps = measure_tcp_plan_qps(Arc::clone(&server), topk.clone(), indexed_n, true);
+    let marginal_json_ix_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        marginal.clone(),
+        indexed_n,
+        false,
+    );
+    let marginal_bin_ix_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        marginal.clone(),
+        indexed_n,
+        true,
+    );
+    let topk_json_ix_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        topk.clone(),
+        indexed_n,
+        false,
+    );
+    let topk_bin_ix_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        "gauss-ebp",
+        topk.clone(),
+        indexed_n,
+        true,
+    );
     let marginal_handle_ix_qps = measure_handle_plan_qps(&server, marginal, handle_n);
     let topk_handle_ix_qps = measure_handle_plan_qps(&server, topk, handle_n);
+
+    // Pyramid rows: a 1024×1024 release (built straight from entries —
+    // the pyramid is pure post-processing, so no sanitizer pass is
+    // needed to exercise it) answering the whole-grid marginal
+    // (`keep: [0, 1]`, the heatmap-render shape) two ways. The
+    // leaf-indexed rows replay the `*_indexed` labels at side 1024 and
+    // must ship all 1024² cells per answer; the `*_pyramid` rows route
+    // `DrillDown { level: 4 }` to a memoized 64×64 coarse level —
+    // 256× fewer cells scanned and shipped, for zero extra privacy
+    // budget, bit-identical to coarsening the leaf answer.
+    const BIG_SIDE: usize = 1_024;
+    const BIG_LEVEL: u32 = 4;
+    let big = "synthetic-1024";
+    {
+        let shape = dpod_fmatrix::Shape::new(vec![BIG_SIDE, BIG_SIDE]).expect("shape");
+        let values: Vec<f64> = (0..shape.size())
+            .map(|i| (i.wrapping_mul(2_654_435_761) % 1_000) as f64 / 7.0)
+            .collect();
+        let matrix = dpod_fmatrix::DenseMatrix::from_vec(shape, values).expect("matrix");
+        let sanitized = dpod_core::SanitizedMatrix::from_entries("synthetic", 0.5, matrix);
+        server
+            .catalog()
+            .publish(big, PublishedRelease::from_sanitized(&sanitized));
+    }
+    let big_marginal = QueryPlan::Marginal { keep: vec![0, 1] };
+    let drill_marginal = QueryPlan::DrillDown {
+        level: BIG_LEVEL,
+        plan: Box::new(big_marginal.clone()),
+    };
+    // Whole-grid coarse range: every leaf cell, summed at level 4.
+    let coarse_dim = ((BIG_SIDE - 1) >> BIG_LEVEL) + 1;
+    let drill_range = QueryPlan::DrillDown {
+        level: BIG_LEVEL,
+        plan: Box::new(QueryPlan::Range {
+            lo: vec![0, 0],
+            hi: vec![coarse_dim, coarse_dim],
+        }),
+    };
+    // One warming request per plan shape, as for the 256² indexed rows.
+    for plan in [
+        big_marginal.clone(),
+        drill_marginal.clone(),
+        drill_range.clone(),
+    ] {
+        match server.handle(&Request::Plan {
+            release: big.into(),
+            plan,
+        }) {
+            Response::Answer { .. } => {}
+            other => panic!("pyramid warmup failed: {other:?}"),
+        }
+    }
+    // The leaf answers are megabytes each, so the leaf rows get a
+    // smaller fixed workload than the coarse rows.
+    let (big_leaf_n, big_pyr_n) = if smoke() { (20, 200) } else { (1_000, 20_000) };
+    let big_marginal_json_ix_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        big,
+        big_marginal.clone(),
+        big_leaf_n,
+        false,
+    );
+    let big_marginal_bin_ix_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), big, big_marginal, big_leaf_n, true);
+    let pyr_marginal_json_qps = measure_tcp_plan_qps(
+        Arc::clone(&server),
+        big,
+        drill_marginal.clone(),
+        big_pyr_n,
+        false,
+    );
+    let pyr_marginal_bin_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), big, drill_marginal, big_pyr_n, true);
+    let pyr_range_bin_qps =
+        measure_tcp_plan_qps(Arc::clone(&server), big, drill_range, big_pyr_n, true);
+    server.remove_release(big);
 
     // Concurrent-connection rows, fixed 8-worker pool: the event loop
     // at 1 / 64 / 512 connections, and the legacy pool at 64 (where its
@@ -676,6 +802,17 @@ fn bench_serve_throughput(c: &mut Criterion) {
         topk_json_ix_qps,
         topk_bin_ix_qps,
         topk_handle_ix_qps
+    );
+    println!(
+        "serve_throughput pyramid (1024², drill level {BIG_LEVEL}): marginal json {:.0}/s \
+         binary {:.0}/s, coarse range binary {:.0}/s; leaf-indexed marginal json {:.0}/s \
+         binary {:.0}/s ({:.1}x binary speedup)",
+        pyr_marginal_json_qps,
+        pyr_marginal_bin_qps,
+        pyr_range_bin_qps,
+        big_marginal_json_ix_qps,
+        big_marginal_bin_ix_qps,
+        pyr_marginal_bin_qps / big_marginal_bin_ix_qps
     );
     println!(
         "serve_throughput concurrent (8 workers, request/response): eventloop c1 {:.0} q/s, \
@@ -764,6 +901,34 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "handle_plan_topk_indexed".to_string(),
             SIDE as f64,
             topk_handle_ix_qps,
+        ),
+        // Pyramid rows at side 1024: the leaf-indexed marginal extends
+        // its existing series with a 1024² point, the `*_pyramid` rows
+        // are the drill-down path over the same release.
+        (
+            "tcp_plan_marginal_json_indexed".to_string(),
+            BIG_SIDE as f64,
+            big_marginal_json_ix_qps,
+        ),
+        (
+            "tcp_plan_marginal_binary_indexed".to_string(),
+            BIG_SIDE as f64,
+            big_marginal_bin_ix_qps,
+        ),
+        (
+            "tcp_plan_marginal_json_pyramid".to_string(),
+            BIG_SIDE as f64,
+            pyr_marginal_json_qps,
+        ),
+        (
+            "tcp_plan_marginal_binary_pyramid".to_string(),
+            BIG_SIDE as f64,
+            pyr_marginal_bin_qps,
+        ),
+        (
+            "tcp_plan_range_binary_pyramid".to_string(),
+            BIG_SIDE as f64,
+            pyr_range_bin_qps,
         ),
         (
             "tcp_binary_eventloop_c1".to_string(),

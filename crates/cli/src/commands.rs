@@ -359,10 +359,17 @@ pub fn stats_line(server: &Server) -> String {
     } else {
         stats.partial_hits as f64 / partial_lookups as f64
     };
+    let pyramid_lookups = stats.pyramid_hits + stats.pyramid_misses;
+    let pyramid_rate = if pyramid_lookups == 0 {
+        0.0
+    } else {
+        stats.pyramid_hits as f64 / pyramid_lookups as f64
+    };
     format!(
         "served {} queries | conns: {} open / {} accepted | matrix cache: {} entries, \
          {:.1} MiB, {:.0}% hit | index: {} built, {:.0}% hit, {:.1} ms building | \
-         epochs: {} series, {} window partials, {:.0}% hit",
+         epochs: {} series, {} window partials, {:.0}% hit | pyramid: {} levels, \
+         {:.0}% hit",
         stats.queries,
         stats.open_connections,
         stats.accepted_connections,
@@ -375,6 +382,8 @@ pub fn stats_line(server: &Server) -> String {
         stats.series,
         stats.partial_entries,
         100.0 * partial_rate,
+        stats.pyramid_entries,
+        100.0 * pyramid_rate,
     )
 }
 
@@ -1199,6 +1208,27 @@ pub fn remote_query(
             other => Err(CliError(format!("unexpected response {other:?}"))),
         };
     }
+    // `DrillDown` selects its pyramid level at the top of a plan, so it
+    // cannot ride inside a `Many` batch; when one appears among several
+    // specs, each plan travels as its own request instead.
+    if plans.len() > 1
+        && plans
+            .iter()
+            .any(|p| matches!(p, QueryPlan::DrillDown { .. }))
+    {
+        let mut out = String::new();
+        for (spec, plan) in specs.iter().zip(plans) {
+            match transport(&Request::Plan {
+                release: release.to_string(),
+                plan,
+            })? {
+                Response::Answer { answer } => format_answer(&mut out, spec, &answer),
+                Response::Error { message } => return Err(CliError(message)),
+                other => return Err(CliError(format!("unexpected response {other:?}"))),
+            }
+        }
+        return Ok(out);
+    }
     let plan = if plans.len() == 1 {
         plans.remove(0)
     } else {
@@ -1717,6 +1747,11 @@ mod tests {
             "marginal:0,1".to_string(),
             "od:o=0..2x0..2;s0=1..3x1..3;d=2..4x2..4".to_string(),
             "*,*,*,*,*,*".to_string(),
+            // Drill-downs cannot ride inside `Many`, so their presence
+            // forces the remote path onto one request per spec — this
+            // mixed list pins that route too.
+            "drill:1:total".to_string(),
+            "level:1:marginal:0,1".to_string(),
         ];
         // Local path: the release artifact answers directly.
         let release = sanitize_to_release(&csv_text, &args).unwrap();
@@ -1884,6 +1919,7 @@ mod tests {
         assert!(line.contains("served"), "{line}");
         assert!(line.contains("% hit"), "{line}");
         assert!(line.contains("built"), "{line}");
+        assert!(line.contains("pyramid"), "{line}");
         handle.stop();
 
         // Malformed streams are named by line.

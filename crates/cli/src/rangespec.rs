@@ -15,11 +15,16 @@
 //!                                o|origin, d|dest|destination, or sN|stopN
 //!                                and REGION is XLO..XHIxYLO..YHI
 //!                                (e.g. od:o=0..4x0..4;s0=2..6x2..6;d=8..16x8..16)
+//! drill:L:SPEC                   route SPEC (range/marginal/total) to
+//!                                resolution-pyramid level L; range clauses
+//!                                address the coarsened domain
+//!                                (e.g. drill:4:marginal:0,1). `level:` is a
+//!                                synonym for `drill:`.
 //! lo..hi,*,…                     classic range sum (one clause per dim)
 //! ```
 
 use crate::CliError;
-use dpod_fmatrix::{AxisBox, Shape};
+use dpod_fmatrix::{coarsen_shape, AxisBox, Shape};
 use dpod_query::{QueryPlan, Region};
 
 /// Parses a range spec against a concrete domain.
@@ -113,10 +118,48 @@ pub fn parse_plan(spec: &str, shape: &Shape) -> Result<QueryPlan, CliError> {
     if let Some(legs) = lower.strip_prefix("od:") {
         return parse_od(spec, legs);
     }
+    // `drill:`/`level:` are synonyms, both 6 bytes, so the inner spec
+    // can be sliced from the user's original spelling for error text.
+    if lower.starts_with("drill:") || lower.starts_with("level:") {
+        return parse_drill(spec, &spec[6..], shape);
+    }
     let q = parse_range(spec, shape)?;
     Ok(QueryPlan::Range {
         lo: q.lo().to_vec(),
         hi: q.hi().to_vec(),
+    })
+}
+
+/// Parses the `LEVEL:SPEC` tail of a `drill:`/`level:` spec into a
+/// [`QueryPlan::DrillDown`]. The inner spec is parsed against the
+/// *coarsened* domain (every axis ceiling-halved `LEVEL` times), so a
+/// classic range's clauses address coarse cells.
+fn parse_drill(spec: &str, rest: &str, shape: &Shape) -> Result<QueryPlan, CliError> {
+    let (level, inner_spec) = rest.split_once(':').ok_or_else(|| {
+        CliError(format!(
+            "drill spec '{spec}': expected LEVEL:SPEC (e.g. drill:2:total)"
+        ))
+    })?;
+    let level: u32 = level
+        .trim()
+        .parse()
+        .map_err(|_| CliError(format!("drill spec '{spec}': bad level '{level}'")))?;
+    let coarse =
+        coarsen_shape(shape, level).map_err(|e| CliError(format!("drill spec '{spec}': {e}")))?;
+    let inner = parse_plan(inner_spec, &coarse)?;
+    match inner {
+        QueryPlan::Range { .. } | QueryPlan::Marginal { .. } | QueryPlan::Total => {}
+        other => {
+            return Err(CliError(format!(
+                "drill spec '{spec}': {} plans cannot drill down \
+                 (use a range, marginal, or total)",
+                other.kind()
+            )))
+        }
+    }
+    Ok(QueryPlan::DrillDown {
+        level,
+        plan: Box::new(inner),
     })
 }
 
@@ -234,6 +277,60 @@ mod tests {
                 hi: vec![5, 20, 30],
             }
         );
+    }
+
+    #[test]
+    fn drill_specs_parse_against_the_coarsened_domain() {
+        let s = Shape::new(vec![16, 16]).unwrap();
+        assert_eq!(
+            parse_plan("drill:2:total", &s).unwrap(),
+            QueryPlan::DrillDown {
+                level: 2,
+                plan: Box::new(QueryPlan::Total),
+            }
+        );
+        // `level:` is a synonym, and keywords stay case-insensitive.
+        assert_eq!(
+            parse_plan("Level:1:MARGINAL:0", &s).unwrap(),
+            QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![0] }),
+            }
+        );
+        // Range clauses address the coarse cells: level 2 of 16×16 is
+        // 4×4, so `0..4` spans the whole coarse axis…
+        assert_eq!(
+            parse_plan("drill:2:0..4,*", &s).unwrap(),
+            QueryPlan::DrillDown {
+                level: 2,
+                plan: Box::new(QueryPlan::Range {
+                    lo: vec![0, 0],
+                    hi: vec![4, 4],
+                }),
+            }
+        );
+        // …and a leaf-sized range is out of the coarse domain.
+        assert!(parse_plan("drill:2:0..16,*", &s).is_err());
+    }
+
+    #[test]
+    fn bad_drill_specs_are_named_errors() {
+        let s = Shape::new(vec![16, 16]).unwrap();
+        for bad in [
+            "drill:",                // no level, no inner spec
+            "drill:2",               // no inner spec
+            "drill:x:total",         // bad level
+            "drill:9:total",         // past the pyramid root (root is 4)
+            "drill:1:top:3",         // top-k cannot drill down
+            "drill:1:od:",           // od cannot drill down
+            "level:1:drill:0:total", // no nesting
+        ] {
+            assert!(parse_plan(bad, &s).is_err(), "accepted '{bad}'");
+        }
+        let err = parse_plan("drill:9:total", &s).unwrap_err();
+        assert!(err.0.contains("exceeds the pyramid root"), "{err:?}");
+        let err = parse_plan("drill:1:top:3", &s).unwrap_err();
+        assert!(err.0.contains("cannot drill down"), "{err:?}");
     }
 
     #[test]

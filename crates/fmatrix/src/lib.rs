@@ -16,6 +16,10 @@
 //!   matrices from trajectory streams before densifying;
 //! * [`PrefixSum`] — d-dimensional summed-area tables answering any box sum
 //!   in `O(2^d)`;
+//! * [`coarsen_to_level`]/[`coarsen_shape`]/[`pyramid_root_level`] —
+//!   resolution pyramids: coarse views derived deterministically by
+//!   per-axis child summation (pure post-processing over sanitized
+//!   matrices);
 //! * [`entropy`] — Shannon entropy of an FM and of an FM under a
 //!   partitioning (Definition 4 of the paper).
 //!
@@ -32,6 +36,7 @@ pub mod entropy;
 mod error;
 mod marginal;
 mod prefix;
+mod pyramid;
 mod shape;
 mod sparse;
 
@@ -40,6 +45,7 @@ pub use dense::{DenseMatrix, Element};
 pub use error::FmError;
 pub use marginal::marginal_shape;
 pub use prefix::PrefixSum;
+pub use pyramid::{coarsen_once, coarsen_shape, coarsen_to_level, pyramid_root_level};
 pub use shape::{CoordIter, Shape};
 pub use sparse::SparseMatrix;
 

@@ -1,0 +1,212 @@
+//! Resolution pyramids: coarse views of a frequency matrix derived by
+//! per-axis 2×2 child summation.
+//!
+//! Level 0 is the matrix itself; each level above halves every axis
+//! (ceiling division, so odd extents keep a one-child boundary tile).
+//! The *root* is the first level at which every axis has collapsed to a
+//! single cell. Coarsening a **sanitized** matrix is pure
+//! post-processing — it spends no additional privacy budget — and every
+//! coarse cell is *exactly* the sum of its children by construction,
+//! so cross-level consistency holds with no reconciliation step.
+//!
+//! ## Determinism contract
+//!
+//! f64 addition is not associative, so "the sum of the children" only
+//! pins bits once the addition order is fixed. [`coarsen_once`]
+//! accumulates by scanning the fine matrix **in row-major order** and
+//! scattering each cell into its parent; for any one parent this adds
+//! the children in row-major child order, which is therefore also what
+//! a per-parent gather must use to reproduce the bits. Higher levels
+//! are defined recursively ([`coarsen_to_level`] applies
+//! [`coarsen_once`] `level` times), so every consumer that builds a
+//! level through these functions gets bit-identical tables.
+
+use crate::{DenseMatrix, FmError, Result, Shape};
+
+/// The smallest level at which every axis of `shape` has collapsed to a
+/// single cell (0 for a shape that is already all-ones).
+#[must_use]
+pub fn pyramid_root_level(shape: &Shape) -> u32 {
+    shape
+        .dims()
+        .iter()
+        .map(|&d| {
+            // Halvings (ceiling) needed to reach 1: ceil(log2(d)).
+            if d <= 1 {
+                0
+            } else {
+                usize::BITS - (d - 1).leading_zeros()
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The shape of pyramid level `level` over `shape`: every axis extent
+/// ceiling-divided by `2^level` (never below 1).
+///
+/// # Errors
+/// [`FmError::InvalidShape`] when `level` exceeds the pyramid root
+/// level — there is no coarser view than a single cell.
+pub fn coarsen_shape(shape: &Shape, level: u32) -> Result<Shape> {
+    let root = pyramid_root_level(shape);
+    if level > root {
+        return Err(FmError::InvalidShape {
+            reason: format!(
+                "level {level} exceeds the pyramid root (level {root}) for domain {:?}",
+                shape.dims()
+            ),
+        });
+    }
+    Shape::new(
+        shape
+            .dims()
+            .iter()
+            .map(|&d| {
+                // level ≤ root < usize::BITS here, so the shift is safe.
+                ((d - 1) >> level) + 1
+            })
+            .collect(),
+    )
+}
+
+/// One pyramid step: halves every axis, each output cell holding the
+/// sum of its (up to `2^d`) children.
+///
+/// The fine matrix is scanned in row-major order and each cell is
+/// scatter-added into its parent, which fixes the per-parent addition
+/// order to row-major child order (see the module docs).
+#[must_use]
+pub fn coarsen_once(m: &DenseMatrix<f64>) -> DenseMatrix<f64> {
+    let fine = m.shape();
+    let coarse = Shape::new(fine.dims().iter().map(|&d| ((d - 1) >> 1) + 1).collect())
+        .expect("halved dims stay positive");
+    let out_strides = coarse.strides().to_vec();
+    let src_dims = fine.dims().to_vec();
+    let mut out = DenseMatrix::<f64>::zeros(coarse);
+    let mut coords = vec![0usize; fine.ndim()];
+    for &v in m.as_slice() {
+        let mut idx = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            idx += (c >> 1) * out_strides[d];
+        }
+        let cur = out.get_flat(idx);
+        out.set_flat(idx, cur + v);
+        // Odometer increment (cheaper than div/mod per cell).
+        let mut d = coords.len();
+        loop {
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+            coords[d] += 1;
+            if coords[d] < src_dims[d] {
+                break;
+            }
+            coords[d] = 0;
+        }
+    }
+    out
+}
+
+/// The pyramid level `level` over `m`, built by applying
+/// [`coarsen_once`] `level` times (level 0 is a clone of `m`).
+///
+/// # Errors
+/// [`FmError::InvalidShape`] when `level` exceeds the pyramid root.
+pub fn coarsen_to_level(m: &DenseMatrix<f64>, level: u32) -> Result<DenseMatrix<f64>> {
+    // Validates the level before doing any work.
+    coarsen_shape(m.shape(), level)?;
+    let mut cur = m.clone();
+    for _ in 0..level {
+        cur = coarsen_once(&cur);
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec()).unwrap()
+    }
+
+    /// Deterministic pseudo-noisy fill (mirrors the query-crate test
+    /// releases: fractional, signed, irregular).
+    fn noisy(dims: &[usize]) -> DenseMatrix<f64> {
+        let s = shape(dims);
+        let data: Vec<f64> = (0..s.size())
+            .map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 7.0 - 60.0)
+            .collect();
+        DenseMatrix::from_vec(s, data).unwrap()
+    }
+
+    #[test]
+    fn root_level_and_shapes() {
+        assert_eq!(pyramid_root_level(&shape(&[1])), 0);
+        assert_eq!(pyramid_root_level(&shape(&[2, 2])), 1);
+        assert_eq!(pyramid_root_level(&shape(&[8, 8])), 3);
+        assert_eq!(pyramid_root_level(&shape(&[5, 2])), 3);
+        assert_eq!(pyramid_root_level(&shape(&[1024, 1024])), 10);
+        assert_eq!(coarsen_shape(&shape(&[8, 8]), 2).unwrap().dims(), &[2, 2]);
+        // Odd extents keep a boundary tile (ceiling division).
+        assert_eq!(coarsen_shape(&shape(&[5, 3]), 1).unwrap().dims(), &[3, 2]);
+        assert_eq!(coarsen_shape(&shape(&[5, 3]), 3).unwrap().dims(), &[1, 1]);
+        let err = coarsen_shape(&shape(&[8, 8]), 4).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the pyramid root"),
+            "{err}"
+        );
+    }
+
+    /// The determinism contract: every coarse cell bit-equals a
+    /// row-major child-order gather from 0.0.
+    #[test]
+    fn coarse_cells_bit_equal_row_major_child_sums() {
+        for dims in [vec![8, 8], vec![5, 3], vec![4, 6, 3], vec![7]] {
+            let m = noisy(&dims);
+            let c = coarsen_once(&m);
+            let mut child = vec![0usize; m.ndim()];
+            for coarse_coords in c.shape().iter_coords() {
+                let mut acc = 0.0f64;
+                // Children of a coarse cell, in row-major order of the
+                // fine matrix: odometer over the per-axis child pairs.
+                for fine_coords in m.shape().iter_coords() {
+                    let is_child = fine_coords
+                        .iter()
+                        .zip(&coarse_coords)
+                        .all(|(&f, &p)| f >> 1 == p);
+                    if is_child {
+                        child.copy_from_slice(&fine_coords);
+                        acc += m.get(&child).unwrap();
+                    }
+                }
+                let got = c.get(&coarse_coords).unwrap();
+                assert_eq!(
+                    got.to_bits(),
+                    acc.to_bits(),
+                    "cell {coarse_coords:?} in {dims:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_level_is_recursive_single_steps() {
+        let m = noisy(&[16, 12]);
+        let two = coarsen_to_level(&m, 2).unwrap();
+        let manual = coarsen_once(&coarsen_once(&m));
+        assert_eq!(two.shape(), manual.shape());
+        for (a, b) in two.as_slice().iter().zip(manual.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Level 0 is the identity.
+        let zero = coarsen_to_level(&m, 0).unwrap();
+        assert_eq!(zero.as_slice(), m.as_slice());
+        // The root is a single cell.
+        let root = coarsen_to_level(&m, pyramid_root_level(m.shape())).unwrap();
+        assert_eq!(root.len(), 1);
+        assert!(coarsen_to_level(&m, 99).is_err());
+    }
+}

@@ -28,7 +28,7 @@
 
 use crate::plan::{PlanError, TopCell};
 use dpod_core::SanitizedMatrix;
-use dpod_fmatrix::{AxisBox, DenseMatrix, PrefixSum};
+use dpod_fmatrix::{coarsen_to_level, AxisBox, DenseMatrix, PrefixSum, Shape};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -63,6 +63,19 @@ pub trait PlanBackend {
     /// ascending flat index. `k` arrives pre-clamped to the cell count
     /// (and the answer-size cap) by the executor.
     fn top_k(&self, k: usize) -> Vec<TopCell>;
+
+    /// Pyramid level `level` of the release: every axis ceiling-halved
+    /// `level` times, cells summed from their children
+    /// ([`dpod_fmatrix::coarsen_to_level`]). The default builds the
+    /// level from the dense estimate on every call (the cold path);
+    /// [`ReleaseIndex`] memoizes levels under its byte budget. Level 0
+    /// never routes here — the executor answers it from the leaf.
+    ///
+    /// # Errors
+    /// [`PlanError`] when `level` exceeds the pyramid root.
+    fn pyramid_level(&self, level: u32) -> Result<Arc<PyramidLevel>, PlanError> {
+        PyramidLevel::build(self.matrix(), level)
+    }
 }
 
 /// Ranks by value descending, flat index ascending on ties —
@@ -169,6 +182,75 @@ impl MarginalTable {
     }
 }
 
+/// One resolution-pyramid level: the coarse table plus its own
+/// summed-area table, so coarse range sums cost `O(2^d)` like any other
+/// range query. Built deterministically from the sanitized leaf
+/// (row-major child summation — see [`dpod_fmatrix::coarsen_once`]), so
+/// every consumer that answers through a `PyramidLevel` gets answers
+/// bit-identical to coarsening the leaf and executing there.
+#[derive(Debug)]
+pub struct PyramidLevel {
+    level: u32,
+    table: DenseMatrix<f64>,
+    prefix: PrefixSum<f64>,
+}
+
+impl PyramidLevel {
+    /// Builds level `level` from the release's dense estimate.
+    fn build(matrix: &SanitizedMatrix, level: u32) -> Result<Arc<PyramidLevel>, PlanError> {
+        let table = coarsen_to_level(matrix.matrix(), level)
+            .map_err(|e| PlanError(format!("bad drill-down: {e}")))?;
+        let prefix = PrefixSum::from_f64(&table);
+        Ok(Arc::new(PyramidLevel {
+            level,
+            table,
+            prefix,
+        }))
+    }
+
+    /// Which pyramid level this table holds.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The coarse domain.
+    pub fn shape(&self) -> &Shape {
+        self.table.shape()
+    }
+
+    /// Estimated count inside the half-open box `q` *of the coarse
+    /// domain*, via the level's own prefix sums. The executor validates
+    /// `q` against [`Self::shape`] before calling.
+    pub fn box_sum(&self, q: &AxisBox) -> f64 {
+        self.prefix.box_sum(q)
+    }
+
+    /// The marginal of the coarse table over `keep` — same contract
+    /// (and error text) as the leaf marginal paths.
+    ///
+    /// # Errors
+    /// [`PlanError`] for an invalid keep-list.
+    pub fn marginal(&self, keep: &[usize]) -> Result<(Vec<usize>, Vec<f64>), PlanError> {
+        let t = self
+            .table
+            .marginalize(keep)
+            .map_err(|e| PlanError(format!("bad marginal: {e}")))?;
+        Ok((t.shape().dims().to_vec(), t.into_vec()))
+    }
+
+    /// The level's total: the full-extent prefix lookup, exactly how
+    /// the leaf total is computed from its own prefix table.
+    pub fn total(&self) -> f64 {
+        self.box_sum(&AxisBox::full(self.table.shape()))
+    }
+
+    /// Estimated resident size: the values and their prefix table are
+    /// each `len × 8` bytes.
+    fn resident_bytes(&self) -> usize {
+        self.table.len() * 16 + 64
+    }
+}
+
 /// The prepared backend: per-release memoization of every aggregate a
 /// plan can ask for.
 ///
@@ -193,8 +275,13 @@ pub struct ReleaseIndex {
     /// per-query selection.
     order: OnceLock<Vec<u32>>,
     marginals: Mutex<HashMap<Vec<usize>, Arc<MarginalTable>>>,
+    pyramid: Mutex<HashMap<u32, Arc<PyramidLevel>>>,
     marginal_budget: usize,
     marginal_bytes: AtomicUsize,
+    pyramid_bytes: AtomicUsize,
+    pyramid_hits: AtomicU64,
+    pyramid_misses: AtomicU64,
+    pyramid_level_hits: Mutex<HashMap<u32, u64>>,
     order_bytes: AtomicUsize,
     build_nanos: AtomicU64,
 }
@@ -214,11 +301,23 @@ impl ReleaseIndex {
             total: OnceLock::new(),
             order: OnceLock::new(),
             marginals: Mutex::new(HashMap::new()),
+            pyramid: Mutex::new(HashMap::new()),
             marginal_budget,
             marginal_bytes: AtomicUsize::new(0),
+            pyramid_bytes: AtomicUsize::new(0),
+            pyramid_hits: AtomicU64::new(0),
+            pyramid_misses: AtomicU64::new(0),
+            pyramid_level_hits: Mutex::new(HashMap::new()),
             order_bytes: AtomicUsize::new(0),
             build_nanos: AtomicU64::new(0),
         }
+    }
+
+    /// Bytes currently spent across both memo pools (marginal tables
+    /// and pyramid levels) — they share [`Self::with_marginal_budget`]'s
+    /// single budget.
+    fn memo_bytes(&self) -> usize {
+        self.marginal_bytes.load(Ordering::Relaxed) + self.pyramid_bytes.load(Ordering::Relaxed)
     }
 
     /// The release this index serves.
@@ -256,9 +355,51 @@ impl ReleaseIndex {
         if let Some(t) = map.get(keep) {
             return Ok(Arc::clone(t)); // a racing builder won; keep it
         }
-        if self.marginal_bytes.load(Ordering::Relaxed) + cost <= self.marginal_budget {
+        if self.memo_bytes() + cost <= self.marginal_budget {
             self.marginal_bytes.fetch_add(cost, Ordering::Relaxed);
             map.insert(keep.to_vec(), Arc::clone(&built));
+        }
+        Ok(built)
+    }
+
+    /// The memoized pyramid level `level`, built (and cached, budget
+    /// permitting) on first touch. The shared memo budget covers
+    /// marginal tables and pyramid levels together; an over-budget
+    /// level is still answered, computed per query without caching.
+    ///
+    /// # Errors
+    /// [`PlanError`] when `level` exceeds the pyramid root — identical
+    /// text to the scan path, so error answers are transport- and
+    /// backend-invariant.
+    pub fn pyramid_table(&self, level: u32) -> Result<Arc<PyramidLevel>, PlanError> {
+        {
+            let map = self.pyramid.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(l) = map.get(&level) {
+                self.pyramid_hits.fetch_add(1, Ordering::Relaxed);
+                *self
+                    .pyramid_level_hits
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(level)
+                    .or_insert(0) += 1;
+                return Ok(Arc::clone(l));
+            }
+        }
+        self.pyramid_misses.fetch_add(1, Ordering::Relaxed);
+        // Build outside the lock, as for marginals: a slow first-touch
+        // level never blocks queries hitting already-memoized levels.
+        let start = Instant::now();
+        let built = PyramidLevel::build(&self.matrix, level)?;
+        self.build_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let cost = built.resident_bytes() + 48;
+        let mut map = self.pyramid.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(l) = map.get(&level) {
+            return Ok(Arc::clone(l)); // a racing builder won; keep it
+        }
+        if self.memo_bytes() + cost <= self.marginal_budget {
+            self.pyramid_bytes.fetch_add(cost, Ordering::Relaxed);
+            map.insert(level, Arc::clone(&built));
         }
         Ok(built)
     }
@@ -295,10 +436,11 @@ impl ReleaseIndex {
     }
 
     /// This index's own resident bytes (the shared release matrix is
-    /// charged by its owner): memoized marginal tables plus the sorted
-    /// cell order, growing as aggregates are first touched.
+    /// charged by its owner): memoized marginal tables and pyramid
+    /// levels plus the sorted cell order, growing as aggregates are
+    /// first touched.
     pub fn resident_bytes(&self) -> usize {
-        256 + self.marginal_bytes.load(Ordering::Relaxed) + self.order_bytes.load(Ordering::Relaxed)
+        256 + self.memo_bytes() + self.order_bytes.load(Ordering::Relaxed)
     }
 
     /// Cumulative wall-clock time this index has spent building
@@ -313,6 +455,39 @@ impl ReleaseIndex {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .len()
+    }
+
+    /// Memoized pyramid levels currently resident.
+    pub fn pyramid_entries(&self) -> usize {
+        self.pyramid.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Bytes spent on memoized pyramid levels.
+    pub fn pyramid_bytes(&self) -> usize {
+        self.pyramid_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Drill-down plans answered from an already-memoized level.
+    pub fn pyramid_hits(&self) -> u64 {
+        self.pyramid_hits.load(Ordering::Relaxed)
+    }
+
+    /// Drill-down plans that had to build their level first.
+    pub fn pyramid_misses(&self) -> u64 {
+        self.pyramid_misses.load(Ordering::Relaxed)
+    }
+
+    /// Warm hits per pyramid level, ascending by level.
+    pub fn pyramid_level_hits(&self) -> Vec<(u32, u64)> {
+        let mut hits: Vec<(u32, u64)> = self
+            .pyramid_level_hits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&l, &n)| (l, n))
+            .collect();
+        hits.sort_unstable();
+        hits
     }
 }
 
@@ -338,6 +513,10 @@ impl PlanBackend for ReleaseIndex {
             ),
             None => ScanBackend::new(&self.matrix).top_k(k),
         }
+    }
+
+    fn pyramid_level(&self, level: u32) -> Result<Arc<PyramidLevel>, PlanError> {
+        self.pyramid_table(level)
     }
 }
 
@@ -424,6 +603,28 @@ mod tests {
                     QueryPlan::Marginal { keep: vec![2] },
                 ],
             },
+            QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::Total),
+            },
+            QueryPlan::DrillDown {
+                level: 2,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![0, 3] }),
+            },
+            QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::Range {
+                    lo: vec![0, 1, 0, 0],
+                    hi: vec![2, 3, 1, 2],
+                }),
+            },
+            QueryPlan::DrillDown {
+                level: 0,
+                plan: Box::new(QueryPlan::Range {
+                    lo: vec![1, 0, 2, 0],
+                    hi: vec![4, 5, 3, 2],
+                }),
+            },
         ];
         for plan in &plans {
             let cold = execute(&m, plan).unwrap();
@@ -446,6 +647,14 @@ mod tests {
             QueryPlan::Range {
                 lo: vec![0],
                 hi: vec![9],
+            },
+            QueryPlan::DrillDown {
+                level: 99,
+                plan: Box::new(QueryPlan::Total),
+            },
+            QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![3, 1] }),
             },
         ] {
             let cold = execute(&m, &plan).unwrap_err();
@@ -496,6 +705,113 @@ mod tests {
         let again = index.marginal_table(&[0]).unwrap();
         assert_eq!(index.marginal_entries(), 1);
         assert!(Arc::ptr_eq(&again, &index.marginal_table(&[0]).unwrap()));
+    }
+
+    #[test]
+    fn pyramid_levels_memoize_with_hit_and_miss_counters() {
+        let m = release(5); // 5^4, pyramid root = level 3
+        let index = ReleaseIndex::new(Arc::clone(&m));
+        assert_eq!(index.pyramid_entries(), 0);
+        let base = index.resident_bytes();
+
+        let plan = QueryPlan::DrillDown {
+            level: 2,
+            plan: Box::new(QueryPlan::Total),
+        };
+        execute_with(&index, &plan).unwrap();
+        assert_eq!((index.pyramid_misses(), index.pyramid_hits()), (1, 0));
+        assert_eq!(index.pyramid_entries(), 1);
+        assert!(index.pyramid_bytes() > 0);
+        assert!(index.resident_bytes() > base, "levels must be charged");
+        assert_eq!(index.pyramid_level_hits(), vec![]);
+
+        // Warm replays hit the memo; a different level misses again.
+        execute_with(&index, &plan).unwrap();
+        execute_with(&index, &plan).unwrap();
+        assert_eq!((index.pyramid_misses(), index.pyramid_hits()), (1, 2));
+        assert_eq!(index.pyramid_level_hits(), vec![(2, 2)]);
+        let other = QueryPlan::DrillDown {
+            level: 1,
+            plan: Box::new(QueryPlan::Marginal { keep: vec![0] }),
+        };
+        execute_with(&index, &other).unwrap();
+        execute_with(&index, &other).unwrap();
+        assert_eq!((index.pyramid_misses(), index.pyramid_hits()), (2, 3));
+        assert_eq!(index.pyramid_level_hits(), vec![(1, 1), (2, 2)]);
+        assert_eq!(index.pyramid_entries(), 2);
+
+        // Level 0 routes to the leaf — it never touches the memo.
+        execute_with(
+            &index,
+            &QueryPlan::DrillDown {
+                level: 0,
+                plan: Box::new(QueryPlan::Total),
+            },
+        )
+        .unwrap();
+        assert_eq!((index.pyramid_misses(), index.pyramid_hits()), (2, 3));
+
+        // Invalid levels are errors, not memo entries.
+        assert!(index.pyramid_table(99).is_err());
+        assert_eq!(index.pyramid_entries(), 2);
+    }
+
+    #[test]
+    fn pyramid_memoization_shares_the_marginal_budget() {
+        let m = release(4);
+        // Fits the level-2 table (1 cell) but not level 1 (16 cells:
+        // 16·16 + 64 + 48 = 368 > 200).
+        let index = ReleaseIndex::with_marginal_budget(Arc::clone(&m), 200);
+        let coarse = index.pyramid_table(2).unwrap();
+        assert_eq!(index.pyramid_entries(), 1);
+        let after_first = index.resident_bytes();
+        // An over-budget level still answers, uncached and correct.
+        let fine = index.pyramid_table(1).unwrap();
+        assert_eq!(fine.shape().dims(), &[2, 2, 2, 2]);
+        assert_eq!(index.pyramid_entries(), 1);
+        assert_eq!(index.resident_bytes(), after_first);
+        // The cached level answers warm (same Arc).
+        assert!(Arc::ptr_eq(&coarse, &index.pyramid_table(2).unwrap()));
+        // And pyramid bytes count against marginal memoization too: the
+        // remaining headroom refuses a marginal the budget would
+        // otherwise have taken.
+        index.marginal_table(&[0, 1]).unwrap(); // 16 cells, same cost
+        assert_eq!(index.marginal_entries(), 0);
+    }
+
+    #[test]
+    fn whole_grid_marginal_at_1024_routes_to_the_coarse_level() {
+        // The acceptance scenario: a coarse marginal on a 1024² release
+        // executes against the level-4 table (64² = 4096 cells, not the
+        // 2^20-cell leaf), verified by the pyramid hit counters — and
+        // stays bit-identical to coarsening the leaf and executing there.
+        let shape = Shape::new(vec![1024, 1024]).unwrap();
+        let values: Vec<f64> = (0..shape.size())
+            .map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 7.0 - 60.0)
+            .collect();
+        let m = Arc::new(SanitizedMatrix::from_entries(
+            "test",
+            1.0,
+            DenseMatrix::from_vec(shape, values).unwrap(),
+        ));
+        let index = ReleaseIndex::new(Arc::clone(&m));
+        let plan = QueryPlan::DrillDown {
+            level: 4,
+            plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
+        };
+        let first = execute_with(&index, &plan).unwrap();
+        let warm = execute_with(&index, &plan).unwrap();
+        assert_eq!((index.pyramid_misses(), index.pyramid_hits()), (1, 1));
+        assert_eq!(index.pyramid_level_hits(), vec![(4, 1)]);
+        let Answer::Marginal { dims, .. } = &first else {
+            panic!("expected marginal");
+        };
+        assert_eq!(dims, &[64, 64]);
+        let coarse =
+            SanitizedMatrix::from_entries("test", 1.0, coarsen_to_level(m.matrix(), 4).unwrap());
+        let reference = execute(&coarse, &QueryPlan::Marginal { keep: vec![0, 1] }).unwrap();
+        assert_eq!(bits(&first), bits(&reference));
+        assert_eq!(bits(&warm), bits(&reference));
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! * [`backend`] — the execution backends behind the algebra: the cold
 //!   [`ScanBackend`] rescans the dense estimate per aggregate, the
 //!   prepared [`ReleaseIndex`] memoizes marginal tables (each with its
-//!   own prefix sums), the descending cell order, and the total, so
-//!   warm aggregate plans skip the rescan entirely —
+//!   own prefix sums), resolution-pyramid levels (for
+//!   [`QueryPlan::DrillDown`] routing), the descending cell order, and
+//!   the total, so warm aggregate plans skip the rescan entirely —
 //!   [`plan::execute_with`] answers bit-identically over either.
 //!
 //! [`SanitizedMatrix`]: dpod_core::SanitizedMatrix
@@ -34,7 +35,7 @@ pub mod od;
 pub mod plan;
 pub mod workload;
 
-pub use backend::{MarginalTable, PlanBackend, ReleaseIndex, ScanBackend};
+pub use backend::{MarginalTable, PlanBackend, PyramidLevel, ReleaseIndex, ScanBackend};
 pub use eval::{evaluate, EvalReport};
 pub use metrics::{MreOptions, SummaryStats};
 pub use od::{OdQuery, Region};

@@ -29,7 +29,7 @@
 use crate::backend::{PlanBackend, ScanBackend};
 use crate::od::{OdQuery, Region};
 use dpod_core::SanitizedMatrix;
-use dpod_fmatrix::AxisBox;
+use dpod_fmatrix::{AxisBox, Shape};
 use serde::{Deserialize, Serialize};
 
 /// Most cells a [`QueryPlan::TopK`] answer will carry, however large a
@@ -133,6 +133,24 @@ pub enum QueryPlan {
         /// The plan to run against each selected epoch.
         plan: Box<QueryPlan>,
     },
+    /// One plan routed to a coarse *pyramid level* of the release: the
+    /// inner plan runs against the level-`level` table (every axis
+    /// ceiling-halved `level` times, cells summed from their children —
+    /// pure post-processing of the sanitized leaf, zero extra ε, see
+    /// [`dpod_fmatrix::coarsen_to_level`]). Level 0 is the leaf itself.
+    /// Only [`QueryPlan::Range`], [`QueryPlan::Marginal`] and
+    /// [`QueryPlan::Total`] aggregate per-axis and may drill down;
+    /// other plans are refused, as is nesting `DrillDown` inside
+    /// itself, [`QueryPlan::Many`] or a [`QueryPlan::Window`]'s inner
+    /// plan.
+    DrillDown {
+        /// The pyramid level to answer from (0 = the leaf release).
+        level: u32,
+        /// The plan to run against the coarse table; its coordinates
+        /// (range corners, marginal keep-list) address the *coarse*
+        /// domain.
+        plan: Box<QueryPlan>,
+    },
 }
 
 /// Which epochs of a release series a [`QueryPlan::Window`] covers.
@@ -191,6 +209,7 @@ impl QueryPlan {
             QueryPlan::Total => "total",
             QueryPlan::Many { .. } => "many",
             QueryPlan::Window { .. } => "window",
+            QueryPlan::DrillDown { .. } => "drill_down",
         }
     }
 
@@ -356,6 +375,12 @@ pub fn execute_with<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Ans
                          and cannot ride inside Many"
                     )));
                 }
+                if matches!(sub, QueryPlan::DrillDown { .. }) {
+                    return Err(PlanError(format!(
+                        "plan {i}: DrillDown plans select a pyramid level at \
+                         the top level and cannot ride inside Many"
+                    )));
+                }
                 budget = budget.saturating_add(answer_cells_estimate(matrix, sub));
                 if budget > MAX_ANSWER_CELLS {
                     return Err(PlanError(format!(
@@ -396,8 +421,8 @@ fn answer_cells_estimate(matrix: &SanitizedMatrix, plan: &QueryPlan) -> usize {
                 .map(|&d| if d < shape.ndim() { shape.dim(d) } else { 1 })
                 .fold(1usize, usize::saturating_mul)
         }
-        // Both are rejected before estimation (neither nests in Many).
-        QueryPlan::Many { .. } | QueryPlan::Window { .. } => 0,
+        // All three are rejected before estimation (none nests in Many).
+        QueryPlan::Many { .. } | QueryPlan::Window { .. } | QueryPlan::DrillDown { .. } => 0,
     }
 }
 
@@ -577,7 +602,7 @@ fn execute_leaf<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer,
     let matrix = backend.matrix();
     match plan {
         QueryPlan::Range { lo, hi } => {
-            let q = range_box(matrix, lo, hi)?;
+            let q = range_box(matrix.matrix().shape(), lo, hi)?;
             Ok(Answer::Value {
                 value: matrix.range_sum(&q),
             })
@@ -637,16 +662,51 @@ fn execute_leaf<B: PlanBackend>(backend: &B, plan: &QueryPlan) -> Result<Answer,
              epoch"
                 .to_string(),
         )),
+        QueryPlan::DrillDown { level, plan } => {
+            match plan.as_ref() {
+                QueryPlan::Range { .. } | QueryPlan::Marginal { .. } | QueryPlan::Total => {}
+                QueryPlan::DrillDown { .. } => {
+                    return Err(PlanError("DrillDown plans cannot nest".to_string()));
+                }
+                other => {
+                    return Err(PlanError(format!(
+                        "DrillDown coarsens per-axis aggregates only (Range, \
+                         Marginal, Total); {} plans cannot drill down",
+                        other.kind()
+                    )));
+                }
+            }
+            // Level 0 *is* the leaf: route straight to the plain leaf
+            // path, so `DrillDown { level: 0, plan }` ≡ `plan` bitwise
+            // without materializing a leaf copy.
+            if *level == 0 {
+                return execute_leaf(backend, plan);
+            }
+            let lvl = backend.pyramid_level(*level)?;
+            match plan.as_ref() {
+                QueryPlan::Range { lo, hi } => {
+                    let q = range_box(lvl.shape(), lo, hi)?;
+                    Ok(Answer::Value {
+                        value: lvl.box_sum(&q),
+                    })
+                }
+                QueryPlan::Marginal { keep } => {
+                    let (dims, values) = lvl.marginal(keep)?;
+                    Ok(Answer::Marginal { dims, values })
+                }
+                QueryPlan::Total => Ok(Answer::Value { value: lvl.total() }),
+                _ => unreachable!("inner kind validated above"),
+            }
+        }
         QueryPlan::Many { .. } => unreachable!("handled by execute_with"),
     }
 }
 
-/// Validates a `lo..hi` range against the matrix domain (the same checks
-/// the legacy serving path applies).
-fn range_box(matrix: &SanitizedMatrix, lo: &[usize], hi: &[usize]) -> Result<AxisBox, PlanError> {
+/// Validates a `lo..hi` range against a domain — the leaf's, or a
+/// pyramid level's (the same checks the legacy serving path applies).
+fn range_box(shape: &Shape, lo: &[usize], hi: &[usize]) -> Result<AxisBox, PlanError> {
     let q =
         AxisBox::new(lo.to_vec(), hi.to_vec()).map_err(|e| PlanError(format!("bad range: {e}")))?;
-    let shape = matrix.matrix().shape();
     if q.ndim() != shape.ndim() || !q.fits(shape) {
         return Err(PlanError(format!(
             "range {:?}..{:?} does not fit domain {:?}",
@@ -850,6 +910,145 @@ mod tests {
     }
 
     #[test]
+    fn drill_down_matches_coarsened_release_execution() {
+        use dpod_fmatrix::coarsen_to_level;
+        // Fractional, signed values so f64 addition order matters.
+        let shape = Shape::cube(4, 4).unwrap();
+        let values: Vec<f64> = (0..shape.size())
+            .map(|i| ((i * 2_654_435_761) % 1_000) as f64 / 7.0 - 60.0)
+            .collect();
+        let m = SanitizedMatrix::from_entries(
+            "test",
+            1.0,
+            DenseMatrix::from_vec(shape, values).unwrap(),
+        );
+        for level in 0..=2u32 {
+            let side = 4usize >> level;
+            let inners = vec![
+                QueryPlan::Total,
+                QueryPlan::Marginal { keep: vec![0, 1] },
+                QueryPlan::Range {
+                    lo: vec![0; 4],
+                    hi: vec![side.max(1); 4],
+                },
+            ];
+            for inner in inners {
+                let routed = execute(
+                    &m,
+                    &QueryPlan::DrillDown {
+                        level,
+                        plan: Box::new(inner.clone()),
+                    },
+                )
+                .unwrap();
+                // The correctness contract: routing must be bit-identical
+                // to coarsening the leaf and executing there.
+                let coarse = SanitizedMatrix::from_entries(
+                    "test",
+                    1.0,
+                    coarsen_to_level(m.matrix(), level).unwrap(),
+                );
+                let reference = execute(&coarse, &inner).unwrap();
+                match (&routed, &reference) {
+                    (Answer::Value { value: a }, Answer::Value { value: b }) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "level {level} {inner:?}");
+                    }
+                    (
+                        Answer::Marginal {
+                            dims: da,
+                            values: va,
+                        },
+                        Answer::Marginal {
+                            dims: db,
+                            values: vb,
+                        },
+                    ) => {
+                        assert_eq!(da, db, "level {level}");
+                        for (a, b) in va.iter().zip(vb) {
+                            assert_eq!(a.to_bits(), b.to_bits(), "level {level}");
+                        }
+                    }
+                    other => panic!("mismatched answer shapes: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drill_down_validates_levels_and_inner_plans() {
+        let m = od_matrix(4); // 4^4 domain, pyramid root = level 2
+        let err = execute(
+            &m,
+            &QueryPlan::DrillDown {
+                level: 3,
+                plan: Box::new(QueryPlan::Total),
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("exceeds the pyramid root"), "{err}");
+        // DrillDown cannot nest inside itself…
+        let err = execute(
+            &m,
+            &QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::DrillDown {
+                    level: 1,
+                    plan: Box::new(QueryPlan::Total),
+                }),
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("cannot nest"), "{err}");
+        // …nor inside Many…
+        let err = execute(
+            &m,
+            &QueryPlan::Many {
+                plans: vec![QueryPlan::DrillDown {
+                    level: 1,
+                    plan: Box::new(QueryPlan::Total),
+                }],
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("cannot ride inside Many"), "{err}");
+        // …and only per-axis aggregates may drill down.
+        for inner in [
+            QueryPlan::TopK { k: 3 },
+            QueryPlan::od(),
+            QueryPlan::Many { plans: vec![] },
+            QueryPlan::Window {
+                select: EpochSelector::LastK { k: 1 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::Total),
+            },
+        ] {
+            let err = execute(
+                &m,
+                &QueryPlan::DrillDown {
+                    level: 1,
+                    plan: Box::new(inner),
+                },
+            )
+            .unwrap_err();
+            assert!(err.0.contains("cannot drill down"), "{err}");
+        }
+        // Coarse coordinates are validated against the coarse domain:
+        // [0,4) fits the leaf but not level 1 ([2,2,2,2]).
+        let err = execute(
+            &m,
+            &QueryPlan::DrillDown {
+                level: 1,
+                plan: Box::new(QueryPlan::Range {
+                    lo: vec![0; 4],
+                    hi: vec![4; 4],
+                }),
+            },
+        )
+        .unwrap_err();
+        assert!(err.0.contains("does not fit domain [2, 2, 2, 2]"), "{err}");
+    }
+
+    #[test]
     fn single_release_executors_refuse_window_plans() {
         let m = od_matrix(2);
         let window = QueryPlan::Window {
@@ -1045,6 +1244,10 @@ mod tests {
                 select: EpochSelector::At { epoch: 3 },
                 merge: WindowMerge::Sum,
                 plan: Box::new(QueryPlan::TopK { k: 4 }),
+            },
+            QueryPlan::DrillDown {
+                level: 3,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
             },
         ];
         for plan in &plans {

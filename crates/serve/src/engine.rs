@@ -45,6 +45,12 @@ pub struct QueryEngine {
     /// Build time of indexes that have since been evicted; live
     /// indexes' [`ReleaseIndex::build_nanos`] are summed on demand.
     retired_index_nanos: AtomicU64,
+    /// Pyramid hit/miss counts of evicted indexes (live indexes' own
+    /// counters are summed on demand, as for build time).
+    retired_pyramid_hits: AtomicU64,
+    retired_pyramid_misses: AtomicU64,
+    /// Per-level pyramid hits of evicted indexes.
+    retired_pyramid_level_hits: Mutex<HashMap<u32, u64>>,
 }
 
 #[derive(Debug, Default)]
@@ -157,9 +163,19 @@ pub struct EngineStats {
     /// Resident bytes held by the encoded-response memo.
     pub encoded_bytes: usize,
     /// Cumulative wall-clock nanoseconds spent building index
-    /// structures (marginal tables, cell orders), evicted indexes
-    /// included.
+    /// structures (marginal tables, cell orders, pyramid levels),
+    /// evicted indexes included.
     pub index_build_nanos: u64,
+    /// Memoized resolution-pyramid levels currently resident (across
+    /// all cached releases).
+    pub pyramid_entries: usize,
+    /// Resident bytes held by memoized pyramid levels.
+    pub pyramid_bytes: usize,
+    /// Lifetime pyramid-memo hits (drill-down plans answered from a
+    /// resident coarse level), evicted indexes included.
+    pub pyramid_hits: u64,
+    /// Lifetime pyramid-memo misses (— coarse levels built).
+    pub pyramid_misses: u64,
 }
 
 /// Estimated resident size of one rebuilt release: the dense estimate and
@@ -208,6 +224,9 @@ impl QueryEngine {
             encoded_hits: AtomicU64::new(0),
             encoded_misses: AtomicU64::new(0),
             retired_index_nanos: AtomicU64::new(0),
+            retired_pyramid_hits: AtomicU64::new(0),
+            retired_pyramid_misses: AtomicU64::new(0),
+            retired_pyramid_level_hits: Mutex::new(HashMap::new()),
         }
     }
 
@@ -216,12 +235,26 @@ impl QueryEngine {
         self.byte_budget
     }
 
-    /// Sums an evicted entry's accrued index-build time into the
-    /// lifetime counter before the index is dropped.
+    /// Sums an evicted entry's accrued index-build time and pyramid
+    /// counters into the lifetime accumulators before the index drops.
     fn retire(&self, cached: &Cached) {
         if let Some(ix) = &cached.index {
             self.retired_index_nanos
                 .fetch_add(ix.build_nanos(), Ordering::Relaxed);
+            self.retired_pyramid_hits
+                .fetch_add(ix.pyramid_hits(), Ordering::Relaxed);
+            self.retired_pyramid_misses
+                .fetch_add(ix.pyramid_misses(), Ordering::Relaxed);
+            let level_hits = ix.pyramid_level_hits();
+            if !level_hits.is_empty() {
+                let mut retired = self
+                    .retired_pyramid_level_hits
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                for (level, n) in level_hits {
+                    *retired.entry(level).or_insert(0) += n;
+                }
+            }
         }
     }
 
@@ -610,6 +643,27 @@ impl QueryEngine {
         state.bytes = 0;
     }
 
+    /// Lifetime warm hits per pyramid level, ascending by level:
+    /// evicted indexes' counts plus the live indexes' own.
+    pub fn pyramid_level_hits(&self) -> Vec<(u32, u64)> {
+        let mut merged: HashMap<u32, u64> = self
+            .retired_pyramid_level_hits
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        {
+            let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            for ix in state.map.values().filter_map(|c| c.index.as_ref()) {
+                for (level, n) in ix.pyramid_level_hits() {
+                    *merged.entry(level).or_insert(0) += n;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, u64)> = merged.into_iter().collect();
+        hits.sort_unstable();
+        hits
+    }
+
     /// Current counters.
     pub fn stats(&self) -> EngineStats {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -620,7 +674,15 @@ impl QueryEngine {
             .filter_map(|c| c.index.as_ref())
             .map(|ix| ix.build_nanos())
             .sum();
+        let live_indexes = || state.map.values().filter_map(|c| c.index.as_ref());
+        let live_pyramid_hits: u64 = live_indexes().map(|ix| ix.pyramid_hits()).sum();
+        let live_pyramid_misses: u64 = live_indexes().map(|ix| ix.pyramid_misses()).sum();
         EngineStats {
+            pyramid_entries: live_indexes().map(|ix| ix.pyramid_entries()).sum(),
+            pyramid_bytes: live_indexes().map(|ix| ix.pyramid_bytes()).sum(),
+            pyramid_hits: self.retired_pyramid_hits.load(Ordering::Relaxed) + live_pyramid_hits,
+            pyramid_misses: self.retired_pyramid_misses.load(Ordering::Relaxed)
+                + live_pyramid_misses,
             entries: state.map.len(),
             bytes: state.bytes,
             hits: self.hits.load(Ordering::Relaxed),
@@ -1245,6 +1307,38 @@ mod tests {
         let stats = engine.stats();
         assert_eq!((stats.encoded_hits, stats.encoded_misses), (0, 2));
         assert_eq!(stats.encoded_entries, 1);
+    }
+
+    #[test]
+    fn pyramid_stats_aggregate_across_indexes_and_survive_eviction() {
+        use dpod_query::{plan, QueryPlan};
+        let c = catalog_with(&["a"], 16);
+        let engine = QueryEngine::new(1 << 20);
+        let ix = engine.index(&c.get("a").unwrap()).unwrap();
+        let drill = QueryPlan::DrillDown {
+            level: 2,
+            plan: Box::new(QueryPlan::Total),
+        };
+        plan::execute_with(&*ix, &drill).unwrap(); // builds level 2
+        plan::execute_with(&*ix, &drill).unwrap(); // warm hit
+        let stats = engine.stats();
+        assert_eq!(
+            (
+                stats.pyramid_entries,
+                stats.pyramid_hits,
+                stats.pyramid_misses
+            ),
+            (1, 1, 1)
+        );
+        assert!(stats.pyramid_bytes > 0);
+        assert_eq!(engine.pyramid_level_hits(), vec![(2, 1)]);
+        // Eviction drops the resident level but the lifetime counters
+        // survive in the retired accumulators.
+        engine.evict("a");
+        let stats = engine.stats();
+        assert_eq!((stats.pyramid_entries, stats.pyramid_bytes), (0, 0));
+        assert_eq!((stats.pyramid_hits, stats.pyramid_misses), (1, 1));
+        assert_eq!(engine.pyramid_level_hits(), vec![(2, 1)]);
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub(crate) fn kind_index(req: &Request) -> usize {
             "marginal" => 4,
             "top_k" => 5,
             "total" => 6,
-            _ => 7, // "many" (and any future shape folds here)
+            _ => 7, // "many", "drill_down" (and any future shape folds here)
         },
         Request::List => 8,
         Request::Stats => 9,
@@ -488,6 +488,42 @@ pub(crate) fn render_metrics(server: &Server) -> String {
         "gauge",
         engine.encoded_bytes.to_string(),
     );
+    gauge(
+        "dpod_engine_pyramid_entries",
+        "Memoized resolution-pyramid levels resident across plan indexes",
+        "gauge",
+        engine.pyramid_entries.to_string(),
+    );
+    gauge(
+        "dpod_engine_pyramid_bytes",
+        "Bytes the pyramid memo holds in the shared index budget",
+        "gauge",
+        engine.pyramid_bytes.to_string(),
+    );
+    gauge(
+        "dpod_engine_pyramid_hits_total",
+        "Drill-down plans answered from a memoized pyramid level",
+        "counter",
+        engine.pyramid_hits.to_string(),
+    );
+    gauge(
+        "dpod_engine_pyramid_misses_total",
+        "Drill-down plans that coarsened the leaf (level built or over budget)",
+        "counter",
+        engine.pyramid_misses.to_string(),
+    );
+
+    // Per-level pyramid traffic (warm hits only, so the rows sum to
+    // dpod_engine_pyramid_hits_total).
+    out.push_str(
+        "# HELP dpod_engine_pyramid_level_hits_total Warm pyramid hits per level\n\
+         # TYPE dpod_engine_pyramid_level_hits_total counter\n",
+    );
+    for (level, hits) in server.pyramid_level_hits() {
+        out.push_str(&format!(
+            "dpod_engine_pyramid_level_hits_total{{level=\"{level}\"}} {hits}\n"
+        ));
+    }
 
     // Per-release traffic.
     out.push_str("# HELP dpod_release_hits_total Queries answered per release\n");

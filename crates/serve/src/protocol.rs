@@ -22,6 +22,7 @@
 //! | `TopK { k }` | `TopK` — k largest cells, descending, deterministic ties |
 //! | `Total` | `Value` — full-domain estimate |
 //! | `Many { plans }` | `Many` — sub-answers in order (plans do not nest) |
+//! | `DrillDown { level, plan }` | inner plan's answer, routed to pyramid level `level` |
 //!
 //! The same plan executed in-process, over NDJSON, or over `DPRB`
 //! produces bit-identical answers (a property test pins this). In-process
@@ -109,6 +110,10 @@ pub enum Request {
 }
 
 /// One server response (same order as requests).
+// `Stats` is the outsized variant, but it is operator traffic (one
+// request a scrape), while boxing it would cost an allocation on a
+// protocol type every hot-path response also moves through.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Answer to [`Request::Query`].
@@ -243,6 +248,16 @@ pub struct ServerStats {
     /// Bytes the encoded-response memo holds inside the shared cache
     /// ledger (already included in `cache_bytes`).
     pub encoded_bytes: usize,
+    /// Memoized resolution-pyramid levels resident across plan indexes.
+    pub pyramid_entries: usize,
+    /// Drill-down plans answered from a memoized pyramid level.
+    pub pyramid_hits: u64,
+    /// Drill-down plans that had to coarsen the leaf (level built or
+    /// answered uncached when over budget).
+    pub pyramid_misses: u64,
+    /// Bytes the pyramid memo holds inside the shared index budget
+    /// (already included in `cache_bytes`).
+    pub pyramid_bytes: usize,
 }
 
 /// Latency quantiles for one `(transport, stage)` pair, in nanoseconds.
@@ -389,6 +404,10 @@ mod tests {
                     encoded_hits: 9,
                     encoded_misses: 4,
                     encoded_bytes: 512,
+                    pyramid_entries: 2,
+                    pyramid_hits: 6,
+                    pyramid_misses: 2,
+                    pyramid_bytes: 1024,
                 },
             },
             Response::Error {

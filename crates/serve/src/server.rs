@@ -406,6 +406,13 @@ impl Server {
         merge: WindowMerge,
         inner: &QueryPlan,
     ) -> Result<Answer, ServeError> {
+        if matches!(inner, QueryPlan::DrillDown { .. }) {
+            return Err(ServeError(
+                "DrillDown plans select a pyramid level at the top level \
+                 and cannot ride inside Window"
+                    .to_string(),
+            ));
+        }
         let live = series::series_epochs(&self.catalog, series);
         let selected = series::select_epochs(select, &live)?;
         let plan_key = serde_json::to_string(inner)
@@ -532,6 +539,10 @@ impl Server {
                         encoded_hits: engine.encoded_hits,
                         encoded_misses: engine.encoded_misses,
                         encoded_bytes: engine.encoded_bytes,
+                        pyramid_entries: engine.pyramid_entries,
+                        pyramid_hits: engine.pyramid_hits,
+                        pyramid_misses: engine.pyramid_misses,
+                        pyramid_bytes: engine.pyramid_bytes,
                     },
                 }
             }
@@ -744,6 +755,12 @@ impl Server {
     /// Engine counters (for benches and tests).
     pub fn engine_stats(&self) -> crate::EngineStats {
         self.engine.stats()
+    }
+
+    /// Warm pyramid-level hits by level, ascending (evicted indexes
+    /// included) — what the `/metrics` per-level counter rows export.
+    pub fn pyramid_level_hits(&self) -> Vec<(u32, u64)> {
+        self.engine.pyramid_level_hits()
     }
 
     /// Range queries answered since start.
@@ -1724,6 +1741,74 @@ mod tests {
         let warm = serde_json::to_string(&server.handle(&req)).unwrap();
         assert_eq!(indexed, cold, "kill-switch must not change answers");
         assert_eq!(indexed, warm);
+    }
+
+    /// DrillDown plans route through the engine-cached index's pyramid
+    /// memo: answers are bit-identical to executing the inner plan over
+    /// a hand-coarsened leaf, the kill-switch cold path agrees, and the
+    /// stats frame reports the memo's hit/miss traffic.
+    #[test]
+    fn drill_down_plans_route_through_the_pyramid_memo() {
+        use dpod_query::plan;
+        let server = test_server(&["city"]);
+        let req = Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::DrillDown {
+                level: 2,
+                plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
+            },
+        };
+        let indexed = serde_json::to_string(&server.handle(&req)).unwrap();
+        let warm = serde_json::to_string(&server.handle(&req)).unwrap();
+        server.set_indexed_plans(false);
+        let cold = serde_json::to_string(&server.handle(&req)).unwrap();
+        server.set_indexed_plans(true);
+        assert_eq!(indexed, warm);
+        assert_eq!(indexed, cold, "kill-switch must not change answers");
+        // Reference: coarsen the rebuilt leaf by hand, execute the
+        // inner plan against it, and compare serialized responses.
+        let leaf = server.resolve("city").unwrap();
+        let coarse = dpod_core::SanitizedMatrix::from_entries(
+            "coarse",
+            0.5,
+            dpod_fmatrix::coarsen_to_level(leaf.matrix(), 2).unwrap(),
+        );
+        let answer = plan::execute(&coarse, &QueryPlan::Marginal { keep: vec![0, 1] }).unwrap();
+        let reference = serde_json::to_string(&Response::Answer { answer }).unwrap();
+        assert_eq!(indexed, reference);
+        // One miss (level built), one warm hit; the cold execution ran
+        // through the scan backend and touched no counters.
+        let Response::Stats { stats } = server.handle(&Request::Stats) else {
+            panic!("expected stats");
+        };
+        assert_eq!((stats.pyramid_hits, stats.pyramid_misses), (1, 1));
+        assert_eq!(stats.pyramid_entries, 1);
+        assert!(stats.pyramid_bytes > 0);
+        assert_eq!(server.pyramid_level_hits(), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn window_plans_reject_drill_down_inner_plans() {
+        let server = test_server(&["city"]);
+        let req = Request::Plan {
+            release: "city".into(),
+            plan: QueryPlan::Window {
+                select: EpochSelector::LastK { k: 1 },
+                merge: WindowMerge::Sum,
+                plan: Box::new(QueryPlan::DrillDown {
+                    level: 1,
+                    plan: Box::new(QueryPlan::Total),
+                }),
+            },
+        };
+        let Response::Error { message } = server.handle(&req) else {
+            panic!("expected error");
+        };
+        assert_eq!(
+            message,
+            "DrillDown plans select a pyramid level at the top level \
+             and cannot ride inside Window"
+        );
     }
 
     #[test]

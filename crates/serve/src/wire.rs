@@ -88,7 +88,8 @@
 //! origin/destination regions of 4 raw u64 corners each, then
 //! `u64 count` × (u64 stop index + region)), `0x03` Marginal (keep\[\]),
 //! `0x04` TopK (u64 k), `0x05` Total, `0x06` Many (u64 count + nested
-//! plans), `0x07` Window (selector tag + ids, merge tag, nested plan).
+//! plans), `0x07` Window (selector tag + ids, merge tag, nested plan),
+//! `0x08` DrillDown (u64 pyramid level + nested plan).
 //! An `Answer` payload mirrors it with packed encodings for the
 //! hot variants: `0x01` Value (f64), `0x02` Marginal (dims\[\] + a raw
 //! f64 vector), `0x03` TopK (dims\[\], u64 count, then `count` packed
@@ -140,9 +141,9 @@ const OP_ANSWER_PACKED: u8 = 0x87;
 const OP_ERROR: u8 = 0xEF;
 
 // Plan tags inside an `OP_PLAN` payload (one per `QueryPlan` variant).
-// `PLAN_WINDOW` is additive: pre-epoch encoders never emit it and
-// pre-epoch decoders reject it as an unknown tag, so legacy bytes are
-// untouched (the pinned-bytes tests below prove it).
+// `PLAN_WINDOW` and `PLAN_DRILL_DOWN` are additive: older encoders never
+// emit them and older decoders reject them as unknown tags, so legacy
+// bytes are untouched (the pinned-bytes tests below prove it).
 const PLAN_RANGE: u8 = 0x01;
 const PLAN_OD: u8 = 0x02;
 const PLAN_MARGINAL: u8 = 0x03;
@@ -150,6 +151,7 @@ const PLAN_TOP_K: u8 = 0x04;
 const PLAN_TOTAL: u8 = 0x05;
 const PLAN_MANY: u8 = 0x06;
 const PLAN_WINDOW: u8 = 0x07;
+const PLAN_DRILL_DOWN: u8 = 0x08;
 
 // Epoch-selector tags inside a `PLAN_WINDOW` payload.
 const SELECT_AT: u8 = 0x01;
@@ -499,6 +501,11 @@ fn encode_plan(w: &mut FrameWriter, plan: &QueryPlan) {
             });
             encode_plan(w, plan);
         }
+        QueryPlan::DrillDown { level, plan } => {
+            w.put_u8(PLAN_DRILL_DOWN);
+            w.put_u64(u64::from(*level));
+            encode_plan(w, plan);
+        }
     }
 }
 
@@ -581,6 +588,12 @@ fn decode_plan(r: &mut FrameReader<'_>, depth: usize) -> Result<QueryPlan, WireE
                 merge,
                 plan,
             })
+        }
+        PLAN_DRILL_DOWN => {
+            let level = u32::try_from(r.get_u64("drill-down level")?)
+                .map_err(|_| WireError("drill-down level overflows".into()))?;
+            let plan = Box::new(decode_plan(r, depth + 1)?);
+            Ok(QueryPlan::DrillDown { level, plan })
         }
         other => Err(WireError(format!("unknown plan tag {other:#04x}"))),
     }
@@ -1018,6 +1031,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.put_u64(stats.encoded_hits);
             w.put_u64(stats.encoded_misses);
             w.put_u64(stats.encoded_bytes as u64);
+            // Pyramid tail: the fourth optional block, appended after
+            // the encoded-memo tail under the same convention.
+            w.put_u64(stats.pyramid_entries as u64);
+            w.put_u64(stats.pyramid_hits);
+            w.put_u64(stats.pyramid_misses);
+            w.put_u64(stats.pyramid_bytes as u64);
             w.finish().to_vec()
         }
         Response::Error { message } => {
@@ -1165,6 +1184,20 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                 } else {
                     (0, 0, 0, 0)
                 };
+            // Pyramid tail: fourth optional block (a frame ending after
+            // the encoded-memo tail is a pre-pyramid server's — decode
+            // with zero defaults).
+            let (pyramid_entries, pyramid_hits, pyramid_misses, pyramid_bytes) =
+                if r.remaining() > 0 {
+                    (
+                        r.get_u64("pyramid_entries")? as usize,
+                        r.get_u64("pyramid_hits")?,
+                        r.get_u64("pyramid_misses")?,
+                        r.get_u64("pyramid_bytes")? as usize,
+                    )
+                } else {
+                    (0, 0, 0, 0)
+                };
             Response::Stats {
                 stats: ServerStats {
                     releases,
@@ -1192,6 +1225,10 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
                     encoded_hits,
                     encoded_misses,
                     encoded_bytes,
+                    pyramid_entries,
+                    pyramid_hits,
+                    pyramid_misses,
+                    pyramid_bytes,
                 },
             }
         }
@@ -1482,6 +1519,23 @@ mod tests {
                     plan: Box::new(QueryPlan::Total),
                 },
             },
+            Request::Plan {
+                release: "city".into(),
+                plan: QueryPlan::DrillDown {
+                    level: 3,
+                    plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
+                },
+            },
+            Request::Plan {
+                release: "city".into(),
+                plan: QueryPlan::DrillDown {
+                    level: 0,
+                    plan: Box::new(QueryPlan::Range {
+                        lo: vec![0, 0],
+                        hi: vec![4, 4],
+                    }),
+                },
+            },
             Request::List,
             Request::Stats,
         ];
@@ -1641,6 +1695,26 @@ mod tests {
         w.put_u8(PLAN_OD);
         w.put_u8(9);
         assert!(decode_request(&w.finish()).is_err());
+        // A drill-down level past u32 is a named overflow, not a wrap.
+        let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 32);
+        w.put_u8(OP_PLAN);
+        w.put_bytes(b"r");
+        w.put_u8(PLAN_DRILL_DOWN);
+        w.put_u64(u64::MAX);
+        w.put_u8(PLAN_TOTAL);
+        let err = decode_request(&w.finish()).expect_err("level overflow must fire");
+        assert!(err.0.contains("drill-down level overflows"), "{err}");
+        // Every truncation of a drill-down plan frame is an error too.
+        let good = encode_request(&Request::Plan {
+            release: "r".into(),
+            plan: QueryPlan::DrillDown {
+                level: 2,
+                plan: Box::new(QueryPlan::Total),
+            },
+        });
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "drill cut {cut}");
+        }
         // A top-k answer cell pointing outside its declared dims is
         // refused on decode.
         let mut w = FrameWriter::with_capacity(WIRE_MAGIC, WIRE_VERSION, 64);
@@ -1709,6 +1783,10 @@ mod tests {
                     encoded_hits: 11,
                     encoded_misses: 3,
                     encoded_bytes: 4096,
+                    pyramid_entries: 2,
+                    pyramid_hits: 8,
+                    pyramid_misses: 2,
+                    pyramid_bytes: 2048,
                 },
             },
             Response::Error {
@@ -1757,6 +1835,10 @@ mod tests {
             encoded_hits: 0,
             encoded_misses: 0,
             encoded_bytes: 0,
+            pyramid_entries: 0,
+            pyramid_hits: 0,
+            pyramid_misses: 0,
+            pyramid_bytes: 0,
         };
         // Re-encode the frame the way the previous wire revision did:
         // everything except the appended observability tail.
@@ -1833,6 +1915,10 @@ mod tests {
                 encoded_hits: 3,
                 encoded_misses: 2,
                 encoded_bytes: 128,
+                pyramid_entries: 1,
+                pyramid_hits: 4,
+                pyramid_misses: 1,
+                pyramid_bytes: 256,
             },
         });
         for cut in [full.len() - 1, full.len() - 9, full.len() - 40] {

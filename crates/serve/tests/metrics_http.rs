@@ -251,6 +251,65 @@ fn epoch_gauges_cover_the_series_lifecycle() {
     exporter.stop();
 }
 
+/// The pyramid memo's whole surface is visible on `/metrics`: the four
+/// aggregate gauges and the per-level hit-counter rows, agreeing with
+/// the stats frame's pyramid tail.
+#[test]
+fn pyramid_gauges_cover_drill_down_traffic() {
+    use dpod_query::QueryPlan;
+
+    let server = test_server();
+    let drill = Request::Plan {
+        release: "city".into(),
+        plan: QueryPlan::DrillDown {
+            level: 2,
+            plan: Box::new(QueryPlan::Marginal { keep: vec![0, 1] }),
+        },
+    };
+    // First execution builds level 2 (miss); the repeat answers warm
+    // from the memoized level (hit). A second level adds an entry.
+    for _ in 0..2 {
+        let answer = server.handle(&drill);
+        assert!(matches!(answer, Response::Answer { .. }), "{answer:?}");
+    }
+    let total = Request::Plan {
+        release: "city".into(),
+        plan: QueryPlan::DrillDown {
+            level: 1,
+            plan: Box::new(QueryPlan::Total),
+        },
+    };
+    assert!(matches!(server.handle(&total), Response::Answer { .. }));
+
+    let exporter = spawn_metrics_exporter(Arc::clone(&server), "127.0.0.1:0").unwrap();
+    let body = scrape(exporter.addr());
+    assert!(body.contains("dpod_engine_pyramid_entries 2"), "{body}");
+    assert!(body.contains("dpod_engine_pyramid_hits_total 1"), "{body}");
+    assert!(
+        body.contains("dpod_engine_pyramid_misses_total 2"),
+        "{body}"
+    );
+    assert!(
+        body.contains("dpod_engine_pyramid_level_hits_total{level=\"2\"} 1"),
+        "{body}"
+    );
+    let bytes: usize = body
+        .lines()
+        .find_map(|l| l.strip_prefix("dpod_engine_pyramid_bytes "))
+        .and_then(|v| v.parse().ok())
+        .expect("pyramid bytes gauge present");
+    assert!(bytes > 0);
+
+    // The stats frame's pyramid tail reports the same counters.
+    let Response::Stats { stats } = server.handle(&Request::Stats) else {
+        panic!("expected stats");
+    };
+    assert_eq!(stats.pyramid_entries, 2);
+    assert_eq!((stats.pyramid_hits, stats.pyramid_misses), (1, 2));
+    assert_eq!(stats.pyramid_bytes, bytes);
+    exporter.stop();
+}
+
 /// A second scrape on a fresh connection must work (the exporter serves
 /// one request per connection, `Connection: close`).
 #[test]

@@ -149,6 +149,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     encoded_hits: counter / 8,
                     encoded_misses: counter / 9,
                     encoded_bytes: (counter % 4096) as usize,
+                    pyramid_entries: (counter % 13) as usize,
+                    pyramid_hits: counter / 10,
+                    pyramid_misses: counter / 11,
+                    pyramid_bytes: (counter % 8192) as usize,
                 },
             },
             _ => Response::Error { message: name },
